@@ -1,0 +1,139 @@
+//! Regenerates the paper's in-text experiments — §3.3 iso-thermal
+//! operation, §3.4 interconnect evaluation, §4 heterogeneous die, and
+//! the Fig. 1 RMT summary — and benchmarks their kernels.
+//!
+//! Run with `cargo bench -p rmt3d-bench --bench experiments`. Set
+//! `RMT3D_PAPER=1` for the full suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmt3d::experiments::{
+    dfs_ablation, fig7, hard_error, heterogeneous, interconnect, interrupts, iso_thermal,
+    leakage_feedback, margins, resilience, rmt_summary, shared_cache, tmr_study,
+};
+use rmt3d::RunScale;
+use rmt3d_interconnect::{wire_report, BandwidthConfig};
+use rmt3d_units::TechNode;
+use rmt3d_workload::Benchmark;
+use std::hint::black_box;
+
+fn suite() -> (Vec<Benchmark>, RunScale) {
+    if std::env::var("RMT3D_PAPER").is_ok() {
+        (Benchmark::ALL.to_vec(), RunScale::paper())
+    } else {
+        (
+            vec![Benchmark::Gzip, Benchmark::Swim, Benchmark::Vpr],
+            RunScale {
+                warmup_instructions: 40_000,
+                instructions: 200_000,
+                thermal_grid: 50,
+            },
+        )
+    }
+}
+
+fn print_experiments() {
+    let (benchmarks, scale) = suite();
+
+    println!("\n== Sec 3.4: interconnect ==");
+    print!("{}", interconnect::run().to_table());
+
+    println!("\n== Sec 3.3: iso-thermal ==");
+    for w in [7.0, 15.0] {
+        let p = iso_thermal::run(w, &benchmarks, scale).expect("iso-thermal");
+        println!(
+            "{:4.0} W checker: {:.2} GHz to match 2d-a ({:.1} C), perf loss {:.1}%",
+            w,
+            p.matched_frequency.value(),
+            p.baseline_temp.0,
+            100.0 * p.performance_loss
+        );
+    }
+
+    println!("\n== Sec 4: heterogeneous die ==");
+    print!(
+        "{}",
+        heterogeneous::run(&benchmarks, scale)
+            .expect("heterogeneous")
+            .to_table()
+    );
+
+    println!("\n== Fig. 1 summary ==");
+    print!("{}", rmt_summary::run(&benchmarks, scale).to_table());
+
+    println!("\n== Sec 3.5: timing margins ==");
+    let f7 = fig7::run(&benchmarks, scale);
+    print!("{}", margins::run(&f7, TechNode::N65, 12).to_table());
+
+    println!("\n== Sec 4 Discussion: DFS ablation ==");
+    print!("{}", dfs_ablation::run(&benchmarks, scale).to_table());
+
+    println!("\n== Sec 2: hard-error degraded mode ==");
+    print!("{}", hard_error::run(&benchmarks, scale).to_table());
+
+    println!("\n== Sec 2: interrupt synchronization ==");
+    print!("{}", interrupts::run(&benchmarks, 10_000, scale).to_table());
+
+    println!("\n== TMR extension ==");
+    print!(
+        "{}",
+        tmr_study::run(Benchmark::Twolf, 6, 2e-3, 30_000).to_table()
+    );
+
+    println!("\n== Error-resilience synthesis ==");
+    print!("{}", resilience::run(&benchmarks, scale).to_table());
+
+    println!("\n== Sec 3.2: shared-cache motivation ==");
+    print!("{}", shared_cache::run(80_000).to_table());
+
+    println!("\n== Sec 3.2: leakage-temperature coupling ==");
+    let lf = leakage_feedback::run(Benchmark::Gzip, scale).expect("coupled solve");
+    println!(
+        "open-loop {:.2} C -> closed-loop {:.2} C (shift {:+.3} C): negligible, as reported",
+        lf.open_loop_peak.0,
+        lf.closed_loop_peak.0,
+        lf.peak_shift()
+    );
+    println!();
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    print_experiments();
+
+    c.bench_function("sec34_wire_extraction", |b| {
+        let plan = rmt3d::floorplan::ChipFloorplan::three_d_2a();
+        let cfg = BandwidthConfig::paper();
+        b.iter(|| black_box(wire_report(&plan, &cfg).intercore_length))
+    });
+
+    c.bench_function("rmt_fault_injection_50k", |b| {
+        use rmt3d::rmt::{EccConfig, RmtConfig, RmtSystem};
+        use rmt3d_cache::{CacheHierarchy, NucaPolicy};
+        use rmt3d_cpu::{CoreConfig, OooCore};
+        use rmt3d_workload::TraceGenerator;
+        b.iter(|| {
+            let leader = OooCore::new(
+                CoreConfig::leading_ev7_like(),
+                TraceGenerator::new(Benchmark::Gzip.profile()),
+                CacheHierarchy::new(
+                    rmt3d::ProcessorModel::ThreeD2A.nuca_layout(),
+                    NucaPolicy::DistributedSets,
+                ),
+            );
+            let mut sys = RmtSystem::new(leader, RmtConfig::paper()).with_fault_injection(
+                1,
+                1e-4,
+                EccConfig::paper(),
+            );
+            sys.prefill_caches();
+            sys.run_instructions(50_000);
+            black_box(sys.stats().recoveries)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_experiments
+}
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Regenerates the paper's Figures 4-9 and benchmarks their core
+//! computational kernels.
+//!
+//! Run with `cargo bench -p rmt3d-bench --bench figures`. Set
+//! `RMT3D_PAPER=1` to regenerate with all 19 benchmarks at full scale
+//! (takes tens of minutes); the default uses a representative subset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmt3d::experiments::{fig4, fig5, fig6, fig7};
+use rmt3d::thermal::{solve, PowerMap, ThermalConfig};
+use rmt3d::{simulate, ProcessorModel, RunScale, SimConfig};
+use rmt3d_reliability::{mbu_probability_at, per_bit_ser, relative_chip_ser};
+use rmt3d_units::{TechNode, Watts};
+use rmt3d_workload::Benchmark;
+use std::hint::black_box;
+
+fn suite() -> (Vec<Benchmark>, RunScale) {
+    if std::env::var("RMT3D_PAPER").is_ok() {
+        (Benchmark::ALL.to_vec(), RunScale::paper())
+    } else {
+        (
+            vec![
+                Benchmark::Gzip,
+                Benchmark::Mcf,
+                Benchmark::Swim,
+                Benchmark::Eon,
+                Benchmark::Vpr,
+            ],
+            RunScale {
+                warmup_instructions: 50_000,
+                instructions: 250_000,
+                thermal_grid: 50,
+            },
+        )
+    }
+}
+
+fn print_figures() {
+    let (benchmarks, scale) = suite();
+
+    println!("\n== Fig. 6 ==");
+    print!("{}", fig6::run(&benchmarks, scale).to_table());
+
+    println!("\n== Fig. 4 ==");
+    print!(
+        "{}",
+        fig4::run(&benchmarks, scale).expect("fig4").to_table()
+    );
+
+    println!("\n== Fig. 5 ==");
+    print!(
+        "{}",
+        fig5::run(&benchmarks, scale).expect("fig5").to_table()
+    );
+
+    println!("\n== Fig. 7 ==");
+    print!("{}", fig7::run(&benchmarks, scale).to_table());
+
+    println!("\n== Fig. 8: SRAM per-bit SER scaling ==");
+    println!("node    neutron  alpha  per-bit  chip-relative");
+    for n in [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N65] {
+        let s = per_bit_ser(n);
+        println!(
+            "{:7} {:7.2} {:6.2} {:8.2} {:10.2}",
+            n.to_string(),
+            s.neutron,
+            s.alpha,
+            s.total(),
+            relative_chip_ser(n)
+        );
+    }
+
+    println!("\n== Fig. 9: multi-bit upset probability ==");
+    println!("node    Qcrit(fC)  P(MBU)");
+    for n in [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N65,
+        TechNode::N45,
+        TechNode::N32,
+    ] {
+        println!(
+            "{:7} {:9.1} {:8.4}",
+            n.to_string(),
+            rmt3d_reliability::critical_charge_fc(n),
+            mbu_probability_at(n)
+        );
+    }
+    println!();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    print_figures();
+
+    // Thermal solve kernel (the Fig. 4/5 workhorse).
+    c.bench_function("fig4_thermal_solve_25x25", |b| {
+        let plan = ProcessorModel::ThreeD2A.floorplan();
+        let mut map = PowerMap::new();
+        for die in &plan.dies {
+            for blk in &die.blocks {
+                map.set(blk.id, Watts(1.0));
+            }
+        }
+        let cfg = ThermalConfig::fast();
+        b.iter(|| black_box(solve(&plan, &map, &cfg).unwrap().peak()))
+    });
+
+    // Co-simulation kernel (the Fig. 6/7 workhorse): 20K instructions
+    // through the coupled RMT system.
+    c.bench_function("fig6_cosim_20k_instructions", |b| {
+        let scale = RunScale {
+            warmup_instructions: 1_000,
+            instructions: 20_000,
+            thermal_grid: 25,
+        };
+        let cfg = SimConfig::nominal(ProcessorModel::ThreeD2A, scale);
+        b.iter(|| black_box(simulate(&cfg, Benchmark::Gzip).ipc()))
+    });
+
+    // Substrate kernels: the building blocks every figure rests on.
+    c.bench_function("substrate_trace_generation_10k_ops", |b| {
+        use rmt3d_workload::TraceGenerator;
+        b.iter(|| {
+            let mut g = TraceGenerator::new(Benchmark::Gzip.profile());
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc ^= g.next_op().imm;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("substrate_l1_cache_10k_accesses", |b| {
+        use rmt3d_cache::{CacheConfig, SetAssocCache};
+        let mut cache = SetAssocCache::new(CacheConfig::l1_32k_2way());
+        let mut addr = 0u64;
+        b.iter(|| {
+            let mut hits = 0u32;
+            for _ in 0..10_000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                hits += cache.access(addr % (64 * 1024), false) as u32;
+            }
+            black_box(hits)
+        })
+    });
+
+    c.bench_function("substrate_branch_predictor_10k", |b| {
+        use rmt3d_cpu::CombinedPredictor;
+        let mut p = CombinedPredictor::table1();
+        let mut x = 1u64;
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..10_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                hits += p.predict_and_train(0x40_0000 + (i % 256) * 16, x & 3 != 0) as u32;
+            }
+            black_box(hits)
+        })
+    });
+
+    // Reliability model kernels (Figs. 8-9).
+    c.bench_function("fig8_fig9_reliability_models", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in TechNode::ALL {
+                acc += relative_chip_ser(black_box(n)) + mbu_probability_at(n);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

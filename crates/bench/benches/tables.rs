@@ -1,0 +1,62 @@
+//! Regenerates the paper's Tables 4-8 and benchmarks their generators.
+//!
+//! Run with `cargo bench -p rmt3d-bench --bench tables`. Each table is
+//! printed in the paper's layout before the timing loops run; compare
+//! against `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmt3d::experiments::tables;
+use rmt3d_interconnect::{BandwidthConfig, D2dViaModel};
+use rmt3d_power::pipeline::relative_power;
+use rmt3d_power::tech::scaling_ratio;
+use rmt3d_units::TechNode;
+use std::hint::black_box;
+
+fn print_tables() {
+    println!("\n{}", tables::table4_text());
+    println!("{}", tables::table5_text());
+    println!("{}", tables::table6_text());
+    println!("{}", tables::table7_text());
+    println!("{}", tables::table8_text());
+    let vias = D2dViaModel::paper();
+    let cfg = BandwidthConfig::paper();
+    println!(
+        "Table 4 electricals: {} vias, {:.2} mW, {:.3} mm^2\n",
+        cfg.total_vias(),
+        vias.total_power(cfg.total_vias()).milliwatts(),
+        vias.total_area(cfg.total_vias()).0
+    );
+}
+
+fn bench_tables(c: &mut Criterion) {
+    print_tables();
+
+    c.bench_function("table4_d2d_bandwidth", |b| {
+        b.iter(|| {
+            let cfg = BandwidthConfig::paper();
+            black_box(cfg.core_vias() + cfg.total_vias())
+        })
+    });
+    c.bench_function("table5_pipeline_power", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for fo4 in [18.0, 14.0, 10.0, 6.0, 12.0, 8.5] {
+                acc += relative_power(black_box(fo4)).total();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("table8_tech_scaling", |b| {
+        b.iter(|| {
+            let r = scaling_ratio(black_box(TechNode::N90), TechNode::N65).unwrap();
+            black_box(r.dynamic + r.leakage)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Benchmark-harness crate: see `benches/` for the Criterion targets
+//! that regenerate every table and figure of the paper.
+//!
+//! * `benches/tables.rs` — Tables 4-8.
+//! * `benches/figures.rs` — Figures 4-9.
+//! * `benches/experiments.rs` — §3.3 iso-thermal, §3.4 interconnect,
+//!   §4 heterogeneous die, Fig. 1 summary.
+//!
+//! Set `RMT3D_PAPER=1` to run the full 19-benchmark suite at paper
+//! scale.

@@ -1,0 +1,371 @@
+//! Cache and NUCA configuration types.
+
+use std::fmt;
+
+/// Geometry and timing of a single set-associative cache (or cache bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles (pipelined; hit latency).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if any parameter is zero, not a power of
+    /// two where required, or the geometry is inconsistent (capacity not
+    /// divisible into sets).
+    pub fn new(
+        size_bytes: u64,
+        ways: u32,
+        line_bytes: u32,
+        latency: u32,
+    ) -> Result<CacheConfig, String> {
+        if size_bytes == 0 || ways == 0 || line_bytes == 0 || latency == 0 {
+            return Err("cache parameters must be positive".to_string());
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".to_string());
+        }
+        let line_capacity = size_bytes / line_bytes as u64;
+        if !line_capacity.is_multiple_of(ways as u64) {
+            return Err("capacity must divide evenly into sets".to_string());
+        }
+        let sets = line_capacity / ways as u64;
+        if !sets.is_power_of_two() {
+            return Err("set count must be a power of two".to_string());
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            latency,
+        })
+    }
+
+    /// The paper's L1 configuration: 32 KB, 2-way, 2-cycle (Table 1).
+    pub fn l1_32k_2way() -> CacheConfig {
+        CacheConfig::new(32 * 1024, 2, 64, 2).expect("static config")
+    }
+
+    /// One 1 MB L2 NUCA bank (Table 2), 64 B lines. The paper's NUCA
+    /// policies determine associativity seen by an address; within a bank
+    /// we model 1 way per NUCA way (distributed-ways) or the full per-set
+    /// associativity (distributed-sets).
+    pub fn l2_bank_1mb(ways: u32, latency: u32) -> CacheConfig {
+        CacheConfig::new(1024 * 1024, ways, 64, latency).expect("static config")
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes as u64 * self.ways as u64)
+    }
+
+    /// Extracts the (set index, tag) pair for an address.
+    #[inline]
+    pub fn index_tag(&self, addr: u64) -> (u64, u64) {
+        let line = addr / self.line_bytes as u64;
+        let sets = self.sets();
+        (line % sets, line / sets)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB {}-way {}B-line {}cyc",
+            self.size_bytes / 1024,
+            self.ways,
+            self.line_bytes,
+            self.latency
+        )
+    }
+}
+
+/// NUCA data-placement policy (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NucaPolicy {
+    /// Sets are distributed across banks: an address maps to exactly one
+    /// bank. Simple, but all banks are uniformly accessed. This is the
+    /// paper's default policy.
+    #[default]
+    DistributedSets,
+    /// Ways are distributed across banks: a block may live in any bank;
+    /// a centralized tag array near the L2 controller is consulted first,
+    /// and blocks migrate toward closer banks on hits.
+    DistributedWays,
+}
+
+impl fmt::Display for NucaPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NucaPolicy::DistributedSets => "distributed-sets",
+            NucaPolicy::DistributedWays => "distributed-ways",
+        })
+    }
+}
+
+/// Physical arrangement of L2 banks on one or two dies.
+///
+/// Coordinates are grid positions (column, row, die); the L2 controller
+/// sits at a fixed position on die 0 and requests pay 4 cycles per
+/// Manhattan hop (1 link + 3 router, §3.1) plus 1 cycle to cross the
+/// die-to-die vias for banks on die 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NucaLayout {
+    /// Human-readable model name (e.g. `"3d-2a"`).
+    pub name: &'static str,
+    /// Bank grid positions `(col, row, die)`.
+    pub banks: Vec<(i32, i32, u8)>,
+    /// Controller position on die 0.
+    pub controller: (i32, i32),
+    /// Cycles per grid hop.
+    pub hop_cycles: u32,
+    /// Extra cycles to reach a bank on the stacked die.
+    pub die_cross_cycles: u32,
+    /// Bank array access cycles (CACTI-lite output for a 1 MB bank).
+    pub bank_cycles: u32,
+    /// Fixed controller/queueing overhead cycles.
+    pub controller_cycles: u32,
+}
+
+impl NucaLayout {
+    /// 6-bank layout of the single-die 2d-a baseline: banks surround the
+    /// core on three sides (Fig. 3a).
+    pub fn two_d_a() -> NucaLayout {
+        NucaLayout {
+            name: "2d-a",
+            // Controller at origin; banks in two columns beside the core
+            // and two above it. Mean hop count 2.5 -> 18-cycle mean hit
+            // latency (paper §3.3).
+            banks: vec![
+                (-1, 0, 0),
+                (-1, 1, 0),
+                (1, 1, 0),
+                (-1, 2, 0),
+                (1, 2, 0),
+                (1, 3, 0),
+            ],
+            controller: (0, 0),
+            hop_cycles: 4,
+            die_cross_cycles: 1,
+            bank_cycles: 6,
+            controller_cycles: 2,
+        }
+    }
+
+    /// 15-bank single-die 2d-2a layout (Fig. 3c): the larger die spreads
+    /// the banks further from the controller.
+    pub fn two_d_2a() -> NucaLayout {
+        NucaLayout {
+            name: "2d-2a",
+            // Mean hop count ~3.5 -> 22-cycle mean hit latency: cache
+            // values are more spread out on the larger die (§3.3).
+            banks: vec![
+                (-2, 0, 0),
+                (2, 0, 0),
+                (-1, 1, 0),
+                (1, 2, 0),
+                (-1, 2, 0),
+                (2, 1, 0),
+                (-2, 1, 0),
+                (2, 2, 0),
+                (-2, 2, 0),
+                (1, 3, 0),
+                (-1, 3, 0),
+                (0, 4, 0),
+                (2, 3, 0),
+                (-2, 3, 0),
+                (1, 4, 0),
+            ],
+            controller: (0, 0),
+            hop_cycles: 4,
+            die_cross_cycles: 1,
+            bank_cycles: 6,
+            controller_cycles: 2,
+        }
+    }
+
+    /// 3d-2a layout: the 6 baseline banks on die 0 plus 9 banks on the
+    /// stacked die directly above (Fig. 3b). Horizontal distances match
+    /// 2d-a — which is why the paper finds 3D does not shorten the
+    /// average L2 hit time relative to 2d-a.
+    pub fn three_d_2a() -> NucaLayout {
+        NucaLayout {
+            name: "3d-2a",
+            banks: vec![
+                // Die 0: same six banks as 2d-a.
+                (-1, 0, 0),
+                (-1, 1, 0),
+                (1, 1, 0),
+                (-1, 2, 0),
+                (1, 2, 0),
+                (1, 3, 0),
+                // Die 1: nine banks above the core and caches.
+                (0, 0, 1),
+                (-1, 0, 1),
+                (1, 0, 1),
+                (0, 1, 1),
+                (-1, 1, 1),
+                (1, 1, 1),
+                (0, 2, 1),
+                (-1, 2, 1),
+                (1, 2, 1),
+            ],
+            controller: (0, 0),
+            hop_cycles: 4,
+            die_cross_cycles: 1,
+            bank_cycles: 6,
+            controller_cycles: 2,
+        }
+    }
+
+    /// The §4 heterogeneous layout: 6 baseline banks on die 0 plus 4
+    /// larger 90 nm banks on the stacked die. The older-process banks
+    /// take one extra cycle per access (paper §4), folded into the
+    /// die-crossing cost.
+    pub fn three_d_hetero_90nm() -> NucaLayout {
+        NucaLayout {
+            name: "3d-2a-90nm",
+            banks: vec![
+                // Die 0: same six banks as 2d-a.
+                (-1, 0, 0),
+                (-1, 1, 0),
+                (1, 1, 0),
+                (-1, 2, 0),
+                (1, 2, 0),
+                (1, 3, 0),
+                // Die 1: four larger banks.
+                (0, 0, 1),
+                (-1, 1, 1),
+                (1, 0, 1),
+                (0, 1, 1),
+            ],
+            controller: (0, 0),
+            hop_cycles: 4,
+            die_cross_cycles: 2,
+            bank_cycles: 6,
+            controller_cycles: 2,
+        }
+    }
+
+    /// Number of banks (1 MB each).
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.bank_count() as u64 * 1024 * 1024
+    }
+
+    /// Manhattan hop count from the controller to bank `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn hops_to(&self, i: usize) -> u32 {
+        let (c, r, _) = self.banks[i];
+        ((c - self.controller.0).abs() + (r - self.controller.1).abs()) as u32
+    }
+
+    /// Round-trip latency in cycles for an access to bank `i` (request
+    /// traversal + bank + response traversal, with traversals pipelined
+    /// so one direction is counted, matching the paper's 18-cycle 2d-a
+    /// average).
+    pub fn access_cycles(&self, i: usize) -> u32 {
+        let (_, _, die) = self.banks[i];
+        let cross = if die > 0 { self.die_cross_cycles } else { 0 };
+        self.controller_cycles + self.hop_cycles * self.hops_to(i) + cross + self.bank_cycles
+    }
+
+    /// Mean access latency over all banks (uniform bank usage, as under
+    /// distributed sets).
+    pub fn mean_access_cycles(&self) -> f64 {
+        let total: u32 = (0..self.bank_count()).map(|i| self.access_cycles(i)).sum();
+        total as f64 / self.bank_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::new(0, 2, 64, 2).is_err());
+        assert!(CacheConfig::new(32 * 1024, 2, 60, 2).is_err()); // line not pow2
+        assert!(CacheConfig::new(48 * 1024, 5, 64, 2).is_err()); // sets not pow2
+        assert!(CacheConfig::new(32 * 1024, 2, 64, 2).is_ok());
+    }
+
+    #[test]
+    fn l1_geometry_matches_table1() {
+        let c = CacheConfig::l1_32k_2way();
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.latency, 2);
+    }
+
+    #[test]
+    fn index_tag_round_trip() {
+        let c = CacheConfig::l1_32k_2way();
+        let (i1, t1) = c.index_tag(0x1234_5640);
+        let (i2, t2) = c.index_tag(0x1234_5640 + 8); // same line
+        assert_eq!((i1, t1), (i2, t2));
+        let (i3, _) = c.index_tag(0x1234_5640 + 64); // next line
+        assert_eq!(i3, (i1 + 1) % c.sets());
+    }
+
+    #[test]
+    fn layouts_have_paper_bank_counts() {
+        assert_eq!(NucaLayout::two_d_a().bank_count(), 6);
+        assert_eq!(NucaLayout::two_d_2a().bank_count(), 15);
+        assert_eq!(NucaLayout::three_d_2a().bank_count(), 15);
+        assert_eq!(NucaLayout::two_d_a().capacity_bytes(), 6 << 20);
+        assert_eq!(NucaLayout::three_d_2a().capacity_bytes(), 15 << 20);
+    }
+
+    #[test]
+    fn mean_latency_matches_paper_section_3_3() {
+        // Paper: average L2 hit latency 18 cycles (2d-a), 22 (2d-2a), and
+        // 3d-2a close to 2d-a ("the move to 3D does not help reduce the
+        // average L2 hit time compared to 2d-a").
+        let a = NucaLayout::two_d_a().mean_access_cycles();
+        let b = NucaLayout::two_d_2a().mean_access_cycles();
+        let c = NucaLayout::three_d_2a().mean_access_cycles();
+        assert!((a - 18.0).abs() <= 1.0, "2d-a mean {a}");
+        assert!((b - 22.0).abs() <= 1.0, "2d-2a mean {b}");
+        assert!(c < b && (c - a).abs() <= 1.5, "3d-2a mean {c}");
+    }
+
+    #[test]
+    fn three_d_upper_banks_pay_die_crossing() {
+        let l = NucaLayout::three_d_2a();
+        // Bank 8 is (0,0,1): directly above the controller.
+        let above = l
+            .banks
+            .iter()
+            .position(|&(c, r, d)| c == 0 && r == 0 && d == 1)
+            .unwrap();
+        assert_eq!(
+            l.access_cycles(above),
+            l.controller_cycles + l.die_cross_cycles + l.bank_cycles
+        );
+    }
+
+    #[test]
+    fn policy_default_is_distributed_sets() {
+        assert_eq!(NucaPolicy::default(), NucaPolicy::DistributedSets);
+        assert_eq!(NucaPolicy::DistributedSets.to_string(), "distributed-sets");
+    }
+}

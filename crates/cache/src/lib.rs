@@ -1,0 +1,42 @@
+//! Cache hierarchy models for the `rmt3d` simulator.
+//!
+//! The paper's evaluation platform uses 32 KB 2-way L1 caches and a large
+//! NUCA (non-uniform cache access) L2 built from 1 MB banks connected by a
+//! grid network (§3.1, Tables 1-2): the 2d-a baseline has a 6-bank 6 MB
+//! L2, the two-die models a 15-bank 15 MB L2. Banks are reached through
+//! 4-cycle hops (1 link + 3 router) and two placement policies are
+//! modelled: sets distributed across banks (default) and ways distributed
+//! across banks with a centralized tag array.
+//!
+//! This crate provides:
+//!
+//! * [`SetAssocCache`] — a line-granular LRU set-associative cache model,
+//! * [`NucaCache`] — the banked L2 with both NUCA policies and grid
+//!   geometry for the paper's three processor models,
+//! * [`CactiLite`] — an analytic bank delay/energy/area model calibrated
+//!   to the paper's Table 2 constants,
+//! * [`CacheHierarchy`] — the composed L1I/L1D/L2/memory stack used by
+//!   the leading core.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt3d_cache::{CacheConfig, SetAssocCache};
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::l1_32k_2way());
+//! assert!(!l1.access(0x1000, false)); // cold miss
+//! assert!(l1.access(0x1000, false)); // now a hit
+//! assert_eq!(l1.stats().misses, 1);
+//! ```
+
+mod cacti;
+mod config;
+mod hierarchy;
+mod nuca;
+mod set_assoc;
+
+pub use cacti::{BankCosts, CactiLite};
+pub use config::{CacheConfig, NucaLayout, NucaPolicy};
+pub use hierarchy::{CacheHierarchy, DataAccess, HierarchyStats};
+pub use nuca::{NucaAccess, NucaCache, NucaStats};
+pub use set_assoc::{CacheStats, SetAssocCache};

@@ -1,0 +1,72 @@
+//! Diagnostic: per-block power densities and block peak temperatures
+//! for one (model, benchmark, checker-power) configuration.
+//!
+//! ```sh
+//! cargo run --release -p rmt3d --example hotspot_dbg -- [model] [benchmark] [checker_watts]
+//! ```
+
+use rmt3d::power::CheckerPowerModel;
+use rmt3d::thermal::{solve, ThermalConfig};
+use rmt3d::{
+    build_power_map, override_checker_power, simulate, PowerMapConfig, ProcessorModel, RunScale,
+    SimConfig,
+};
+use rmt3d_units::Watts;
+use rmt3d_workload::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = args
+        .first()
+        .and_then(|m| ProcessorModel::ALL.into_iter().find(|p| p.name() == m))
+        .unwrap_or(ProcessorModel::ThreeD2A);
+    let benchmark: Benchmark = args
+        .get(1)
+        .and_then(|b| b.parse().ok())
+        .unwrap_or(Benchmark::Gzip);
+    let watts: f64 = args.get(2).and_then(|w| w.parse().ok()).unwrap_or(7.0);
+
+    let scale = RunScale {
+        warmup_instructions: 30_000,
+        instructions: 200_000,
+        thermal_grid: 50,
+    };
+    let perf = simulate(&SimConfig::nominal(model, scale), benchmark);
+    let mut chip = build_power_map(
+        &perf,
+        &PowerMapConfig::with_checker(CheckerPowerModel::with_peak(Watts(watts))),
+    );
+    if model.has_checker() {
+        override_checker_power(&mut chip, Watts(watts));
+    }
+    let plan = model.floorplan();
+    let r = solve(&plan, &chip.map, &ThermalConfig::paper()).expect("thermal solve");
+    println!(
+        "{} / {} / checker {watts} W: chip {:.1} W, peak {} at {:?}",
+        model,
+        benchmark,
+        chip.total().0,
+        r.peak(),
+        r.hottest_cell()
+    );
+    for (d, _) in plan.dies.iter().enumerate() {
+        println!("\ndie {d} heat map:");
+        print!("{}", rmt3d::report::heatmap(r.die_field(d), 50, 2));
+    }
+    println!();
+    for die in &plan.dies {
+        for b in &die.blocks {
+            let w = chip.map.get(b.id);
+            if w.0 > 0.3 {
+                println!(
+                    "{:24} {:6.2}W {:5.2}mm2 {:5.2}W/mm2 peak={}",
+                    b.id.to_string(),
+                    w.0,
+                    b.rect.area().0,
+                    w.0 / b.rect.area().0,
+                    r.block_peak(b.id).expect("block exists")
+                );
+            }
+        }
+    }
+}

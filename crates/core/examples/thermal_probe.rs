@@ -1,0 +1,67 @@
+//! Diagnostic: thermal calibration probe — peak temperatures for the
+//! three chip models across checker powers (used to tune the sink
+//! constants; see DESIGN.md §7).
+use rmt3d::power::CheckerPowerModel;
+use rmt3d::thermal::{solve, ThermalConfig};
+use rmt3d::{build_power_map, simulate, PowerMapConfig, ProcessorModel, RunScale, SimConfig};
+use rmt3d_units::Watts;
+use rmt3d_workload::Benchmark;
+
+fn main() {
+    let scale = RunScale {
+        warmup_instructions: 30_000,
+        instructions: 200_000,
+        thermal_grid: 50,
+    };
+    let tcfg = ThermalConfig::paper();
+    // 2d-a baseline on gzip (mid-activity benchmark)
+    for b in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Eon] {
+        let perf = simulate(&SimConfig::nominal(ProcessorModel::TwoDA, scale), b);
+        let p = build_power_map(
+            &perf,
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        let r = solve(&ProcessorModel::TwoDA.floorplan(), &p.map, &tcfg).unwrap();
+        println!(
+            "2d-a {}: leader={:.1}W total={:.1}W peak={} iters={}",
+            b,
+            p.leader.0,
+            p.total().0,
+            r.peak(),
+            r.iterations()
+        );
+    }
+    // 3d-2a with checker power sweep
+    let perf3 = simulate(
+        &SimConfig::nominal(ProcessorModel::ThreeD2A, scale),
+        Benchmark::Gzip,
+    );
+    for cw in [2.0, 7.0, 15.0, 25.0] {
+        let mut cfg = PowerMapConfig::with_checker(CheckerPowerModel::with_peak(Watts(cw)));
+        cfg.throttle_checker_by_dfs = false;
+        let p = build_power_map(&perf3, &cfg);
+        let r = solve(&ProcessorModel::ThreeD2A.floorplan(), &p.map, &tcfg).unwrap();
+        println!(
+            "3d-2a chk={cw}W: total={:.1}W peak={}",
+            p.total().0,
+            r.peak()
+        );
+    }
+    // 2d-2a comparison
+    let perf2 = simulate(
+        &SimConfig::nominal(ProcessorModel::TwoD2A, scale),
+        Benchmark::Gzip,
+    );
+    for cw in [7.0, 15.0] {
+        let p = build_power_map(
+            &perf2,
+            &PowerMapConfig::with_checker(CheckerPowerModel::with_peak(Watts(cw))),
+        );
+        let r = solve(&ProcessorModel::TwoD2A.floorplan(), &p.map, &tcfg).unwrap();
+        println!(
+            "2d-2a chk={cw}W: total={:.1}W peak={}",
+            p.total().0,
+            r.peak()
+        );
+    }
+}

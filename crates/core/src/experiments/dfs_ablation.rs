@@ -1,0 +1,129 @@
+//! §4 "Discussion" — the DFS heuristic trade-off.
+//!
+//! The paper observes that an *aggressive* throttling heuristic lowers
+//! checker power and temperature but "can stall the main core more
+//! frequently and result in performance loss compared to an unreliable
+//! 2D baseline", whereas their less-aggressive heuristic protects leader
+//! IPC at the cost of some extra heat. This experiment measures both
+//! policies.
+
+use crate::model::{ProcessorModel, RunScale};
+use rmt3d_cache::{CacheHierarchy, NucaPolicy};
+use rmt3d_cpu::{CoreConfig, OooCore};
+use rmt3d_rmt::{DfsConfig, RmtConfig, RmtSystem};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+/// Measured behaviour of one DFS policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyOutcome {
+    /// Policy name.
+    pub name: &'static str,
+    /// Mean checker frequency fraction (lower = less checker power).
+    pub mean_fraction: f64,
+    /// Fraction of leader cycles stalled by queue back-pressure.
+    pub leader_stall_fraction: f64,
+    /// Leader IPC under this policy.
+    pub ipc: f64,
+}
+
+/// The §4-Discussion comparison.
+#[derive(Debug, Clone)]
+pub struct DfsAblation {
+    /// The paper's less-aggressive policy.
+    pub paper: PolicyOutcome,
+    /// The aggressive throttler.
+    pub aggressive: PolicyOutcome,
+}
+
+impl DfsAblation {
+    /// Formats as text.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from(
+            "Sec 4 Discussion: DFS heuristic trade-off\n\
+             policy        mean_f  leader_stall  IPC\n",
+        );
+        for p in [&self.paper, &self.aggressive] {
+            s.push_str(&format!(
+                "{:12} {:7.2} {:12.3} {:6.3}\n",
+                p.name, p.mean_fraction, p.leader_stall_fraction, p.ipc
+            ));
+        }
+        s
+    }
+}
+
+fn measure(
+    name: &'static str,
+    dfs: DfsConfig,
+    benchmarks: &[Benchmark],
+    scale: RunScale,
+) -> PolicyOutcome {
+    let mut frac = 0.0;
+    let mut stall = 0.0;
+    let mut ipc = 0.0;
+    for &b in benchmarks {
+        let leader = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(
+                ProcessorModel::ThreeD2A.nuca_layout(),
+                NucaPolicy::DistributedSets,
+            ),
+        );
+        let mut sys = RmtSystem::new(
+            leader,
+            RmtConfig {
+                dfs,
+                ..RmtConfig::paper()
+            },
+        );
+        sys.prefill_caches();
+        sys.run_instructions(scale.warmup_instructions + scale.instructions);
+        let a = sys.leader().activity();
+        frac += sys.dfs().mean_fraction();
+        stall += a.commit_stall_cycles as f64 / a.cycles as f64;
+        ipc += sys.effective_ipc();
+    }
+    let n = benchmarks.len() as f64;
+    PolicyOutcome {
+        name,
+        mean_fraction: frac / n,
+        leader_stall_fraction: stall / n,
+        ipc: ipc / n,
+    }
+}
+
+/// Runs the ablation.
+pub fn run(benchmarks: &[Benchmark], scale: RunScale) -> DfsAblation {
+    DfsAblation {
+        paper: measure("paper", DfsConfig::paper(), benchmarks, scale),
+        aggressive: measure("aggressive", DfsConfig::aggressive(), benchmarks, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressive_policy_saves_power_but_stalls_the_leader() {
+        let r = run(&[Benchmark::Gzip, Benchmark::Gap], RunScale::quick());
+        // The aggressive throttler runs the checker slower on average...
+        assert!(
+            r.aggressive.mean_fraction < r.paper.mean_fraction + 0.02,
+            "aggressive {} vs paper {}",
+            r.aggressive.mean_fraction,
+            r.paper.mean_fraction
+        );
+        // ...but stalls the leader more.
+        assert!(
+            r.aggressive.leader_stall_fraction > r.paper.leader_stall_fraction,
+            "aggressive stall {} vs paper {}",
+            r.aggressive.leader_stall_fraction,
+            r.paper.leader_stall_fraction
+        );
+        // The paper policy keeps leader stalls negligible.
+        assert!(r.paper.leader_stall_fraction < 0.05);
+        assert!(r.to_table().contains("aggressive"));
+    }
+}

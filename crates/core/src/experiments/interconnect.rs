@@ -1,0 +1,159 @@
+//! §3.4 — interconnect evaluation: die-to-die via budget, wire lengths,
+//! metalization areas, and interconnect power for the three chips.
+
+use rmt3d_floorplan::ChipFloorplan;
+use rmt3d_interconnect::{wire_report, BandwidthConfig, D2dViaModel, WireModel};
+use rmt3d_units::{Millimeters, SquareMillimeters, Watts};
+
+/// Everything §3.4 reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectReport {
+    /// Core-to-core d2d vias (paper: 1025).
+    pub core_vias: u32,
+    /// Total d2d vias including the L2 pillar (paper: 1409).
+    pub total_vias: u32,
+    /// Total via power (paper: 15.49 mW).
+    pub via_power: Watts,
+    /// Total via area (paper: 0.07 mm²).
+    pub via_area: SquareMillimeters,
+    /// 2D inter-core wire length (paper: 7490 mm).
+    pub wire_2d: Millimeters,
+    /// 3D inter-core wire length (paper: 4279 mm).
+    pub wire_3d: Millimeters,
+    /// 2D inter-core metal area (paper: 1.57 mm²).
+    pub metal_2d: SquareMillimeters,
+    /// 3D inter-core metal area (paper: 0.898 mm²).
+    pub metal_3d: SquareMillimeters,
+    /// L2 metal areas for 2d-a / 2d-2a / 3d-2a (paper: 2.36 / 5.49 /
+    /// 4.61 mm²).
+    pub l2_metal: [SquareMillimeters; 3],
+    /// Total interconnect power for 2d-a / 2d-2a / 3d-2a (paper: 5.1 /
+    /// 15.5 / 12.1 W).
+    pub power: [Watts; 3],
+    /// Power of the wires feeding the checker in 3D (paper: 1.8 W).
+    pub checker_feed_power: Watts,
+}
+
+impl InterconnectReport {
+    /// Metal-area saving of 3D over 2D inter-core wiring (paper: 42%).
+    pub fn intercore_metal_saving(&self) -> f64 {
+        1.0 - self.metal_3d / self.metal_2d
+    }
+
+    /// Net power saving of 3d-2a versus 2d-2a (paper: 3.4 W).
+    pub fn power_saving_vs_2d2a(&self) -> Watts {
+        self.power[1] - self.power[2]
+    }
+
+    /// Formats the report as text.
+    pub fn to_table(&self) -> String {
+        format!(
+            "Sec 3.4 Interconnect evaluation\n\
+             d2d vias: core {} + L2 {} = {} total\n\
+             via power {:.2} mW, via area {:.3} mm^2\n\
+             inter-core wire: 2D {:.0} mm -> 3D {:.0} mm\n\
+             inter-core metal: 2D {:.3} mm^2 -> 3D {:.3} mm^2 ({:.0}% saving)\n\
+             L2 metal (2d-a/2d-2a/3d-2a): {:.2} / {:.2} / {:.2} mm^2\n\
+             interconnect power (2d-a/2d-2a/3d-2a): {:.1} / {:.1} / {:.1} W\n\
+             checker feed power: {:.1} W; 3D saves {:.1} W vs 2d-2a\n",
+            self.core_vias,
+            self.total_vias - self.core_vias,
+            self.total_vias,
+            self.via_power.milliwatts(),
+            self.via_area.0,
+            self.wire_2d.0,
+            self.wire_3d.0,
+            self.metal_2d.0,
+            self.metal_3d.0,
+            100.0 * self.intercore_metal_saving(),
+            self.l2_metal[0].0,
+            self.l2_metal[1].0,
+            self.l2_metal[2].0,
+            self.power[0].0,
+            self.power[1].0,
+            self.power[2].0,
+            self.checker_feed_power.0,
+            self.power_saving_vs_2d2a().0
+        )
+    }
+}
+
+/// Computes the §3.4 report from the floorplans and via models.
+pub fn run() -> InterconnectReport {
+    let cfg = BandwidthConfig::paper();
+    let vias = D2dViaModel::paper();
+    let wm = WireModel::paper();
+    let plans = [
+        ChipFloorplan::two_d_a(),
+        ChipFloorplan::two_d_2a(),
+        ChipFloorplan::three_d_2a(),
+    ];
+    let reports = [
+        wire_report(&plans[0], &cfg),
+        wire_report(&plans[1], &cfg),
+        wire_report(&plans[2], &cfg),
+    ];
+    InterconnectReport {
+        core_vias: cfg.core_vias(),
+        total_vias: cfg.total_vias(),
+        via_power: vias.total_power(cfg.total_vias()),
+        via_area: vias.total_area(cfg.total_vias()),
+        wire_2d: reports[1].intercore_length,
+        wire_3d: reports[2].intercore_length,
+        metal_2d: reports[1].intercore_metal(&wm),
+        metal_3d: reports[2].intercore_metal(&wm),
+        l2_metal: [
+            reports[0].l2_metal(&wm),
+            reports[1].l2_metal(&wm),
+            reports[2].l2_metal(&wm),
+        ],
+        power: [
+            reports[0].total_power(&wm),
+            reports[1].total_power(&wm),
+            reports[2].total_power(&wm),
+        ],
+        checker_feed_power: reports[2].intercore_power(&wm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn via_numbers_match_table4() {
+        let r = run();
+        assert_eq!(r.core_vias, 1025);
+        assert_eq!(r.total_vias, 1409);
+        assert!((r.via_power.milliwatts() - 15.49).abs() < 2.0);
+        assert!((r.via_area.0 - 0.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn wire_savings_match_section_3_4() {
+        let r = run();
+        // Paper: 42% metal saving on inter-core wires; band ±15 points.
+        let s = r.intercore_metal_saving();
+        assert!((0.27..0.60).contains(&s), "saving {s}");
+        // L2 metal ordering 2d-a < 3d-2a < 2d-2a.
+        assert!(r.l2_metal[0] < r.l2_metal[2]);
+        assert!(r.l2_metal[2] < r.l2_metal[1]);
+    }
+
+    #[test]
+    fn power_numbers_in_paper_bands() {
+        let r = run();
+        // 5.1 / 15.5 / 12.1 W with generous bands.
+        assert!((3.0..8.0).contains(&r.power[0].0), "2d-a {}", r.power[0]);
+        assert!((11.0..20.0).contains(&r.power[1].0), "2d-2a {}", r.power[1]);
+        assert!((8.0..16.0).contains(&r.power[2].0), "3d-2a {}", r.power[2]);
+        assert!(r.power_saving_vs_2d2a().0 > 1.0);
+        // The checker feed is cheap (paper: 1.8 W).
+        assert!((0.8..3.0).contains(&r.checker_feed_power.0));
+    }
+
+    #[test]
+    fn report_formats() {
+        assert!(run().to_table().contains("d2d vias"));
+    }
+}

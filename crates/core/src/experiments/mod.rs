@@ -1,0 +1,23 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Each submodule regenerates one table or figure; `EXPERIMENTS.md` maps
+//! them to the paper and records paper-vs-measured values.
+
+pub mod dfs_ablation;
+pub mod dtm;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod hard_error;
+pub mod heterogeneous;
+pub mod interconnect;
+pub mod interrupts;
+pub mod iso_thermal;
+pub mod leakage_feedback;
+pub mod margins;
+pub mod resilience;
+pub mod rmt_summary;
+pub mod shared_cache;
+pub mod tables;
+pub mod tmr_study;

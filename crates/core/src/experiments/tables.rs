@@ -1,0 +1,173 @@
+//! Tables 4-8: thin, typed emitters over the substrate crates, so the
+//! benchmark harness can print each table exactly as the paper lays it
+//! out.
+
+use rmt3d_interconnect::{BandwidthConfig, ViaBundle};
+use rmt3d_power::pipeline::{PipelinePowerRow, PIPELINE_POWER_TABLE};
+use rmt3d_power::tech::{device_params, scaling_ratio, DeviceParams, ScalingRatio};
+use rmt3d_reliability::{Variability, VARIABILITY_TABLE};
+use rmt3d_units::TechNode;
+
+/// Table 4 — d2d interconnect bandwidth requirements.
+pub fn table4() -> Vec<ViaBundle> {
+    BandwidthConfig::paper().bundles()
+}
+
+/// Table 4 as text.
+pub fn table4_text() -> String {
+    let cfg = BandwidthConfig::paper();
+    let mut s =
+        String::from("Table 4: D2D interconnect bandwidth requirements\ndata  width  placement\n");
+    for b in cfg.bundles() {
+        s.push_str(&format!("{:16} {:5} {}\n", b.name, b.bits, b.placement));
+    }
+    s.push_str(&format!(
+        "core-to-core vias: {}; total with L2 pillar: {}\n",
+        cfg.core_vias(),
+        cfg.total_vias()
+    ));
+    s
+}
+
+/// Table 5 — pipeline-depth power scaling.
+pub fn table5() -> [PipelinePowerRow; 4] {
+    PIPELINE_POWER_TABLE
+}
+
+/// Table 5 as text.
+pub fn table5_text() -> String {
+    let mut s = String::from(
+        "Table 5: Impact of pipeline scaling on power overheads\n\
+         FO4   dynamic  leakage  total\n",
+    );
+    for r in PIPELINE_POWER_TABLE {
+        s.push_str(&format!(
+            "{:4.0} {:8.2} {:8.2} {:6.2}\n",
+            r.fo4,
+            r.dynamic,
+            r.leakage,
+            r.total()
+        ));
+    }
+    s
+}
+
+/// Table 6 — variability projections.
+pub fn table6() -> [Variability; 4] {
+    VARIABILITY_TABLE
+}
+
+/// Table 6 as text.
+pub fn table6_text() -> String {
+    let mut s = String::from(
+        "Table 6: Impact of technology scaling on variability\n\
+         node   Vth     perf    power\n",
+    );
+    for v in VARIABILITY_TABLE {
+        s.push_str(&format!(
+            "{:5} {:6.0}% {:6.0}% {:6.0}%\n",
+            v.node.to_string(),
+            v.vth * 100.0,
+            v.performance * 100.0,
+            v.power * 100.0
+        ));
+    }
+    s
+}
+
+/// Table 7 — ITRS device parameters for 90/65/45 nm.
+pub fn table7() -> Vec<DeviceParams> {
+    [TechNode::N90, TechNode::N65, TechNode::N45]
+        .into_iter()
+        .map(|n| device_params(n).expect("tabulated"))
+        .collect()
+}
+
+/// Table 7 as text.
+pub fn table7_text() -> String {
+    let mut s = String::from(
+        "Table 7: Device characteristics across nodes\n\
+         node   Vdd   Lgate(nm)  C/um(F)    Isub/um(uA)\n",
+    );
+    for d in table7() {
+        s.push_str(&format!(
+            "{:5} {:5.1} {:9.0} {:10.2e} {:10.2}\n",
+            d.node.to_string(),
+            d.vdd,
+            d.gate_length_nm,
+            d.cap_per_um,
+            d.isub_per_um
+        ));
+    }
+    s
+}
+
+/// Table 8 — relative power across node pairs, derived from Table 7.
+pub fn table8() -> Vec<(TechNode, TechNode, ScalingRatio)> {
+    [
+        (TechNode::N90, TechNode::N65),
+        (TechNode::N90, TechNode::N45),
+        (TechNode::N65, TechNode::N45),
+    ]
+    .into_iter()
+    .map(|(a, b)| (a, b, scaling_ratio(a, b).expect("tabulated")))
+    .collect()
+}
+
+/// Table 8 as text.
+pub fn table8_text() -> String {
+    let mut s = String::from(
+        "Table 8: Impact of technology scaling on power (derived)\n\
+         nodes      dynamic  leakage\n",
+    );
+    for (a, b, r) in table8() {
+        s.push_str(&format!(
+            "{:>3.0}/{:<3.0} {:10.2} {:8.2}\n",
+            a.feature_nm(),
+            b.feature_nm(),
+            r.dynamic,
+            r.leakage
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_reproduces_paper_totals() {
+        let t = table4_text();
+        assert!(t.contains("1025"));
+        assert!(t.contains("1409"));
+    }
+
+    #[test]
+    fn table5_reproduces_paper_rows() {
+        let rows = table5();
+        assert!((rows[0].total() - 1.3).abs() < 1e-9);
+        assert!((rows[3].total() - 3.98).abs() < 1e-9);
+        assert!(table5_text().contains("3.98"));
+    }
+
+    #[test]
+    fn table6_reproduces_itrs_rows() {
+        assert!(table6_text().contains("58%"), "{}", table6_text());
+    }
+
+    #[test]
+    fn table8_reproduces_derived_ratios() {
+        let t = table8();
+        assert!((t[0].2.dynamic - 2.21).abs() < 0.02);
+        assert!((t[1].2.dynamic - 3.14).abs() < 0.02);
+        assert!((t[2].2.dynamic - 1.41).abs() < 0.02);
+        assert!((t[0].2.leakage - 0.40).abs() < 0.01);
+    }
+
+    #[test]
+    fn table7_has_three_nodes() {
+        assert_eq!(table7().len(), 3);
+        assert!(table7_text().contains("65 nm"));
+    }
+}

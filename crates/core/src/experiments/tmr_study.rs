@@ -1,0 +1,143 @@
+//! TMR extension study (§4 mentions triple modular redundancy as the
+//! alternative to an ECC-protected checker register file).
+//!
+//! Compares three protection schemes at equal fault pressure:
+//!
+//! * dual-core RMT with the paper's ECC set (the paper's design),
+//! * dual-core RMT with no ECC (broken: recoveries can fail),
+//! * TMR with no ECC (voting substitutes for ECC at the cost of a
+//!   second checker's power).
+
+use rmt3d_cache::{CacheHierarchy, NucaPolicy};
+use rmt3d_cpu::{CoreConfig, OooCore};
+use rmt3d_power::CheckerPowerModel;
+use rmt3d_rmt::{EccConfig, RmtConfig, RmtSystem, TmrSystem};
+use rmt3d_units::Watts;
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+/// Outcome of one protection scheme under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeOutcome {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Campaigns (seeds) that ended architecturally clean.
+    pub clean_campaigns: u32,
+    /// Total campaigns.
+    pub campaigns: u32,
+    /// Estimated checker-side power cost.
+    pub checker_power: Watts,
+}
+
+impl SchemeOutcome {
+    /// Fraction of campaigns that ended clean.
+    pub fn coverage(&self) -> f64 {
+        self.clean_campaigns as f64 / self.campaigns as f64
+    }
+}
+
+/// The TMR study results.
+#[derive(Debug, Clone)]
+pub struct TmrStudy {
+    /// The three schemes.
+    pub schemes: Vec<SchemeOutcome>,
+}
+
+impl TmrStudy {
+    /// Looks up a scheme.
+    pub fn scheme(&self, name: &str) -> Option<&SchemeOutcome> {
+        self.schemes.iter().find(|s| s.name == name)
+    }
+
+    /// Formats as text.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from(
+            "TMR extension: protection scheme comparison\n\
+             scheme             clean/campaigns  coverage  checker power\n",
+        );
+        for o in &self.schemes {
+            s.push_str(&format!(
+                "{:18} {:7}/{:<8} {:8.0}% {:9.1} W\n",
+                o.name,
+                o.clean_campaigns,
+                o.campaigns,
+                100.0 * o.coverage(),
+                o.checker_power.0
+            ));
+        }
+        s
+    }
+}
+
+fn leader(benchmark: Benchmark) -> OooCore {
+    OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(benchmark.profile()),
+        CacheHierarchy::new(
+            rmt3d_cache::NucaLayout::three_d_2a(),
+            NucaPolicy::DistributedSets,
+        ),
+    )
+}
+
+/// Runs the comparison: `campaigns` seeds per scheme at `rate` faults
+/// per instruction over `instructions` committed instructions each.
+pub fn run(benchmark: Benchmark, campaigns: u32, rate: f64, instructions: u64) -> TmrStudy {
+    let checker_w = CheckerPowerModel::optimistic_7w().at_frequency(0.6);
+    let mut schemes = Vec::new();
+
+    for (name, ecc, tmr) in [
+        ("dual + paper ECC", EccConfig::paper(), false),
+        ("dual, no ECC", EccConfig::none(), false),
+        ("TMR, no ECC", EccConfig::none(), true),
+    ] {
+        let mut clean = 0;
+        for seed in 0..campaigns {
+            let ok = if tmr {
+                let mut sys =
+                    TmrSystem::new(leader(benchmark)).with_fault_injection(seed as u64, rate, ecc);
+                sys.prefill_caches();
+                sys.run_instructions(instructions);
+                sys.leader_matches_golden()
+            } else {
+                let mut sys = RmtSystem::new(leader(benchmark), RmtConfig::paper())
+                    .with_fault_injection(seed as u64, rate, ecc);
+                sys.prefill_caches();
+                sys.run_instructions(instructions);
+                sys.drain();
+                sys.stats().unrecoverable == 0 && sys.leader_matches_golden()
+            };
+            if ok {
+                clean += 1;
+            }
+        }
+        schemes.push(SchemeOutcome {
+            name,
+            clean_campaigns: clean,
+            campaigns,
+            checker_power: if tmr { checker_w * 2.0 } else { checker_w },
+        });
+    }
+    TmrStudy { schemes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmr_matches_ecc_coverage_at_double_checker_power() {
+        let study = run(Benchmark::Twolf, 6, 2e-3, 25_000);
+        let ecc = study.scheme("dual + paper ECC").unwrap();
+        let none = study.scheme("dual, no ECC").unwrap();
+        let tmr = study.scheme("TMR, no ECC").unwrap();
+        // The paper's design is fully covered.
+        assert_eq!(ecc.coverage(), 1.0, "{study:?}");
+        // Dropping ECC loses coverage in at least some campaigns.
+        assert!(none.coverage() < 1.0, "no-ECC should fail sometimes");
+        // TMR restores full coverage without ECC...
+        assert_eq!(tmr.coverage(), 1.0, "{study:?}");
+        // ...at twice the checker power.
+        assert!((tmr.checker_power.0 / ecc.checker_power.0 - 2.0).abs() < 1e-9);
+        assert!(study.to_table().contains("TMR"));
+    }
+}

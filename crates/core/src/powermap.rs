@@ -1,0 +1,252 @@
+//! Building thermal power maps from performance results (§3.1: Wattch
+//! activity power + CACTI/Orion cache power + interconnect power feed
+//! the HotSpot model).
+
+use crate::simulate::PerfResult;
+use rmt3d_cache::CactiLite;
+use rmt3d_floorplan::BlockId;
+use rmt3d_interconnect::{wire_report, BandwidthConfig, WireModel, WireReport};
+use rmt3d_power::{CheckerPowerModel, CorePowerModel, DvfsPoint};
+use rmt3d_thermal::PowerMap;
+use rmt3d_units::{TechNode, Watts};
+
+/// Power-map builder options.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerMapConfig {
+    /// Checker-core power model (the Fig. 4 sweep parameter).
+    pub checker: CheckerPowerModel,
+    /// DVFS point of the whole chip (§3.3 iso-thermal runs).
+    pub dvfs: DvfsPoint,
+    /// Technology of the checker die (§4 heterogeneity; 65 nm default).
+    pub checker_node: TechNode,
+    /// Scale the checker's dynamic power by its DFS utilization instead
+    /// of charging peak (the paper's Fig. 4/5 charge the *parameter*
+    /// power directly; set false to reproduce those).
+    pub throttle_checker_by_dfs: bool,
+}
+
+impl PowerMapConfig {
+    /// Paper defaults with a given checker power parameter.
+    pub fn with_checker(checker: CheckerPowerModel) -> PowerMapConfig {
+        PowerMapConfig {
+            checker,
+            dvfs: DvfsPoint::nominal(),
+            checker_node: TechNode::N65,
+            throttle_checker_by_dfs: false,
+        }
+    }
+}
+
+/// Power budget summary alongside the block map.
+#[derive(Debug, Clone)]
+pub struct ChipPower {
+    /// Per-block map for the thermal solver.
+    pub map: PowerMap,
+    /// Leading-core total.
+    pub leader: Watts,
+    /// Checker total (zero for 2d-a).
+    pub checker: Watts,
+    /// All L2 banks (array dynamic + leakage + router).
+    pub l2: Watts,
+    /// Wire/NoC power (§3.4).
+    pub interconnect: Watts,
+    /// Wire-length report used.
+    pub wires: WireReport,
+}
+
+impl ChipPower {
+    /// Total chip power.
+    pub fn total(&self) -> Watts {
+        self.map.total()
+    }
+}
+
+/// Builds the thermal power map for a simulated window.
+pub fn build_power_map(perf: &PerfResult, cfg: &PowerMapConfig) -> ChipPower {
+    let plan = perf.model.floorplan();
+    let mut map = PowerMap::new();
+
+    // Leading core: Wattch-lite breakdown of the measured activity.
+    let core_model = CorePowerModel::ev7_like_65nm();
+    let breakdown = core_model.breakdown(&perf.leader, cfg.dvfs);
+    let mut leader_total = Watts::ZERO;
+    for &(block, dyn_w, leak_w) in &breakdown.blocks {
+        map.set(BlockId::Leader(block), dyn_w + leak_w);
+        leader_total += dyn_w + leak_w;
+    }
+
+    // Checker core.
+    let mut checker_total = Watts::ZERO;
+    if perf.model.has_checker() {
+        let fraction = if cfg.throttle_checker_by_dfs {
+            perf.mean_checker_fraction.max(0.1)
+        } else {
+            1.0
+        };
+        // Chip-level DVFS (§3.3) scales the checker with everything
+        // else: dynamic by f*V^2, leakage by V.
+        let (dyn_w, leak_w) = cfg.checker.split();
+        let p = Watts(
+            dyn_w.0 * fraction * cfg.dvfs.dynamic_factor() + leak_w.0 * cfg.dvfs.leakage_factor(),
+        );
+        map.set(BlockId::Checker, p);
+        checker_total = p;
+        map.set(BlockId::IntercoreBuffers, Watts(0.4));
+    }
+
+    // L2 banks: CACTI-lite leakage + measured per-bank dynamic + router.
+    let cacti = CactiLite::new(TechNode::N65);
+    let bank = cacti.bank_1mb();
+    let router = cacti.router_power();
+    let seconds = perf.total_cycles as f64 / perf.frequency.hertz();
+    let mut l2_total = Watts::ZERO;
+    let mut bank_cursor = 0usize;
+    for (die_idx, die) in plan.dies.iter().enumerate() {
+        for b in &die.blocks {
+            if let BlockId::L2Bank { .. } = b.id {
+                let accesses = perf.l2.bank_accesses.get(bank_cursor).copied().unwrap_or(0);
+                bank_cursor += 1;
+                let rate = if seconds > 0.0 {
+                    accesses as f64 / seconds
+                } else {
+                    0.0
+                };
+                let dyn_w = bank.dynamic_power(rate) * cfg.dvfs.dynamic_factor();
+                let leak = bank.leakage * cfg.dvfs.leakage_factor();
+                let util = (rate / perf.frequency.hertz()).min(1.0);
+                let r = router * (0.1 + 0.9 * util);
+                let p = dyn_w + leak + r;
+                map.set(b.id, p);
+                l2_total += p;
+                let _ = die_idx;
+            }
+        }
+    }
+
+    // Interconnect power, spread over the blocks the wires fly over:
+    // L2-network power across the bank tiles and controller, inter-core
+    // wire power onto the buffers block.
+    let wires = wire_report(&plan, &BandwidthConfig::paper());
+    let wm = WireModel::paper();
+    let l2_wire = wires.l2_power(&wm) * cfg.dvfs.dynamic_factor();
+    let core_wire = wires.intercore_power(&wm) * cfg.dvfs.dynamic_factor();
+    let nbanks = plan.total_banks().max(1);
+    for die in &plan.dies {
+        for b in &die.blocks {
+            if matches!(b.id, BlockId::L2Bank { .. }) {
+                map.add(b.id, l2_wire / nbanks as f64);
+            }
+        }
+    }
+    map.set(BlockId::L2Controller, Watts(0.3) + l2_wire * 0.02);
+    if perf.model.has_checker() {
+        // Repeaters and latches of the inter-core wires sit along the
+        // route (§3): charge the endpoints and the fly-over region, not
+        // a single block.
+        map.add(BlockId::IntercoreBuffers, core_wire * 0.5);
+        use rmt3d_power::CoreBlock;
+        map.add(BlockId::Leader(CoreBlock::Lsq), core_wire * 0.2);
+        map.add(BlockId::Leader(CoreBlock::RegfileInt), core_wire * 0.2);
+        map.add(BlockId::Leader(CoreBlock::Bpred), core_wire * 0.1);
+    }
+    let interconnect = l2_wire + core_wire;
+    l2_total += l2_wire;
+
+    ChipPower {
+        map,
+        leader: leader_total,
+        checker: checker_total,
+        l2: l2_total,
+        interconnect,
+        wires,
+    }
+}
+
+/// Replaces the checker power in an existing map (the Fig. 4 sweep
+/// re-uses one simulated activity window across checker power values).
+pub fn override_checker_power(chip: &mut ChipPower, power: Watts) {
+    let old = chip.map.get(BlockId::Checker);
+    chip.map.set(BlockId::Checker, power);
+    chip.checker = power;
+    let _ = old;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProcessorModel, RunScale};
+    use crate::simulate::{simulate, SimConfig};
+    use rmt3d_workload::Benchmark;
+
+    fn perf(model: ProcessorModel) -> PerfResult {
+        simulate(
+            &SimConfig::nominal(model, RunScale::quick()),
+            Benchmark::Gzip,
+        )
+    }
+
+    #[test]
+    fn baseline_chip_power_is_in_band() {
+        // 35 W core + ~3 W L2 array + ~5 W wires => ~40-50 W chip.
+        let p = build_power_map(
+            &perf(ProcessorModel::TwoDA),
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        let total = p.total().0;
+        assert!((30.0..60.0).contains(&total), "2d-a total {total} W");
+        assert_eq!(p.checker.0, 0.0, "2d-a has no checker");
+    }
+
+    #[test]
+    fn checker_power_parameter_flows_through() {
+        let r = perf(ProcessorModel::ThreeD2A);
+        let p7 = build_power_map(
+            &r,
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        let p15 = build_power_map(
+            &r,
+            &PowerMapConfig::with_checker(CheckerPowerModel::pessimistic_15w()),
+        );
+        assert!((p7.checker.0 - 7.0).abs() < 1e-9);
+        assert!((p15.checker.0 - 15.0).abs() < 1e-9);
+        assert!((p15.total() - p7.total()).0 > 7.9);
+    }
+
+    #[test]
+    fn dfs_throttling_reduces_checker_draw() {
+        let r = perf(ProcessorModel::ThreeD2A);
+        let mut cfg = PowerMapConfig::with_checker(CheckerPowerModel::pessimistic_15w());
+        cfg.throttle_checker_by_dfs = true;
+        let p = build_power_map(&r, &cfg);
+        assert!(
+            p.checker.0 < 15.0,
+            "DFS-throttled checker draws {} W",
+            p.checker.0
+        );
+    }
+
+    #[test]
+    fn override_rewrites_only_checker() {
+        let r = perf(ProcessorModel::ThreeD2A);
+        let mut p = build_power_map(
+            &r,
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        let before = p.total().0;
+        override_checker_power(&mut p, Watts(25.0));
+        assert!((p.total().0 - before - 18.0).abs() < 1e-9);
+        assert_eq!(p.map.get(BlockId::Checker), Watts(25.0));
+    }
+
+    #[test]
+    fn three_d_l2_spans_both_dies() {
+        let p = build_power_map(
+            &perf(ProcessorModel::ThreeD2A),
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        // Banks on die 1 must have power assigned.
+        assert!(p.map.get(BlockId::L2Bank { die: 1, index: 0 }).0 > 0.0);
+        assert!(p.l2.0 > 3.0, "15 banks of leakage+wires: {}", p.l2.0);
+    }
+}

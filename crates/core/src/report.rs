@@ -1,0 +1,179 @@
+//! Plain-text rendering helpers for the experiment harness: aligned
+//! horizontal bar charts and grouped-series charts, so `paper_run`, the
+//! examples and the Criterion benches can show each figure's *shape*
+//! directly in the terminal.
+
+/// Renders a horizontal bar chart. Values are scaled so the largest bar
+/// spans `width` characters; each line is `label value bar`.
+///
+/// # Examples
+///
+/// ```
+/// use rmt3d::report::bar_chart;
+///
+/// let chart = bar_chart(&[("gzip", 1.93), ("mcf", 0.25)], 20);
+/// assert!(chart.contains("gzip"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    let max = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = rows.iter().map(|&(l, _)| l.len()).max().unwrap_or(0);
+    let mut s = String::new();
+    for &(label, v) in rows {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        s.push_str(&format!(
+            "{label:label_w$} {v:8.2} {}\n",
+            "#".repeat(n.min(width))
+        ));
+    }
+    s
+}
+
+/// Renders a grouped bar chart: one block per row, one bar per series.
+/// Useful for the Fig. 5/6 per-benchmark, per-model layouts.
+pub fn grouped_chart(
+    row_labels: &[&str],
+    series_labels: &[&str],
+    values: &[Vec<f64>],
+    width: usize,
+) -> String {
+    assert_eq!(row_labels.len(), values.len(), "one value row per label");
+    let max = values
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = row_labels
+        .iter()
+        .chain(series_labels.iter())
+        .map(|l| l.len())
+        .max()
+        .unwrap_or(0);
+    let mut s = String::new();
+    for (row, vals) in row_labels.iter().zip(values) {
+        assert_eq!(
+            vals.len(),
+            series_labels.len(),
+            "one value per series in row {row}"
+        );
+        s.push_str(&format!("{row}\n"));
+        for (series, &v) in series_labels.iter().zip(vals) {
+            let n = ((v / max) * width as f64).round().max(0.0) as usize;
+            s.push_str(&format!(
+                "  {series:label_w$} {v:8.2} {}\n",
+                "#".repeat(n.min(width))
+            ));
+        }
+    }
+    s
+}
+
+/// Renders a compact histogram line for distributions like Fig. 7
+/// (values should sum to ~1).
+pub fn histogram_line(bins: &[f64]) -> String {
+    const GLYPHS: [char; 8] = [
+        ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+    ];
+    let max = bins.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    bins.iter()
+        .map(|&b| {
+            let i = ((b / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[i.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a temperature field as an ASCII heat map: one character per
+/// cell (downsampled by `step`), shaded from `.` (coolest) to `@`
+/// (hottest).
+///
+/// # Panics
+///
+/// Panics if `field.len() != grid * grid` or `step == 0`.
+pub fn heatmap(field: &[f64], grid: usize, step: usize) -> String {
+    assert_eq!(field.len(), grid * grid, "field must be grid x grid");
+    assert!(step > 0, "step must be positive");
+    const SHADES: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let lo = field.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = field.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut s = String::new();
+    // Render top row last-in-first: floorplan y grows upward.
+    for j in (0..grid).step_by(step).rev() {
+        for i in (0..grid).step_by(step) {
+            let t = field[j * grid + i];
+            let k = (((t - lo) / span) * (SHADES.len() - 1) as f64).round() as usize;
+            s.push(SHADES[k.min(SHADES.len() - 1)]);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let c = bar_chart(&[("a", 10.0), ("b", 5.0), ("c", 0.0)], 10);
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[0].ends_with(&"#".repeat(10)));
+        assert!(lines[1].ends_with(&"#".repeat(5)));
+        assert!(!lines[2].contains('#'));
+    }
+
+    #[test]
+    fn grouped_chart_shapes() {
+        let c = grouped_chart(
+            &["gzip", "mcf"],
+            &["2d-a", "3d-2a"],
+            &[vec![1.9, 1.9], vec![0.25, 0.26]],
+            20,
+        );
+        assert!(c.contains("gzip"));
+        assert!(c.contains("3d-2a"));
+        assert_eq!(c.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value row per label")]
+    fn grouped_chart_validates() {
+        let _ = grouped_chart(&["a"], &["x"], &[], 10);
+    }
+
+    #[test]
+    fn histogram_line_peaks_at_mode() {
+        let h = histogram_line(&[0.0, 0.1, 0.5, 0.1, 0.0]);
+        let chars: Vec<char> = h.chars().collect();
+        assert_eq!(chars.len(), 5);
+        assert!(chars[2] > chars[1] && chars[2] > chars[3]);
+    }
+
+    #[test]
+    fn heatmap_shades_hot_cells() {
+        // 4x4 field with one hot corner.
+        let mut field = vec![50.0; 16];
+        field[15] = 90.0; // j=3, i=3: top-right
+        let m = heatmap(&field, 4, 1);
+        let lines: Vec<&str> = m.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with('@'), "hot corner renders darkest: {m}");
+        assert!(lines[3].starts_with('.'), "cool cells render light");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid x grid")]
+    fn heatmap_validates_dimensions() {
+        let _ = heatmap(&[1.0; 10], 4, 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(bar_chart(&[], 10), "");
+        assert_eq!(histogram_line(&[]), "");
+    }
+}

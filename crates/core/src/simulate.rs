@@ -1,0 +1,262 @@
+//! Performance simulation of one (model, benchmark) pair.
+
+use crate::model::{ProcessorModel, RunScale};
+use rmt3d_cache::{CacheHierarchy, HierarchyStats, NucaPolicy, NucaStats};
+use rmt3d_cpu::{ActivityCounters, CoreConfig, OooCore};
+use rmt3d_rmt::{DfsConfig, RmtConfig, RmtSystem, DFS_LEVELS};
+use rmt3d_units::Gigahertz;
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+/// Everything a performance run produces — the raw material for the
+/// Fig. 4-7 and §3.3/§4 analyses.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// Model simulated.
+    pub model: ProcessorModel,
+    /// Benchmark simulated.
+    pub benchmark: Benchmark,
+    /// Leading-core clock used (2 GHz nominal).
+    pub frequency: Gigahertz,
+    /// Leading-core activity over the measured window.
+    pub leader: ActivityCounters,
+    /// Checker activity (zeroed for 2d-a).
+    pub trailer: ActivityCounters,
+    /// Cache-hierarchy counters.
+    pub caches: HierarchyStats,
+    /// L2 NUCA statistics (per-bank accesses for power maps).
+    pub l2: NucaStats,
+    /// DFS frequency histogram (Fig. 7); zeros for 2d-a.
+    pub dfs_histogram: [f64; DFS_LEVELS],
+    /// Mean normalized checker frequency.
+    pub mean_checker_fraction: f64,
+    /// Leader cycles including recovery stalls.
+    pub total_cycles: u64,
+}
+
+impl PerfResult {
+    /// End-to-end instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.leader.committed as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// L2 misses per 10 000 instructions (§3.3 metric).
+    pub fn l2_misses_per_10k(&self) -> f64 {
+        self.caches.l2_misses_per_10k()
+    }
+}
+
+/// Configuration for one run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Processor organization.
+    pub model: ProcessorModel,
+    /// Overrides the model's NUCA bank layout (used by the §4
+    /// heterogeneous study, whose upper die holds only 4 banks).
+    pub layout: Option<rmt3d_cache::NucaLayout>,
+    /// NUCA placement policy (paper default: distributed sets).
+    pub policy: NucaPolicy,
+    /// Leading-core clock. Scaling this below 2 GHz models the §3.3
+    /// iso-thermal DVFS point: memory latency is constant in
+    /// nanoseconds, so the cycle-denominated latency shrinks.
+    pub frequency: Gigahertz,
+    /// Cap on the checker's normalized frequency (1.0 same-process;
+    /// 0.7 for the §4 90 nm checker die).
+    pub checker_peak_fraction: f64,
+    /// Simulation lengths.
+    pub scale: RunScale,
+}
+
+impl SimConfig {
+    /// The paper's nominal configuration for a model.
+    pub fn nominal(model: ProcessorModel, scale: RunScale) -> SimConfig {
+        SimConfig {
+            model,
+            layout: None,
+            policy: NucaPolicy::DistributedSets,
+            frequency: Gigahertz(2.0),
+            checker_peak_fraction: 1.0,
+            scale,
+        }
+    }
+}
+
+/// Memory latency in leader cycles at clock `f` (150 ns constant).
+fn memory_cycles(f: Gigahertz) -> u32 {
+    (150.0 * f.value()).round() as u32
+}
+
+/// Runs one (model, benchmark) performance simulation.
+pub fn simulate(cfg: &SimConfig, benchmark: Benchmark) -> PerfResult {
+    let layout = cfg
+        .layout
+        .clone()
+        .unwrap_or_else(|| cfg.model.nuca_layout());
+    let mut hierarchy = CacheHierarchy::new(layout, cfg.policy);
+    hierarchy.set_memory_cycles(memory_cycles(cfg.frequency));
+    let leader = OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(benchmark.profile()),
+        hierarchy,
+    );
+
+    if cfg.model.has_checker() {
+        let rmt_cfg = RmtConfig {
+            dfs: DfsConfig::paper().with_frequency_cap(cfg.checker_peak_fraction),
+            ..RmtConfig::paper()
+        };
+        let mut sys = RmtSystem::new(leader, rmt_cfg);
+        sys.prefill_caches();
+        sys.run_instructions(cfg.scale.warmup_instructions);
+        // Reset is not exposed on the composite; measure the delta
+        // window instead.
+        let start_leader = *sys.leader().activity();
+        let start_trailer = *sys.trailer().activity();
+        let start_cycles = sys.total_cycles();
+        sys.run_instructions(cfg.scale.instructions);
+        let mut leader_act = *sys.leader().activity();
+        let mut trailer_act = *sys.trailer().activity();
+        diff(&mut leader_act, &start_leader);
+        diff(&mut trailer_act, &start_trailer);
+        PerfResult {
+            model: cfg.model,
+            benchmark,
+            frequency: cfg.frequency,
+            leader: leader_act,
+            trailer: trailer_act,
+            caches: sys.leader().caches().stats(),
+            l2: sys.leader().caches().l2().stats().clone(),
+            dfs_histogram: sys.frequency_histogram(),
+            mean_checker_fraction: sys.dfs().mean_fraction(),
+            total_cycles: sys.total_cycles() - start_cycles,
+        }
+    } else {
+        let mut core = leader;
+        core.prefill_caches();
+        core.run_instructions(cfg.scale.warmup_instructions);
+        core.reset_stats();
+        core.run_instructions(cfg.scale.instructions);
+        PerfResult {
+            model: cfg.model,
+            benchmark,
+            frequency: cfg.frequency,
+            leader: *core.activity(),
+            trailer: ActivityCounters::default(),
+            caches: core.caches().stats(),
+            l2: core.caches().l2().stats().clone(),
+            dfs_histogram: [0.0; DFS_LEVELS],
+            mean_checker_fraction: 0.0,
+            total_cycles: core.activity().cycles,
+        }
+    }
+}
+
+/// Subtracts `start` from `acc` field-wise (window delta).
+fn diff(acc: &mut ActivityCounters, start: &ActivityCounters) {
+    acc.cycles -= start.cycles;
+    acc.fetched -= start.fetched;
+    acc.dispatched -= start.dispatched;
+    acc.issued -= start.issued;
+    acc.committed -= start.committed;
+    acc.int_alu_ops -= start.int_alu_ops;
+    acc.int_mul_ops -= start.int_mul_ops;
+    acc.fp_alu_ops -= start.fp_alu_ops;
+    acc.fp_mul_ops -= start.fp_mul_ops;
+    acc.bpred_accesses -= start.bpred_accesses;
+    acc.icache_accesses -= start.icache_accesses;
+    acc.dcache_accesses -= start.dcache_accesses;
+    acc.lsq_accesses -= start.lsq_accesses;
+    acc.regfile_reads -= start.regfile_reads;
+    acc.regfile_writes -= start.regfile_writes;
+    acc.bypass_transfers -= start.bypass_transfers;
+    acc.commit_stall_cycles -= start.commit_stall_cycles;
+    acc.branch_mispredicts -= start.branch_mispredicts;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RunScale;
+
+    #[test]
+    fn baseline_and_3d_have_similar_ipc() {
+        // §3.3: the checker imposes negligible overhead; 3d-checker
+        // matches 2d-a.
+        let quick = RunScale::quick();
+        let a = simulate(
+            &SimConfig::nominal(ProcessorModel::TwoDA, quick),
+            Benchmark::Gzip,
+        );
+        let b = simulate(
+            &SimConfig::nominal(ProcessorModel::ThreeDChecker, quick),
+            Benchmark::Gzip,
+        );
+        let loss = 1.0 - b.ipc() / a.ipc();
+        assert!(
+            loss.abs() < 0.05,
+            "3d-checker IPC {} vs 2d-a {} (loss {loss})",
+            b.ipc(),
+            a.ipc()
+        );
+    }
+
+    #[test]
+    fn lower_frequency_costs_less_than_proportionally() {
+        // Memory latency is constant in ns, so a 10% slower clock loses
+        // less than 10% IPC-seconds (§3.3).
+        let quick = RunScale::quick();
+        let full = simulate(
+            &SimConfig::nominal(ProcessorModel::TwoDA, quick),
+            Benchmark::Mcf,
+        );
+        let slow_cfg = SimConfig {
+            frequency: Gigahertz(1.8),
+            ..SimConfig::nominal(ProcessorModel::TwoDA, quick)
+        };
+        let slow = simulate(&slow_cfg, Benchmark::Mcf);
+        // Work per second = IPC * f.
+        let perf_full = full.ipc() * 2.0;
+        let perf_slow = slow.ipc() * 1.8;
+        let loss = 1.0 - perf_slow / perf_full;
+        assert!(
+            loss < 0.10 && loss > -0.02,
+            "mcf at 1.8 GHz loses {loss} (memory-bound programs lose least)"
+        );
+    }
+
+    #[test]
+    fn checker_histogram_produced_for_rmt_models() {
+        let r = simulate(
+            &SimConfig::nominal(ProcessorModel::ThreeD2A, RunScale::quick()),
+            Benchmark::Gap,
+        );
+        let sum: f64 = r.dfs_histogram.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(r.mean_checker_fraction > 0.2);
+        assert!(r.trailer.committed > 0);
+    }
+
+    #[test]
+    fn frequency_capped_checker_still_keeps_up_mostly() {
+        // §4: the 1.4 GHz-capped checker slows the leader only ~3%.
+        let quick = RunScale::quick();
+        let free = simulate(
+            &SimConfig::nominal(ProcessorModel::ThreeD2A, quick),
+            Benchmark::Gzip,
+        );
+        let capped_cfg = SimConfig {
+            checker_peak_fraction: 0.7,
+            ..SimConfig::nominal(ProcessorModel::ThreeD2A, quick)
+        };
+        let capped = simulate(&capped_cfg, Benchmark::Gzip);
+        let slowdown = 1.0 - capped.ipc() / free.ipc();
+        assert!(
+            slowdown < 0.12,
+            "frequency-capped checker slowdown {slowdown}"
+        );
+        assert!(capped.mean_checker_fraction <= 0.7 + 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Diagnostic: steady-state IPC / MPKI / L2-miss calibration table for
+//! all 19 benchmark profiles (used to tune workload::spec2k; compare
+//! against Fig. 6).
+use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+use rmt3d_cpu::{CoreConfig, OooCore};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+fn main() {
+    for b in Benchmark::ALL {
+        let mut c = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+        );
+        c.prefill_caches();
+        c.run_instructions(100_000);
+        c.reset_stats();
+        c.run_instructions(300_000);
+        let a = c.activity();
+        println!(
+            "{:10} ipc={:.3} mpki={:.2} l2m/10k={:.2} l2hit={:.1}",
+            b.name(),
+            a.ipc(),
+            a.mispredicts_per_kilo_instruction(),
+            c.caches().stats().l2_misses_per_10k(),
+            c.caches().l2_mean_hit_cycles()
+        );
+    }
+}

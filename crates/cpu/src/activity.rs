@@ -1,0 +1,154 @@
+//! Per-unit activity counters consumed by the Wattch-lite power model.
+//!
+//! Wattch computes dynamic power as `activity x energy-per-access` per
+//! structure, with aggressive (cc3) clock gating for idle units. The core
+//! models maintain these counters; `rmt3d-power` turns them into watts.
+
+/// Activity counts accumulated by a core over a simulation window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Instructions dispatched (rename + ROB write).
+    pub dispatched: u64,
+    /// Instructions issued (IQ wakeup/select + regfile read).
+    pub issued: u64,
+    /// Instructions committed (ROB read + regfile write).
+    pub committed: u64,
+    /// Integer ALU operations executed.
+    pub int_alu_ops: u64,
+    /// Integer multiplier operations.
+    pub int_mul_ops: u64,
+    /// FP adder operations.
+    pub fp_alu_ops: u64,
+    /// FP multiplier operations.
+    pub fp_mul_ops: u64,
+    /// Branch predictor lookups/updates.
+    pub bpred_accesses: u64,
+    /// L1 I-cache accesses (one per fetched line).
+    pub icache_accesses: u64,
+    /// L1 D-cache accesses (loads at issue, stores at commit).
+    pub dcache_accesses: u64,
+    /// Load/store queue insertions + searches.
+    pub lsq_accesses: u64,
+    /// Architectural register-file reads.
+    pub regfile_reads: u64,
+    /// Architectural register-file writes.
+    pub regfile_writes: u64,
+    /// Result-bus / bypass transfers.
+    pub bypass_transfers: u64,
+    /// Cycles in which the commit stage was stalled by external
+    /// back-pressure (RVQ/StB full) — the RMT performance-coupling
+    /// mechanism.
+    pub commit_stall_cycles: u64,
+    /// Branch mispredictions observed at fetch.
+    pub branch_mispredicts: u64,
+}
+
+impl ActivityCounters {
+    /// Committed instructions per cycle over the window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredictions per 1000 committed instructions.
+    pub fn mispredicts_per_kilo_instruction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// Per-cycle activity factor of a unit given its access count
+    /// (clamped to 1.0; feeds cc3 gating in the power model).
+    pub fn activity_factor(&self, accesses: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (accesses as f64 / self.cycles as f64).min(1.0)
+        }
+    }
+
+    /// Element-wise accumulation of another window's counters.
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.cycles += other.cycles;
+        self.fetched += other.fetched;
+        self.dispatched += other.dispatched;
+        self.issued += other.issued;
+        self.committed += other.committed;
+        self.int_alu_ops += other.int_alu_ops;
+        self.int_mul_ops += other.int_mul_ops;
+        self.fp_alu_ops += other.fp_alu_ops;
+        self.fp_mul_ops += other.fp_mul_ops;
+        self.bpred_accesses += other.bpred_accesses;
+        self.icache_accesses += other.icache_accesses;
+        self.dcache_accesses += other.dcache_accesses;
+        self.lsq_accesses += other.lsq_accesses;
+        self.regfile_reads += other.regfile_reads;
+        self.regfile_writes += other.regfile_writes;
+        self.bypass_transfers += other.bypass_transfers;
+        self.commit_stall_cycles += other.commit_stall_cycles;
+        self.branch_mispredicts += other.branch_mispredicts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let a = ActivityCounters {
+            cycles: 1000,
+            committed: 1200,
+            branch_mispredicts: 6,
+            ..Default::default()
+        };
+        assert!((a.ipc() - 1.2).abs() < 1e-12);
+        assert!((a.mispredicts_per_kilo_instruction() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let a = ActivityCounters::default();
+        assert_eq!(a.ipc(), 0.0);
+        assert_eq!(a.activity_factor(10), 0.0);
+        assert_eq!(a.mispredicts_per_kilo_instruction(), 0.0);
+    }
+
+    #[test]
+    fn activity_factor_clamps() {
+        let a = ActivityCounters {
+            cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(a.activity_factor(250), 1.0);
+        assert!((a.activity_factor(50) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ActivityCounters {
+            cycles: 10,
+            committed: 5,
+            ..Default::default()
+        };
+        let b = ActivityCounters {
+            cycles: 20,
+            committed: 15,
+            int_alu_ops: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.committed, 20);
+        assert_eq!(a.int_alu_ops, 7);
+    }
+}

@@ -1,0 +1,79 @@
+//! Committed-instruction records: the payload the leading core sends to
+//! the checker through the RVQ/LVQ/BOQ (Fig. 1).
+
+use rmt3d_workload::MicroOp;
+
+/// Everything the leading core communicates about one committed
+/// instruction.
+///
+/// Per §2.1, the leader forwards the *result*, both *input operands*
+/// (enabling register value prediction in the trailer), *load values*
+/// (so the trailer never touches the D-cache) and *branch outcomes*. The
+/// paper's Table 4 sizes the die-to-die via bundles from exactly these
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommittedOp {
+    /// The architectural micro-op.
+    pub op: MicroOp,
+    /// Result value written to the destination register (0 for ops with
+    /// no destination).
+    pub result: u64,
+    /// Value of source operand 1 at commit.
+    pub src1_value: u64,
+    /// Value of source operand 2 at commit.
+    pub src2_value: u64,
+    /// The value loaded from memory (loads only).
+    pub load_value: Option<u64>,
+    /// The value stored (stores only; goes to the StB).
+    pub store_value: Option<u64>,
+    /// Leading-core cycle at which the instruction committed.
+    pub commit_cycle: u64,
+}
+
+impl CommittedOp {
+    /// True when the checker must compare a register result for this op.
+    pub fn needs_value_check(&self) -> bool {
+        self.op.dest.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt3d_workload::{ArchReg, OpClass};
+
+    fn op(kind: OpClass, dest: Option<ArchReg>) -> MicroOp {
+        MicroOp {
+            seq: 0,
+            pc: 0x400_000,
+            kind,
+            dest,
+            src1_dist: None,
+            src2_dist: None,
+            src1_reg: None,
+            src2_reg: None,
+            imm: 1,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    #[test]
+    fn value_check_follows_destination() {
+        let with_dest = CommittedOp {
+            op: op(OpClass::IntAlu, Some(ArchReg::new(1))),
+            result: 42,
+            src1_value: 0,
+            src2_value: 0,
+            load_value: None,
+            store_value: None,
+            commit_cycle: 0,
+        };
+        assert!(with_dest.needs_value_check());
+        let store = CommittedOp {
+            op: op(OpClass::Store, None),
+            ..with_dest
+        };
+        assert!(!store.needs_value_check());
+    }
+}

@@ -1,0 +1,236 @@
+//! Core pipeline configurations (paper Table 1).
+
+/// Out-of-order leading-core configuration.
+///
+/// Defaults reproduce the paper's Table 1 SimpleScalar parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instruction fetch queue capacity.
+    pub ifq_size: u32,
+    /// Dispatch (rename) width per cycle.
+    pub dispatch_width: u32,
+    /// Commit width per cycle.
+    pub commit_width: u32,
+    /// Re-order buffer capacity.
+    pub rob_size: u32,
+    /// Integer issue-queue capacity.
+    pub iq_int_size: u32,
+    /// Floating-point issue-queue capacity.
+    pub iq_fp_size: u32,
+    /// Load/store queue capacity.
+    pub lsq_size: u32,
+    /// Integer ALUs (also used for address generation).
+    pub int_alu: u32,
+    /// Integer multipliers.
+    pub int_mul: u32,
+    /// FP adders.
+    pub fp_alu: u32,
+    /// FP multipliers.
+    pub fp_mul: u32,
+    /// Front-end refill cycles charged after a branch mispredict resolves
+    /// (fetch-to-dispatch depth; Table 1 lists a 12-cycle mispredict
+    /// loop, most of which is the resolve time itself).
+    pub frontend_refill: u32,
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 leading core.
+    pub fn leading_ev7_like() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            ifq_size: 32,
+            dispatch_width: 4,
+            commit_width: 4,
+            rob_size: 80,
+            iq_int_size: 20,
+            iq_fp_size: 15,
+            lsq_size: 40,
+            int_alu: 4,
+            int_mul: 2,
+            fp_alu: 1,
+            fp_mul: 1,
+            frontend_refill: 3,
+        }
+    }
+
+    /// The checker core operating *as a leading core* (paper §2: "it is
+    /// also capable of executing a leading thread by itself" after a
+    /// hard error disables the out-of-order core). Approximated as a
+    /// minimal-window machine: without RVP or the BOQ it must use its
+    /// own predictor and caches, and its tiny instruction window buys
+    /// almost no latency tolerance.
+    pub fn checker_as_leader() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            ifq_size: 8,
+            dispatch_width: 4,
+            commit_width: 4,
+            rob_size: 8,
+            iq_int_size: 4,
+            iq_fp_size: 4,
+            lsq_size: 4,
+            int_alu: 4,
+            int_mul: 2,
+            fp_alu: 1,
+            fp_mul: 1,
+            frontend_refill: 2,
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when any capacity or width is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            self.fetch_width,
+            self.ifq_size,
+            self.dispatch_width,
+            self.commit_width,
+            self.rob_size,
+            self.iq_int_size,
+            self.iq_fp_size,
+            self.lsq_size,
+            self.int_alu,
+        ];
+        if positive.contains(&0) {
+            return Err("core widths and capacities must be positive".to_string());
+        }
+        if self.rob_size > 192 {
+            return Err("ROB larger than the dependence-tracking window".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::leading_ev7_like()
+    }
+}
+
+/// In-order trailing (checker) core configuration (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrailerConfig {
+    /// In-order dispatch width per cycle.
+    pub width: u32,
+    /// Register-value-queue read/compare ports: bounds how many
+    /// verifications can retire per cycle. This is the practical ILP
+    /// limit of the checker (its effective IPC), and with the paper's
+    /// DFS heuristic it puts the common operating point near 0.6 f
+    /// (Fig. 7).
+    pub verify_ports: u32,
+    /// Whether register value prediction (§2.1) is enabled: operands are
+    /// read from the RVQ, removing all data-dependence stalls.
+    pub rvp: bool,
+    /// Maximum instructions in flight inside the checker pipeline
+    /// (dispatched but not yet verified). A real in-order pipeline is
+    /// shallow; bounding it also keeps the RVQ occupancy an honest
+    /// signal for the DFS controller.
+    pub pipeline_depth: u32,
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multipliers.
+    pub int_mul: u32,
+    /// FP adders.
+    pub fp_alu: u32,
+    /// FP multipliers.
+    pub fp_mul: u32,
+}
+
+impl TrailerConfig {
+    /// The paper's in-order checker: 4-wide with RVP.
+    pub fn checker() -> TrailerConfig {
+        TrailerConfig {
+            width: 4,
+            verify_ports: 3,
+            rvp: true,
+            pipeline_depth: 16,
+            int_alu: 4,
+            int_mul: 2,
+            fp_alu: 1,
+            fp_mul: 1,
+        }
+    }
+
+    /// A checker without register value prediction (for the ablation
+    /// study: shows why the paper needs RVP to sustain checker ILP).
+    pub fn checker_no_rvp() -> TrailerConfig {
+        TrailerConfig {
+            rvp: false,
+            ..TrailerConfig::checker()
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when any width is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.verify_ports == 0 || self.int_alu == 0 {
+            return Err("trailer widths must be positive".to_string());
+        }
+        if self.pipeline_depth == 0 {
+            return Err("trailer pipeline depth must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrailerConfig {
+    fn default() -> TrailerConfig {
+        TrailerConfig::checker()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = CoreConfig::leading_ev7_like();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_size, 80);
+        assert_eq!(c.iq_int_size, 20);
+        assert_eq!(c.iq_fp_size, 15);
+        assert_eq!(c.lsq_size, 40);
+        assert_eq!((c.int_alu, c.int_mul, c.fp_alu, c.fp_mul), (4, 2, 1, 1));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_widths() {
+        let mut c = CoreConfig::leading_ev7_like();
+        c.fetch_width = 0;
+        assert!(c.validate().is_err());
+        let mut t = TrailerConfig::checker();
+        t.verify_ports = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rob_window_bound() {
+        let mut c = CoreConfig::leading_ev7_like();
+        c.rob_size = 500;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn degraded_mode_config_is_valid_and_narrow() {
+        let c = CoreConfig::checker_as_leader();
+        assert!(c.validate().is_ok());
+        assert!(c.rob_size < CoreConfig::leading_ev7_like().rob_size);
+    }
+
+    #[test]
+    fn checker_variants() {
+        assert!(TrailerConfig::checker().rvp);
+        assert!(!TrailerConfig::checker_no_rvp().rvp);
+        assert_eq!(TrailerConfig::default(), TrailerConfig::checker());
+    }
+}

@@ -1,0 +1,475 @@
+//! In-order trailing (checker) core (paper §2.1).
+//!
+//! The trailer re-executes the leader's committed instruction stream with
+//! perfect branch prediction (BOQ), no D-cache accesses (LVQ) and —
+//! optionally — register value prediction (RVP): operands are read from
+//! the RVQ instead of the register file, removing every data-dependence
+//! stall so ILP is bounded only by fetch bandwidth and functional units.
+//! Each instruction is *verified* before it commits: the recomputed
+//! result is compared against the leader's, and with RVP the predicted
+//! operands are compared against the trailer's own register file.
+
+use crate::activity::ActivityCounters;
+use crate::commit::CommittedOp;
+use crate::config::TrailerConfig;
+use rmt3d_workload::OpClass;
+use std::collections::VecDeque;
+
+/// Ring size for trailer-local completion times (non-RVP dependence
+/// tracking). Dependences reach at most 63 ops back.
+const RING: usize = 128;
+
+/// Outcome of verifying one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Values agree.
+    Ok,
+    /// The recomputed result differs from the leader's result — a fault
+    /// in either core's datapath or in the RVQ payload.
+    ResultMismatch,
+    /// An RVP operand disagrees with the trailer's register file — a
+    /// fault upstream of this instruction.
+    OperandMismatch,
+}
+
+/// A completed verification, emitted at trailer commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verification {
+    /// Sequence number of the checked instruction.
+    pub seq: u64,
+    /// Check result.
+    pub outcome: CheckOutcome,
+    /// The trailer's recomputed result value.
+    pub result: u64,
+    /// The checked payload (as received through the queues) — recovery
+    /// needs it to replay the instruction architecturally.
+    pub item: CommittedOp,
+}
+
+impl Verification {
+    /// True when an error was detected.
+    pub fn is_error(&self) -> bool {
+        self.outcome != CheckOutcome::Ok
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    item: CommittedOp,
+    complete_cycle: u64,
+}
+
+/// The in-order checker pipeline.
+///
+/// Drive it one trailer-clock cycle at a time with [`InOrderCore::step_cycle`],
+/// feeding instructions from the RVQ; verified instructions come back in
+/// order. The caller owns the clock-domain crossing (GALS) and the DFS
+/// policy — see the `rmt3d-rmt` crate.
+#[derive(Debug)]
+pub struct InOrderCore {
+    cfg: TrailerConfig,
+    cycle: u64,
+    regfile: [u64; 64],
+    pipe: VecDeque<InFlight>,
+    complete_at: Box<[u64; RING]>,
+    activity: ActivityCounters,
+}
+
+impl InOrderCore {
+    /// Creates an idle checker core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: TrailerConfig) -> InOrderCore {
+        cfg.validate().expect("invalid trailer configuration");
+        InOrderCore {
+            cfg,
+            cycle: 0,
+            regfile: [0; 64],
+            pipe: VecDeque::with_capacity(64),
+            complete_at: Box::new([0; RING]),
+            activity: ActivityCounters::default(),
+        }
+    }
+
+    /// Current trailer cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated activity counters.
+    pub fn activity(&self) -> &ActivityCounters {
+        &self.activity
+    }
+
+    /// Instructions currently in the trailer pipeline (dispatched but not
+    /// yet verified).
+    pub fn in_flight(&self) -> usize {
+        self.pipe.len()
+    }
+
+    /// Injects a single-bit flip into the trailer's register file. Used
+    /// by the fault-injection harness to model the §3.5 concern: errors
+    /// in the checker's own state.
+    pub fn flip_regfile_bit(&mut self, reg: u8, bit: u8) {
+        self.regfile[reg as usize % 64] ^= 1u64 << (bit % 64);
+    }
+
+    /// Resets statistics, keeping architectural state.
+    pub fn reset_stats(&mut self) {
+        self.activity = ActivityCounters::default();
+    }
+
+    /// Read-only view of the trailer's architectural register file — the
+    /// system's recovery point (§2: "the register file state of the
+    /// trailing thread is used to initiate recovery").
+    pub fn regfile(&self) -> &[u64; 64] {
+        &self.regfile
+    }
+
+    /// Overwrites the architectural register file (TMR repair: an
+    /// outvoted checker is restored from the winner's state).
+    pub fn restore_regfile(&mut self, rf: &[u64; 64]) {
+        self.regfile = *rf;
+    }
+
+    /// Re-executes one instruction architecturally from the trailer's
+    /// own register state (ignoring the possibly-corrupt queue payload)
+    /// and retires it. This is the recovery path: it produces the value
+    /// a full re-execution from the trailer's checkpoint would produce.
+    /// Returns the recomputed result.
+    pub fn architectural_replay(&mut self, item: &CommittedOp) -> u64 {
+        let op = item.op;
+        let s1 = op.src1_reg.map_or(0, |r| self.regfile[r.index() as usize]);
+        let s2 = op.src2_reg.map_or(0, |r| self.regfile[r.index() as usize]);
+        let result = match op.kind {
+            OpClass::Load => crate::ooo::load_memory_value(op.mem.expect("loads carry mem").addr),
+            OpClass::Store | OpClass::Branch => 0,
+            _ => op.compute_result(s1, s2),
+        };
+        if let Some(d) = op.dest {
+            self.regfile[d.index() as usize] = result;
+        }
+        result
+    }
+
+    /// Empties the execution pipeline, returning the in-flight payloads
+    /// oldest-first (recovery squash: the caller replays them).
+    pub fn drain_pipe(&mut self) -> Vec<CommittedOp> {
+        self.pipe.drain(..).map(|f| f.item).collect()
+    }
+
+    /// Advances one trailer cycle: verifies up to `verify_ports` oldest
+    /// completed instructions (appending results to `out`), then
+    /// dispatches up to `width` new instructions from `input`.
+    ///
+    /// Returns the number of instructions verified this cycle.
+    pub fn step_cycle(
+        &mut self,
+        input: &mut VecDeque<CommittedOp>,
+        out: &mut Vec<Verification>,
+    ) -> u32 {
+        let verified = self.do_verify(out);
+        self.do_dispatch(input);
+        self.cycle += 1;
+        self.activity.cycles += 1;
+        verified
+    }
+
+    fn do_verify(&mut self, out: &mut Vec<Verification>) -> u32 {
+        let mut n = 0;
+        while n < self.cfg.verify_ports {
+            let Some(head) = self.pipe.front() else { break };
+            if head.complete_cycle > self.cycle {
+                break;
+            }
+            let inf = self.pipe.pop_front().expect("head exists");
+            let item = inf.item;
+            let op = item.op;
+
+            // Operand check (RVP only): predicted operands must match the
+            // trailer's own architectural state.
+            let mut outcome = CheckOutcome::Ok;
+            if self.cfg.rvp {
+                let s1_ok = op
+                    .src1_reg
+                    .is_none_or(|r| self.regfile[r.index() as usize] == item.src1_value);
+                let s2_ok = op
+                    .src2_reg
+                    .is_none_or(|r| self.regfile[r.index() as usize] == item.src2_value);
+                if !(s1_ok && s2_ok) {
+                    outcome = CheckOutcome::OperandMismatch;
+                }
+            }
+
+            // Recompute the result from the trailer's view of the
+            // operands.
+            let (s1, s2) = if self.cfg.rvp {
+                (item.src1_value, item.src2_value)
+            } else {
+                (
+                    op.src1_reg.map_or(0, |r| self.regfile[r.index() as usize]),
+                    op.src2_reg.map_or(0, |r| self.regfile[r.index() as usize]),
+                )
+            };
+            let result = match op.kind {
+                OpClass::Load => item.load_value.unwrap_or(0), // from the LVQ
+                OpClass::Store | OpClass::Branch => 0,
+                _ => op.compute_result(s1, s2),
+            };
+            if outcome == CheckOutcome::Ok && op.dest.is_some() && result != item.result {
+                outcome = CheckOutcome::ResultMismatch;
+            }
+
+            if outcome == CheckOutcome::Ok {
+                if let Some(d) = op.dest {
+                    self.regfile[d.index() as usize] = result;
+                    self.activity.regfile_writes += 1;
+                }
+                self.activity.committed += 1;
+            }
+            // On a mismatch the trailer register file is left untouched:
+            // it is the recovery point (paper §2).
+            self.activity.regfile_reads +=
+                op.src1_reg.is_some() as u64 + op.src2_reg.is_some() as u64;
+            out.push(Verification {
+                seq: op.seq,
+                outcome,
+                result,
+                item,
+            });
+            n += 1;
+        }
+        n
+    }
+
+    fn do_dispatch(&mut self, input: &mut VecDeque<CommittedOp>) {
+        let mut int_alu = self.cfg.int_alu;
+        let mut int_mul = self.cfg.int_mul;
+        let mut fp_alu = self.cfg.fp_alu;
+        let mut fp_mul = self.cfg.fp_mul;
+        for _ in 0..self.cfg.width {
+            if self.pipe.len() >= self.cfg.pipeline_depth as usize {
+                break;
+            }
+            let Some(front) = input.front() else { break };
+            let op = front.op;
+            // In-order: a structural or data stall blocks younger ops.
+            let unit = match op.kind {
+                OpClass::IntAlu | OpClass::Load | OpClass::Store | OpClass::Branch => &mut int_alu,
+                OpClass::IntMul => &mut int_mul,
+                OpClass::FpAlu => &mut fp_alu,
+                OpClass::FpMul => &mut fp_mul,
+            };
+            if *unit == 0 {
+                break;
+            }
+            if !self.cfg.rvp && !self.operands_ready(&op) {
+                break;
+            }
+            *unit -= 1;
+            let item = input.pop_front().expect("front exists");
+            let lat = match item.op.kind {
+                OpClass::Load => 1, // LVQ read: no cache access
+                k => k.execute_latency() as u64,
+            };
+            let complete = self.cycle + lat;
+            self.complete_at[(item.op.seq % RING as u64) as usize] = complete;
+            self.pipe.push_back(InFlight {
+                item,
+                complete_cycle: complete,
+            });
+            self.activity.dispatched += 1;
+            self.activity.issued += 1;
+            match op.kind {
+                OpClass::IntMul => self.activity.int_mul_ops += 1,
+                OpClass::FpAlu => self.activity.fp_alu_ops += 1,
+                OpClass::FpMul => self.activity.fp_mul_ops += 1,
+                _ => self.activity.int_alu_ops += 1,
+            }
+        }
+    }
+
+    fn operands_ready(&self, op: &rmt3d_workload::MicroOp) -> bool {
+        for dist in [op.src1_dist, op.src2_dist].into_iter().flatten() {
+            let producer = op.seq - dist as u64;
+            // If the producer is still in the pipe and not complete, stall.
+            if self
+                .pipe
+                .iter()
+                .any(|f| f.item.op.seq == producer && f.complete_cycle > self.cycle)
+            {
+                return false;
+            }
+            let _ = self.complete_at[(producer % RING as u64) as usize];
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::ooo::OooCore;
+    use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+    use rmt3d_workload::{Benchmark, TraceGenerator};
+
+    /// Produces a committed stream from a real leading core.
+    fn committed_stream(n: usize) -> Vec<CommittedOp> {
+        committed_stream_of(Benchmark::Gzip, n)
+    }
+
+    fn committed_stream_of(b: Benchmark, n: usize) -> Vec<CommittedOp> {
+        let mut c = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+        );
+        let mut out = Vec::new();
+        while out.len() < n {
+            c.step_cycle(&mut out);
+        }
+        out.truncate(n);
+        out
+    }
+
+    fn run_trailer(cfg: TrailerConfig, stream: &[CommittedOp]) -> (Vec<Verification>, u64) {
+        let mut t = InOrderCore::new(cfg);
+        let mut q: VecDeque<CommittedOp> = stream.iter().copied().collect();
+        let mut out = Vec::new();
+        while out.len() < stream.len() {
+            t.step_cycle(&mut q, &mut out);
+            assert!(
+                t.cycle() < 10 * stream.len() as u64 + 1000,
+                "trailer wedged"
+            );
+        }
+        (out, t.cycle())
+    }
+
+    #[test]
+    fn fault_free_stream_verifies_clean() {
+        let stream = committed_stream(5000);
+        let (ver, _) = run_trailer(TrailerConfig::checker(), &stream);
+        assert_eq!(ver.len(), 5000);
+        assert!(ver.iter().all(|v| v.outcome == CheckOutcome::Ok));
+        // In-order verification.
+        for w in ver.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+    }
+
+    #[test]
+    fn rvp_gives_higher_throughput_than_no_rvp() {
+        // mcf's short dependence chains stall an in-order pipeline that
+        // must wait for real operands; RVP removes those stalls.
+        let stream = committed_stream_of(Benchmark::Mcf, 8000);
+        let (_, cyc_rvp) = run_trailer(TrailerConfig::checker(), &stream);
+        let (_, cyc_plain) = run_trailer(TrailerConfig::checker_no_rvp(), &stream);
+        assert!(
+            cyc_rvp < cyc_plain,
+            "RVP {cyc_rvp} cycles should beat non-RVP {cyc_plain}"
+        );
+        // The paper's point: with RVP the checker sustains high ILP.
+        let ipc = 8000.0 / cyc_rvp as f64;
+        assert!(ipc > 1.8, "checker IPC with RVP {ipc}");
+    }
+
+    #[test]
+    fn corrupted_result_is_detected_exactly_once_at_that_op() {
+        let mut stream = committed_stream(2000);
+        // Flip a result bit in transit (datapath/RVQ fault) on an op
+        // that writes a register (stores/branches carry no result).
+        let victim = (1000..)
+            .find(|&i| stream[i].op.dest.is_some())
+            .expect("register-writing op exists");
+        stream[victim].result ^= 1 << 17;
+        let (ver, _) = run_trailer(TrailerConfig::checker(), &stream);
+        assert_eq!(ver[victim].outcome, CheckOutcome::ResultMismatch);
+        let errors = ver.iter().filter(|v| v.is_error()).count();
+        // The corrupted value never enters the trailer regfile, so later
+        // operand checks may flag descendants that consumed the bad value
+        // from the leader's RVQ payload.
+        assert!(errors >= 1);
+        assert_eq!(
+            ver[..victim].iter().filter(|v| v.is_error()).count(),
+            0,
+            "no false positives before the fault"
+        );
+    }
+
+    #[test]
+    fn corrupted_operand_payload_is_detected() {
+        let mut stream = committed_stream(2000);
+        let mut victim = None;
+        for (i, c) in stream.iter_mut().enumerate().skip(500) {
+            if c.op.src1_reg.is_some() && c.op.kind == OpClass::IntAlu {
+                c.src1_value ^= 1 << 3;
+                victim = Some(i);
+                break;
+            }
+        }
+        let victim = victim.expect("stream contains int alu ops with sources");
+        let (ver, _) = run_trailer(TrailerConfig::checker(), &stream);
+        assert!(
+            ver[victim].is_error(),
+            "operand corruption must be flagged at op {victim}: {:?}",
+            ver[victim]
+        );
+    }
+
+    #[test]
+    fn trailer_regfile_fault_is_detected_on_next_use() {
+        let stream = committed_stream(3000);
+        let mut t = InOrderCore::new(TrailerConfig::checker());
+        let mut q: VecDeque<CommittedOp> = stream.iter().copied().collect();
+        let mut out = Vec::new();
+        // Let it run a while, then corrupt trailer state.
+        for _ in 0..200 {
+            t.step_cycle(&mut q, &mut out);
+        }
+        assert!(out.iter().all(|v| !v.is_error()));
+        // A burst of upsets across the integer register file: corruption
+        // only survives until the register is next written, so flipping
+        // many registers guarantees at least one is read while corrupt.
+        for r in 1..31 {
+            t.flip_regfile_bit(r, 11);
+        }
+        while !q.is_empty() {
+            t.step_cycle(&mut q, &mut out);
+        }
+        assert!(
+            out.iter()
+                .any(|v| v.outcome == CheckOutcome::OperandMismatch),
+            "a corrupted trailer register must eventually fail an RVP \
+             operand check"
+        );
+    }
+
+    #[test]
+    fn verify_ports_bound_throughput() {
+        let stream = committed_stream(6000);
+        let mut fast = TrailerConfig::checker();
+        fast.verify_ports = 4;
+        let mut slow = TrailerConfig::checker();
+        slow.verify_ports = 1;
+        let (_, cyc_fast) = run_trailer(fast, &stream);
+        let (_, cyc_slow) = run_trailer(slow, &stream);
+        assert!(cyc_slow >= 6000, "1 port caps IPC at 1");
+        assert!(cyc_fast < cyc_slow);
+    }
+
+    #[test]
+    fn empty_input_idles() {
+        let mut t = InOrderCore::new(TrailerConfig::checker());
+        let mut q = VecDeque::new();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            assert_eq!(t.step_cycle(&mut q, &mut out), 0);
+        }
+        assert!(out.is_empty());
+        assert_eq!(t.in_flight(), 0);
+    }
+}

@@ -1,0 +1,645 @@
+//! Cycle-level out-of-order leading core (paper Table 1 configuration).
+//!
+//! Trace-driven: micro-ops stream in from a [`TraceGenerator`] and flow
+//! through fetch → dispatch → issue → execute → commit, constrained by
+//! the ROB, issue queues, LSQ, functional units, the branch predictor and
+//! the cache hierarchy. Branch mispredictions block fetch until the
+//! branch resolves (the standard trace-driven redirect model: wrong-path
+//! work is not simulated, its delay is).
+
+use crate::activity::ActivityCounters;
+use crate::bpred::CombinedPredictor;
+use crate::commit::CommittedOp;
+use crate::config::CoreConfig;
+use rmt3d_cache::CacheHierarchy;
+use rmt3d_workload::{MicroOp, OpClass, TraceGenerator};
+use std::collections::VecDeque;
+
+/// Completion-time ring capacity. Must exceed `rob_size + ifq_size +
+/// max dependence distance (63)`; validated in [`OooCore::new`].
+const RING: usize = 256;
+/// Sentinel: result not yet available.
+const PENDING: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    op: MicroOp,
+    issued: bool,
+    /// Cycle at which the result is available (PENDING until issued).
+    complete_cycle: u64,
+}
+
+/// Per-cycle functional-unit issue budget.
+#[derive(Debug, Clone, Copy)]
+struct FuBudget {
+    int_alu: u32,
+    int_mul: u32,
+    fp_alu: u32,
+    fp_mul: u32,
+    total: u32,
+}
+
+impl FuBudget {
+    fn new(cfg: &CoreConfig) -> FuBudget {
+        FuBudget {
+            int_alu: cfg.int_alu,
+            int_mul: cfg.int_mul,
+            fp_alu: cfg.fp_alu,
+            fp_mul: cfg.fp_mul,
+            total: cfg.dispatch_width, // global issue width
+        }
+    }
+
+    /// Tries to reserve a unit for `kind`; returns false when exhausted.
+    fn take(&mut self, kind: OpClass) -> bool {
+        if self.total == 0 {
+            return false;
+        }
+        let slot = match kind {
+            // Loads, stores and branches use an integer ALU for address
+            // generation / condition evaluation.
+            OpClass::IntAlu | OpClass::Load | OpClass::Store | OpClass::Branch => &mut self.int_alu,
+            OpClass::IntMul => &mut self.int_mul,
+            OpClass::FpAlu => &mut self.fp_alu,
+            OpClass::FpMul => &mut self.fp_mul,
+        };
+        if *slot == 0 {
+            false
+        } else {
+            *slot -= 1;
+            self.total -= 1;
+            true
+        }
+    }
+}
+
+/// The out-of-order leading core.
+///
+/// # Examples
+///
+/// ```
+/// use rmt3d_cpu::{CoreConfig, OooCore};
+/// use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+/// use rmt3d_workload::{Benchmark, TraceGenerator};
+///
+/// let mut core = OooCore::new(
+///     CoreConfig::leading_ev7_like(),
+///     TraceGenerator::new(Benchmark::Gzip.profile()),
+///     CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+/// );
+/// let mut out = Vec::new();
+/// for _ in 0..1000 {
+///     core.step_cycle(&mut out);
+/// }
+/// assert!(core.activity().committed > 0);
+/// ```
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    trace: TraceGenerator,
+    caches: CacheHierarchy,
+    bpred: CombinedPredictor,
+    cycle: u64,
+    ifq: VecDeque<MicroOp>,
+    /// Fetch stalled until this cycle (I-cache miss).
+    fetch_blocked_until: u64,
+    /// Sequence number of an unresolved mispredicted branch.
+    redirect_seq: Option<u64>,
+    rob: VecDeque<RobEntry>,
+    iq_int: u32,
+    iq_fp: u32,
+    lsq: u32,
+    complete_at: Box<[u64; RING]>,
+    regfile: [u64; 64],
+    commit_stalled: bool,
+    activity: ActivityCounters,
+    last_fetch_line: u64,
+}
+
+impl OooCore {
+    /// Creates a core over a trace and cache hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (the dependence ring
+    /// requires `rob + ifq + 63 < 256`).
+    pub fn new(cfg: CoreConfig, trace: TraceGenerator, caches: CacheHierarchy) -> OooCore {
+        cfg.validate().expect("invalid core configuration");
+        assert!(
+            (cfg.rob_size + cfg.ifq_size + 63) < RING as u32,
+            "dependence ring too small for this window"
+        );
+        OooCore {
+            cfg,
+            trace,
+            caches,
+            bpred: CombinedPredictor::table1(),
+            cycle: 0,
+            ifq: VecDeque::with_capacity(cfg.ifq_size as usize),
+            fetch_blocked_until: 0,
+            redirect_seq: None,
+            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            iq_int: 0,
+            iq_fp: 0,
+            lsq: 0,
+            complete_at: Box::new([0; RING]),
+            regfile: [0; 64],
+            commit_stalled: false,
+            activity: ActivityCounters::default(),
+            last_fetch_line: u64::MAX,
+        }
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated activity counters.
+    pub fn activity(&self) -> &ActivityCounters {
+        &self.activity
+    }
+
+    /// The cache hierarchy (for L2 statistics and per-bank power maps).
+    pub fn caches(&self) -> &CacheHierarchy {
+        &self.caches
+    }
+
+    /// Mutable cache hierarchy access (e.g. to rescale memory latency
+    /// under DVFS).
+    pub fn caches_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.caches
+    }
+
+    /// Branch predictor statistics.
+    pub fn bpred(&self) -> &CombinedPredictor {
+        &self.bpred
+    }
+
+    /// Applies or releases commit back-pressure (RVQ/StB full). While
+    /// stalled the core stops retiring — this is how an over-throttled
+    /// checker slows the leader (paper §4 Discussion).
+    pub fn set_commit_stall(&mut self, stalled: bool) {
+        self.commit_stalled = stalled;
+    }
+
+    /// Injects a single-bit flip into the architectural register file
+    /// (leading-core transient-fault model).
+    pub fn flip_regfile_bit(&mut self, reg: u8, bit: u8) {
+        self.regfile[reg as usize % 64] ^= 1u64 << (bit % 64);
+    }
+
+    /// Read-only view of the architectural register file.
+    pub fn regfile(&self) -> &[u64; 64] {
+        &self.regfile
+    }
+
+    /// Overwrites the architectural register file — the recovery action:
+    /// the leader restarts from the trailer's checked state (§2).
+    pub fn restore_regfile(&mut self, rf: &[u64; 64]) {
+        self.regfile = *rf;
+    }
+
+    /// Resets statistics after warm-up, keeping microarchitectural state.
+    pub fn reset_stats(&mut self) {
+        self.activity = ActivityCounters::default();
+        self.bpred.reset_stats();
+        self.caches.reset_stats();
+    }
+
+    /// Warms the caches with the workload's hot/warm/code regions and
+    /// clears statistics. Call once before measuring: it stands in for
+    /// the billions of instructions a SimPoint window assumes have
+    /// already run (§3.1). Follow with a short instruction warm-up to
+    /// train the branch predictor.
+    pub fn prefill_caches(&mut self) {
+        let regions = rmt3d_workload::MemoryRegions::of(self.trace.profile());
+        self.caches
+            .prefill_data_region(regions.warm.0, regions.warm.1);
+        self.caches
+            .prefill_data_region(regions.hot.0, regions.hot.1);
+        self.caches
+            .prefill_code_region(regions.code.0, regions.code.1);
+        self.caches.reset_stats();
+    }
+
+    /// Advances one cycle; committed instructions are appended to `out`.
+    /// Returns the number committed this cycle.
+    pub fn step_cycle(&mut self, out: &mut Vec<CommittedOp>) -> u32 {
+        let committed = self.do_commit(out);
+        self.do_issue();
+        self.do_dispatch();
+        self.do_fetch();
+        self.cycle += 1;
+        self.activity.cycles += 1;
+        committed
+    }
+
+    fn do_commit(&mut self, out: &mut Vec<CommittedOp>) -> u32 {
+        if self.commit_stalled {
+            self.activity.commit_stall_cycles += 1;
+            return 0;
+        }
+        let mut n = 0;
+        while n < self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.issued || head.complete_cycle > self.cycle {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            let op = entry.op;
+            // Architectural value semantics (in commit order).
+            let s1 = op.src1_reg.map_or(0, |r| self.regfile[r.index() as usize]);
+            let s2 = op.src2_reg.map_or(0, |r| self.regfile[r.index() as usize]);
+            let (result, load_value, store_value) = match op.kind {
+                OpClass::Load => {
+                    let v = load_memory_value(op.mem.expect("loads carry mem").addr);
+                    (v, Some(v), None)
+                }
+                OpClass::Store => {
+                    // Stores write the data operand; the write is charged
+                    // to the D-cache at commit.
+                    let addr = op.mem.expect("stores carry mem").addr;
+                    self.caches.data_access(addr, true);
+                    self.activity.dcache_accesses += 1;
+                    (0, None, Some(s1))
+                }
+                OpClass::Branch => (0, None, None),
+                _ => (op.compute_result(s1, s2), None, None),
+            };
+            if let Some(d) = op.dest {
+                self.regfile[d.index() as usize] = result;
+                self.activity.regfile_writes += 1;
+            }
+            if op.kind.is_memory() {
+                self.lsq -= 1;
+            }
+            self.activity.committed += 1;
+            self.caches.add_instructions(1);
+            out.push(CommittedOp {
+                op,
+                result,
+                src1_value: s1,
+                src2_value: s2,
+                load_value,
+                store_value,
+                commit_cycle: self.cycle,
+            });
+            n += 1;
+        }
+        n
+    }
+
+    fn do_issue(&mut self) {
+        let mut budget = FuBudget::new(&self.cfg);
+        let cycle = self.cycle;
+        // Oldest-first select over the ROB window.
+        for i in 0..self.rob.len() {
+            if budget.total == 0 {
+                break;
+            }
+            let (ready, kind) = {
+                let e = &self.rob[i];
+                if e.issued {
+                    continue;
+                }
+                let ready = Self::operands_ready(&self.complete_at, &e.op, cycle);
+                (ready, e.op.kind)
+            };
+            if !ready || !budget.take(kind) {
+                continue;
+            }
+            // Reserve before mutable borrow games: compute latency.
+            let complete = match kind {
+                OpClass::Load => {
+                    let addr = self.rob[i].op.mem.expect("loads carry mem").addr;
+                    let acc = self.caches.data_access(addr, false);
+                    self.activity.dcache_accesses += 1;
+                    cycle + 1 + acc.cycles as u64
+                }
+                _ => cycle + kind.execute_latency() as u64,
+            };
+            let e = &mut self.rob[i];
+            e.issued = true;
+            e.complete_cycle = complete;
+            self.complete_at[(e.op.seq % RING as u64) as usize] = complete;
+            // Free the issue-queue slot.
+            if e.op.kind.is_fp() {
+                self.iq_fp -= 1;
+            } else {
+                self.iq_int -= 1;
+            }
+            self.activity.issued += 1;
+            self.activity.regfile_reads +=
+                e.op.src1_reg.is_some() as u64 + e.op.src2_reg.is_some() as u64;
+            self.activity.bypass_transfers += 1;
+            match kind {
+                OpClass::IntMul => self.activity.int_mul_ops += 1,
+                OpClass::FpAlu => self.activity.fp_alu_ops += 1,
+                OpClass::FpMul => self.activity.fp_mul_ops += 1,
+                _ => self.activity.int_alu_ops += 1,
+            }
+            if kind.is_memory() {
+                self.activity.lsq_accesses += 1;
+            }
+        }
+    }
+
+    fn operands_ready(ring: &[u64; RING], op: &MicroOp, cycle: u64) -> bool {
+        for dist in [op.src1_dist, op.src2_dist].into_iter().flatten() {
+            let producer = op.seq - dist as u64;
+            if ring[(producer % RING as u64) as usize] > cycle {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn do_dispatch(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            if self.rob.len() as u32 >= self.cfg.rob_size {
+                break;
+            }
+            let Some(op) = self.ifq.front() else { break };
+            // Structural checks before consuming.
+            if op.kind.is_fp() {
+                if self.iq_fp >= self.cfg.iq_fp_size {
+                    break;
+                }
+            } else if self.iq_int >= self.cfg.iq_int_size {
+                break;
+            }
+            if op.kind.is_memory() && self.lsq >= self.cfg.lsq_size {
+                break;
+            }
+            let op = self.ifq.pop_front().expect("front exists");
+            if op.kind.is_fp() {
+                self.iq_fp += 1;
+            } else {
+                self.iq_int += 1;
+            }
+            if op.kind.is_memory() {
+                self.lsq += 1;
+            }
+            self.rob.push_back(RobEntry {
+                op,
+                issued: false,
+                complete_cycle: PENDING,
+            });
+            self.activity.dispatched += 1;
+        }
+    }
+
+    fn do_fetch(&mut self) {
+        // A pending mispredict blocks fetch until the branch resolves
+        // plus the front-end refill depth.
+        if let Some(seq) = self.redirect_seq {
+            let done = self.complete_at[(seq % RING as u64) as usize];
+            if done != PENDING && self.cycle >= done + self.cfg.frontend_refill as u64 {
+                self.redirect_seq = None;
+            } else {
+                return;
+            }
+        }
+        if self.cycle < self.fetch_blocked_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.ifq.len() as u32 >= self.cfg.ifq_size {
+                break;
+            }
+            let op = self.trace.next_op();
+            // Mark the slot pending as soon as the op exists, so stale
+            // ring contents can never look "ready".
+            self.complete_at[(op.seq % RING as u64) as usize] = PENDING;
+            // I-cache: one access per new line.
+            let line = op.pc / 64;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                self.activity.icache_accesses += 1;
+                let stall = self.caches.fetch(op.pc);
+                if stall > 0 {
+                    self.fetch_blocked_until = self.cycle + stall as u64;
+                }
+            }
+            self.activity.fetched += 1;
+            if let Some(b) = op.branch {
+                self.activity.bpred_accesses += 1;
+                let pred = self.bpred.predict_and_train(op.pc, b.taken);
+                if pred != b.taken {
+                    self.activity.branch_mispredicts += 1;
+                    self.redirect_seq = Some(op.seq);
+                    self.ifq.push_back(op);
+                    break;
+                }
+                self.ifq.push_back(op);
+                if b.taken {
+                    // A taken branch ends the fetch group.
+                    break;
+                }
+            } else {
+                self.ifq.push_back(op);
+            }
+            if self.cycle < self.fetch_blocked_until {
+                break;
+            }
+        }
+    }
+
+    /// Runs until `n` instructions have committed (no RMT coupling);
+    /// returns the committed stream length actually produced. Useful for
+    /// stand-alone performance experiments (Fig. 6).
+    pub fn run_instructions(&mut self, n: u64) -> u64 {
+        let mut sink = Vec::with_capacity(8);
+        let start = self.activity.committed;
+        while self.activity.committed - start < n {
+            sink.clear();
+            self.step_cycle(&mut sink);
+        }
+        self.activity.committed - start
+    }
+}
+
+/// Deterministic "memory contents" function shared with the LVQ checks:
+/// the value a load observes at `addr`.
+#[inline]
+pub fn load_memory_value(addr: u64) -> u64 {
+    let mut z = addr.wrapping_mul(0x9e3779b97f4a7c15) ^ 0xdead_beef_cafe_f00d;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt3d_cache::{NucaLayout, NucaPolicy};
+    use rmt3d_workload::Benchmark;
+
+    fn core(b: Benchmark) -> OooCore {
+        OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+        )
+    }
+
+    #[test]
+    fn commits_in_program_order() {
+        let mut c = core(Benchmark::Gzip);
+        let mut out = Vec::new();
+        for _ in 0..5000 {
+            c.step_cycle(&mut out);
+        }
+        for w in out.windows(2) {
+            assert_eq!(w[1].op.seq, w[0].op.seq + 1, "commit must be in order");
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn ipc_is_plausible() {
+        let mut c = core(Benchmark::Gzip);
+        c.prefill_caches();
+        c.run_instructions(20_000); // predictor warm-up
+        c.reset_stats();
+        c.run_instructions(50_000);
+        let ipc = c.activity().ipc();
+        assert!(ipc > 1.0 && ipc <= 4.0, "gzip steady-state IPC {ipc}");
+    }
+
+    #[test]
+    fn low_ilp_program_is_slower() {
+        let mut a = core(Benchmark::Mcf);
+        let mut b = core(Benchmark::Eon);
+        a.run_instructions(30_000);
+        b.run_instructions(30_000);
+        assert!(
+            a.activity().ipc() < b.activity().ipc(),
+            "mcf {} should trail eon {}",
+            a.activity().ipc(),
+            b.activity().ipc()
+        );
+    }
+
+    #[test]
+    fn commit_stall_blocks_retirement() {
+        let mut c = core(Benchmark::Gzip);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            c.step_cycle(&mut out);
+        }
+        let before = c.activity().committed;
+        c.set_commit_stall(true);
+        for _ in 0..100 {
+            c.step_cycle(&mut out);
+        }
+        assert_eq!(c.activity().committed, before);
+        assert!(c.activity().commit_stall_cycles >= 100);
+        c.set_commit_stall(false);
+        for _ in 0..100 {
+            c.step_cycle(&mut out);
+        }
+        assert!(c.activity().committed > before, "commit resumes");
+    }
+
+    #[test]
+    fn rob_never_overflows() {
+        let mut c = core(Benchmark::Mcf);
+        let mut out = Vec::new();
+        for _ in 0..10_000 {
+            c.step_cycle(&mut out);
+            assert!(c.rob.len() as u32 <= c.cfg.rob_size);
+            assert!(c.iq_int <= c.cfg.iq_int_size);
+            assert!(c.iq_fp <= c.cfg.iq_fp_size);
+            assert!(c.lsq <= c.cfg.lsq_size);
+        }
+    }
+
+    #[test]
+    fn committed_values_are_deterministic() {
+        let run = |n: usize| {
+            let mut c = core(Benchmark::Twolf);
+            let mut out = Vec::new();
+            while out.len() < n {
+                c.step_cycle(&mut out);
+            }
+            out.truncate(n);
+            out
+        };
+        assert_eq!(run(2000), run(2000));
+    }
+
+    #[test]
+    fn loads_carry_load_values_and_stores_store_values() {
+        let mut c = core(Benchmark::Vpr);
+        let mut out = Vec::new();
+        while out.len() < 3000 {
+            c.step_cycle(&mut out);
+        }
+        for co in &out {
+            match co.op.kind {
+                OpClass::Load => {
+                    let v = co.load_value.expect("loads have load values");
+                    assert_eq!(v, load_memory_value(co.op.mem.unwrap().addr));
+                    assert_eq!(co.result, v);
+                }
+                OpClass::Store => {
+                    assert!(co.store_value.is_some());
+                    assert!(co.load_value.is_none());
+                }
+                _ => assert!(co.load_value.is_none() && co.store_value.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        // Compare IPC of a predictable vs unpredictable profile with the
+        // same memory behaviour: the predictor must matter.
+        use rmt3d_workload::WorkloadProfile;
+        let mk = |pred: f64, seed: u64| -> WorkloadProfile {
+            let mut p = Benchmark::Gzip.profile();
+            p.predictability = pred;
+            p.seed = seed;
+            p
+        };
+        let run = |p: WorkloadProfile| {
+            let mut c = OooCore::new(
+                CoreConfig::leading_ev7_like(),
+                TraceGenerator::new(p),
+                CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+            );
+            c.run_instructions(30_000);
+            c.activity().ipc()
+        };
+        let good = run(mk(0.98, 7));
+        let bad = run(mk(0.0, 7));
+        assert!(good > bad, "predictable {good} vs random {bad}");
+    }
+
+    #[test]
+    fn bigger_cache_helps_oversized_working_set() {
+        // A hot 8 MB working set fits the 15 MB NUCA but thrashes the
+        // 6 MB one. Warm up first so only steady-state misses count.
+        let mk = |layout: NucaLayout| {
+            let mut p = Benchmark::Mcf.profile();
+            p.memory.hot_kb = 8 * 1024;
+            p.memory.p_hot = 0.95;
+            p.memory.p_warm = 0.04;
+            let mut c = OooCore::new(
+                CoreConfig::leading_ev7_like(),
+                TraceGenerator::new(p),
+                CacheHierarchy::new(layout, NucaPolicy::DistributedSets),
+            );
+            c.prefill_caches();
+            c.run_instructions(300_000);
+            c.caches().stats().l2_misses
+        };
+        let small = mk(NucaLayout::two_d_a());
+        let large = mk(NucaLayout::three_d_2a());
+        assert!(
+            (large as f64) < 0.7 * small as f64,
+            "15 MB misses {large} should be well below 6 MB misses {small}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests over the core pipelines: structural invariants must
+//! hold for every benchmark profile and random configuration tweak.
+
+use proptest::prelude::*;
+use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+use rmt3d_cpu::{CheckOutcome, CoreConfig, InOrderCore, OooCore, TrailerConfig};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+use std::collections::VecDeque;
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    (0usize..19).prop_map(|i| Benchmark::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn commits_are_in_order_and_complete(b in any_benchmark(), cycles in 500u64..3000) {
+        let mut core = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+        );
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            core.step_cycle(&mut out);
+        }
+        for w in out.windows(2) {
+            prop_assert_eq!(w[1].op.seq, w[0].op.seq + 1);
+        }
+        let a = core.activity();
+        prop_assert!(a.committed <= a.dispatched);
+        prop_assert!(a.dispatched <= a.fetched);
+        prop_assert!(a.issued <= a.dispatched);
+    }
+
+    #[test]
+    fn narrow_cores_are_never_faster(b in any_benchmark()) {
+        let run = |cfg: CoreConfig| {
+            let mut core = OooCore::new(
+                cfg,
+                TraceGenerator::new(b.profile()),
+                CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+            );
+            core.prefill_caches();
+            core.run_instructions(15_000);
+            core.activity().ipc()
+        };
+        let wide = run(CoreConfig::leading_ev7_like());
+        let narrow = run(CoreConfig::checker_as_leader());
+        prop_assert!(narrow <= wide * 1.02, "narrow {narrow} vs wide {wide}");
+    }
+
+    #[test]
+    fn checker_verifies_any_committed_stream_clean(
+        b in any_benchmark(),
+        n in 500usize..3000,
+        ports in 1u32..4,
+    ) {
+        let mut core = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+        );
+        let mut stream = Vec::new();
+        while stream.len() < n {
+            core.step_cycle(&mut stream);
+        }
+        stream.truncate(n);
+
+        let mut cfg = TrailerConfig::checker();
+        cfg.verify_ports = ports;
+        let mut trailer = InOrderCore::new(cfg);
+        let mut q: VecDeque<_> = stream.into_iter().collect();
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while out.len() < n {
+            trailer.step_cycle(&mut q, &mut out);
+            guard += 1;
+            prop_assert!(guard < 50 * n + 1000, "trailer wedged");
+        }
+        // Fault-free stream: every verification passes, in order.
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(v.outcome, CheckOutcome::Ok, "at {}", i);
+            prop_assert_eq!(v.seq, i as u64);
+        }
+        // Port count bounds throughput.
+        prop_assert!(trailer.cycle() + 64 >= n as u64 / ports as u64);
+    }
+
+    #[test]
+    fn single_bit_flip_is_always_detected(
+        b in any_benchmark(),
+        victim_frac in 0.1f64..0.9,
+        bit in 0u8..64,
+    ) {
+        let mut core = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+        );
+        let mut stream = Vec::new();
+        while stream.len() < 1200 {
+            core.step_cycle(&mut stream);
+        }
+        stream.truncate(1200);
+        // Flip a result bit on the first register-writing op past the
+        // chosen point.
+        let start = (victim_frac * stream.len() as f64) as usize;
+        let Some(victim) = (start..stream.len()).find(|&i| stream[i].op.dest.is_some()) else {
+            return Ok(());
+        };
+        stream[victim].result ^= 1u64 << bit;
+
+        let mut trailer = InOrderCore::new(TrailerConfig::checker());
+        let mut q: VecDeque<_> = stream.into_iter().collect();
+        let mut out = Vec::new();
+        while out.len() < 1200 {
+            trailer.step_cycle(&mut q, &mut out);
+        }
+        prop_assert!(
+            out[victim].outcome != CheckOutcome::Ok,
+            "flip of bit {bit} at op {victim} must be detected"
+        );
+        prop_assert!(
+            out[..victim].iter().all(|v| v.outcome == CheckOutcome::Ok),
+            "no false positives before the fault"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Rectangles and placed blocks, in millimetres.
+
+use rmt3d_units::{Millimeters, SquareMillimeters};
+
+/// An axis-aligned rectangle (lower-left origin), in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is not positive.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        assert!(w > 0.0 && h > 0.0, "rectangle dimensions must be positive");
+        Rect { x, y, w, h }
+    }
+
+    /// Area.
+    pub fn area(&self) -> SquareMillimeters {
+        SquareMillimeters(self.w * self.h)
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> (Millimeters, Millimeters) {
+        (
+            Millimeters(self.x + self.w / 2.0),
+            Millimeters(self.y + self.h / 2.0),
+        )
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge.
+    pub fn top(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// True when two rectangles overlap with positive area (shared edges
+    /// do not count).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x + EPS < other.right()
+            && other.x + EPS < self.right()
+            && self.y + EPS < other.top()
+            && other.y + EPS < self.top()
+    }
+
+    /// True when `self` lies entirely within `outer` (edges may touch).
+    pub fn within(&self, outer: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x >= outer.x - EPS
+            && self.y >= outer.y - EPS
+            && self.right() <= outer.right() + EPS
+            && self.top() <= outer.top() + EPS
+    }
+
+    /// Manhattan distance between the centres of two rectangles.
+    pub fn manhattan_to(&self, other: &Rect) -> Millimeters {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        Millimeters((ax.0 - bx.0).abs() + (ay.0 - by.0).abs())
+    }
+}
+
+/// A block placed on a die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedBlock<Id> {
+    /// Block identity (power-map key).
+    pub id: Id,
+    /// Footprint.
+    pub rect: Rect,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_center() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert!((r.area().0 - 12.0).abs() < 1e-12);
+        let (cx, cy) = r.center();
+        assert!((cx.0 - 2.5).abs() < 1e-12 && (cy.0 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 2.0, 2.0); // touches a's edge
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "shared edges are not overlap");
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(Rect::new(0.0, 0.0, 10.0, 10.0).within(&outer));
+        assert!(Rect::new(1.0, 1.0, 2.0, 2.0).within(&outer));
+        assert!(!Rect::new(9.0, 9.0, 2.0, 2.0).within(&outer));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0); // centre (1,1)
+        let b = Rect::new(4.0, 3.0, 2.0, 2.0); // centre (5,4)
+        assert!((a.manhattan_to(&b).0 - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn degenerate_rect_panics() {
+        let _ = Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+}

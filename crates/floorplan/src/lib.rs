@@ -1,0 +1,41 @@
+//! Die floorplans for the paper's processor models (Fig. 3).
+//!
+//! Three base layouts, all derived from Table 2 areas (leading core
+//! 19.6 mm², in-order checker 5 mm², 1 MB L2 bank ~5.2 mm² including its
+//! router):
+//!
+//! * **2d-a** (Fig. 3a): single die — leading core + 6 L2 banks. Also
+//!   the bottom die of every 3D stack.
+//! * **3d-2a upper die** (Fig. 3b): checker core + inter-core buffers +
+//!   9 L2 banks, stacked face-to-face above the 2d-a die.
+//! * **2d-2a** (Fig. 3c): one large die with everything — leading core,
+//!   checker, 15 banks — for the iso-transistor 2D comparison.
+//!
+//! Variants reproduce the §3.2 thermal experiments: checker moved to the
+//! die corner, an upper die with *only* the checker (inactive silicon),
+//! and a double-density checker.
+//!
+//! The EV7-derived leading-core floorplan is subdivided into the 13
+//! power blocks of `rmt3d_power::CoreBlock`; bank tiles are stretched a
+//! few percent where needed to tessellate the die (power per bank is
+//! fixed by Table 2, so tile density varies by the same few percent).
+
+//! # Examples
+//!
+//! ```
+//! use rmt3d_floorplan::{BlockId, ChipFloorplan};
+//!
+//! let plan = ChipFloorplan::three_d_2a();
+//! plan.validate()?;
+//! assert_eq!(plan.total_banks(), 15);
+//! let (die, checker) = plan.find(BlockId::Checker).expect("3D chips have a checker");
+//! assert_eq!(die, 1, "the checker sits on the stacked die");
+//! assert!(checker.rect.area().0 > 4.9);
+//! # Ok::<(), String>(())
+//! ```
+
+mod geometry;
+mod plans;
+
+pub use geometry::{PlacedBlock, Rect};
+pub use plans::{BlockId, ChipFloorplan, Die};

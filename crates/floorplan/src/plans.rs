@@ -1,0 +1,572 @@
+//! Concrete floorplans for the paper's processor models.
+
+use crate::geometry::{PlacedBlock, Rect};
+use rmt3d_power::CoreBlock;
+use rmt3d_units::SquareMillimeters;
+use std::fmt;
+
+/// Identity of a floorplan block — the key power maps are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockId {
+    /// A sub-block of the out-of-order leading core.
+    Leader(CoreBlock),
+    /// The in-order checker core.
+    Checker,
+    /// The RVQ/LVQ/BOQ/StB buffers (placed next to the inter-die via
+    /// pillars, §3.2).
+    IntercoreBuffers,
+    /// The L2 controller (and centralized tags under distributed-ways).
+    L2Controller,
+    /// One 1 MB L2 bank (router power folded in).
+    L2Bank {
+        /// Die the bank sits on (0 = next to the heat sink).
+        die: u8,
+        /// Bank index within the die.
+        index: u8,
+    },
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockId::Leader(b) => write!(f, "leader/{b}"),
+            BlockId::Checker => write!(f, "checker"),
+            BlockId::IntercoreBuffers => write!(f, "intercore-buffers"),
+            BlockId::L2Controller => write!(f, "l2-controller"),
+            BlockId::L2Bank { die, index } => write!(f, "l2-bank[{die}.{index}]"),
+        }
+    }
+}
+
+/// One die of a (possibly stacked) chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Die {
+    /// Die name (e.g. `"2d-a"`).
+    pub name: &'static str,
+    /// Die width in mm.
+    pub width: f64,
+    /// Die height in mm.
+    pub height: f64,
+    /// Placed blocks. Unoccupied area is filler silicon (conducts heat,
+    /// draws no power).
+    pub blocks: Vec<PlacedBlock<BlockId>>,
+}
+
+impl Die {
+    /// Die outline.
+    pub fn outline(&self) -> Rect {
+        Rect::new(0.0, 0.0, self.width, self.height)
+    }
+
+    /// Total die area.
+    pub fn area(&self) -> SquareMillimeters {
+        SquareMillimeters(self.width * self.height)
+    }
+
+    /// Finds a block by id.
+    pub fn block(&self, id: BlockId) -> Option<&PlacedBlock<BlockId>> {
+        self.blocks.iter().find(|b| b.id == id)
+    }
+
+    /// Number of L2 banks on this die.
+    pub fn bank_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.id, BlockId::L2Bank { .. }))
+            .count()
+    }
+
+    /// Validates containment and pairwise non-overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let outline = self.outline();
+        for b in &self.blocks {
+            if !b.rect.within(&outline) {
+                return Err(format!("{} escapes the {} die outline", b.id, self.name));
+            }
+        }
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in &self.blocks[i + 1..] {
+                if a.rect.overlaps(&b.rect) {
+                    return Err(format!("{} overlaps {} on {}", a.id, b.id, self.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete chip: one die (2D models) or a face-to-face stack of two
+/// (3D models). Die 0 is always adjacent to the heat sink (Fig. 2b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipFloorplan {
+    /// Model name (`"2d-a"`, `"2d-2a"`, `"3d-2a"`, ...).
+    pub name: &'static str,
+    /// Dies, heat-sink side first.
+    pub dies: Vec<Die>,
+}
+
+/// Small-die edge length (mm): fits the leading core + 6 banks
+/// (~51 mm² of blocks in ~55.5 mm²).
+const SMALL_DIE: f64 = 7.45;
+/// Large-die edge length for the 2d-2a model: twice the silicon.
+const LARGE_DIE: f64 = 10.45;
+
+/// Builds the EV7-like leading core: 19.6 mm² (Table 2) at `(x0, y0)`,
+/// subdivided into the 13 `CoreBlock` tiles in three rows.
+fn leading_core_blocks(x0: f64, y0: f64) -> Vec<PlacedBlock<BlockId>> {
+    use CoreBlock::*;
+    let mut v = Vec::with_capacity(13);
+    let mut row = |y: f64, h: f64, cells: &[(CoreBlock, f64)]| {
+        let mut x = x0;
+        for &(b, w) in cells {
+            v.push(PlacedBlock {
+                id: BlockId::Leader(b),
+                rect: Rect::new(x, y0 + y, w, h),
+            });
+            x += w;
+        }
+    };
+    // Bottom row: memory pipeline.
+    row(0.0, 1.05, &[(Lsq, 2.0), (Dcache, 3.6)]);
+    // Middle row: window + execute. The scheduler and integer ALUs are
+    // small, dense, hot structures (EV7-like): ~1 mm² tiles.
+    row(
+        1.05,
+        1.4,
+        &[
+            (IqInt, 0.75),
+            (IqFp, 0.55),
+            (RegfileInt, 0.7),
+            (RegfileFp, 0.5),
+            (ExecInt, 0.78),
+            (ExecFp, 1.0),
+            (Clock, 1.32),
+        ],
+    );
+    // Top row: front end.
+    row(
+        2.45,
+        1.05,
+        &[(IcacheFetch, 1.9), (Bpred, 1.1), (Rename, 1.3), (Rob, 1.3)],
+    );
+    v
+}
+
+fn bank(die: u8, index: u8, x: f64, y: f64, w: f64, h: f64) -> PlacedBlock<BlockId> {
+    PlacedBlock {
+        id: BlockId::L2Bank { die, index },
+        rect: Rect::new(x, y, w, h),
+    }
+}
+
+/// The 2d-a die (Fig. 3a), also the bottom die of every 3D model.
+fn die_2d_a() -> Die {
+    let mut blocks = leading_core_blocks(0.0, 0.0);
+    // One bank to the right of the core, rotated tall.
+    blocks.push(bank(0, 0, 5.6, 0.0, 1.7, 3.07));
+    blocks.push(PlacedBlock {
+        id: BlockId::L2Controller,
+        rect: Rect::new(5.6, 3.07, 1.7, 0.43),
+    });
+    // Row of three banks above the core.
+    blocks.push(bank(0, 1, 0.0, 3.6, 2.4833, 2.145));
+    blocks.push(bank(0, 2, 2.4833, 3.6, 2.4834, 2.145));
+    blocks.push(bank(0, 3, 4.9667, 3.6, 2.4833, 2.145));
+    // Two wide banks along the top edge.
+    blocks.push(bank(0, 4, 0.0, 5.75, 3.65, 1.43));
+    blocks.push(bank(0, 5, 3.65, 5.75, 3.65, 1.43));
+    Die {
+        name: "2d-a",
+        width: SMALL_DIE,
+        height: SMALL_DIE,
+        blocks,
+    }
+}
+
+/// Checker placement on the upper die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckerSpot {
+    /// Strip near the inter-die via pillars, above the leader's cache
+    /// row (the default §3.2 placement).
+    NearBuffers,
+    /// Top-right corner, as far from the leader's hot units as possible
+    /// (§3.2: buys ~1.5 °C at higher communication cost).
+    Corner,
+    /// Same strip but half the area — the pessimistic double power
+    /// density scenario (§3.2: "+19 degrees" case).
+    DenseStrip,
+}
+
+/// The upper die of the 3D models (Fig. 3b).
+fn die_3d_upper(banks: bool, spot: CheckerSpot) -> Die {
+    let mut blocks = vec![PlacedBlock {
+        id: BlockId::IntercoreBuffers,
+        rect: Rect::new(0.0, 0.0, 0.8, 1.05),
+    }];
+    // The checker tile is its 5 mm^2 core plus local instruction
+    // storage / checker-mode extensions (§2: "a full-fledged core with
+    // some logic extensions"), ~6.1 mm^2 of heated silicon. Placed
+    // directly above the leader's *cache* row (LSQ/D-cache, cool), per
+    // the paper's §3.2 placement strategy; the banks sit above the
+    // leader's hot execution row.
+    match spot {
+        CheckerSpot::NearBuffers => blocks.push(PlacedBlock {
+            id: BlockId::Checker,
+            rect: Rect::new(0.8, 0.0, 5.8, 1.05),
+        }),
+        CheckerSpot::DenseStrip => blocks.push(PlacedBlock {
+            id: BlockId::Checker,
+            rect: Rect::new(0.8, 0.0, 2.9, 1.05),
+        }),
+        CheckerSpot::Corner => blocks.push(PlacedBlock {
+            id: BlockId::Checker,
+            rect: Rect::new(4.9667, 5.31, 2.4833, 2.13),
+        }),
+    }
+    if banks {
+        // A 3x3 grid of banks fills the rest of the die.
+        let col = [0.0, 2.4833, 4.9667];
+        let row = [1.05, 3.18, 5.31];
+        let mut index = 0;
+        for (ri, &y) in row.iter().enumerate() {
+            for (ci, &x) in col.iter().enumerate() {
+                if spot == CheckerSpot::Corner && ri == 2 && ci == 2 {
+                    // The corner tile is the checker; its displaced bank
+                    // moves into the default checker strip.
+                    blocks.push(bank(1, index, 0.8, 0.0, 5.8, 1.05));
+                } else {
+                    blocks.push(bank(1, index, x, y, 2.4833, 2.13));
+                }
+                index += 1;
+            }
+        }
+    }
+    Die {
+        name: "3d-upper",
+        width: SMALL_DIE,
+        height: SMALL_DIE,
+        blocks,
+    }
+}
+
+/// The 2d-2a die (Fig. 3c): everything on one large die.
+fn die_2d_2a() -> Die {
+    let mut blocks = leading_core_blocks(0.0, 0.0);
+    blocks.push(PlacedBlock {
+        id: BlockId::Checker,
+        rect: Rect::new(5.7, 0.0, 3.9, 1.28),
+    });
+    blocks.push(PlacedBlock {
+        id: BlockId::IntercoreBuffers,
+        rect: Rect::new(9.6, 0.0, 0.85, 1.28),
+    });
+    blocks.push(PlacedBlock {
+        id: BlockId::L2Controller,
+        rect: Rect::new(5.7, 3.48, 2.4, 0.12),
+    });
+    // Two banks right of the core.
+    blocks.push(bank(0, 0, 5.7, 1.28, 2.37, 2.2));
+    blocks.push(bank(0, 1, 8.07, 1.28, 2.37, 2.2));
+    // 4x3 grid above.
+    let mut index = 2;
+    for r in 0..3 {
+        for c in 0..4 {
+            blocks.push(bank(
+                0,
+                index,
+                c as f64 * 2.29,
+                3.6 + r as f64 * 2.28,
+                2.29,
+                2.28,
+            ));
+            index += 1;
+        }
+    }
+    // One tall bank on the right edge.
+    blocks.push(bank(0, 14, 9.16, 3.6, 1.29, 4.05));
+    Die {
+        name: "2d-2a",
+        width: LARGE_DIE,
+        height: LARGE_DIE,
+        blocks,
+    }
+}
+
+impl ChipFloorplan {
+    /// The unreliable single-die baseline (Fig. 3a).
+    pub fn two_d_a() -> ChipFloorplan {
+        ChipFloorplan {
+            name: "2d-a",
+            dies: vec![die_2d_a()],
+        }
+    }
+
+    /// The iso-transistor single-die reliable chip (Fig. 3c).
+    pub fn two_d_2a() -> ChipFloorplan {
+        ChipFloorplan {
+            name: "2d-2a",
+            dies: vec![die_2d_2a()],
+        }
+    }
+
+    /// The proposed 3D reliable chip: 2d-a die + stacked checker/cache
+    /// die (Fig. 3b).
+    pub fn three_d_2a() -> ChipFloorplan {
+        ChipFloorplan {
+            name: "3d-2a",
+            dies: vec![die_2d_a(), die_3d_upper(true, CheckerSpot::NearBuffers)],
+        }
+    }
+
+    /// 3D stack whose upper die holds only the checker — the rest is
+    /// inactive silicon (§3.2 temperature experiment; §3.3's
+    /// "3d-checker" performance model).
+    pub fn three_d_checker_only() -> ChipFloorplan {
+        ChipFloorplan {
+            name: "3d-checker",
+            dies: vec![die_2d_a(), die_3d_upper(false, CheckerSpot::NearBuffers)],
+        }
+    }
+
+    /// 3d-2a with the checker in the top die's corner (§3.2: ~1.5 °C
+    /// cooler, costlier communication).
+    pub fn three_d_2a_corner_checker() -> ChipFloorplan {
+        ChipFloorplan {
+            name: "3d-2a-corner",
+            dies: vec![die_2d_a(), die_3d_upper(true, CheckerSpot::Corner)],
+        }
+    }
+
+    /// The §4 heterogeneous stack: the upper die is fabricated at 90 nm,
+    /// so the checker grows by (90/65)² to ~11.7 mm², each 1 MB bank to
+    /// ~9.9 mm², and only 4 banks fit beside the checker (the paper
+    /// rounds this to "5 MB"; Table 2 areas give 4).
+    pub fn three_d_2a_hetero_90nm() -> ChipFloorplan {
+        let mut blocks = vec![
+            PlacedBlock {
+                id: BlockId::IntercoreBuffers,
+                rect: Rect::new(0.0, 0.0, 0.8, 1.05),
+            },
+            // The grown checker cannot fit over the leader's cache row
+            // alone; it moves to the top edge, above the baseline die's
+            // (cool) L2 banks.
+            PlacedBlock {
+                id: BlockId::Checker,
+                rect: Rect::new(0.0, 5.88, 7.45, 1.57),
+            },
+        ];
+        // 2x2 grid of 90 nm banks between the buffers and the checker.
+        let mut index = 0;
+        for r in 0..2 {
+            for c in 0..2 {
+                blocks.push(bank(
+                    1,
+                    index,
+                    c as f64 * 3.725,
+                    1.05 + r as f64 * 2.41,
+                    3.725,
+                    2.41,
+                ));
+                index += 1;
+            }
+        }
+        ChipFloorplan {
+            name: "3d-2a-90nm",
+            dies: vec![
+                die_2d_a(),
+                Die {
+                    name: "3d-upper-90nm",
+                    width: SMALL_DIE,
+                    height: SMALL_DIE,
+                    blocks,
+                },
+            ],
+        }
+    }
+
+    /// 3d-2a with the checker at double power density (half area) —
+    /// the pessimistic §3.2 scenario.
+    pub fn three_d_2a_dense_checker() -> ChipFloorplan {
+        ChipFloorplan {
+            name: "3d-2a-dense",
+            dies: vec![die_2d_a(), die_3d_upper(true, CheckerSpot::DenseStrip)],
+        }
+    }
+
+    /// Total L2 banks across dies.
+    pub fn total_banks(&self) -> usize {
+        self.dies.iter().map(Die::bank_count).sum()
+    }
+
+    /// Finds a block anywhere on the chip; returns `(die index, block)`.
+    pub fn find(&self, id: BlockId) -> Option<(usize, &PlacedBlock<BlockId>)> {
+        self.dies
+            .iter()
+            .enumerate()
+            .find_map(|(i, d)| d.block(id).map(|b| (i, b)))
+    }
+
+    /// Validates every die.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first geometric violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for d in &self.dies {
+            d.validate()?;
+        }
+        Ok(())
+    }
+
+    /// All chip variants (for exhaustive tests and sweeps).
+    pub fn all() -> Vec<ChipFloorplan> {
+        vec![
+            ChipFloorplan::two_d_a(),
+            ChipFloorplan::two_d_2a(),
+            ChipFloorplan::three_d_2a(),
+            ChipFloorplan::three_d_checker_only(),
+            ChipFloorplan::three_d_2a_corner_checker(),
+            ChipFloorplan::three_d_2a_dense_checker(),
+            ChipFloorplan::three_d_2a_hetero_90nm(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_is_geometrically_valid() {
+        for plan in ChipFloorplan::all() {
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", plan.name));
+        }
+    }
+
+    #[test]
+    fn bank_inventories_match_the_paper() {
+        assert_eq!(ChipFloorplan::two_d_a().total_banks(), 6);
+        assert_eq!(ChipFloorplan::two_d_2a().total_banks(), 15);
+        assert_eq!(ChipFloorplan::three_d_2a().total_banks(), 15);
+        assert_eq!(ChipFloorplan::three_d_checker_only().total_banks(), 6);
+        // 3D splits 6 + 9.
+        let p = ChipFloorplan::three_d_2a();
+        assert_eq!(p.dies[0].bank_count(), 6);
+        assert_eq!(p.dies[1].bank_count(), 9);
+    }
+
+    #[test]
+    fn table2_areas() {
+        let p = ChipFloorplan::three_d_2a();
+        // Leading core sub-blocks sum to 19.6 mm^2.
+        let core: f64 = p.dies[0]
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.id, BlockId::Leader(_)))
+            .map(|b| b.rect.area().0)
+            .sum();
+        assert!((core - 19.6).abs() < 0.1, "leading core area {core}");
+        // Checker tile: the 5 mm^2 core plus local storage (~6.1 mm^2).
+        let (_, checker) = p.find(BlockId::Checker).unwrap();
+        assert!((4.9..6.3).contains(&checker.rect.area().0));
+        // Banks are ~5.2 mm^2 (5 + router), within tessellation slack.
+        for die in &p.dies {
+            for b in &die.blocks {
+                if matches!(b.id, BlockId::L2Bank { .. }) {
+                    let a = b.rect.area().0;
+                    assert!((4.9..5.6).contains(&a), "bank area {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_2a_has_twice_the_silicon() {
+        let small = ChipFloorplan::two_d_a().dies[0].area().0;
+        let large = ChipFloorplan::two_d_2a().dies[0].area().0;
+        assert!(
+            (large / small - 2.0).abs() < 0.05,
+            "ratio {}",
+            large / small
+        );
+    }
+
+    #[test]
+    fn stacked_dies_share_a_footprint() {
+        let p = ChipFloorplan::three_d_2a();
+        assert_eq!(p.dies.len(), 2);
+        assert_eq!(
+            (p.dies[0].width, p.dies[0].height),
+            (p.dies[1].width, p.dies[1].height)
+        );
+    }
+
+    #[test]
+    fn corner_variant_moves_the_checker_away() {
+        let default = ChipFloorplan::three_d_2a();
+        let corner = ChipFloorplan::three_d_2a_corner_checker();
+        let hot = default
+            .find(BlockId::Leader(CoreBlock::ExecInt))
+            .unwrap()
+            .1
+            .rect;
+        let d0 = default
+            .find(BlockId::Checker)
+            .unwrap()
+            .1
+            .rect
+            .manhattan_to(&hot);
+        let d1 = corner
+            .find(BlockId::Checker)
+            .unwrap()
+            .1
+            .rect
+            .manhattan_to(&hot);
+        assert!(d1 > d0, "corner checker is farther from the hot exec unit");
+        assert_eq!(corner.total_banks(), 15, "no bank is lost");
+    }
+
+    #[test]
+    fn dense_variant_halves_checker_area() {
+        let a = ChipFloorplan::three_d_2a()
+            .find(BlockId::Checker)
+            .unwrap()
+            .1
+            .rect
+            .area()
+            .0;
+        let b = ChipFloorplan::three_d_2a_dense_checker()
+            .find(BlockId::Checker)
+            .unwrap()
+            .1
+            .rect
+            .area()
+            .0;
+        assert!((b / a - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn checker_only_upper_die_is_mostly_empty() {
+        let p = ChipFloorplan::three_d_checker_only();
+        let used: f64 = p.dies[1].blocks.iter().map(|b| b.rect.area().0).sum();
+        assert!(used < 0.2 * p.dies[1].area().0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BlockId::Checker.to_string(), "checker");
+        assert_eq!(
+            BlockId::L2Bank { die: 1, index: 3 }.to_string(),
+            "l2-bank[1.3]"
+        );
+        assert_eq!(
+            BlockId::Leader(CoreBlock::ExecInt).to_string(),
+            "leader/exec-int"
+        );
+    }
+}

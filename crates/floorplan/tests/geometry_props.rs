@@ -1,0 +1,90 @@
+//! Property tests: geometric invariants hold for every chip variant.
+
+use proptest::prelude::*;
+use rmt3d_floorplan::{BlockId, ChipFloorplan, Rect};
+
+#[test]
+fn all_variants_validate_and_cover_reasonable_area() {
+    for plan in ChipFloorplan::all() {
+        plan.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", plan.name));
+        for die in &plan.dies {
+            let used: f64 = die.blocks.iter().map(|b| b.rect.area().0).sum();
+            let total = die.area().0;
+            assert!(
+                used <= total + 1e-6,
+                "{}/{}: blocks {used} exceed die {total}",
+                plan.name,
+                die.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_indices_are_dense_and_unique() {
+    for plan in ChipFloorplan::all() {
+        for (d, die) in plan.dies.iter().enumerate() {
+            let mut idx: Vec<u8> = die
+                .blocks
+                .iter()
+                .filter_map(|b| match b.id {
+                    BlockId::L2Bank { die, index } => {
+                        assert_eq!(die as usize, d, "{}: bank die tag", plan.name);
+                        Some(index)
+                    }
+                    _ => None,
+                })
+                .collect();
+            idx.sort_unstable();
+            for (i, &v) in idx.iter().enumerate() {
+                assert_eq!(v as usize, i, "{}: bank indices dense", plan.name);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn overlap_is_symmetric_and_irreflexive(
+        x1 in -5.0..5.0f64, y1 in -5.0..5.0f64, w1 in 0.1..5.0f64, h1 in 0.1..5.0f64,
+        x2 in -5.0..5.0f64, y2 in -5.0..5.0f64, w2 in 0.1..5.0f64, h2 in 0.1..5.0f64,
+    ) {
+        let a = Rect::new(x1, y1, w1, h1);
+        let b = Rect::new(x2, y2, w2, h2);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert!(a.overlaps(&a), "positive-area rects self-overlap");
+        prop_assert!(a.within(&a));
+    }
+
+    #[test]
+    fn containment_implies_overlap_or_zero_gap(
+        x in 0.0..3.0f64, y in 0.0..3.0f64, w in 0.1..2.0f64, h in 0.1..2.0f64,
+    ) {
+        let outer = Rect::new(0.0, 0.0, 6.0, 6.0);
+        let inner = Rect::new(x, y, w, h);
+        prop_assert!(inner.within(&outer));
+        prop_assert!(inner.overlaps(&outer));
+        // Manhattan distance to self is zero.
+        prop_assert!(inner.manhattan_to(&inner).0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(
+        ax in 0.0..10.0f64, ay in 0.0..10.0f64,
+        bx in 0.0..10.0f64, by in 0.0..10.0f64,
+        cx in 0.0..10.0f64, cy in 0.0..10.0f64,
+    ) {
+        let a = Rect::new(ax, ay, 1.0, 1.0);
+        let b = Rect::new(bx, by, 1.0, 1.0);
+        let c = Rect::new(cx, cy, 1.0, 1.0);
+        let ab = a.manhattan_to(&b).0;
+        let ba = b.manhattan_to(&a).0;
+        let ac = a.manhattan_to(&c).0;
+        let cb = c.manhattan_to(&b).0;
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry");
+        prop_assert!(ab <= ac + cb + 1e-12, "triangle inequality");
+    }
+}

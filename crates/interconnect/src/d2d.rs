@@ -1,0 +1,222 @@
+//! Die-to-die via model (paper §3.4, Table 4).
+//!
+//! The inter-die traffic of Fig. 1 — register results + operands, load
+//! values, branch outcomes, store values — sizes the via bundles; each
+//! via is a short (5-20 µm) vertical wire whose worst-case coupling
+//! capacitance the paper takes as 0.594 fF/µm.
+
+use rmt3d_floorplan::BlockId;
+use rmt3d_power::CoreBlock;
+use rmt3d_units::{SquareMillimeters, Watts};
+
+/// One bundle of die-to-die vias (a Table 4 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViaBundle {
+    /// Signal name.
+    pub name: &'static str,
+    /// Number of vias (bits).
+    pub bits: u32,
+    /// Where the via pillar lands on the lower die (Table 4
+    /// "placement" column).
+    pub placement: BlockId,
+}
+
+/// Core widths that determine Table 4's bandwidth requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandwidthConfig {
+    /// Loads issued per cycle.
+    pub load_issue_width: u32,
+    /// Stores issued per cycle.
+    pub store_issue_width: u32,
+    /// Branch predictor ports.
+    pub branch_ports: u32,
+    /// General issue width.
+    pub issue_width: u32,
+    /// Bits per register transfer group (result + both operands =
+    /// 3 x 64 = 192, §2.1's register value prediction payload).
+    pub register_group_bits: u32,
+    /// L2 controller to stacked-banks bus: 64-bit address + 256-bit
+    /// data + 64-bit control (§3.4).
+    pub l2_bus_bits: u32,
+}
+
+impl BandwidthConfig {
+    /// The paper's 4-wide core (Table 4: 1025 core-to-core vias + 384
+    /// L2 vias).
+    pub fn paper() -> BandwidthConfig {
+        BandwidthConfig {
+            load_issue_width: 2,
+            store_issue_width: 2,
+            branch_ports: 1,
+            issue_width: 4,
+            register_group_bits: 192,
+            l2_bus_bits: 384,
+        }
+    }
+
+    /// The Table 4 via bundles for this configuration.
+    pub fn bundles(&self) -> Vec<ViaBundle> {
+        vec![
+            ViaBundle {
+                name: "load-values",
+                bits: self.load_issue_width * 64,
+                placement: BlockId::Leader(CoreBlock::Lsq),
+            },
+            ViaBundle {
+                name: "branch-outcomes",
+                bits: self.branch_ports,
+                placement: BlockId::Leader(CoreBlock::Bpred),
+            },
+            ViaBundle {
+                name: "store-values",
+                bits: self.store_issue_width * 64,
+                placement: BlockId::Leader(CoreBlock::Lsq),
+            },
+            ViaBundle {
+                name: "register-values",
+                bits: self.issue_width * self.register_group_bits,
+                placement: BlockId::Leader(CoreBlock::RegfileInt),
+            },
+            ViaBundle {
+                name: "l2-transfer",
+                bits: self.l2_bus_bits,
+                placement: BlockId::L2Controller,
+            },
+        ]
+    }
+
+    /// Core-to-core via count (Table 4 without the L2 bus: 1025 for the
+    /// paper config).
+    pub fn core_vias(&self) -> u32 {
+        self.bundles()
+            .iter()
+            .filter(|b| b.placement != BlockId::L2Controller)
+            .map(|b| b.bits)
+            .sum()
+    }
+
+    /// All vias including the L2 pillar (1409 for the paper config).
+    pub fn total_vias(&self) -> u32 {
+        self.bundles().iter().map(|b| b.bits).sum()
+    }
+}
+
+impl Default for BandwidthConfig {
+    fn default() -> BandwidthConfig {
+        BandwidthConfig::paper()
+    }
+}
+
+/// Electrical model of one die-to-die via (§3.4 constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct D2dViaModel {
+    /// Via length in µm (thin-die F2F bonding: 5-20 µm \[9\]).
+    pub length_um: f64,
+    /// Worst-case coupling capacitance per µm (surrounded by 8
+    /// neighbours), in farads.
+    pub cap_per_um: f64,
+    /// Via width in µm \[9\].
+    pub width_um: f64,
+    /// Spacing between vias in µm.
+    pub spacing_um: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Switching frequency (Hz).
+    pub freq: f64,
+}
+
+impl D2dViaModel {
+    /// The paper's model: 10 µm via, 0.594 fF/µm, 5 µm width and
+    /// spacing, 65 nm at 2 GHz / 1 V.
+    pub fn paper() -> D2dViaModel {
+        D2dViaModel {
+            length_um: 10.0,
+            cap_per_um: 0.594e-15,
+            width_um: 5.0,
+            spacing_um: 5.0,
+            vdd: 1.0,
+            freq: 2e9,
+        }
+    }
+
+    /// Capacitance of one via (paper: 0.59e-14 F).
+    pub fn capacitance(&self) -> f64 {
+        self.cap_per_um * self.length_um
+    }
+
+    /// Worst-case dynamic power of one via (paper: 0.011 mW).
+    pub fn power_per_via(&self) -> Watts {
+        Watts(self.capacitance() * self.vdd * self.vdd * self.freq)
+    }
+
+    /// Total power of `count` vias (paper: 15.49 mW for 1409).
+    pub fn total_power(&self, count: u32) -> Watts {
+        self.power_per_via() * count as f64
+    }
+
+    /// Silicon area of `count` vias at the given width/spacing (paper:
+    /// 0.07 mm² for 1409).
+    pub fn total_area(&self, count: u32) -> SquareMillimeters {
+        let per_via_um2 = self.width_um * (self.width_um + self.spacing_um);
+        SquareMillimeters(count as f64 * per_via_um2 * 1e-6)
+    }
+}
+
+impl Default for D2dViaModel {
+    fn default() -> D2dViaModel {
+        D2dViaModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_core_via_count() {
+        let c = BandwidthConfig::paper();
+        assert_eq!(c.core_vias(), 1025, "paper: 1025 core-to-core vias");
+        assert_eq!(c.total_vias(), 1409, "paper: 1409 total with L2 pillar");
+    }
+
+    #[test]
+    fn table4_bundle_widths() {
+        let bundles = BandwidthConfig::paper().bundles();
+        let bits = |name: &str| bundles.iter().find(|b| b.name == name).unwrap().bits;
+        assert_eq!(bits("load-values"), 128);
+        assert_eq!(bits("branch-outcomes"), 1);
+        assert_eq!(bits("store-values"), 128);
+        assert_eq!(bits("register-values"), 768);
+        assert_eq!(bits("l2-transfer"), 384);
+    }
+
+    #[test]
+    fn via_capacitance_matches_paper() {
+        let m = D2dViaModel::paper();
+        assert!((m.capacitance() - 0.59e-14).abs() < 0.01e-14);
+    }
+
+    #[test]
+    fn via_power_matches_paper() {
+        let m = D2dViaModel::paper();
+        // 0.011 mW per via.
+        assert!((m.power_per_via().milliwatts() - 0.0119).abs() < 0.001);
+        // 15.49 mW for all 1409.
+        let total = m.total_power(1409).milliwatts();
+        assert!((total - 15.49).abs() < 1.5, "total via power {total} mW");
+    }
+
+    #[test]
+    fn via_area_matches_paper() {
+        let m = D2dViaModel::paper();
+        let a = m.total_area(1409).0;
+        assert!((a - 0.07).abs() < 0.005, "via area {a} mm^2");
+    }
+
+    #[test]
+    fn wider_core_needs_more_vias() {
+        let mut c = BandwidthConfig::paper();
+        c.issue_width = 8;
+        assert!(c.core_vias() > BandwidthConfig::paper().core_vias());
+    }
+}

@@ -1,0 +1,22 @@
+//! Interconnect models for the `rmt3d` simulator (paper §3.4, Table 4):
+//! die-to-die via bundles, horizontal wire lengths extracted from the
+//! floorplans, metalization area, and power-optimized repeated-wire
+//! power.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt3d_interconnect::{BandwidthConfig, D2dViaModel};
+//!
+//! let cfg = BandwidthConfig::paper();
+//! assert_eq!(cfg.core_vias(), 1025); // Table 4
+//! let vias = D2dViaModel::paper();
+//! let mw = vias.total_power(cfg.total_vias()).milliwatts();
+//! assert!(mw < 20.0, "via power is marginal: {mw} mW");
+//! ```
+
+mod d2d;
+mod wires;
+
+pub use d2d::{BandwidthConfig, D2dViaModel, ViaBundle};
+pub use wires::{activity, wire_report, WireModel, WireReport};

@@ -1,0 +1,129 @@
+//! Dynamic voltage/frequency scaling points.
+//!
+//! Two scaling regimes appear in the paper:
+//!
+//! * the checker's **DFS** (frequency only — dynamic power scales
+//!   linearly with f, §2.1),
+//! * the iso-thermal study's **DVFS** (voltage scales linearly with
+//!   frequency over the relevant range, following \[2\]; dynamic power
+//!   then scales as `f·V²` and leakage as `V`, §3.3).
+
+/// One voltage/frequency operating point, expressed relative to nominal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPoint {
+    freq_scale: f64,
+    vdd_scale: f64,
+}
+
+impl DvfsPoint {
+    /// Nominal operation (2 GHz, 1 V at 65 nm).
+    pub fn nominal() -> DvfsPoint {
+        DvfsPoint {
+            freq_scale: 1.0,
+            vdd_scale: 1.0,
+        }
+    }
+
+    /// Frequency-only scaling (the checker's DFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_scale` is not positive.
+    pub fn frequency_only(freq_scale: f64) -> DvfsPoint {
+        assert!(freq_scale > 0.0, "frequency scale must be positive");
+        DvfsPoint {
+            freq_scale,
+            vdd_scale: 1.0,
+        }
+    }
+
+    /// Combined scaling with voltage tracking frequency linearly (§3.3
+    /// methodology, after \[2\]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_scale` is not positive.
+    pub fn from_frequency_linear_vdd(freq_scale: f64) -> DvfsPoint {
+        assert!(freq_scale > 0.0, "frequency scale must be positive");
+        DvfsPoint {
+            freq_scale,
+            vdd_scale: freq_scale,
+        }
+    }
+
+    /// Explicit point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either scale is not positive.
+    pub fn new(freq_scale: f64, vdd_scale: f64) -> DvfsPoint {
+        assert!(
+            freq_scale > 0.0 && vdd_scale > 0.0,
+            "scales must be positive"
+        );
+        DvfsPoint {
+            freq_scale,
+            vdd_scale,
+        }
+    }
+
+    /// Relative frequency.
+    pub fn frequency(&self) -> f64 {
+        self.freq_scale
+    }
+
+    /// Relative supply voltage.
+    pub fn vdd(&self) -> f64 {
+        self.vdd_scale
+    }
+
+    /// Multiplier on dynamic power: `f · V²`.
+    pub fn dynamic_factor(&self) -> f64 {
+        self.freq_scale * self.vdd_scale * self.vdd_scale
+    }
+
+    /// Multiplier on leakage power: `V` (first-order sub-threshold
+    /// dependence over the small voltage range considered).
+    pub fn leakage_factor(&self) -> f64 {
+        self.vdd_scale
+    }
+}
+
+impl Default for DvfsPoint {
+    fn default() -> DvfsPoint {
+        DvfsPoint::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let p = DvfsPoint::nominal();
+        assert_eq!(p.dynamic_factor(), 1.0);
+        assert_eq!(p.leakage_factor(), 1.0);
+    }
+
+    #[test]
+    fn dfs_scales_linearly() {
+        let p = DvfsPoint::frequency_only(0.6);
+        assert!((p.dynamic_factor() - 0.6).abs() < 1e-12);
+        assert_eq!(p.leakage_factor(), 1.0);
+    }
+
+    #[test]
+    fn dvfs_scales_cubically() {
+        // 1.9 GHz / 2 GHz with V tracking f: dynamic scales by 0.95^3.
+        let p = DvfsPoint::from_frequency_linear_vdd(0.95);
+        assert!((p.dynamic_factor() - 0.95f64.powi(3)).abs() < 1e-12);
+        assert!((p.leakage_factor() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = DvfsPoint::frequency_only(0.0);
+    }
+}

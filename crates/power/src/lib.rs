@@ -1,0 +1,25 @@
+//! Power models for the `rmt3d` simulator: Wattch-lite activity-based
+//! core power, ITRS technology scaling (paper Tables 7-8), DVFS
+//! operating points, and the Srinivasan pipeline-depth power model
+//! (paper Table 5).
+//!
+//! # Examples
+//!
+//! Reproducing a Table 8 entry from the Table 7 device data:
+//!
+//! ```
+//! use rmt3d_power::tech;
+//! use rmt3d_units::TechNode;
+//!
+//! let r = tech::scaling_ratio(TechNode::N90, TechNode::N65)?;
+//! assert!((r.dynamic - 2.21).abs() < 0.02); // Table 8, row 90/65
+//! # Ok::<(), rmt3d_power::tech::UnsupportedNodeError>(())
+//! ```
+
+pub mod dvfs;
+pub mod pipeline;
+pub mod tech;
+mod wattch;
+
+pub use dvfs::DvfsPoint;
+pub use wattch::{CheckerPowerModel, CoreBlock, CorePowerModel, PowerBreakdown};

@@ -1,0 +1,154 @@
+//! Pipeline-depth power model (paper §3.5, Table 5), after Srinivasan et
+//! al. \[38\].
+//!
+//! Deep pipelining gives each stage more timing slack at a fixed clock
+//! (the §3.5 idea for a noise-resilient checker), but latch count and
+//! bypass complexity grow power super-linearly. The paper's Table 5
+//! reports relative power versus stage depth in FO4 gate delays; this
+//! module embeds that table and interpolates between its points.
+
+/// One row of Table 5: power relative to the 18 FO4 baseline's dynamic
+/// power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinePowerRow {
+    /// Useful logic depth per stage, in FO4 delays.
+    pub fo4: f64,
+    /// Dynamic power relative to baseline dynamic.
+    pub dynamic: f64,
+    /// Leakage power relative to baseline dynamic.
+    pub leakage: f64,
+}
+
+impl PipelinePowerRow {
+    /// Total relative power (the paper's right-hand column).
+    pub fn total(&self) -> f64 {
+        self.dynamic + self.leakage
+    }
+}
+
+/// Table 5 of the paper.
+pub const PIPELINE_POWER_TABLE: [PipelinePowerRow; 4] = [
+    PipelinePowerRow {
+        fo4: 18.0,
+        dynamic: 1.0,
+        leakage: 0.3,
+    },
+    PipelinePowerRow {
+        fo4: 14.0,
+        dynamic: 1.65,
+        leakage: 0.32,
+    },
+    PipelinePowerRow {
+        fo4: 10.0,
+        dynamic: 1.76,
+        leakage: 0.36,
+    },
+    PipelinePowerRow {
+        fo4: 6.0,
+        dynamic: 3.45,
+        leakage: 0.53,
+    },
+];
+
+/// Relative power of a pipeline whose stages carry `fo4` gate delays of
+/// useful logic, interpolated linearly between Table 5 rows and clamped
+/// to the table's range.
+///
+/// # Panics
+///
+/// Panics if `fo4` is not positive.
+pub fn relative_power(fo4: f64) -> PipelinePowerRow {
+    assert!(fo4 > 0.0, "FO4 depth must be positive");
+    let table = &PIPELINE_POWER_TABLE;
+    if fo4 >= table[0].fo4 {
+        return table[0];
+    }
+    if fo4 <= table[table.len() - 1].fo4 {
+        return table[table.len() - 1];
+    }
+    for w in table.windows(2) {
+        let (hi, lo) = (w[0], w[1]);
+        if fo4 <= hi.fo4 && fo4 >= lo.fo4 {
+            let t = (hi.fo4 - fo4) / (hi.fo4 - lo.fo4);
+            return PipelinePowerRow {
+                fo4,
+                dynamic: hi.dynamic + t * (lo.dynamic - hi.dynamic),
+                leakage: hi.leakage + t * (lo.leakage - hi.leakage),
+            };
+        }
+    }
+    unreachable!("table covers the interpolation range")
+}
+
+/// Timing slack fraction of a stage clocked with `cycle_fo4` worth of
+/// time but only `logic_fo4` of logic — e.g. the checker running at
+/// 0.6 f has `1/0.6 = 1.67x` its logic depth available, a 40% slack.
+///
+/// # Panics
+///
+/// Panics if either depth is non-positive.
+pub fn stage_slack_fraction(logic_fo4: f64, cycle_fo4: f64) -> f64 {
+    assert!(
+        logic_fo4 > 0.0 && cycle_fo4 > 0.0,
+        "depths must be positive"
+    );
+    ((cycle_fo4 - logic_fo4) / cycle_fo4).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_totals() {
+        let totals: Vec<f64> = PIPELINE_POWER_TABLE.iter().map(|r| r.total()).collect();
+        let expect = [1.3, 1.97, 2.12, 3.98];
+        for (t, e) in totals.iter().zip(expect) {
+            assert!((t - e).abs() < 1e-9, "total {t} vs paper {e}");
+        }
+    }
+
+    #[test]
+    fn exact_rows_at_table_points() {
+        for row in PIPELINE_POWER_TABLE {
+            let r = relative_power(row.fo4);
+            assert!((r.dynamic - row.dynamic).abs() < 1e-12);
+            assert!((r.leakage - row.leakage).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_14_and_18() {
+        let a = relative_power(16.0);
+        assert!(a.dynamic > 1.0 && a.dynamic < 1.65);
+        assert!(a.total() > 1.3 && a.total() < 1.97);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        assert_eq!(relative_power(30.0).dynamic, 1.0);
+        assert_eq!(relative_power(2.0).dynamic, 3.45);
+    }
+
+    #[test]
+    fn paper_conclusion_14fo4_costs_about_50_percent_more() {
+        // §3.5: "even if circuits take 14 FO4, power increases by ~50%".
+        let r = relative_power(14.0);
+        assert!((r.total() / 1.3 - 1.515).abs() < 0.02);
+    }
+
+    #[test]
+    fn slack_fraction() {
+        // Checker at 0.6 f: cycle time stretches from 18 to 30 FO4.
+        let s = stage_slack_fraction(18.0, 30.0);
+        assert!((s - 0.4).abs() < 1e-12);
+        assert_eq!(stage_slack_fraction(18.0, 18.0), 0.0);
+        assert_eq!(stage_slack_fraction(20.0, 18.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fo4_panics() {
+        let _ = relative_power(0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Wattch-lite: activity-based core power (paper §3.1).
+//!
+//! The paper extends Wattch's 90 nm model to 65 nm (2 GHz, 1 V), assumes
+//! aggressive cc3 clock gating, and uses a 0.2 turn-off factor for 65 nm
+//! leakage. We reproduce that methodology: each architectural block has
+//! a peak dynamic power; its dynamic draw scales with measured per-cycle
+//! activity, gated blocks idle at 10% of peak (cc3), and leakage adds a
+//! 0.2 x peak floor. The per-block peaks are calibrated so the Table 1
+//! leading core averages ~35 W across the SPEC2k-like suite (Table 2).
+
+use crate::dvfs::DvfsPoint;
+use rmt3d_cpu::ActivityCounters;
+use rmt3d_units::Watts;
+use std::fmt;
+
+/// Architectural blocks of a core — the granularity of the power
+/// breakdown and of the floorplan/thermal power map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoreBlock {
+    /// L1 I-cache + fetch datapath.
+    IcacheFetch,
+    /// Branch predictor tables + BTB.
+    Bpred,
+    /// Decode/rename.
+    Rename,
+    /// Integer issue queue (wakeup/select).
+    IqInt,
+    /// FP issue queue.
+    IqFp,
+    /// Integer register file.
+    RegfileInt,
+    /// FP register file.
+    RegfileFp,
+    /// Integer execution units.
+    ExecInt,
+    /// FP execution units.
+    ExecFp,
+    /// Load/store queue.
+    Lsq,
+    /// L1 D-cache.
+    Dcache,
+    /// ROB + commit logic.
+    Rob,
+    /// Clock distribution (partially gated).
+    Clock,
+}
+
+impl CoreBlock {
+    /// All blocks, in breakdown order.
+    pub const ALL: [CoreBlock; 13] = [
+        CoreBlock::IcacheFetch,
+        CoreBlock::Bpred,
+        CoreBlock::Rename,
+        CoreBlock::IqInt,
+        CoreBlock::IqFp,
+        CoreBlock::RegfileInt,
+        CoreBlock::RegfileFp,
+        CoreBlock::ExecInt,
+        CoreBlock::ExecFp,
+        CoreBlock::Lsq,
+        CoreBlock::Dcache,
+        CoreBlock::Rob,
+        CoreBlock::Clock,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreBlock::IcacheFetch => "icache",
+            CoreBlock::Bpred => "bpred",
+            CoreBlock::Rename => "rename",
+            CoreBlock::IqInt => "iq-int",
+            CoreBlock::IqFp => "iq-fp",
+            CoreBlock::RegfileInt => "regfile-int",
+            CoreBlock::RegfileFp => "regfile-fp",
+            CoreBlock::ExecInt => "exec-int",
+            CoreBlock::ExecFp => "exec-fp",
+            CoreBlock::Lsq => "lsq",
+            CoreBlock::Dcache => "dcache",
+            CoreBlock::Rob => "rob",
+            CoreBlock::Clock => "clock",
+        }
+    }
+}
+
+impl fmt::Display for CoreBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-block peak dynamic power at 65 nm / 2 GHz / 1 V, in watts.
+///
+/// Calibration target: mean leading-core total ≈ 35 W over the 19
+/// SPEC2k-like profiles (paper Table 2); pinned by a test in
+/// `rmt3d::experiments`.
+const PEAK_W: [(CoreBlock, f64); 13] = [
+    (CoreBlock::IcacheFetch, 5.6),
+    (CoreBlock::Bpred, 3.7),
+    (CoreBlock::Rename, 4.7),
+    (CoreBlock::IqInt, 5.6),
+    (CoreBlock::IqFp, 2.8),
+    (CoreBlock::RegfileInt, 4.7),
+    (CoreBlock::RegfileFp, 2.3),
+    (CoreBlock::ExecInt, 7.0),
+    (CoreBlock::ExecFp, 4.7),
+    (CoreBlock::Lsq, 3.7),
+    (CoreBlock::Dcache, 5.6),
+    (CoreBlock::Rob, 4.7),
+    (CoreBlock::Clock, 2.3),
+];
+
+/// cc3 clock gating: idle blocks still draw this fraction of peak.
+const CC3_IDLE_FRACTION: f64 = 0.10;
+/// Turn-off factor: leakage is this fraction of peak dynamic at 65 nm
+/// (paper §3.1).
+const TURN_OFF_FACTOR: f64 = 0.2;
+
+/// A per-block power breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    /// `(block, dynamic, leakage)` triples in [`CoreBlock::ALL`] order.
+    pub blocks: Vec<(CoreBlock, Watts, Watts)>,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    pub fn total(&self) -> Watts {
+        self.blocks.iter().map(|&(_, d, l)| d + l).sum()
+    }
+
+    /// Total dynamic power.
+    pub fn dynamic(&self) -> Watts {
+        self.blocks.iter().map(|&(_, d, _)| d).sum()
+    }
+
+    /// Total leakage power.
+    pub fn leakage(&self) -> Watts {
+        self.blocks.iter().map(|&(_, _, l)| l).sum()
+    }
+
+    /// Power of one block (dynamic + leakage).
+    pub fn block(&self, b: CoreBlock) -> Watts {
+        self.blocks
+            .iter()
+            .find(|&&(bb, _, _)| bb == b)
+            .map(|&(_, d, l)| d + l)
+            .unwrap_or(Watts::ZERO)
+    }
+
+    /// The hottest block and its power.
+    pub fn hottest(&self) -> (CoreBlock, Watts) {
+        self.blocks
+            .iter()
+            .map(|&(b, d, l)| (b, d + l))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("power is finite"))
+            .expect("breakdown is non-empty")
+    }
+}
+
+/// Wattch-lite model for the out-of-order leading core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerModel {
+    /// Global calibration multiplier applied to every peak.
+    scale: f64,
+}
+
+impl CorePowerModel {
+    /// The paper's 65 nm EV7-like leading core.
+    pub fn ev7_like_65nm() -> CorePowerModel {
+        CorePowerModel { scale: 1.0 }
+    }
+
+    /// Returns a model with all peaks scaled (e.g. for a narrower core).
+    pub fn scaled(self, factor: f64) -> CorePowerModel {
+        CorePowerModel {
+            scale: self.scale * factor,
+        }
+    }
+
+    /// Per-block activity factor (0..1) derived from counters.
+    fn activity(b: CoreBlock, a: &ActivityCounters) -> f64 {
+        if a.cycles == 0 {
+            return 0.0;
+        }
+        let c = a.cycles as f64;
+        let f = |n: u64, width: f64| (n as f64 / (width * c)).min(1.0);
+        match b {
+            CoreBlock::IcacheFetch => f(a.fetched, 4.0),
+            CoreBlock::Bpred => f(a.bpred_accesses, 1.0),
+            CoreBlock::Rename => f(a.dispatched, 4.0),
+            CoreBlock::IqInt => f(a.int_alu_ops + a.int_mul_ops, 4.0),
+            CoreBlock::IqFp => f(a.fp_alu_ops + a.fp_mul_ops, 2.0),
+            CoreBlock::RegfileInt => f(a.regfile_reads + a.regfile_writes, 8.0),
+            CoreBlock::RegfileFp => f(a.fp_alu_ops + a.fp_mul_ops, 3.0),
+            CoreBlock::ExecInt => f(a.int_alu_ops + a.int_mul_ops, 4.0),
+            CoreBlock::ExecFp => f(a.fp_alu_ops + a.fp_mul_ops, 2.0),
+            CoreBlock::Lsq => f(a.lsq_accesses, 2.0),
+            CoreBlock::Dcache => f(a.dcache_accesses, 2.0),
+            CoreBlock::Rob => f(a.dispatched + a.committed, 8.0),
+            CoreBlock::Clock => 0.5 + 0.5 * f(a.issued, 4.0),
+        }
+    }
+
+    /// Computes the per-block breakdown for an activity window at a DVFS
+    /// operating point.
+    pub fn breakdown(&self, a: &ActivityCounters, dvfs: DvfsPoint) -> PowerBreakdown {
+        let blocks = PEAK_W
+            .iter()
+            .map(|&(b, peak)| {
+                let peak = peak * self.scale;
+                let act = Self::activity(b, a);
+                let gated = act + CC3_IDLE_FRACTION * (1.0 - act);
+                let dynamic = Watts(peak * gated * dvfs.dynamic_factor());
+                let leakage = Watts(peak * TURN_OFF_FACTOR * dvfs.leakage_factor());
+                (b, dynamic, leakage)
+            })
+            .collect();
+        PowerBreakdown { blocks }
+    }
+
+    /// Sum of the calibrated per-block peaks (dynamic at full activity).
+    pub fn peak_total(&self) -> Watts {
+        Watts(PEAK_W.iter().map(|&(_, p)| p * self.scale).sum())
+    }
+}
+
+impl Default for CorePowerModel {
+    fn default() -> CorePowerModel {
+        CorePowerModel::ev7_like_65nm()
+    }
+}
+
+/// Power model for the in-order checker core (§3.2).
+///
+/// The paper treats checker power as a design parameter — 7 W for an
+/// optimistic low-power implementation (Niagara-like), 15 W for a
+/// pessimistic one — and additionally throttles it with DFS. We model
+/// the checker's draw as `leakage + dynamic x utilization x f/V scaling`
+/// where the peak split mirrors the leading core's (dynamic-dominated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckerPowerModel {
+    /// Power when running flat-out at peak frequency.
+    pub peak: Watts,
+    /// Fraction of `peak` that is leakage at full voltage.
+    pub leakage_fraction: f64,
+}
+
+impl CheckerPowerModel {
+    /// The optimistic 7 W checker.
+    pub fn optimistic_7w() -> CheckerPowerModel {
+        CheckerPowerModel {
+            peak: Watts(7.0),
+            leakage_fraction: 0.25,
+        }
+    }
+
+    /// The pessimistic 15 W checker.
+    pub fn pessimistic_15w() -> CheckerPowerModel {
+        CheckerPowerModel {
+            peak: Watts(15.0),
+            leakage_fraction: 0.25,
+        }
+    }
+
+    /// A checker with arbitrary peak power (Fig. 4's x-axis sweep).
+    pub fn with_peak(peak: Watts) -> CheckerPowerModel {
+        CheckerPowerModel {
+            peak,
+            leakage_fraction: 0.25,
+        }
+    }
+
+    /// Power drawn when the DFS has the checker at `freq_fraction` of
+    /// peak frequency (dynamic scales linearly with f under pure DFS —
+    /// the paper scales frequency only, not voltage, on the checker).
+    pub fn at_frequency(&self, freq_fraction: f64) -> Watts {
+        let f = freq_fraction.clamp(0.0, 1.0);
+        let leak = self.peak.0 * self.leakage_fraction;
+        let dynamic = self.peak.0 * (1.0 - self.leakage_fraction) * f;
+        Watts(leak + dynamic)
+    }
+
+    /// Dynamic/leakage split at full speed, for technology remapping.
+    pub fn split(&self) -> (Watts, Watts) {
+        (
+            Watts(self.peak.0 * (1.0 - self.leakage_fraction)),
+            Watts(self.peak.0 * self.leakage_fraction),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_counters() -> ActivityCounters {
+        ActivityCounters {
+            cycles: 1000,
+            fetched: 3200,
+            dispatched: 3000,
+            issued: 2800,
+            committed: 2600,
+            int_alu_ops: 2000,
+            int_mul_ops: 100,
+            fp_alu_ops: 500,
+            fp_mul_ops: 200,
+            bpred_accesses: 500,
+            icache_accesses: 800,
+            dcache_accesses: 900,
+            lsq_accesses: 900,
+            regfile_reads: 4000,
+            regfile_writes: 2200,
+            bypass_transfers: 2800,
+            commit_stall_cycles: 0,
+            branch_mispredicts: 10,
+        }
+    }
+
+    #[test]
+    fn breakdown_total_is_positive_and_bounded() {
+        let m = CorePowerModel::ev7_like_65nm();
+        let b = m.breakdown(&busy_counters(), DvfsPoint::nominal());
+        let total = b.total().0;
+        assert!(total > 20.0 && total < 60.0, "busy core total {total}");
+        assert!(b.dynamic().0 > b.leakage().0, "65nm is dynamic-dominated");
+    }
+
+    #[test]
+    fn idle_core_draws_gating_floor_plus_leakage() {
+        let m = CorePowerModel::ev7_like_65nm();
+        let idle = ActivityCounters {
+            cycles: 1000,
+            ..Default::default()
+        };
+        let b = m.breakdown(&idle, DvfsPoint::nominal());
+        let peak = m.peak_total().0;
+        let total = b.total().0;
+        // cc3 floor (10%) + clock-base + leakage (20%).
+        assert!(
+            total > 0.25 * peak && total < 0.45 * peak,
+            "idle {total} of peak {peak}"
+        );
+    }
+
+    #[test]
+    fn busier_is_hotter() {
+        let m = CorePowerModel::ev7_like_65nm();
+        let idle = ActivityCounters {
+            cycles: 1000,
+            ..Default::default()
+        };
+        assert!(
+            m.breakdown(&busy_counters(), DvfsPoint::nominal()).total()
+                > m.breakdown(&idle, DvfsPoint::nominal()).total()
+        );
+    }
+
+    #[test]
+    fn dvfs_scales_power_down_superlinearly() {
+        let m = CorePowerModel::ev7_like_65nm();
+        let a = busy_counters();
+        let full = m.breakdown(&a, DvfsPoint::nominal()).total().0;
+        let slow = m
+            .breakdown(&a, DvfsPoint::from_frequency_linear_vdd(0.9))
+            .total()
+            .0;
+        assert!(slow < full * 0.9, "f*V^2 scaling: {slow} vs {full}");
+    }
+
+    #[test]
+    fn hottest_block_is_a_busy_one() {
+        let m = CorePowerModel::ev7_like_65nm();
+        let (b, p) = m
+            .breakdown(&busy_counters(), DvfsPoint::nominal())
+            .hottest();
+        assert!(p.0 > 0.0);
+        // With these counters the integer exec or icache should lead.
+        assert!(
+            matches!(
+                b,
+                CoreBlock::ExecInt | CoreBlock::IcacheFetch | CoreBlock::Dcache
+            ),
+            "hottest {b}"
+        );
+    }
+
+    #[test]
+    fn checker_power_scales_with_frequency() {
+        let c = CheckerPowerModel::pessimistic_15w();
+        assert!((c.at_frequency(1.0).0 - 15.0).abs() < 1e-9);
+        let at_06 = c.at_frequency(0.6).0;
+        // leak 3.75 + dyn 11.25*0.6 = 10.5
+        assert!((at_06 - 10.5).abs() < 1e-9);
+        assert!(c.at_frequency(0.0).0 > 0.0, "leakage floor remains");
+    }
+
+    #[test]
+    fn scaled_model() {
+        let m = CorePowerModel::ev7_like_65nm().scaled(0.5);
+        assert!(
+            (m.peak_total().0 - 0.5 * CorePowerModel::ev7_like_65nm().peak_total().0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn block_lookup_and_names() {
+        let m = CorePowerModel::ev7_like_65nm();
+        let b = m.breakdown(&busy_counters(), DvfsPoint::nominal());
+        for blk in CoreBlock::ALL {
+            assert!(b.block(blk).0 > 0.0, "{blk} has power");
+            assert!(!blk.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Reliability models for the `rmt3d` simulator: SRAM soft-error scaling
+//! (paper Fig. 8), multi-bit-upset probability (Fig. 9), ITRS parameter
+//! variability (Table 6), and the dynamic timing-error model behind the
+//! paper's conservative-timing-margin arguments (§3.5, §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt3d_reliability::{mbu_probability_at, relative_chip_ser, TimingModel};
+//! use rmt3d_units::TechNode;
+//!
+//! // Chip-level SER rises with scaling even as per-bit SER falls.
+//! assert!(relative_chip_ser(TechNode::N65) > relative_chip_ser(TechNode::N90));
+//! // A 90 nm checker sees far fewer multi-bit upsets than a 65 nm one.
+//! assert!(mbu_probability_at(TechNode::N90) < mbu_probability_at(TechNode::N65));
+//! // And a checker at 0.6 f has enormous timing slack.
+//! let m = TimingModel::for_node(TechNode::N65);
+//! assert!(m.stage_error_probability(0.6) < 1e-4);
+//! ```
+
+mod fit;
+mod ser;
+mod timing;
+mod variability;
+
+pub use fit::{ChipInventory, Protection, Structure};
+pub use ser::{
+    critical_charge_fc, mbu_probability, mbu_probability_at, per_bit_ser, relative_chip_ser,
+    PerBitSer,
+};
+pub use timing::{normal_tail, TimingModel};
+pub use variability::{variability, Variability, VARIABILITY_TABLE};

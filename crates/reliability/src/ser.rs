@@ -1,0 +1,150 @@
+//! SRAM soft-error-rate scaling (paper Fig. 8) and multi-bit upsets
+//! (Fig. 9), after Seifert et al. \[33\].
+
+use rmt3d_units::TechNode;
+
+/// Per-bit SER contributions at a node, normalized to the 180 nm total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerBitSer {
+    /// Neutron-induced component (experimental curve of Fig. 8).
+    pub neutron: f64,
+    /// Alpha-particle component (simulated curve of Fig. 8).
+    pub alpha: f64,
+}
+
+impl PerBitSer {
+    /// Total per-bit SER.
+    pub fn total(&self) -> f64 {
+        self.neutron + self.alpha
+    }
+}
+
+/// Fig. 8: per-bit SER falls with scaling (smaller collection volume)
+/// even though critical charge also falls. Normalized to 180 nm = 1.0.
+pub fn per_bit_ser(node: TechNode) -> PerBitSer {
+    // Embedded curve shape from the published data: neutron dominates
+    // and falls slowly; alpha falls faster with junction volume.
+    let (neutron, alpha) = match node {
+        TechNode::N180 => (0.70, 0.30),
+        TechNode::N130 => (0.60, 0.22),
+        TechNode::N90 => (0.52, 0.15),
+        TechNode::N80 => (0.50, 0.14),
+        TechNode::N65 => (0.46, 0.10),
+        TechNode::N45 => (0.42, 0.08),
+        TechNode::N32 => (0.40, 0.07),
+    };
+    PerBitSer { neutron, alpha }
+}
+
+/// Relative chip-level SER: per-bit rate times transistor count, which
+/// roughly doubles per node (the paper: "even though single-bit error
+/// rates per transistor are reducing, the overall error rate is
+/// increasing because of higher transistor density").
+pub fn relative_chip_ser(node: TechNode) -> f64 {
+    // Density relative to 180 nm: ideal area shrink.
+    let density = TechNode::N180.feature_nm() / node.feature_nm();
+    per_bit_ser(node).total() * density * density
+}
+
+/// Critical charge (fC) of an SRAM cell per node — the x-axis of
+/// Fig. 9. Older processes need more charge to flip a cell.
+pub fn critical_charge_fc(node: TechNode) -> f64 {
+    match node {
+        TechNode::N180 => 8.0,
+        TechNode::N130 => 5.0,
+        TechNode::N90 => 3.0,
+        TechNode::N80 => 2.7,
+        TechNode::N65 => 2.0,
+        TechNode::N45 => 1.4,
+        TechNode::N32 => 1.0,
+    }
+}
+
+/// Fig. 9: probability that an upset is a *multi-bit* upset, as a
+/// function of critical charge. MBUs rise steeply as Qcrit falls — the
+/// paper's argument that newer nodes threaten even ECC-protected
+/// recovery state. Logistic fit to the published curve.
+///
+/// # Panics
+///
+/// Panics if `qcrit_fc` is not positive.
+pub fn mbu_probability(qcrit_fc: f64) -> f64 {
+    assert!(qcrit_fc > 0.0, "critical charge must be positive");
+    // ~19% MBU at 1 fC, ~5% at 2 fC, <1% at 4 fC.
+    let p = 0.45 / (1.0 + ((qcrit_fc - 0.8) / 0.6).exp());
+    p.clamp(0.0, 1.0)
+}
+
+/// MBU probability at a node's nominal critical charge.
+pub fn mbu_probability_at(node: TechNode) -> f64 {
+    mbu_probability(critical_charge_fc(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_bit_ser_decreases_with_scaling() {
+        let nodes = [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N65];
+        for w in nodes.windows(2) {
+            assert!(
+                per_bit_ser(w[0]).total() > per_bit_ser(w[1]).total(),
+                "per-bit SER must fall from {} to {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Normalized: 180 nm total is 1.0.
+        assert!((per_bit_ser(TechNode::N180).total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_ser_increases_with_scaling() {
+        // The paper's point: density wins over per-bit improvement.
+        let nodes = [TechNode::N180, TechNode::N130, TechNode::N90, TechNode::N65];
+        for w in nodes.windows(2) {
+            assert!(
+                relative_chip_ser(w[0]) < relative_chip_ser(w[1]),
+                "chip SER must rise from {} to {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn older_process_has_higher_critical_charge() {
+        assert!(critical_charge_fc(TechNode::N90) > critical_charge_fc(TechNode::N65));
+    }
+
+    #[test]
+    fn mbu_rises_as_qcrit_falls() {
+        assert!(mbu_probability(1.0) > mbu_probability(2.0));
+        assert!(mbu_probability(2.0) > mbu_probability(4.0));
+        assert!(mbu_probability(8.0) < 0.01, "old nodes barely see MBUs");
+        assert!(mbu_probability(1.0) > 0.1, "32 nm-class cells see many");
+    }
+
+    #[test]
+    fn heterogeneous_checker_argument() {
+        // §4: a 90 nm checker die is markedly more MBU-resistant than a
+        // 65 nm one.
+        let improvement = mbu_probability_at(TechNode::N65) / mbu_probability_at(TechNode::N90);
+        assert!(improvement > 2.0, "90nm MBU improvement {improvement}x");
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        for q in [0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
+            let p = mbu_probability(q);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_qcrit_panics() {
+        let _ = mbu_probability(0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Dynamic timing-error model (paper §3.5 and §4).
+//!
+//! A pipeline stage latches a wrong value when its logic delay, perturbed
+//! by parameter variation and dynamic conditions, exceeds the cycle time.
+//! We model the per-stage delay as Gaussian with a node-dependent sigma
+//! derived from Table 6's performance variability; the error probability
+//! is the Gaussian tail beyond the available cycle time.
+//!
+//! Two paper results live here:
+//!
+//! * a checker that usually runs at 0.6 f has ~40% slack in every stage,
+//!   collapsing its timing-error probability by many orders of magnitude
+//!   (§3.5, Fig. 7 discussion);
+//! * an older-process checker die has less variability and therefore a
+//!   lower error rate at the same slack (§4).
+
+use crate::variability::variability;
+use rmt3d_units::TechNode;
+
+/// Standard normal upper-tail probability `P(Z > z)` via the
+/// Abramowitz-Stegun erfc approximation (max error ~1.5e-7).
+pub fn normal_tail(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - normal_tail(-z);
+    }
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    0.5 * poly * (-x * x).exp()
+}
+
+/// Per-stage timing model at one technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    node: TechNode,
+    /// Sigma of the stage-delay distribution as a fraction of nominal
+    /// delay. Table 6 reports +/- variability as a 3-sigma envelope.
+    sigma_fraction: f64,
+}
+
+impl TimingModel {
+    /// Builds the model for a node from Table 6 (3-sigma envelope).
+    pub fn for_node(node: TechNode) -> TimingModel {
+        TimingModel {
+            node,
+            sigma_fraction: variability(node).performance / 3.0,
+        }
+    }
+
+    /// The node.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Delay sigma as a fraction of nominal stage delay.
+    pub fn sigma_fraction(&self) -> f64 {
+        self.sigma_fraction
+    }
+
+    /// Probability that one stage misses timing in one cycle, when the
+    /// stage's nominal logic delay fills `logic_fraction` of the cycle
+    /// (1.0 = zero margin; 0.6 = the checker at 0.6 f).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logic_fraction` is not positive.
+    pub fn stage_error_probability(&self, logic_fraction: f64) -> f64 {
+        assert!(logic_fraction > 0.0, "logic fraction must be positive");
+        // Delay ~ N(d, sigma*d); error iff delay > cycle = d / logic_fraction.
+        let z = (1.0 / logic_fraction - 1.0) / self.sigma_fraction;
+        normal_tail(z)
+    }
+
+    /// Error probability per instruction for a pipeline of `stages`
+    /// stages (union bound; probabilities are small).
+    pub fn pipeline_error_probability(&self, logic_fraction: f64, stages: u32) -> f64 {
+        (self.stage_error_probability(logic_fraction) * stages as f64).min(1.0)
+    }
+
+    /// Expected timing-error probability for a checker whose time at
+    /// each normalized frequency level is given by `histogram` (level
+    /// `i` = `(i+1)/10 f`, the Fig. 7 output). Running at `0.6 f`
+    /// stretches the cycle so logic fills only 60% of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram does not sum to ~1.
+    pub fn checker_error_probability(&self, histogram: &[f64; 10], stages: u32) -> f64 {
+        let sum: f64 = histogram.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "histogram must be a distribution, sums to {sum}"
+        );
+        histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &frac)| {
+                let logic_fraction = (i + 1) as f64 / 10.0;
+                frac * self.pipeline_error_probability(logic_fraction, stages)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_tail_reference_points() {
+        assert!((normal_tail(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_tail(1.0) - 0.158655).abs() < 1e-4);
+        assert!((normal_tail(2.0) - 0.022750).abs() < 1e-4);
+        assert!((normal_tail(-1.0) - 0.841345).abs() < 1e-4);
+        assert!(normal_tail(6.0) < 1e-8);
+    }
+
+    #[test]
+    fn zero_margin_errors_half_the_time() {
+        let m = TimingModel::for_node(TechNode::N65);
+        let p = m.stage_error_probability(1.0);
+        assert!((p - 0.5).abs() < 1e-9, "no slack => coin flip, got {p}");
+    }
+
+    #[test]
+    fn slack_collapses_error_probability() {
+        let m = TimingModel::for_node(TechNode::N65);
+        let full = m.stage_error_probability(0.95);
+        let checker = m.stage_error_probability(0.6);
+        assert!(
+            checker < full / 1e3,
+            "0.6f checker must be orders safer: {checker} vs {full}"
+        );
+    }
+
+    #[test]
+    fn older_node_is_safer_at_equal_slack() {
+        // §4: 90 nm has less performance variability than 65 nm.
+        let m90 = TimingModel::for_node(TechNode::N90);
+        let m65 = TimingModel::for_node(TechNode::N65);
+        assert!(m90.sigma_fraction() < m65.sigma_fraction());
+        assert!(m90.stage_error_probability(0.8) < m65.stage_error_probability(0.8));
+    }
+
+    #[test]
+    fn histogram_weighted_probability() {
+        let m = TimingModel::for_node(TechNode::N65);
+        let mut all_at_full = [0.0; 10];
+        all_at_full[9] = 1.0;
+        let mut all_at_06 = [0.0; 10];
+        all_at_06[5] = 1.0;
+        let p_full = m.checker_error_probability(&all_at_full, 10);
+        let p_06 = m.checker_error_probability(&all_at_06, 10);
+        assert!(p_06 < p_full, "0.6f operation is safer: {p_06} vs {p_full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn bad_histogram_panics() {
+        let m = TimingModel::for_node(TechNode::N65);
+        let h = [0.0; 10];
+        let _ = m.checker_error_probability(&h, 10);
+    }
+
+    #[test]
+    fn pipeline_union_bound_clamps() {
+        let m = TimingModel::for_node(TechNode::N32);
+        assert!(m.pipeline_error_probability(1.0, 1000) <= 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parameter variability across technology nodes (paper Table 6, ITRS).
+
+use rmt3d_units::TechNode;
+
+/// Projected +/- variability (as a fraction of nominal) at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variability {
+    /// Node.
+    pub node: TechNode,
+    /// Threshold-voltage variability.
+    pub vth: f64,
+    /// Circuit performance (delay) variability.
+    pub performance: f64,
+    /// Circuit power variability.
+    pub power: f64,
+}
+
+/// Table 6 of the paper (ITRS 2005 projections).
+pub const VARIABILITY_TABLE: [Variability; 4] = [
+    Variability {
+        node: TechNode::N80,
+        vth: 0.26,
+        performance: 0.41,
+        power: 0.55,
+    },
+    Variability {
+        node: TechNode::N65,
+        vth: 0.33,
+        performance: 0.45,
+        power: 0.56,
+    },
+    Variability {
+        node: TechNode::N45,
+        vth: 0.42,
+        performance: 0.50,
+        power: 0.58,
+    },
+    Variability {
+        node: TechNode::N32,
+        vth: 0.58,
+        performance: 0.57,
+        power: 0.59,
+    },
+];
+
+/// Looks up (or interpolates toward the nearest tabulated node) the
+/// variability for `node`. The 90/130/180 nm nodes clamp to the oldest
+/// (least variable) table row, consistent with the trend.
+pub fn variability(node: TechNode) -> Variability {
+    if let Some(v) = VARIABILITY_TABLE.iter().find(|v| v.node == node) {
+        return *v;
+    }
+    // Outside the table: clamp to the nearest end by feature size.
+    let f = node.feature_nm();
+    let first = VARIABILITY_TABLE[0];
+    let last = VARIABILITY_TABLE[VARIABILITY_TABLE.len() - 1];
+    let v = if f >= first.node.feature_nm() {
+        first
+    } else {
+        last
+    };
+    Variability { node, ..v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_values() {
+        let v = variability(TechNode::N65);
+        assert_eq!((v.vth, v.performance, v.power), (0.33, 0.45, 0.56));
+        let v = variability(TechNode::N32);
+        assert_eq!((v.vth, v.performance, v.power), (0.58, 0.57, 0.59));
+    }
+
+    #[test]
+    fn variability_grows_with_scaling() {
+        for w in VARIABILITY_TABLE.windows(2) {
+            assert!(w[1].vth > w[0].vth);
+            assert!(w[1].performance > w[0].performance);
+            assert!(w[1].power >= w[0].power);
+        }
+    }
+
+    #[test]
+    fn older_nodes_clamp_low() {
+        let v90 = variability(TechNode::N90);
+        assert_eq!(v90.node, TechNode::N90);
+        assert!(v90.vth <= variability(TechNode::N65).vth);
+    }
+}

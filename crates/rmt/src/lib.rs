@@ -1,0 +1,42 @@
+//! Redundant multi-threading (RMT) machinery: the coupling between the
+//! out-of-order leading core and the in-order checker core (paper §2).
+//!
+//! Provides:
+//!
+//! * [`IntercoreQueues`] — the RVQ / LVQ / BOQ / StB complex of Fig. 1,
+//! * [`DfsController`] — the dynamic-frequency-scaling throughput
+//!   matcher whose interval histogram is the paper's Fig. 7,
+//! * [`FaultInjector`] / [`EccConfig`] — the §2 transient-fault model,
+//! * [`RmtSystem`] — the coupled system with detection and recovery,
+//!   plus a golden architectural oracle that proves recoveries correct.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt3d_rmt::{RmtConfig, RmtSystem};
+//! use rmt3d_cpu::{CoreConfig, OooCore};
+//! use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+//! use rmt3d_workload::{Benchmark, TraceGenerator};
+//!
+//! let leader = OooCore::new(
+//!     CoreConfig::leading_ev7_like(),
+//!     TraceGenerator::new(Benchmark::Gzip.profile()),
+//!     CacheHierarchy::new(NucaLayout::three_d_2a(), NucaPolicy::DistributedSets),
+//! );
+//! let mut system = RmtSystem::new(leader, RmtConfig::paper());
+//! system.prefill_caches();
+//! system.run_instructions(5_000);
+//! assert_eq!(system.stats().detected, 0);
+//! ```
+
+mod dfs;
+mod fault;
+mod queues;
+mod system;
+mod tmr;
+
+pub use dfs::{DfsConfig, DfsController, DFS_LEVELS};
+pub use fault::{DrawnFault, EccConfig, FaultFate, FaultInjector, FaultSite};
+pub use queues::{IntercoreQueues, QueueConfig, QueueOccupancy};
+pub use system::{RmtConfig, RmtStats, RmtSystem};
+pub use tmr::{TmrStats, TmrSystem};

@@ -1,0 +1,539 @@
+//! The coupled reliable processor: leading core + queues + DFS-throttled
+//! checker core, with fault injection and recovery (paper §2, Fig. 1).
+
+use crate::dfs::{DfsConfig, DfsController, DFS_LEVELS};
+use crate::fault::{EccConfig, FaultFate, FaultInjector, FaultSite};
+use crate::queues::{IntercoreQueues, QueueConfig};
+use rmt3d_cpu::{
+    load_memory_value, CheckOutcome, CommittedOp, InOrderCore, OooCore, TrailerConfig, Verification,
+};
+use rmt3d_workload::OpClass;
+
+/// Configuration of the coupled RMT system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmtConfig {
+    /// Inter-core queue capacities.
+    pub queues: QueueConfig,
+    /// DFS policy for the checker.
+    pub dfs: DfsConfig,
+    /// Checker pipeline configuration.
+    pub trailer: TrailerConfig,
+    /// Leader cycles charged per recovery (pipeline flush + restore +
+    /// refill).
+    pub recovery_penalty: u64,
+}
+
+impl RmtConfig {
+    /// The paper's configuration.
+    pub fn paper() -> RmtConfig {
+        RmtConfig {
+            queues: QueueConfig::paper(),
+            dfs: DfsConfig::paper(),
+            trailer: TrailerConfig::checker(),
+            recovery_penalty: 200,
+        }
+    }
+}
+
+impl Default for RmtConfig {
+    fn default() -> RmtConfig {
+        RmtConfig::paper()
+    }
+}
+
+/// Reliability and coupling statistics of an RMT run.
+#[derive(Debug, Clone, Default)]
+pub struct RmtStats {
+    /// Errors detected by the checker (mismatched verifications).
+    pub detected: u64,
+    /// Recovery procedures executed.
+    pub recoveries: u64,
+    /// Recoveries after which the trailer state disagreed with the
+    /// golden architectural state (detected but unrecoverable — the
+    /// §3.5 multi-error concern).
+    pub unrecoverable: u64,
+    /// Leader cycles spent in recovery stalls.
+    pub recovery_stall_cycles: u64,
+    /// Instructions verified clean.
+    pub verified_ok: u64,
+    /// Sum of RVQ occupancy samples (for mean slack).
+    pub slack_sum: u64,
+    /// Number of slack samples.
+    pub slack_samples: u64,
+    /// Leader cycles spent synchronizing for interrupt service (§2).
+    pub interrupt_sync_cycles: u64,
+    /// Interrupts serviced.
+    pub interrupts_serviced: u64,
+}
+
+impl RmtStats {
+    /// Mean slack (RVQ occupancy) in instructions.
+    pub fn mean_slack(&self) -> f64 {
+        if self.slack_samples == 0 {
+            0.0
+        } else {
+            self.slack_sum as f64 / self.slack_samples as f64
+        }
+    }
+}
+
+/// The coupled leading-core / checker-core system.
+///
+/// One call to [`RmtSystem::step`] advances one leading-core cycle; the
+/// checker advances fractionally according to the DFS controller's
+/// current normalized frequency (GALS-style decoupling, §2.1).
+#[derive(Debug)]
+pub struct RmtSystem {
+    leader: OooCore,
+    trailer: InOrderCore,
+    queues: IntercoreQueues,
+    dfs: DfsController,
+    injector: Option<FaultInjector>,
+    config: RmtConfig,
+    /// Fractional trailer-cycle accumulator.
+    accum: f64,
+    /// Remaining recovery stall cycles.
+    recovery_cooldown: u64,
+    /// Golden architectural register file: updated with fault-free
+    /// recomputation of every committed op; the oracle for recovery
+    /// verification.
+    golden: [u64; 64],
+    stats: RmtStats,
+    commit_buf: Vec<CommittedOp>,
+    verify_buf: Vec<Verification>,
+    fault_fates: Vec<(FaultSite, FaultFate)>,
+}
+
+impl RmtSystem {
+    /// Couples a leading core to a fresh checker.
+    pub fn new(leader: OooCore, config: RmtConfig) -> RmtSystem {
+        RmtSystem {
+            leader,
+            trailer: InOrderCore::new(config.trailer),
+            queues: IntercoreQueues::new(config.queues),
+            dfs: DfsController::new(config.dfs),
+            injector: None,
+            config,
+            accum: 0.0,
+            recovery_cooldown: 0,
+            golden: [0; 64],
+            stats: RmtStats::default(),
+            commit_buf: Vec::with_capacity(8),
+            verify_buf: Vec::with_capacity(8),
+            fault_fates: Vec::new(),
+        }
+    }
+
+    /// Enables random fault injection.
+    pub fn with_fault_injection(mut self, seed: u64, rate: f64, ecc: EccConfig) -> RmtSystem {
+        self.injector = Some(FaultInjector::new(seed, rate, ecc));
+        self
+    }
+
+    /// The leading core.
+    pub fn leader(&self) -> &OooCore {
+        &self.leader
+    }
+
+    /// The checker core.
+    pub fn trailer(&self) -> &InOrderCore {
+        &self.trailer
+    }
+
+    /// The DFS controller (Fig. 7 histogram lives here).
+    pub fn dfs(&self) -> &DfsController {
+        &self.dfs
+    }
+
+    /// The queue complex.
+    pub fn queues(&self) -> &IntercoreQueues {
+        &self.queues
+    }
+
+    /// Reliability statistics.
+    pub fn stats(&self) -> &RmtStats {
+        &self.stats
+    }
+
+    /// Fault injector statistics, when injection is enabled.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// `(site, fate)` record of every applied (non-ECC-corrected) fault.
+    pub fn fault_fates(&self) -> &[(FaultSite, FaultFate)] {
+        &self.fault_fates
+    }
+
+    /// Leader cycles including recovery stalls.
+    pub fn total_cycles(&self) -> u64 {
+        self.leader.activity().cycles + self.stats.recovery_stall_cycles
+    }
+
+    /// End-to-end IPC of the reliable processor: committed instructions
+    /// over leader cycles plus recovery stalls.
+    pub fn effective_ipc(&self) -> f64 {
+        let c = self.total_cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.leader.activity().committed as f64 / c as f64
+        }
+    }
+
+    /// Warm the leader's caches and reset statistics (see
+    /// [`OooCore::prefill_caches`]).
+    pub fn prefill_caches(&mut self) {
+        self.leader.prefill_caches();
+    }
+
+    /// Advances one leading-core cycle.
+    pub fn step(&mut self) {
+        if self.recovery_cooldown > 0 {
+            self.recovery_cooldown -= 1;
+            self.stats.recovery_stall_cycles += 1;
+            return;
+        }
+        // Back-pressure: stall leader commit if any queue is near full.
+        let can = self.queues.can_accept(4);
+        self.leader.set_commit_stall(!can);
+        self.commit_buf.clear();
+        self.leader.step_cycle(&mut self.commit_buf);
+
+        // Golden shadow execution + fault injection + enqueue.
+        for i in 0..self.commit_buf.len() {
+            let mut item = self.commit_buf[i];
+            self.update_golden(&item);
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(fault) = inj.draw() {
+                    if fault.site == FaultSite::TrailerRegfile {
+                        self.trailer.flip_regfile_bit(fault.reg, fault.bit);
+                        self.fault_fates.push((fault.site, FaultFate::Masked));
+                    } else if FaultInjector::apply_to_payload(fault, &mut item) {
+                        // Fate resolved when (if) the checker flags it.
+                        self.fault_fates.push((fault.site, FaultFate::Masked));
+                    }
+                }
+            }
+            self.queues.push(item);
+        }
+
+        // DFS decision and fractional trailer advance.
+        self.dfs.tick(self.queues.rvq_fill());
+        self.stats.slack_sum += self.queues.occupancy().rvq as u64;
+        self.stats.slack_samples += 1;
+
+        self.accum += self.dfs.current().fraction();
+        while self.accum >= 1.0 {
+            self.accum -= 1.0;
+            self.verify_buf.clear();
+            self.trailer
+                .step_cycle(self.queues.stream_mut(), &mut self.verify_buf);
+            if !self.verify_buf.is_empty() {
+                self.process_verifications();
+            }
+        }
+    }
+
+    fn update_golden(&mut self, item: &CommittedOp) {
+        let op = item.op;
+        let s1 = op.src1_reg.map_or(0, |r| self.golden[r.index() as usize]);
+        let s2 = op.src2_reg.map_or(0, |r| self.golden[r.index() as usize]);
+        let result = match op.kind {
+            OpClass::Load => load_memory_value(op.mem.expect("loads carry mem").addr),
+            OpClass::Store | OpClass::Branch => 0,
+            _ => op.compute_result(s1, s2),
+        };
+        if let Some(d) = op.dest {
+            self.golden[d.index() as usize] = result;
+        }
+    }
+
+    fn process_verifications(&mut self) {
+        let mut error_at = None;
+        let verifications = std::mem::take(&mut self.verify_buf);
+        for (i, v) in verifications.iter().enumerate() {
+            self.queues.on_trailer_consumed(v.item.op.kind);
+            if v.outcome == CheckOutcome::Ok {
+                self.stats.verified_ok += 1;
+            } else {
+                self.stats.detected += 1;
+                if error_at.is_none() {
+                    error_at = Some(i);
+                }
+            }
+        }
+        if let Some(i) = error_at {
+            self.recover(&verifications[i..]);
+            // Mark the most recent unresolved fault as detected.
+            let recovered = self.trailer.regfile() == &self.golden;
+            if let Some(last) = self
+                .fault_fates
+                .iter_mut()
+                .rev()
+                .find(|(_, fate)| *fate == FaultFate::Masked)
+            {
+                last.1 = if recovered {
+                    FaultFate::DetectedRecovered
+                } else {
+                    FaultFate::DetectedUnrecoverable
+                };
+            }
+        }
+        self.verify_buf = verifications;
+        self.verify_buf.clear();
+    }
+
+    /// Recovery (§2): squash everything in flight, re-execute it
+    /// architecturally from the trailer's checked state, restore the
+    /// leader's register file from the trailer, and charge the stall.
+    fn recover(&mut self, erroneous_tail: &[Verification]) {
+        self.stats.recoveries += 1;
+        self.recovery_cooldown = self.config.recovery_penalty;
+
+        // Replay the flagged verification batch tail (ops the trailer
+        // refused to retire), then the trailer pipe, then the queued
+        // backlog — all in program order.
+        let mut replay: Vec<CommittedOp> = Vec::new();
+        for v in erroneous_tail {
+            if v.outcome != CheckOutcome::Ok {
+                replay.push(v.item);
+            }
+        }
+        replay.extend(self.trailer.drain_pipe());
+        let backlog: Vec<CommittedOp> = self.queues.stream_mut().drain(..).collect();
+        replay.extend(backlog);
+        self.queues.squash();
+        for item in &replay {
+            self.trailer.architectural_replay(item);
+        }
+        let rf = *self.trailer.regfile();
+        self.leader.restore_regfile(&rf);
+        if rf != self.golden {
+            self.stats.unrecoverable += 1;
+        }
+    }
+
+    /// Runs until `n` instructions have committed on the leader.
+    pub fn run_instructions(&mut self, n: u64) {
+        let start = self.leader.activity().committed;
+        while self.leader.activity().committed - start < n {
+            self.step();
+        }
+    }
+
+    /// Services an external interrupt or exception (§2: "the leading
+    /// thread must wait for the trailing thread to catch up before
+    /// servicing the interrupt").
+    ///
+    /// Stalls the leader and runs the checker at full speed until every
+    /// in-flight instruction is verified, then returns the number of
+    /// leader cycles the synchronization cost. The architectural state
+    /// at return is fully checked — safe to expose to a handler.
+    pub fn service_interrupt(&mut self) -> u64 {
+        let mut cycles = 0u64;
+        self.leader.set_commit_stall(true);
+        while self.queues.occupancy().rvq > 0 || self.trailer.in_flight() > 0 {
+            // The leader pipeline keeps ticking (stalled at commit); the
+            // checker catches up at its peak frequency.
+            self.verify_buf.clear();
+            self.trailer
+                .step_cycle(self.queues.stream_mut(), &mut self.verify_buf);
+            if !self.verify_buf.is_empty() {
+                self.process_verifications();
+            }
+            cycles += 1;
+            assert!(
+                cycles < 1_000_000,
+                "interrupt synchronization failed to converge"
+            );
+        }
+        self.leader.set_commit_stall(false);
+        self.stats.interrupt_sync_cycles += cycles;
+        self.stats.interrupts_serviced += 1;
+        cycles
+    }
+
+    /// Drains the checker until it has verified everything the leader
+    /// committed (call after the last `run_instructions`).
+    pub fn drain(&mut self) {
+        let mut idle = 0;
+        while self.queues.occupancy().rvq > 0 || self.trailer.in_flight() > 0 {
+            self.verify_buf.clear();
+            self.trailer
+                .step_cycle(self.queues.stream_mut(), &mut self.verify_buf);
+            if self.verify_buf.is_empty() {
+                idle += 1;
+                assert!(idle < 10_000, "checker failed to drain");
+            } else {
+                idle = 0;
+                self.process_verifications();
+            }
+        }
+    }
+
+    /// The Fig. 7 histogram: fraction of intervals per 0.1 f frequency
+    /// level.
+    pub fn frequency_histogram(&self) -> [f64; DFS_LEVELS] {
+        self.dfs.histogram_fractions()
+    }
+
+    /// True when the leader's architectural state matches the golden
+    /// shadow (no silent corruption escaped the checker).
+    pub fn leader_matches_golden(&self) -> bool {
+        self.leader.regfile() == &self.golden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+    use rmt3d_cpu::CoreConfig;
+    use rmt3d_workload::{Benchmark, TraceGenerator};
+
+    fn system(b: Benchmark) -> RmtSystem {
+        let leader = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(b.profile()),
+            CacheHierarchy::new(NucaLayout::three_d_2a(), NucaPolicy::DistributedSets),
+        );
+        RmtSystem::new(leader, RmtConfig::paper())
+    }
+
+    #[test]
+    fn fault_free_run_is_clean() {
+        let mut s = system(Benchmark::Gzip);
+        s.prefill_caches();
+        s.run_instructions(30_000);
+        s.drain();
+        assert_eq!(s.stats().detected, 0);
+        assert_eq!(s.stats().recoveries, 0);
+        assert!(s.leader_matches_golden());
+        assert!(s.stats().verified_ok >= 30_000);
+    }
+
+    #[test]
+    fn checker_keeps_up_without_stalling_leader() {
+        // Paper Fig. 1: "No performance loss for the leading core".
+        let mut s = system(Benchmark::Gzip);
+        s.prefill_caches();
+        s.run_instructions(60_000);
+        let stall =
+            s.leader().activity().commit_stall_cycles as f64 / s.leader().activity().cycles as f64;
+        assert!(stall < 0.02, "leader stalled {:.3} of cycles", stall);
+    }
+
+    #[test]
+    fn checker_runs_below_peak_frequency() {
+        let mut s = system(Benchmark::Twolf);
+        s.prefill_caches();
+        s.run_instructions(120_000);
+        let mean = s.dfs().mean_fraction();
+        assert!(
+            mean > 0.2 && mean < 0.95,
+            "checker should settle well below peak, got {mean}"
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_detected_and_recovered() {
+        let mut s = system(Benchmark::Gzip).with_fault_injection(7, 2e-4, EccConfig::paper());
+        s.prefill_caches();
+        s.run_instructions(50_000);
+        s.drain();
+        assert!(s.injector().unwrap().injected() > 0, "faults were injected");
+        assert!(s.stats().detected > 0, "checker detected errors");
+        assert!(s.stats().recoveries > 0);
+        // With full ECC every recovery must restore golden state.
+        assert_eq!(s.stats().unrecoverable, 0, "paper config recovers fully");
+        assert!(s.leader_matches_golden(), "no silent corruption");
+    }
+
+    #[test]
+    fn recovery_costs_cycles() {
+        let run = |rate: f64| {
+            let mut s = system(Benchmark::Gzip).with_fault_injection(3, rate, EccConfig::paper());
+            s.prefill_caches();
+            s.run_instructions(40_000);
+            (s.effective_ipc(), s.stats().recoveries)
+        };
+        let (clean_ipc, r0) = run(0.0);
+        let (faulty_ipc, r1) = run(5e-3);
+        assert_eq!(r0, 0);
+        assert!(r1 > 0);
+        assert!(
+            faulty_ipc < clean_ipc,
+            "recoveries must cost throughput: {faulty_ipc} vs {clean_ipc}"
+        );
+    }
+
+    #[test]
+    fn boq_faults_are_harmless() {
+        // Only inject BOQ-class faults by using a payload mutation
+        // directly: branch outcome flips must never corrupt state.
+        let mut s = system(Benchmark::Vpr).with_fault_injection(11, 1e-3, EccConfig::paper());
+        s.prefill_caches();
+        s.run_instructions(30_000);
+        s.drain();
+        // Any BOQ-site fault must be classified masked or recovered; the
+        // system must end architecturally clean either way.
+        assert!(s.leader_matches_golden());
+    }
+
+    #[test]
+    fn slack_is_maintained_near_queue_capacity_fraction() {
+        let mut s = system(Benchmark::Mesa);
+        s.prefill_caches();
+        s.run_instructions(80_000);
+        let slack = s.stats().mean_slack();
+        assert!(
+            slack > 5.0 && slack < 200.0,
+            "slack should sit inside the RVQ, got {slack}"
+        );
+    }
+
+    #[test]
+    fn interrupt_service_waits_for_the_checker() {
+        let mut s = system(Benchmark::Gzip);
+        s.prefill_caches();
+        s.run_instructions(5_000);
+        let backlog = s.queues().occupancy().rvq + s.trailer().in_flight();
+        let cycles = s.service_interrupt();
+        // Everything verified: safe to take the interrupt.
+        assert_eq!(s.queues().occupancy().rvq, 0);
+        assert_eq!(s.trailer().in_flight(), 0);
+        // The wait is bounded by the backlog at checker throughput.
+        assert!(
+            cycles as usize <= backlog + 64,
+            "sync took {cycles} cycles for backlog {backlog}"
+        );
+        assert_eq!(s.stats().interrupts_serviced, 1);
+        // Execution resumes normally afterwards.
+        let before = s.leader().activity().committed;
+        s.run_instructions(2_000);
+        assert!(s.leader().activity().committed > before);
+        assert_eq!(s.stats().detected, 0);
+    }
+
+    #[test]
+    fn interrupt_latency_tracks_slack() {
+        // With a near-empty RVQ the synchronization is nearly free.
+        let mut s = system(Benchmark::Gzip);
+        s.prefill_caches();
+        s.run_instructions(5_000);
+        s.drain();
+        let cycles = s.service_interrupt();
+        assert!(cycles < 16, "drained system syncs instantly, took {cycles}");
+    }
+
+    #[test]
+    fn frequency_histogram_is_a_distribution() {
+        let mut s = system(Benchmark::Gap);
+        s.prefill_caches();
+        s.run_instructions(100_000);
+        let h = s.frequency_histogram();
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,328 @@
+//! Steady-state 3D thermal grid solver (HotSpot-style finite volumes).
+//!
+//! Each stack layer is discretized into `grid x grid` cells. Cells
+//! conduct laterally within a layer and vertically to the layers above
+//! and below; the bottom face convects into the ambient through the
+//! calibrated sink coefficient; all other outer faces are adiabatic
+//! (standard HotSpot secondary-path simplification). The resulting
+//! linear system `G·T = P` is solved by red-black successive
+//! over-relaxation.
+
+use crate::model::{layer_stack, PowerMap, ThermalConfig};
+use crate::result::ThermalResult;
+use rmt3d_floorplan::ChipFloorplan;
+use rmt3d_units::Celsius;
+
+/// Errors from a thermal solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// The configuration failed validation.
+    BadConfig(String),
+    /// SOR failed to converge within the iteration cap.
+    NotConverged {
+        /// Residual at the cap.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalError::BadConfig(msg) => write!(f, "invalid thermal configuration: {msg}"),
+            ThermalError::NotConverged { residual } => {
+                write!(
+                    f,
+                    "thermal solver did not converge (residual {residual:.2e} K)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+/// Solves the steady-state temperature field of `plan` under `power`.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::BadConfig`] for invalid configurations and
+/// [`ThermalError::NotConverged`] if SOR stalls (pathological inputs).
+pub fn solve(
+    plan: &ChipFloorplan,
+    power: &PowerMap,
+    cfg: &ThermalConfig,
+) -> Result<ThermalResult, ThermalError> {
+    cfg.validate().map_err(ThermalError::BadConfig)?;
+    let n = cfg.grid;
+    let layers = layer_stack(plan, cfg);
+    let nl = layers.len();
+
+    // Geometry in metres.
+    let die_w = plan.dies[0].width * 1e-3;
+    let die_h = plan.dies[0].height * 1e-3;
+    let cw = die_w / n as f64;
+    let ch = die_h / n as f64;
+    let cell_area = cw * ch;
+
+    // Per-layer lateral conductances (uniform cells).
+    // G_x couples east-west neighbours, G_y north-south.
+    let g_x: Vec<f64> = layers
+        .iter()
+        .map(|l| l.conductivity * (l.thickness_um * 1e-6 * ch) / cw)
+        .collect();
+    let g_y: Vec<f64> = layers
+        .iter()
+        .map(|l| l.conductivity * (l.thickness_um * 1e-6 * cw) / ch)
+        .collect();
+    // Vertical conductance between layer l and l+1 (series of half
+    // thicknesses).
+    let g_v: Vec<f64> = layers
+        .windows(2)
+        .map(|w| {
+            let r = (w[0].thickness_um * 1e-6) / (2.0 * w[0].conductivity)
+                + (w[1].thickness_um * 1e-6) / (2.0 * w[1].conductivity);
+            cell_area / r
+        })
+        .collect();
+    // Bottom-face sink conductance per cell (through half the spreader).
+    let r_sink = 1.0 / (cfg.sink_h * cell_area)
+        + (layers[0].thickness_um * 1e-6) / (2.0 * layers[0].conductivity) / cell_area;
+    let g_sink = 1.0 / r_sink;
+
+    // Rasterize power onto the injection layers.
+    let mut p = vec![0.0f64; nl * n * n];
+    for (li, layer) in layers.iter().enumerate() {
+        let Some(die_idx) = layer.injects_die else {
+            continue;
+        };
+        let die = &plan.dies[die_idx];
+        for block in &die.blocks {
+            let w = power.get(block.id).0;
+            if w == 0.0 {
+                continue;
+            }
+            let density = w / (block.rect.w * block.rect.h); // W per mm^2
+                                                             // Overlap of the block with each covered cell (mm units).
+            let cw_mm = cw * 1e3;
+            let ch_mm = ch * 1e3;
+            let i0 = (block.rect.x / cw_mm).floor().max(0.0) as usize;
+            let i1 = ((block.rect.right() / cw_mm).ceil() as usize).min(n);
+            let j0 = (block.rect.y / ch_mm).floor().max(0.0) as usize;
+            let j1 = ((block.rect.top() / ch_mm).ceil() as usize).min(n);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    let ox = (block.rect.right().min((i + 1) as f64 * cw_mm)
+                        - block.rect.x.max(i as f64 * cw_mm))
+                    .max(0.0);
+                    let oy = (block.rect.top().min((j + 1) as f64 * ch_mm)
+                        - block.rect.y.max(j as f64 * ch_mm))
+                    .max(0.0);
+                    p[(li * n + j) * n + i] += density * ox * oy;
+                }
+            }
+        }
+    }
+
+    // SOR over T (absolute °C), initialised at ambient.
+    let amb = cfg.ambient.0;
+    let mut t = vec![amb; nl * n * n];
+    let idx = |l: usize, j: usize, i: usize| (l * n + j) * n + i;
+    let mut residual = f64::INFINITY;
+    let mut iters = 0;
+    while residual > cfg.tolerance && iters < cfg.max_iters {
+        residual = 0.0;
+        for color in 0..2 {
+            for l in 0..nl {
+                for j in 0..n {
+                    for i in 0..n {
+                        if (i + j + l) % 2 != color {
+                            continue;
+                        }
+                        let mut num = p[idx(l, j, i)];
+                        let mut den = 0.0;
+                        if i > 0 {
+                            num += g_x[l] * t[idx(l, j, i - 1)];
+                            den += g_x[l];
+                        }
+                        if i + 1 < n {
+                            num += g_x[l] * t[idx(l, j, i + 1)];
+                            den += g_x[l];
+                        }
+                        if j > 0 {
+                            num += g_y[l] * t[idx(l, j - 1, i)];
+                            den += g_y[l];
+                        }
+                        if j + 1 < n {
+                            num += g_y[l] * t[idx(l, j + 1, i)];
+                            den += g_y[l];
+                        }
+                        if l > 0 {
+                            num += g_v[l - 1] * t[idx(l - 1, j, i)];
+                            den += g_v[l - 1];
+                        } else {
+                            num += g_sink * amb;
+                            den += g_sink;
+                        }
+                        if l + 1 < nl {
+                            num += g_v[l] * t[idx(l + 1, j, i)];
+                            den += g_v[l];
+                        }
+                        let old = t[idx(l, j, i)];
+                        let gs = num / den;
+                        let new = old + cfg.sor_omega * (gs - old);
+                        let d = (new - old).abs();
+                        if d > residual {
+                            residual = d;
+                        }
+                        t[idx(l, j, i)] = new;
+                    }
+                }
+            }
+        }
+        iters += 1;
+    }
+    if residual > cfg.tolerance {
+        return Err(ThermalError::NotConverged { residual });
+    }
+
+    // Extract per-die active-layer temperature fields.
+    let mut die_fields = Vec::new();
+    for (li, layer) in layers.iter().enumerate() {
+        if let Some(die_idx) = layer.injects_die {
+            let field: Vec<f64> = t[(li * n * n)..((li + 1) * n * n)].to_vec();
+            die_fields.push((die_idx, field));
+        }
+    }
+    die_fields.sort_by_key(|(d, _)| *d);
+    Ok(ThermalResult::new(
+        plan.clone(),
+        n,
+        die_fields.into_iter().map(|(_, f)| f).collect(),
+        Celsius(amb),
+        iters,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::table3;
+    use rmt3d_floorplan::BlockId;
+    use rmt3d_power::CoreBlock;
+
+    use rmt3d_units::Watts;
+
+    fn uniform_map(plan: &ChipFloorplan, total: f64) -> PowerMap {
+        let mut m = PowerMap::new();
+        let nblocks: usize = plan.dies.iter().map(|d| d.blocks.len()).sum();
+        for die in &plan.dies {
+            for b in &die.blocks {
+                m.set(b.id, Watts(total / nblocks as f64));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn zero_power_sits_at_ambient() {
+        let plan = ChipFloorplan::two_d_a();
+        let r = solve(&plan, &PowerMap::new(), &ThermalConfig::fast()).unwrap();
+        assert!((r.peak().0 - 47.0).abs() < 1e-3, "peak {}", r.peak());
+    }
+
+    #[test]
+    fn uniform_power_heats_uniformly_above_ambient() {
+        let plan = ChipFloorplan::two_d_a();
+        let cfg = ThermalConfig::fast();
+        let r = solve(&plan, &uniform_map(&plan, 45.0), &cfg).unwrap();
+        assert!(r.peak().0 > 50.0, "heated: {}", r.peak());
+        // Energy balance: under uniform power the mean active-layer rise
+        // equals P times the series resistance of sink + spreader + bulk
+        // (+ half the active/metal layer) over the die area.
+        let area = plan.dies[0].area().0 * 1e-6;
+        let r_stack = 1.0 / cfg.sink_h
+            + cfg.spreader_um * 1e-6 / cfg.spreader_k
+            + table3::BULK_DIE1_UM * 1e-6 / table3::K_SI
+            + (table3::ACTIVE_UM + table3::METAL_UM) * 1e-6 / (2.0 * table3::K_METAL);
+        let expected = 45.0 * r_stack / area;
+        let mean_rise = r.mean().0 - 47.0;
+        assert!(
+            (mean_rise - expected).abs() / expected < 0.10,
+            "mean rise {mean_rise} vs conservation estimate {expected}"
+        );
+    }
+
+    #[test]
+    fn doubling_power_doubles_the_rise() {
+        // The system is linear in power.
+        let plan = ChipFloorplan::two_d_a();
+        let cfg = ThermalConfig::fast();
+        let r1 = solve(&plan, &uniform_map(&plan, 20.0), &cfg).unwrap();
+        let r2 = solve(&plan, &uniform_map(&plan, 40.0), &cfg).unwrap();
+        let rise1 = r1.peak().0 - 47.0;
+        let rise2 = r2.peak().0 - 47.0;
+        assert!((rise2 / rise1 - 2.0).abs() < 0.05, "{rise1} -> {rise2}");
+    }
+
+    #[test]
+    fn concentrated_power_is_hotter_than_spread_power() {
+        let plan = ChipFloorplan::two_d_a();
+        let cfg = ThermalConfig::fast();
+        let mut hot = PowerMap::new();
+        hot.set(BlockId::Leader(CoreBlock::ExecInt), Watts(20.0));
+        let spread = uniform_map(&plan, 20.0);
+        let r_hot = solve(&plan, &hot, &cfg).unwrap();
+        let r_spread = solve(&plan, &spread, &cfg).unwrap();
+        assert!(
+            r_hot.peak().0 > r_spread.peak().0 + 2.0,
+            "hotspot {} vs spread {}",
+            r_hot.peak(),
+            r_spread.peak()
+        );
+    }
+
+    #[test]
+    fn upper_die_power_heats_more_than_lower_die_power() {
+        // Heat from the stacked die must traverse the d2d layer and the
+        // lower die to reach the sink — the core 3D thermal penalty.
+        let plan = ChipFloorplan::three_d_2a();
+        let cfg = ThermalConfig::fast();
+        // Same power on same-sized, vertically aligned footprints: bank
+        // (0,1) sits at x[0,2.48] y[3.6..], bank (1,3) at x[0,2.48]
+        // y[3.25..] directly above it.
+        let mut lower = PowerMap::new();
+        lower.set(BlockId::L2Bank { die: 0, index: 1 }, Watts(10.0));
+        let mut upper = PowerMap::new();
+        upper.set(BlockId::L2Bank { die: 1, index: 3 }, Watts(10.0));
+        let rl = solve(&plan, &lower, &cfg).unwrap();
+        let ru = solve(&plan, &upper, &cfg).unwrap();
+        assert!(
+            ru.peak().0 > rl.peak().0,
+            "upper {} should exceed lower {}",
+            ru.peak(),
+            rl.peak()
+        );
+    }
+
+    #[test]
+    fn larger_die_runs_cooler_at_equal_power() {
+        // 2d-2a has twice the area (and effectively a larger sink).
+        let small = ChipFloorplan::two_d_a();
+        let large = ChipFloorplan::two_d_2a();
+        let cfg = ThermalConfig::fast();
+        let rs = solve(&small, &uniform_map(&small, 45.0), &cfg).unwrap();
+        let rl = solve(&large, &uniform_map(&large, 45.0), &cfg).unwrap();
+        assert!(rl.peak().0 < rs.peak().0);
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let cfg = ThermalConfig {
+            grid: 1,
+            ..ThermalConfig::fast()
+        };
+        let e = solve(&ChipFloorplan::two_d_a(), &PowerMap::new(), &cfg).unwrap_err();
+        assert!(matches!(e, ThermalError::BadConfig(_)));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Typed physical quantities for the `rmt3d` simulator family.
+//!
+//! Every crate in the workspace exchanges power, temperature, geometry and
+//! timing values. Raw `f64`s invite unit mistakes (milliwatts vs. watts,
+//! Celsius vs. Kelvin), so this crate provides thin newtypes with the
+//! arithmetic that is physically meaningful and nothing more
+//! (C-NEWTYPE / C-CUSTOM-TYPE).
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt3d_units::{Watts, Celsius, SquareMillimeters};
+//!
+//! let core = Watts(35.0);
+//! let cache = Watts(3.5);
+//! let total = core + cache;
+//! assert_eq!(total, Watts(38.5));
+//!
+//! let density = total / SquareMillimeters(19.6);
+//! assert!(density.watts_per_mm2() > 1.9);
+//!
+//! let t = Celsius(47.0) + rmt3d_units::DegreesDelta(4.5);
+//! assert_eq!(t, Celsius(51.5));
+//! ```
+
+mod quantity;
+mod tech;
+mod time;
+
+pub use quantity::{
+    Celsius, DegreesDelta, Joules, Kelvin, Micrometers, Millimeters, Nanometers, PowerDensity,
+    SquareMillimeters, Watts,
+};
+pub use tech::TechNode;
+pub use time::{Cycles, Gigahertz, NormalizedFrequency, Picoseconds, Seconds};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_module_composition() {
+        // Energy = power x time.
+        let e = Watts(2.0) * Seconds(3.0);
+        assert_eq!(e, Joules(6.0));
+        // Cycle time of a 2 GHz clock is 500 ps.
+        let ct = Gigahertz(2.0).cycle_time();
+        assert!((ct.0 - 500.0).abs() < 1e-9);
+    }
+}

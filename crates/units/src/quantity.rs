@@ -1,0 +1,454 @@
+//! Power, temperature and geometry quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the standard arithmetic surface shared by all linear
+/// quantities: addition/subtraction with itself and scaling by `f64`.
+macro_rules! linear_quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw scalar value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+linear_quantity!(
+    /// Electrical or thermal power in watts.
+    Watts,
+    "W"
+);
+linear_quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+linear_quantity!(
+    /// Area in square millimetres (the natural unit for die floorplans).
+    SquareMillimeters,
+    "mm^2"
+);
+linear_quantity!(
+    /// Length in millimetres (floorplan coordinates, wire lengths).
+    Millimeters,
+    "mm"
+);
+linear_quantity!(
+    /// Length in micrometres (layer thicknesses, via dimensions).
+    Micrometers,
+    "um"
+);
+linear_quantity!(
+    /// Length in nanometres (feature sizes, wire pitch).
+    Nanometers,
+    "nm"
+);
+linear_quantity!(
+    /// A temperature *difference* in degrees (Celsius and Kelvin deltas
+    /// are identical).
+    DegreesDelta,
+    "deg"
+);
+
+impl Watts {
+    /// Converts to milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Constructs from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Watts {
+        Watts(mw * 1e-3)
+    }
+}
+
+impl Millimeters {
+    /// Converts to metres.
+    #[inline]
+    pub fn meters(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Converts to micrometres.
+    #[inline]
+    pub fn micrometers(self) -> Micrometers {
+        Micrometers(self.0 * 1e3)
+    }
+}
+
+impl Micrometers {
+    /// Converts to metres.
+    #[inline]
+    pub fn meters(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Converts to millimetres.
+    #[inline]
+    pub fn millimeters(self) -> Millimeters {
+        Millimeters(self.0 * 1e-3)
+    }
+}
+
+impl Nanometers {
+    /// Converts to metres.
+    #[inline]
+    pub fn meters(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Converts to millimetres.
+    #[inline]
+    pub fn millimeters(self) -> Millimeters {
+        Millimeters(self.0 * 1e-6)
+    }
+}
+
+impl Mul<Millimeters> for Millimeters {
+    type Output = SquareMillimeters;
+    #[inline]
+    fn mul(self, rhs: Millimeters) -> SquareMillimeters {
+        SquareMillimeters(self.0 * rhs.0)
+    }
+}
+
+/// Power per unit area, the quantity that ultimately drives hot-spot
+/// temperatures (paper §3.2: "the temperature increase is a strong
+/// function of the power density of the hottest block").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct PowerDensity(pub f64);
+
+impl PowerDensity {
+    /// Raw value in W/mm².
+    #[inline]
+    pub fn watts_per_mm2(self) -> f64 {
+        self.0
+    }
+
+    /// Raw value in W/m².
+    #[inline]
+    pub fn watts_per_m2(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Div<SquareMillimeters> for Watts {
+    type Output = PowerDensity;
+    #[inline]
+    fn div(self, rhs: SquareMillimeters) -> PowerDensity {
+        PowerDensity(self.0 / rhs.0)
+    }
+}
+
+impl Mul<SquareMillimeters> for PowerDensity {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: SquareMillimeters) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for PowerDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} W/mm^2", self.0)
+    }
+}
+
+/// An absolute temperature on the Celsius scale.
+///
+/// Absolute temperatures deliberately do **not** implement `Add<Celsius>`:
+/// adding two absolute temperatures is meaningless. They combine with
+/// [`DegreesDelta`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(pub f64);
+
+/// An absolute temperature on the Kelvin scale.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kelvin(pub f64);
+
+impl Celsius {
+    /// Converts to Kelvin.
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + 273.15)
+    }
+
+    /// Returns the larger of two temperatures.
+    #[inline]
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[inline]
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+
+    /// Raw value in degrees Celsius.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Kelvin {
+    /// Converts to Celsius.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - 273.15)
+    }
+
+    /// Raw value in kelvins.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+impl Add<DegreesDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: DegreesDelta) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl Sub<DegreesDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: DegreesDelta) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Celsius {
+    type Output = DegreesDelta;
+    #[inline]
+    fn sub(self, rhs: Celsius) -> DegreesDelta {
+        DegreesDelta(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} C", self.0)
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} K", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_arithmetic() {
+        assert_eq!(Watts(1.5) + Watts(2.5), Watts(4.0));
+        assert_eq!(Watts(5.0) - Watts(2.0), Watts(3.0));
+        assert_eq!(Watts(2.0) * 3.0, Watts(6.0));
+        assert_eq!(3.0 * Watts(2.0), Watts(6.0));
+        assert_eq!(Watts(6.0) / 3.0, Watts(2.0));
+        assert_eq!(Watts(6.0) / Watts(3.0), 2.0);
+    }
+
+    #[test]
+    fn watts_sum_and_accumulate() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.0)].into_iter().sum();
+        assert_eq!(total, Watts(6.0));
+        let mut w = Watts(1.0);
+        w += Watts(0.5);
+        w -= Watts(0.25);
+        assert_eq!(w, Watts(1.25));
+    }
+
+    #[test]
+    fn milliwatt_round_trip() {
+        let w = Watts::from_milliwatts(15.49);
+        assert!((w.0 - 0.01549).abs() < 1e-12);
+        assert!((w.milliwatts() - 15.49).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_density_composition() {
+        // Table 2: leading core 35 W over 19.6 mm^2.
+        let d = Watts(35.0) / SquareMillimeters(19.6);
+        assert!((d.watts_per_mm2() - 1.7857).abs() < 1e-3);
+        let back = d * SquareMillimeters(19.6);
+        assert!((back.0 - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_scales() {
+        let c = Celsius(47.0);
+        assert!((c.to_kelvin().0 - 320.15).abs() < 1e-9);
+        let k: Kelvin = c.into();
+        let c2: Celsius = k.into();
+        assert!((c2.0 - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_deltas() {
+        let base = Celsius(70.0);
+        let hot = base + DegreesDelta(7.0);
+        assert_eq!(hot, Celsius(77.0));
+        assert_eq!(hot - base, DegreesDelta(7.0));
+        assert_eq!(hot - DegreesDelta(7.0), base);
+    }
+
+    #[test]
+    fn length_conversions() {
+        assert!((Micrometers(10.0).meters() - 1e-5).abs() < 1e-18);
+        assert!((Nanometers(210.0).millimeters().0 - 2.1e-4).abs() < 1e-12);
+        assert!((Millimeters(1.0).micrometers().0 - 1000.0).abs() < 1e-9);
+        let a = Millimeters(2.0) * Millimeters(3.0);
+        assert_eq!(a, SquareMillimeters(6.0));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Watts(1.0).max(Watts(2.0)), Watts(2.0));
+        assert_eq!(Watts(1.0).min(Watts(2.0)), Watts(1.0));
+        assert_eq!((-Watts(3.0)).abs(), Watts(3.0));
+        assert_eq!(Celsius(60.0).max(Celsius(50.0)), Celsius(60.0));
+        assert_eq!(Celsius(60.0).min(Celsius(50.0)), Celsius(50.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Watts::ZERO).is_empty());
+        assert!(!format!("{}", Celsius(0.0)).is_empty());
+        assert!(!format!("{}", PowerDensity(0.0)).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Process technology nodes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A CMOS process technology node.
+///
+/// The paper's heterogeneity study (§4) maps the checker die between
+/// nodes: the leading die is 65 nm, and the checker die may use an older
+/// (90 nm) or newer (45 nm) process. Tables 6-8 cover 32-180 nm.
+///
+/// # Examples
+///
+/// ```
+/// use rmt3d_units::TechNode;
+///
+/// assert!(TechNode::N90.is_older_than(TechNode::N65));
+/// assert_eq!(TechNode::N90.feature_nm(), 90.0);
+/// assert_eq!("65".parse::<TechNode>().unwrap(), TechNode::N65);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TechNode {
+    /// 180 nm (SER scaling reference point, Fig. 8).
+    N180,
+    /// 130 nm.
+    N130,
+    /// 90 nm (the "older process" of the heterogeneity study).
+    N90,
+    /// 80 nm (Table 6 variability row).
+    N80,
+    /// 65 nm (the paper's baseline node: 2 GHz, 1 V).
+    N65,
+    /// 45 nm.
+    N45,
+    /// 32 nm (Table 6 variability row).
+    N32,
+}
+
+impl TechNode {
+    /// All nodes, newest last.
+    pub const ALL: [TechNode; 7] = [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N80,
+        TechNode::N65,
+        TechNode::N45,
+        TechNode::N32,
+    ];
+
+    /// The feature size in nanometres.
+    #[inline]
+    pub fn feature_nm(self) -> f64 {
+        match self {
+            TechNode::N180 => 180.0,
+            TechNode::N130 => 130.0,
+            TechNode::N90 => 90.0,
+            TechNode::N80 => 80.0,
+            TechNode::N65 => 65.0,
+            TechNode::N45 => 45.0,
+            TechNode::N32 => 32.0,
+        }
+    }
+
+    /// True when `self` is an older (larger feature size) process than
+    /// `other`.
+    #[inline]
+    pub fn is_older_than(self, other: TechNode) -> bool {
+        self.feature_nm() > other.feature_nm()
+    }
+
+    /// Linear shrink factor from `self` to `to` (e.g. 90→65 is ~0.72).
+    #[inline]
+    pub fn linear_shrink_to(self, to: TechNode) -> f64 {
+        to.feature_nm() / self.feature_nm()
+    }
+
+    /// Ideal area scaling factor from `self` to `to` (square of the
+    /// linear shrink). Real designs scale less well; see
+    /// `rmt3d-floorplan` for the non-ideal SRAM/logic factors.
+    #[inline]
+    pub fn ideal_area_shrink_to(self, to: TechNode) -> f64 {
+        let s = self.linear_shrink_to(to);
+        s * s
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nm", self.feature_nm())
+    }
+}
+
+/// Error returned when parsing an unknown technology node string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTechNodeError(String);
+
+impl fmt::Display for ParseTechNodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown technology node `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseTechNodeError {}
+
+impl FromStr for TechNode {
+    type Err = ParseTechNodeError;
+
+    /// Parses `"65"`, `"65nm"` or `"65 nm"` (case-insensitive).
+    fn from_str(s: &str) -> Result<TechNode, ParseTechNodeError> {
+        let t = s.trim().to_ascii_lowercase();
+        let t = t.strip_suffix("nm").unwrap_or(&t).trim();
+        match t {
+            "180" => Ok(TechNode::N180),
+            "130" => Ok(TechNode::N130),
+            "90" => Ok(TechNode::N90),
+            "80" => Ok(TechNode::N80),
+            "65" => Ok(TechNode::N65),
+            "45" => Ok(TechNode::N45),
+            "32" => Ok(TechNode::N32),
+            _ => Err(ParseTechNodeError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_age() {
+        assert!(TechNode::N90.is_older_than(TechNode::N65));
+        assert!(!TechNode::N45.is_older_than(TechNode::N65));
+        assert!(!TechNode::N65.is_older_than(TechNode::N65));
+    }
+
+    #[test]
+    fn shrink_factors() {
+        let s = TechNode::N90.linear_shrink_to(TechNode::N65);
+        assert!((s - 65.0 / 90.0).abs() < 1e-12);
+        let a = TechNode::N90.ideal_area_shrink_to(TechNode::N65);
+        assert!((a - s * s).abs() < 1e-12);
+        // Identity shrink.
+        assert!((TechNode::N65.linear_shrink_to(TechNode::N65) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!("90".parse::<TechNode>().unwrap(), TechNode::N90);
+        assert_eq!("90nm".parse::<TechNode>().unwrap(), TechNode::N90);
+        assert_eq!(" 90 NM ".parse::<TechNode>().unwrap(), TechNode::N90);
+        assert!("14".parse::<TechNode>().is_err());
+        let err = "14".parse::<TechNode>().unwrap_err();
+        assert!(err.to_string().contains("14"));
+    }
+
+    #[test]
+    fn all_is_sorted_oldest_first() {
+        for w in TechNode::ALL.windows(2) {
+            assert!(w[0].feature_nm() > w[1].feature_nm());
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TechNode::N65.to_string(), "65 nm");
+    }
+}

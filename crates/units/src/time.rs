@@ -1,0 +1,366 @@
+//! Time, frequency and cycle-count quantities.
+
+use crate::Joules;
+use crate::Watts;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Wall-clock time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+/// Time in picoseconds (gate and pipeline-stage delays).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Picoseconds(pub f64);
+
+/// Clock frequency in gigahertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Gigahertz(pub f64);
+
+/// An integral count of clock cycles in a specific clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+/// A frequency expressed as a fraction of a peak frequency, in `[0, 1]`.
+///
+/// The paper's DFS controller steps the checker core through discrete
+/// normalized frequency levels (Fig. 7 plots a histogram over `0.1f ..= f`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct NormalizedFrequency(f64);
+
+impl Seconds {
+    /// Converts to picoseconds.
+    #[inline]
+    pub fn picoseconds(self) -> Picoseconds {
+        Picoseconds(self.0 * 1e12)
+    }
+
+    /// Raw value in seconds.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Picoseconds {
+    /// Converts to seconds.
+    #[inline]
+    pub fn seconds(self) -> Seconds {
+        Seconds(self.0 * 1e-12)
+    }
+
+    /// Converts to nanoseconds.
+    #[inline]
+    pub fn nanoseconds(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl Gigahertz {
+    /// The cycle time of this clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[inline]
+    pub fn cycle_time(self) -> Picoseconds {
+        assert!(self.0 > 0.0, "cycle time of non-positive frequency");
+        Picoseconds(1000.0 / self.0)
+    }
+
+    /// Raw value in hertz.
+    #[inline]
+    pub fn hertz(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Raw value in gigahertz.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Raw count.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Wall-clock duration of this many cycles at frequency `f`.
+    #[inline]
+    pub fn duration_at(self, f: Gigahertz) -> Seconds {
+        Seconds(self.0 as f64 / f.hertz())
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl NormalizedFrequency {
+    /// Full speed (`1.0 f`).
+    pub const FULL: NormalizedFrequency = NormalizedFrequency(1.0);
+
+    /// Creates a normalized frequency, clamping into `[0, 1]`.
+    #[inline]
+    pub fn new(fraction: f64) -> NormalizedFrequency {
+        NormalizedFrequency(fraction.clamp(0.0, 1.0))
+    }
+
+    /// The fraction of peak frequency.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to an absolute frequency given the peak.
+    #[inline]
+    pub fn at_peak(self, peak: Gigahertz) -> Gigahertz {
+        Gigahertz(peak.0 * self.0)
+    }
+
+    /// Snaps to the nearest multiple of `step` (e.g. `0.1` for the
+    /// paper's 10 discrete DFS levels), never exceeding 1.0 and never
+    /// going below one step.
+    #[inline]
+    pub fn quantize(self, step: f64) -> NormalizedFrequency {
+        assert!(step > 0.0 && step <= 1.0, "invalid quantization step");
+        let snapped = (self.0 / step).round() * step;
+        NormalizedFrequency(snapped.clamp(step, 1.0))
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    #[inline]
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    #[inline]
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    #[inline]
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Add for Picoseconds {
+    type Output = Picoseconds;
+    #[inline]
+    fn add(self, rhs: Picoseconds) -> Picoseconds {
+        Picoseconds(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Picoseconds {
+    type Output = Picoseconds;
+    #[inline]
+    fn sub(self, rhs: Picoseconds) -> Picoseconds {
+        Picoseconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Picoseconds {
+    type Output = Picoseconds;
+    #[inline]
+    fn mul(self, rhs: f64) -> Picoseconds {
+        Picoseconds(self.0 * rhs)
+    }
+}
+
+impl Div<Picoseconds> for Picoseconds {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Picoseconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Mul<f64> for Gigahertz {
+    type Output = Gigahertz;
+    #[inline]
+    fn mul(self, rhs: f64) -> Gigahertz {
+        Gigahertz(self.0 * rhs)
+    }
+}
+
+impl Div<Gigahertz> for Gigahertz {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Gigahertz) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`Cycles::saturating_sub`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6e} s", self.0)
+    }
+}
+
+impl fmt::Display for Picoseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ps", self.0)
+    }
+}
+
+impl fmt::Display for Gigahertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl fmt::Display for NormalizedFrequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}f", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_of_2ghz_is_500ps() {
+        let ct = Gigahertz(2.0).cycle_time();
+        assert!((ct.0 - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive frequency")]
+    fn cycle_time_of_zero_panics() {
+        let _ = Gigahertz(0.0).cycle_time();
+    }
+
+    #[test]
+    fn energy_power_time_triangle() {
+        let e = Watts(10.0) * Seconds(2.0);
+        assert_eq!(e, Joules(20.0));
+        assert_eq!(e / Seconds(2.0), Watts(10.0));
+    }
+
+    #[test]
+    fn cycles_duration() {
+        // 2e9 cycles at 2 GHz is one second.
+        let d = Cycles(2_000_000_000).duration_at(Gigahertz(2.0));
+        assert!((d.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_saturating_sub() {
+        assert_eq!(Cycles(5).saturating_sub(Cycles(10)), Cycles(0));
+        assert_eq!(Cycles(10).saturating_sub(Cycles(4)), Cycles(6));
+    }
+
+    #[test]
+    fn normalized_frequency_clamps() {
+        assert_eq!(NormalizedFrequency::new(1.5).fraction(), 1.0);
+        assert_eq!(NormalizedFrequency::new(-0.5).fraction(), 0.0);
+        assert_eq!(NormalizedFrequency::new(0.6).fraction(), 0.6);
+    }
+
+    #[test]
+    fn normalized_frequency_quantizes_to_dfs_levels() {
+        let q = NormalizedFrequency::new(0.63).quantize(0.1);
+        assert!((q.fraction() - 0.6).abs() < 1e-12);
+        // Never quantizes to zero.
+        let q = NormalizedFrequency::new(0.01).quantize(0.1);
+        assert!((q.fraction() - 0.1).abs() < 1e-12);
+        // Never exceeds full speed.
+        let q = NormalizedFrequency::new(0.99).quantize(0.1);
+        assert!((q.fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_frequency_to_absolute() {
+        let f = NormalizedFrequency::new(0.63).at_peak(Gigahertz(2.0));
+        assert!((f.0 - 1.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picosecond_ratio() {
+        // 90 nm vs 65 nm stage delay ratio from the paper: 714/500.
+        let r = Picoseconds(714.0) / Picoseconds(500.0);
+        assert!((r - 1.428).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,496 @@
+//! Deterministic micro-op trace generation.
+
+use crate::op::{ArchReg, BranchInfo, MemRef, MicroOp, OpClass, INT_REG_COUNT};
+use crate::profile::WorkloadProfile;
+
+/// Cache-line size assumed by the spatial-locality model (bytes).
+const LINE: u64 = 64;
+
+/// Base addresses keeping the three memory regions disjoint.
+const HOT_BASE: u64 = 0x0100_0000;
+const WARM_BASE: u64 = 0x1000_0000;
+const STREAM_BASE: u64 = 0x8000_0000;
+/// The streaming region wraps after 256 MiB — far larger than any cache.
+const STREAM_SIZE: u64 = 256 * 1024 * 1024;
+
+/// Code region: static branch sites and instruction PCs live here.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Sequential code wraps within this footprint: programs loop, so the
+/// instruction working set stays cacheable (SPEC2k I-miss rates are
+/// small). 16 KiB of straight-line code + the branch-site region fit
+/// comfortably in the 32 KiB L1 I-cache.
+const CODE_FOOTPRINT: u64 = 16 * 1024;
+
+/// Address-space regions touched by a profile's memory references, used
+/// by simulators to warm caches to steady state before measuring (the
+/// paper measures 100M-instruction SimPoint windows of long-running
+/// programs; short simulation windows must start from warmed caches to
+/// match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegions {
+    /// `(base, bytes)` of the hot region.
+    pub hot: (u64, u64),
+    /// `(base, bytes)` of the warm region.
+    pub warm: (u64, u64),
+    /// `(base, bytes)` of the code footprint (instruction fetches).
+    pub code: (u64, u64),
+}
+
+impl MemoryRegions {
+    /// Computes the regions for a profile.
+    pub fn of(profile: &crate::WorkloadProfile) -> MemoryRegions {
+        MemoryRegions {
+            hot: (HOT_BASE, profile.memory.hot_kb as u64 * 1024),
+            warm: (WARM_BASE, profile.memory.warm_kb as u64 * 1024),
+            code: (CODE_BASE, CODE_FOOTPRINT),
+        }
+    }
+}
+
+/// SplitMix64: tiny, fast, deterministic PRNG. Good enough statistical
+/// quality for workload synthesis and fully reproducible across
+/// platforms, which `rand`'s unseeded entropy sources are not.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0,1).
+    #[inline]
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in [0, n).
+    #[inline]
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiplicative range reduction; bias is negligible for our n.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Behaviour of one static branch site.
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    /// Taken with fixed probability (hard for any predictor when p≈0.5).
+    Biased(f64),
+    /// Repeating taken/not-taken pattern of the given period — learnable
+    /// by a history-based (2-level) predictor but not by bimodal alone.
+    Periodic { period: u8 },
+}
+
+#[derive(Debug, Clone)]
+struct BranchSite {
+    pc: u64,
+    target: u64,
+    kind: BranchKind,
+    /// Occurrence counter driving periodic patterns.
+    count: u64,
+}
+
+impl BranchSite {
+    fn next_outcome(&mut self, rng: &mut SplitMix64) -> bool {
+        self.count += 1;
+        match self.kind {
+            BranchKind::Biased(p) => rng.next_f64() < p,
+            BranchKind::Periodic { period } => {
+                // Pattern: taken for all but one slot of each period —
+                // a loop-branch shape (taken N-1 times, then falls out).
+                !self.count.is_multiple_of(period as u64)
+            }
+        }
+    }
+}
+
+/// Deterministic generator of [`MicroOp`] streams for one
+/// [`WorkloadProfile`].
+///
+/// The generator is an infinite iterator: call [`TraceGenerator::next_op`]
+/// as many times as the simulation window requires (the paper uses 100M
+/// instructions; the default experiments here use shorter windows, see
+/// `EXPERIMENTS.md`).
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: SplitMix64,
+    cum_mix: [f64; 7],
+    seq: u64,
+    pc: u64,
+    /// Destination registers of the most recent 64 register-writing ops,
+    /// indexed by sequence modulo capacity; `None` for non-writers.
+    recent_dests: [Option<ArchReg>; 64],
+    branches: Vec<BranchSite>,
+    /// Current streaming pointer.
+    stream_ptr: u64,
+    /// Remaining lines in the current sequential run and its cursor.
+    run_left: u32,
+    run_addr: u64,
+    /// Round-robin destination register cursors (int / fp).
+    next_int_dest: u8,
+    next_fp_dest: u8,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`]; profiles
+    /// from [`crate::Benchmark`] always validate.
+    pub fn new(profile: WorkloadProfile) -> TraceGenerator {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid workload profile `{}`: {e}", profile.name));
+        let mut rng = SplitMix64::new(profile.seed);
+        let mut branches = Vec::with_capacity(profile.static_branches as usize);
+        for i in 0..profile.static_branches {
+            let pc = CODE_BASE + (i as u64) * 16;
+            let target = CODE_BASE + rng.below(profile.static_branches as u64 * 16);
+            let kind = if rng.next_f64() < profile.predictability {
+                // Periods are capped at 12 so a 12-bit history register
+                // can disambiguate every position (longer periods are
+                // intrinsically ambiguous for the Table 1 predictor).
+                BranchKind::Periodic {
+                    period: 2 + (rng.below(11) as u8),
+                }
+            } else {
+                // Biased branches: mostly strongly biased (predictable by
+                // bimodal), a few near-random ones.
+                let p = if rng.next_f64() < 0.85 {
+                    if rng.next_f64() < 0.5 {
+                        0.95
+                    } else {
+                        0.05
+                    }
+                } else {
+                    0.35 + 0.3 * rng.next_f64()
+                };
+                BranchKind::Biased(p)
+            };
+            branches.push(BranchSite {
+                pc,
+                target,
+                kind,
+                count: 0,
+            });
+        }
+        let cum_mix = profile.mix.cumulative();
+        TraceGenerator {
+            profile,
+            rng,
+            cum_mix,
+            seq: 0,
+            pc: CODE_BASE,
+            recent_dests: [None; 64],
+            branches,
+            stream_ptr: STREAM_BASE,
+            run_left: 0,
+            run_addr: 0,
+            next_int_dest: 1,
+            next_fp_dest: 0,
+        }
+    }
+
+    /// The profile this generator draws from.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Number of ops generated so far.
+    pub fn generated(&self) -> u64 {
+        self.seq
+    }
+
+    fn sample_class(&mut self) -> OpClass {
+        let u = self.rng.next_f64();
+        for (i, &c) in self.cum_mix.iter().enumerate() {
+            if u < c {
+                return OpClass::ALL[i];
+            }
+        }
+        OpClass::Branch
+    }
+
+    /// Draws a geometric dependence distance with the profile's mean,
+    /// clamped to the 64-entry producer window.
+    fn sample_dep_distance(&mut self) -> u32 {
+        let mean = self.profile.dep_mean;
+        // Geometric with success probability 1/mean, support {1,2,...}.
+        let p = 1.0 / mean;
+        let u = self.rng.next_f64().max(1e-12);
+        let d = (u.ln() / (1.0 - p).ln()).ceil() as u32;
+        d.clamp(1, 63)
+    }
+
+    /// Finds the nearest register-writing producer at or beyond the
+    /// sampled distance; returns `(distance, reg)` or `None` when no
+    /// producer exists yet (trace warm-up).
+    fn pick_source(&mut self) -> Option<(u32, ArchReg)> {
+        let want = self.sample_dep_distance();
+        for d in want..64 {
+            if d as u64 > self.seq {
+                break;
+            }
+            let idx = ((self.seq - d as u64) % 64) as usize;
+            if let Some(reg) = self.recent_dests[idx] {
+                return Some((d, reg));
+            }
+        }
+        // Fall back to scanning closer producers.
+        for d in (1..want).rev() {
+            if d as u64 > self.seq {
+                continue;
+            }
+            let idx = ((self.seq - d as u64) % 64) as usize;
+            if let Some(reg) = self.recent_dests[idx] {
+                return Some((d, reg));
+            }
+        }
+        None
+    }
+
+    fn next_mem_ref(&mut self) -> MemRef {
+        let m = &self.profile.memory;
+        if self.run_left > 0 {
+            // Continue the current sequential run.
+            self.run_left -= 1;
+            self.run_addr += LINE;
+            return MemRef {
+                addr: self.run_addr,
+                size: 8,
+            };
+        }
+        let u = self.rng.next_f64();
+        let addr = if u < m.p_hot {
+            let span = m.hot_kb as u64 * 1024;
+            HOT_BASE + self.rng.below(span / LINE) * LINE + self.rng.below(8) * 8
+        } else if u < m.p_hot + m.p_warm {
+            let span = m.warm_kb as u64 * 1024;
+            WARM_BASE + self.rng.below(span / LINE) * LINE
+        } else {
+            self.stream_ptr += LINE;
+            if self.stream_ptr >= STREAM_BASE + STREAM_SIZE {
+                self.stream_ptr = STREAM_BASE;
+            }
+            self.stream_ptr
+        };
+        // Begin a sequential run with probability shaped by spatial_run.
+        if m.spatial_run > 1 && self.rng.next_f64() < 1.0 / m.spatial_run as f64 {
+            self.run_left = self.rng.below(m.spatial_run as u64 * 2) as u32;
+            self.run_addr = addr;
+        }
+        MemRef { addr, size: 8 }
+    }
+
+    fn alloc_dest(&mut self, fp: bool) -> ArchReg {
+        if fp {
+            let r = ArchReg::new(INT_REG_COUNT + self.next_fp_dest);
+            self.next_fp_dest = (self.next_fp_dest + 1) % INT_REG_COUNT;
+            r
+        } else {
+            // Skip r0 (hardwired zero on Alpha).
+            let r = ArchReg::new(self.next_int_dest);
+            self.next_int_dest = 1 + (self.next_int_dest % (INT_REG_COUNT - 1));
+            r
+        }
+    }
+
+    /// Generates the next micro-op in program order.
+    pub fn next_op(&mut self) -> MicroOp {
+        let kind = self.sample_class();
+        let imm = self.rng.next_u64();
+
+        let (src1, src2) = match kind {
+            OpClass::IntAlu | OpClass::Branch => (self.pick_source(), {
+                if self.rng.next_f64() < 0.6 {
+                    self.pick_source()
+                } else {
+                    None
+                }
+            }),
+            OpClass::IntMul | OpClass::FpAlu | OpClass::FpMul => {
+                (self.pick_source(), self.pick_source())
+            }
+            OpClass::Load => (self.pick_source(), None), // address register
+            OpClass::Store => (self.pick_source(), self.pick_source()), // data + address
+        };
+
+        let dest = if kind.writes_register() {
+            Some(self.alloc_dest(kind.is_fp()))
+        } else {
+            None
+        };
+
+        let mem = if kind.is_memory() {
+            Some(self.next_mem_ref())
+        } else {
+            None
+        };
+
+        let (pc, branch) = if kind == OpClass::Branch {
+            let site_idx = self.rng.below(self.branches.len() as u64) as usize;
+            let taken = {
+                let site = &mut self.branches[site_idx];
+
+                site.next_outcome(&mut self.rng)
+            };
+            let site = &self.branches[site_idx];
+            (
+                site.pc,
+                Some(BranchInfo {
+                    taken,
+                    target: site.target,
+                }),
+            )
+        } else {
+            self.pc = CODE_BASE + ((self.pc + 4 - CODE_BASE) % CODE_FOOTPRINT);
+            (self.pc, None)
+        };
+
+        let op = MicroOp {
+            seq: self.seq,
+            pc,
+            kind,
+            dest,
+            src1_dist: src1.map(|(d, _)| d),
+            src2_dist: src2.map(|(d, _)| d),
+            src1_reg: src1.map(|(_, r)| r),
+            src2_reg: src2.map(|(_, r)| r),
+            imm,
+            mem,
+            branch,
+        };
+
+        self.recent_dests[(self.seq % 64) as usize] = dest;
+        self.seq += 1;
+        op
+    }
+
+    /// Generates the next `n` ops into a vector.
+    pub fn take_ops(&mut self, n: usize) -> Vec<MicroOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2k::Benchmark;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = TraceGenerator::new(Benchmark::Gzip.profile()).take_ops(1000);
+        let b = TraceGenerator::new(Benchmark::Gzip.profile()).take_ops(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let a = TraceGenerator::new(Benchmark::Gzip.profile()).take_ops(200);
+        let b = TraceGenerator::new(Benchmark::Mcf.profile()).take_ops(200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_converges_to_profile() {
+        let profile = Benchmark::Gzip.profile();
+        let mix = profile.mix;
+        let ops = TraceGenerator::new(profile).take_ops(200_000);
+        let frac =
+            |k: OpClass| ops.iter().filter(|o| o.kind == k).count() as f64 / ops.len() as f64;
+        assert!((frac(OpClass::Load) - mix.load).abs() < 0.01);
+        assert!((frac(OpClass::Branch) - mix.branch).abs() < 0.01);
+        assert!((frac(OpClass::IntAlu) - mix.int_alu).abs() < 0.01);
+    }
+
+    #[test]
+    fn dependences_reference_real_producers() {
+        let ops = TraceGenerator::new(Benchmark::Twolf.profile()).take_ops(5000);
+        for (i, op) in ops.iter().enumerate() {
+            for (dist, reg) in [(op.src1_dist, op.src1_reg), (op.src2_dist, op.src2_reg)] {
+                if let Some(d) = dist {
+                    assert!(d >= 1 && (d as usize) <= i, "distance in range");
+                    let producer = &ops[i - d as usize];
+                    assert_eq!(
+                        producer.dest, reg,
+                        "source register must match producer dest at #{i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_ops_carry_outcomes_and_others_do_not() {
+        let ops = TraceGenerator::new(Benchmark::Vpr.profile()).take_ops(5000);
+        for op in &ops {
+            assert_eq!(op.kind == OpClass::Branch, op.branch.is_some());
+            assert_eq!(op.kind.is_memory(), op.mem.is_some());
+            assert_eq!(op.kind.writes_register(), op.dest.is_some());
+        }
+    }
+
+    #[test]
+    fn memory_regions_are_disjoint() {
+        let ops = TraceGenerator::new(Benchmark::Art.profile()).take_ops(50_000);
+        for op in &ops {
+            if let Some(m) = op.mem {
+                assert!(m.addr >= HOT_BASE, "below all regions: {:#x}", m.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_contiguous() {
+        let ops = TraceGenerator::new(Benchmark::Eon.profile()).take_ops(100);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn iterator_interface_matches_next_op() {
+        let mut g1 = TraceGenerator::new(Benchmark::Gap.profile());
+        let mut g2 = TraceGenerator::new(Benchmark::Gap.profile());
+        for _ in 0..50 {
+            assert_eq!(g1.next(), Some(g2.next_op()));
+        }
+    }
+
+    #[test]
+    fn splitmix_statistics() {
+        let mut rng = SplitMix64::new(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean of uniform should be ~0.5");
+        // below(n) stays in range.
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+}

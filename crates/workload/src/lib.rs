@@ -1,0 +1,37 @@
+//! Synthetic SPEC2k-like workloads for the `rmt3d` simulator.
+//!
+//! The paper evaluates 19 SPEC2k programs (7 integer, 12 floating point)
+//! over 100M-instruction SimPoint windows. We do not have SPEC binaries or
+//! an Alpha ISA simulator, so this crate provides the closest synthetic
+//! equivalent: a deterministic, seeded generator of *micro-op traces* with
+//! per-program instruction mixes, register-dependence distances, branch
+//! behaviour and memory working sets, calibrated so the aggregate
+//! behaviour (IPC on the paper's core, L2 miss rates, branch MPKI) lands
+//! in the bands the paper reports.
+//!
+//! The trace is what both the leading and trailing cores consume — which
+//! mirrors the paper's redundant-multithreading model, where the trailer
+//! re-executes the leader's committed instruction stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt3d_workload::{Benchmark, TraceGenerator};
+//!
+//! let mut gen = TraceGenerator::new(Benchmark::Mcf.profile());
+//! let op = gen.next_op();
+//! assert!(op.latency() >= 1);
+//! // Traces are deterministic: the same benchmark yields the same stream.
+//! let mut gen2 = TraceGenerator::new(Benchmark::Mcf.profile());
+//! assert_eq!(gen2.next_op(), op);
+//! ```
+
+mod generator;
+mod op;
+mod profile;
+mod spec2k;
+
+pub use generator::{MemoryRegions, TraceGenerator};
+pub use op::{ArchReg, BranchInfo, MemRef, MicroOp, OpClass, INT_REG_COUNT, REG_COUNT};
+pub use profile::{InstructionMix, MemoryProfile, WorkloadProfile};
+pub use spec2k::{Benchmark, Suite};

@@ -1,0 +1,283 @@
+//! Micro-op definitions shared by the trace generator and the core models.
+
+use std::fmt;
+
+/// Number of architectural integer registers (Alpha-like: r0..r31).
+pub const INT_REG_COUNT: u8 = 32;
+
+/// Total architectural registers: 32 integer + 32 floating point.
+pub const REG_COUNT: u8 = 64;
+
+/// An architectural register identifier (`0..REG_COUNT`).
+///
+/// Registers `0..32` are integer, `32..64` floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates a register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= REG_COUNT`.
+    #[inline]
+    pub fn new(index: u8) -> ArchReg {
+        assert!(index < REG_COUNT, "register index out of range");
+        ArchReg(index)
+    }
+
+    /// The raw index (`0..REG_COUNT`).
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True for floating-point registers (`32..64`).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= INT_REG_COUNT
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - INT_REG_COUNT)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Functional classes of micro-ops, matching the paper's functional-unit
+/// inventory (Table 1: 4 int ALUs, 2 int multipliers, 1 FP ALU, 1 FP
+/// multiplier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple integer arithmetic/logic (1-cycle execute).
+    IntAlu,
+    /// Integer multiply/divide (pipelined multi-cycle).
+    IntMul,
+    /// Floating-point add/compare (multi-cycle, pipelined).
+    FpAlu,
+    /// Floating-point multiply/divide (longer latency).
+    FpMul,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional or unconditional control transfer.
+    Branch,
+}
+
+impl OpClass {
+    /// All classes, in instruction-mix order.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Execute latency in cycles (not counting memory-hierarchy time for
+    /// loads, which is added by the cache model).
+    #[inline]
+    pub fn execute_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul => 4,
+            OpClass::Load => 1,  // address generation; cache adds the rest
+            OpClass::Store => 1, // address generation
+            OpClass::Branch => 1,
+        }
+    }
+
+    /// True for classes that write a register result that the checker
+    /// compares (stores and branches produce no register value).
+    #[inline]
+    pub fn writes_register(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch)
+    }
+
+    /// True for memory operations.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True for floating-point classes.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMul)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::FpAlu => "fp-alu",
+            OpClass::FpMul => "fp-mul",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory reference made by a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// Control-flow information attached to branch micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether this dynamic instance is taken.
+    pub taken: bool,
+    /// Branch target address (meaningful when taken).
+    pub target: u64,
+}
+
+/// One dynamic micro-op in a trace.
+///
+/// Dependences are expressed as *distances*: `src1_dist = Some(3)` means
+/// the first operand is produced by the micro-op three positions earlier
+/// in program order. Distances make dependence tracking exact in both the
+/// out-of-order and in-order pipeline models. The architectural register
+/// ids are carried alongside for register-file modelling and fault
+/// injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroOp {
+    /// Sequence number in the trace (program order).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// Functional class.
+    pub kind: OpClass,
+    /// Destination register, if the op writes one.
+    pub dest: Option<ArchReg>,
+    /// Distance (in ops) back to the producer of operand 1.
+    pub src1_dist: Option<u32>,
+    /// Distance back to the producer of operand 2.
+    pub src2_dist: Option<u32>,
+    /// Architectural register of operand 1 (for value semantics).
+    pub src1_reg: Option<ArchReg>,
+    /// Architectural register of operand 2.
+    pub src2_reg: Option<ArchReg>,
+    /// Immediate salt: makes result values distinct across ops.
+    pub imm: u64,
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Branch outcome for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl MicroOp {
+    /// Execute latency of this op (cache time excluded).
+    #[inline]
+    pub fn latency(&self) -> u32 {
+        self.kind.execute_latency()
+    }
+
+    /// Computes the architectural result of this op from its operand
+    /// values. Both cores evaluate this same deterministic function, so a
+    /// bit flip in either core's operand or result is observable as a
+    /// value disagreement — exactly the checking mechanism of the paper.
+    #[inline]
+    pub fn compute_result(&self, src1: u64, src2: u64) -> u64 {
+        // SplitMix64-style mix: cheap, deterministic, sensitive to every
+        // input bit.
+        let mut x = self
+            .imm
+            .wrapping_add(src1.rotate_left(17))
+            .wrapping_add(src2.rotate_left(41))
+            .wrapping_add(self.pc);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {:#x} {}", self.seq, self.pc, self.kind)?;
+        if let Some(d) = self.dest {
+            write!(f, " -> {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_partition() {
+        assert!(!ArchReg::new(0).is_fp());
+        assert!(!ArchReg::new(31).is_fp());
+        assert!(ArchReg::new(32).is_fp());
+        assert!(ArchReg::new(63).is_fp());
+        assert_eq!(ArchReg::new(3).to_string(), "r3");
+        assert_eq!(ArchReg::new(35).to_string(), "f3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_range_checked() {
+        let _ = ArchReg::new(64);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        for k in OpClass::ALL {
+            assert!(k.execute_latency() >= 1);
+        }
+        assert!(OpClass::FpMul.execute_latency() > OpClass::IntAlu.execute_latency());
+    }
+
+    #[test]
+    fn register_writers() {
+        assert!(OpClass::IntAlu.writes_register());
+        assert!(OpClass::Load.writes_register());
+        assert!(!OpClass::Store.writes_register());
+        assert!(!OpClass::Branch.writes_register());
+    }
+
+    #[test]
+    fn result_is_deterministic_and_input_sensitive() {
+        let op = MicroOp {
+            seq: 0,
+            pc: 0x1000,
+            kind: OpClass::IntAlu,
+            dest: Some(ArchReg::new(1)),
+            src1_dist: None,
+            src2_dist: None,
+            src1_reg: None,
+            src2_reg: None,
+            imm: 42,
+            mem: None,
+            branch: None,
+        };
+        let r = op.compute_result(7, 9);
+        assert_eq!(r, op.compute_result(7, 9));
+        assert_ne!(r, op.compute_result(7, 8));
+        assert_ne!(r, op.compute_result(6, 9));
+        // A single-bit operand flip changes the result (error propagates).
+        assert_ne!(r, op.compute_result(7 ^ 1, 9));
+    }
+}

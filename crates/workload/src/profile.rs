@@ -1,0 +1,266 @@
+//! Workload profile parameters.
+//!
+//! A [`WorkloadProfile`] is the complete statistical description of a
+//! synthetic program: instruction mix, dependence distances, branch
+//! behaviour and memory working sets. The 19 SPEC2k-like profiles in
+//! [`crate::Benchmark`] are instances of this type; users can also build
+//! custom profiles for their own studies.
+
+/// Fractions of each op class in the dynamic instruction stream.
+///
+/// The seven fractions must be non-negative and sum to 1 (validated by
+/// [`InstructionMix::new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Simple integer ops.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// FP adds.
+    pub fp_alu: f64,
+    /// FP multiplies.
+    pub fp_mul: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Branches.
+    pub branch: f64,
+}
+
+impl InstructionMix {
+    /// Validates and creates a mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when a fraction is negative or the sum is
+    /// not 1 within 1e-6.
+    pub fn new(
+        int_alu: f64,
+        int_mul: f64,
+        fp_alu: f64,
+        fp_mul: f64,
+        load: f64,
+        store: f64,
+        branch: f64,
+    ) -> Result<InstructionMix, String> {
+        let parts = [int_alu, int_mul, fp_alu, fp_mul, load, store, branch];
+        if parts.iter().any(|&p| p < 0.0) {
+            return Err("instruction mix fractions must be non-negative".to_string());
+        }
+        let sum: f64 = parts.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("instruction mix must sum to 1, got {sum}"));
+        }
+        Ok(InstructionMix {
+            int_alu,
+            int_mul,
+            fp_alu,
+            fp_mul,
+            load,
+            store,
+            branch,
+        })
+    }
+
+    /// A typical integer-program mix.
+    pub fn typical_int() -> InstructionMix {
+        InstructionMix::new(0.42, 0.02, 0.0, 0.0, 0.26, 0.12, 0.18).expect("static mix")
+    }
+
+    /// A typical floating-point-program mix.
+    pub fn typical_fp() -> InstructionMix {
+        InstructionMix::new(0.22, 0.01, 0.22, 0.14, 0.26, 0.09, 0.06).expect("static mix")
+    }
+
+    /// Cumulative distribution over [`crate::OpClass::ALL`], used by the
+    /// generator for sampling.
+    pub(crate) fn cumulative(&self) -> [f64; 7] {
+        let parts = [
+            self.int_alu,
+            self.int_mul,
+            self.fp_alu,
+            self.fp_mul,
+            self.load,
+            self.store,
+            self.branch,
+        ];
+        let mut cum = [0.0; 7];
+        let mut acc = 0.0;
+        for (c, p) in cum.iter_mut().zip(parts) {
+            acc += p;
+            *c = acc;
+        }
+        cum[6] = 1.0 + 1e-12; // guard against FP round-off at the tail
+        cum
+    }
+
+    /// Fraction of ops that are floating point.
+    pub fn fp_fraction(&self) -> f64 {
+        self.fp_alu + self.fp_mul
+    }
+}
+
+/// Memory working-set description.
+///
+/// The generator draws each memory reference from one of three regions:
+///
+/// * a **hot** region sized to (mostly) fit in the L1 D-cache,
+/// * a **warm** region sized relative to the L2 — this is the knob that
+///   determines whether a program benefits from the 15 MB NUCA cache of
+///   the two-die models (paper §3.3),
+/// * a **streaming** region walked sequentially that never fits anywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryProfile {
+    /// Hot-region size in KiB.
+    pub hot_kb: u32,
+    /// Warm-region size in KiB (so multi-megabyte sets stay integral).
+    pub warm_kb: u32,
+    /// Probability a reference hits the hot region.
+    pub p_hot: f64,
+    /// Probability a reference hits the warm region (the rest streams).
+    pub p_warm: f64,
+    /// Mean sequential-run length in cache lines (spatial locality).
+    pub spatial_run: u32,
+}
+
+impl MemoryProfile {
+    /// Validates and creates a memory profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when probabilities are out of range or
+    /// region sizes are zero.
+    pub fn new(
+        hot_kb: u32,
+        warm_kb: u32,
+        p_hot: f64,
+        p_warm: f64,
+        spatial_run: u32,
+    ) -> Result<MemoryProfile, String> {
+        if !(0.0..=1.0).contains(&p_hot) || !(0.0..=1.0).contains(&p_warm) {
+            return Err("probabilities must be in [0,1]".to_string());
+        }
+        if p_hot + p_warm > 1.0 + 1e-9 {
+            return Err("p_hot + p_warm must not exceed 1".to_string());
+        }
+        if hot_kb == 0 || warm_kb == 0 {
+            return Err("region sizes must be positive".to_string());
+        }
+        if spatial_run == 0 {
+            return Err("spatial run must be at least 1 line".to_string());
+        }
+        Ok(MemoryProfile {
+            hot_kb,
+            warm_kb,
+            p_hot,
+            p_warm,
+            spatial_run,
+        })
+    }
+
+    /// Probability a reference goes to the streaming region.
+    pub fn p_stream(&self) -> f64 {
+        (1.0 - self.p_hot - self.p_warm).max(0.0)
+    }
+}
+
+/// Complete statistical description of a synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Program name (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// RNG seed; fixed per benchmark for reproducibility.
+    pub seed: u64,
+    /// Dynamic instruction mix.
+    pub mix: InstructionMix,
+    /// Mean register-dependence distance (geometric distribution). Small
+    /// values mean long dependence chains and low ILP.
+    pub dep_mean: f64,
+    /// Number of static branch sites.
+    pub static_branches: u32,
+    /// Fraction of branch sites with history-predictable (periodic)
+    /// behaviour; the rest are biased coins. Higher values reward the
+    /// 2-level predictor.
+    pub predictability: f64,
+    /// Memory behaviour.
+    pub memory: MemoryProfile,
+}
+
+impl WorkloadProfile {
+    /// Validates the profile invariants beyond what the component
+    /// constructors already guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for non-positive dependence distance,
+    /// zero branch sites, or out-of-range predictability.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dep_mean < 1.0 {
+            return Err("dep_mean must be >= 1".to_string());
+        }
+        if self.static_branches == 0 {
+            return Err("need at least one static branch".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.predictability) {
+            return Err("predictability must be in [0,1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_must_sum_to_one() {
+        assert!(InstructionMix::new(0.5, 0.0, 0.0, 0.0, 0.2, 0.1, 0.1).is_err());
+        assert!(InstructionMix::new(0.5, 0.0, 0.0, 0.0, 0.2, 0.1, 0.2).is_ok());
+    }
+
+    #[test]
+    fn mix_rejects_negative() {
+        assert!(InstructionMix::new(1.2, 0.0, 0.0, 0.0, -0.2, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_one() {
+        let cum = InstructionMix::typical_int().cumulative();
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(cum[6] >= 1.0);
+    }
+
+    #[test]
+    fn typical_mixes_are_valid() {
+        assert!(InstructionMix::typical_int().fp_fraction() < 1e-9);
+        assert!(InstructionMix::typical_fp().fp_fraction() > 0.3);
+    }
+
+    #[test]
+    fn memory_profile_validation() {
+        assert!(MemoryProfile::new(16, 2048, 0.8, 0.3, 4).is_err()); // p>1
+        assert!(MemoryProfile::new(0, 2048, 0.5, 0.3, 4).is_err()); // zero hot
+        assert!(MemoryProfile::new(16, 2048, 0.5, 0.3, 0).is_err()); // zero run
+        let m = MemoryProfile::new(16, 2048, 0.7, 0.25, 4).unwrap();
+        assert!((m.p_stream() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_validation() {
+        let mut p = WorkloadProfile {
+            name: "test",
+            seed: 1,
+            mix: InstructionMix::typical_int(),
+            dep_mean: 4.0,
+            static_branches: 64,
+            predictability: 0.7,
+            memory: MemoryProfile::new(16, 2048, 0.8, 0.15, 4).unwrap(),
+        };
+        assert!(p.validate().is_ok());
+        p.dep_mean = 0.5;
+        assert!(p.validate().is_err());
+    }
+}

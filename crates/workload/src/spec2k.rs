@@ -1,0 +1,472 @@
+//! The 19 SPEC CPU2000 benchmark stand-ins used throughout the paper's
+//! evaluation (Figures 5 and 6 list them explicitly).
+//!
+//! Each profile's parameters are calibrated so the simulated leading core
+//! (Table 1 configuration) reproduces the *relative* behaviour the paper
+//! reports: IPCs spread over roughly 0.3–2.5 (Fig. 6), L2 miss rates that
+//! average ~1.4 per 10K instructions at 6 MB and improve modestly at
+//! 15 MB (§3.3), and memory-bound programs (mcf, art, swim) at the low
+//! end. The calibration constants live in the single table below.
+
+use crate::profile::{InstructionMix, MemoryProfile, WorkloadProfile};
+use std::fmt;
+use std::str::FromStr;
+
+/// SPEC2k sub-suite of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint2000.
+    Int,
+    /// SPECfp2000.
+    Fp,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Suite::Int => "SPECint2000",
+            Suite::Fp => "SPECfp2000",
+        })
+    }
+}
+
+/// The 19 benchmark programs evaluated in the paper (Fig. 5/6 x-axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants are benchmark names
+pub enum Benchmark {
+    Ammp,
+    Applu,
+    Apsi,
+    Art,
+    Bzip2,
+    Eon,
+    Equake,
+    Fma3d,
+    Galgel,
+    Gap,
+    Gzip,
+    Lucas,
+    Mcf,
+    Mesa,
+    Swim,
+    Twolf,
+    Vortex,
+    Vpr,
+    Wupwise,
+}
+
+/// One row of the calibration table.
+struct Calib {
+    bench: Benchmark,
+    suite: Suite,
+    /// Mean register-dependence distance (ILP knob).
+    dep_mean: f64,
+    /// Fraction of history-predictable branch sites.
+    predictability: f64,
+    /// Hot (near-cache) working set, KiB.
+    hot_kb: u32,
+    /// Warm working set, KiB; values above 6144 only fit the 15 MB NUCA.
+    warm_kb: u32,
+    /// Probability of a warm-region reference.
+    p_warm: f64,
+    /// Probability of a streaming (always-miss) reference.
+    p_stream: f64,
+    /// Mean sequential run length (lines).
+    spatial_run: u32,
+}
+
+/// Calibration table. `p_hot` is implied (`1 - p_warm - p_stream`).
+const CALIB: [Calib; 19] = [
+    Calib {
+        bench: Benchmark::Ammp,
+        suite: Suite::Fp,
+        dep_mean: 4.0,
+        predictability: 0.86,
+        hot_kb: 48,
+        warm_kb: 2048,
+        p_warm: 0.012,
+        p_stream: 0.0002,
+        spatial_run: 2,
+    },
+    Calib {
+        bench: Benchmark::Applu,
+        suite: Suite::Fp,
+        dep_mean: 6.0,
+        predictability: 0.92,
+        hot_kb: 32,
+        warm_kb: 8192,
+        p_warm: 0.0020,
+        p_stream: 0.0004,
+        spatial_run: 8,
+    },
+    Calib {
+        bench: Benchmark::Apsi,
+        suite: Suite::Fp,
+        dep_mean: 6.5,
+        predictability: 0.90,
+        hot_kb: 24,
+        warm_kb: 1024,
+        p_warm: 0.012,
+        p_stream: 0.0002,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Art,
+        suite: Suite::Fp,
+        dep_mean: 3.0,
+        predictability: 0.88,
+        hot_kb: 256,
+        warm_kb: 3584,
+        p_warm: 0.040,
+        p_stream: 0.0010,
+        spatial_run: 2,
+    },
+    Calib {
+        bench: Benchmark::Bzip2,
+        suite: Suite::Int,
+        dep_mean: 5.0,
+        predictability: 0.78,
+        hot_kb: 32,
+        warm_kb: 2048,
+        p_warm: 0.010,
+        p_stream: 0.0003,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Eon,
+        suite: Suite::Int,
+        dep_mean: 9.0,
+        predictability: 0.85,
+        hot_kb: 16,
+        warm_kb: 256,
+        p_warm: 0.004,
+        p_stream: 0.0001,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Equake,
+        suite: Suite::Fp,
+        dep_mean: 4.5,
+        predictability: 0.90,
+        hot_kb: 40,
+        warm_kb: 4096,
+        p_warm: 0.012,
+        p_stream: 0.0006,
+        spatial_run: 8,
+    },
+    Calib {
+        bench: Benchmark::Fma3d,
+        suite: Suite::Fp,
+        dep_mean: 5.5,
+        predictability: 0.90,
+        hot_kb: 24,
+        warm_kb: 1024,
+        p_warm: 0.010,
+        p_stream: 0.0003,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Galgel,
+        suite: Suite::Fp,
+        dep_mean: 8.0,
+        predictability: 0.93,
+        hot_kb: 24,
+        warm_kb: 512,
+        p_warm: 0.008,
+        p_stream: 0.0001,
+        spatial_run: 6,
+    },
+    Calib {
+        bench: Benchmark::Gap,
+        suite: Suite::Int,
+        dep_mean: 4.5,
+        predictability: 0.75,
+        hot_kb: 32,
+        warm_kb: 1024,
+        p_warm: 0.010,
+        p_stream: 0.0003,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Gzip,
+        suite: Suite::Int,
+        dep_mean: 6.5,
+        predictability: 0.80,
+        hot_kb: 24,
+        warm_kb: 256,
+        p_warm: 0.006,
+        p_stream: 0.0001,
+        spatial_run: 6,
+    },
+    Calib {
+        bench: Benchmark::Lucas,
+        suite: Suite::Fp,
+        dep_mean: 5.0,
+        predictability: 0.95,
+        hot_kb: 32,
+        warm_kb: 9216,
+        p_warm: 0.0020,
+        p_stream: 0.0004,
+        spatial_run: 8,
+    },
+    Calib {
+        bench: Benchmark::Mcf,
+        suite: Suite::Int,
+        dep_mean: 2.0,
+        predictability: 0.60,
+        hot_kb: 512,
+        warm_kb: 4096,
+        p_warm: 0.080,
+        p_stream: 0.0018,
+        spatial_run: 2,
+    },
+    Calib {
+        bench: Benchmark::Mesa,
+        suite: Suite::Fp,
+        dep_mean: 9.0,
+        predictability: 0.94,
+        hot_kb: 16,
+        warm_kb: 128,
+        p_warm: 0.003,
+        p_stream: 0.0001,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Swim,
+        suite: Suite::Fp,
+        dep_mean: 5.0,
+        predictability: 0.95,
+        hot_kb: 48,
+        warm_kb: 12288,
+        p_warm: 0.0025,
+        p_stream: 0.0008,
+        spatial_run: 12,
+    },
+    Calib {
+        bench: Benchmark::Twolf,
+        suite: Suite::Int,
+        dep_mean: 3.5,
+        predictability: 0.62,
+        hot_kb: 48,
+        warm_kb: 1024,
+        p_warm: 0.012,
+        p_stream: 0.0002,
+        spatial_run: 2,
+    },
+    Calib {
+        bench: Benchmark::Vortex,
+        suite: Suite::Int,
+        dep_mean: 6.0,
+        predictability: 0.85,
+        hot_kb: 32,
+        warm_kb: 2048,
+        p_warm: 0.008,
+        p_stream: 0.0002,
+        spatial_run: 4,
+    },
+    Calib {
+        bench: Benchmark::Vpr,
+        suite: Suite::Int,
+        dep_mean: 4.0,
+        predictability: 0.62,
+        hot_kb: 32,
+        warm_kb: 1024,
+        p_warm: 0.012,
+        p_stream: 0.0002,
+        spatial_run: 2,
+    },
+    Calib {
+        bench: Benchmark::Wupwise,
+        suite: Suite::Fp,
+        dep_mean: 7.0,
+        predictability: 0.93,
+        hot_kb: 16,
+        warm_kb: 1024,
+        p_warm: 0.008,
+        p_stream: 0.0002,
+        spatial_run: 6,
+    },
+];
+
+impl Benchmark {
+    /// All 19 benchmarks in the paper's (alphabetical) order.
+    pub const ALL: [Benchmark; 19] = [
+        Benchmark::Ammp,
+        Benchmark::Applu,
+        Benchmark::Apsi,
+        Benchmark::Art,
+        Benchmark::Bzip2,
+        Benchmark::Eon,
+        Benchmark::Equake,
+        Benchmark::Fma3d,
+        Benchmark::Galgel,
+        Benchmark::Gap,
+        Benchmark::Gzip,
+        Benchmark::Lucas,
+        Benchmark::Mcf,
+        Benchmark::Mesa,
+        Benchmark::Swim,
+        Benchmark::Twolf,
+        Benchmark::Vortex,
+        Benchmark::Vpr,
+        Benchmark::Wupwise,
+    ];
+
+    fn calib(self) -> &'static Calib {
+        CALIB
+            .iter()
+            .find(|c| c.bench == self)
+            .expect("calibration table covers every benchmark")
+    }
+
+    /// The benchmark's lowercase SPEC name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Ammp => "ammp",
+            Benchmark::Applu => "applu",
+            Benchmark::Apsi => "apsi",
+            Benchmark::Art => "art",
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Eon => "eon",
+            Benchmark::Equake => "equake",
+            Benchmark::Fma3d => "fma3d",
+            Benchmark::Galgel => "galgel",
+            Benchmark::Gap => "gap",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Lucas => "lucas",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Mesa => "mesa",
+            Benchmark::Swim => "swim",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Vpr => "vpr",
+            Benchmark::Wupwise => "wupwise",
+        }
+    }
+
+    /// Which SPEC2k sub-suite the program belongs to.
+    pub fn suite(self) -> Suite {
+        self.calib().suite
+    }
+
+    /// Builds the calibrated [`WorkloadProfile`] for this benchmark.
+    pub fn profile(self) -> WorkloadProfile {
+        let c = self.calib();
+        let mix = match c.suite {
+            Suite::Int => InstructionMix::typical_int(),
+            Suite::Fp => InstructionMix::typical_fp(),
+        };
+        let p_hot = 1.0 - c.p_warm - c.p_stream;
+        let memory = MemoryProfile::new(c.hot_kb, c.warm_kb, p_hot, c.p_warm, c.spatial_run)
+            .expect("calibration table rows are valid");
+        WorkloadProfile {
+            name: self.name(),
+            // Seed derived from the name so traces are stable across
+            // reorderings of the table.
+            seed: self.name().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            }),
+            mix,
+            dep_mean: c.dep_mean,
+            static_branches: 256,
+            predictability: c.predictability,
+            memory,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(String);
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown SPEC2k benchmark `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Benchmark, ParseBenchmarkError> {
+        let t = s.trim().to_ascii_lowercase();
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == t)
+            .ok_or_else(|| ParseBenchmarkError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 19);
+        // Paper evaluates programs from both sub-suites.
+        assert!(Benchmark::ALL.iter().any(|b| b.suite() == Suite::Int));
+        assert!(Benchmark::ALL.iter().any(|b| b.suite() == Suite::Fp));
+    }
+
+    #[test]
+    fn profiles_all_validate() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(p.validate().is_ok(), "{b} profile invalid");
+            assert_eq!(p.name, b.name());
+        }
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let mut seeds: Vec<u64> = Benchmark::ALL.iter().map(|b| b.profile().seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 19, "every benchmark needs a distinct seed");
+    }
+
+    #[test]
+    fn memory_bound_programs_stream_more() {
+        let mcf = Benchmark::Mcf.profile();
+        let eon = Benchmark::Eon.profile();
+        assert!(mcf.memory.p_stream() > eon.memory.p_stream());
+        assert!(mcf.dep_mean < eon.dep_mean, "mcf chases pointers");
+    }
+
+    #[test]
+    fn some_working_sets_only_fit_the_15mb_cache() {
+        // These drive the paper's 1.43 -> 1.25 misses/10K improvement.
+        let over_6mb: Vec<_> = Benchmark::ALL
+            .iter()
+            .filter(|b| b.profile().memory.warm_kb > 6 * 1024)
+            .collect();
+        assert!(!over_6mb.is_empty());
+        // But most programs fit in 6 MB (the paper: "a 15 MB L2 does not
+        // offer much better hit rates than a 6 MB cache").
+        assert!(over_6mb.len() <= 5);
+    }
+
+    #[test]
+    fn round_trip_names() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+        }
+        assert!("quake3".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn suites_match_spec_reality() {
+        assert_eq!(Benchmark::Mcf.suite(), Suite::Int);
+        assert_eq!(Benchmark::Swim.suite(), Suite::Fp);
+        assert_eq!(Benchmark::Eon.suite(), Suite::Int);
+    }
+}

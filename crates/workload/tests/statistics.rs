@@ -1,0 +1,129 @@
+//! Statistical validation of the trace generator: measured distributions
+//! must match the profile parameters they were drawn from.
+
+use rmt3d_workload::{Benchmark, MemoryRegions, OpClass, TraceGenerator};
+
+const N: usize = 400_000;
+
+#[test]
+fn dependence_distances_track_the_profile_mean() {
+    for b in [Benchmark::Mcf, Benchmark::Gzip, Benchmark::Mesa] {
+        let profile = b.profile();
+        let want = profile.dep_mean;
+        let ops = TraceGenerator::new(profile).take_ops(N);
+        let dists: Vec<f64> = ops
+            .iter()
+            .filter_map(|o| o.src1_dist.map(f64::from))
+            .collect();
+        let mean = dists.iter().sum::<f64>() / dists.len() as f64;
+        // The sampler clamps to the 64-entry producer window and falls
+        // back to nearer producers during warm-up, so allow 25%.
+        assert!(
+            (mean - want).abs() / want < 0.25,
+            "{b}: measured mean distance {mean} vs profile {want}"
+        );
+    }
+}
+
+#[test]
+fn memory_references_respect_region_probabilities() {
+    let profile = Benchmark::Mcf.profile();
+    let m = profile.memory;
+    let regions = MemoryRegions::of(&profile);
+    let ops = TraceGenerator::new(profile).take_ops(N);
+    let mut hot = 0u64;
+    let mut warm = 0u64;
+    let mut stream = 0u64;
+    let mut total = 0u64;
+    for op in &ops {
+        if let Some(r) = op.mem {
+            total += 1;
+            if r.addr >= regions.warm.0 + regions.warm.1 {
+                stream += 1;
+            } else if r.addr >= regions.warm.0 {
+                warm += 1;
+            } else {
+                hot += 1;
+            }
+        }
+    }
+    let (fh, fw, fs) = (
+        hot as f64 / total as f64,
+        warm as f64 / total as f64,
+        stream as f64 / total as f64,
+    );
+    // Spatial runs continue whichever region they started in, so the
+    // proportions wander a little from the raw draw probabilities.
+    assert!((fh - m.p_hot).abs() < 0.05, "hot {fh} vs {}", m.p_hot);
+    assert!((fw - m.p_warm).abs() < 0.05, "warm {fw} vs {}", m.p_warm);
+    assert!(
+        (fs - m.p_stream()).abs() < 0.02,
+        "stream {fs} vs {}",
+        m.p_stream()
+    );
+}
+
+#[test]
+fn branch_outcomes_are_biased_toward_taken() {
+    // Loop-shaped periodic branches are taken most of the time; strongly
+    // biased sites average out near 50/50. Expect a taken-majority.
+    for b in [Benchmark::Swim, Benchmark::Vpr] {
+        let ops = TraceGenerator::new(b.profile()).take_ops(N);
+        let (mut taken, mut branches) = (0u64, 0u64);
+        for op in &ops {
+            if let Some(br) = op.branch {
+                branches += 1;
+                taken += br.taken as u64;
+            }
+        }
+        let frac = taken as f64 / branches as f64;
+        assert!(
+            (0.55..0.95).contains(&frac),
+            "{b}: taken fraction {frac} should look loop-like"
+        );
+    }
+}
+
+#[test]
+fn working_set_footprint_matches_regions() {
+    // The set of distinct lines touched must stay within the declared
+    // hot+warm footprints (plus the unbounded stream).
+    let profile = Benchmark::Twolf.profile();
+    let regions = MemoryRegions::of(&profile);
+    let ops = TraceGenerator::new(profile).take_ops(N);
+    let mut hot_lines = std::collections::HashSet::new();
+    for op in &ops {
+        if let Some(r) = op.mem {
+            if r.addr < regions.hot.0 + regions.hot.1 && r.addr >= regions.hot.0 {
+                hot_lines.insert(r.addr / 64);
+            }
+        }
+    }
+    let max_hot_lines = regions.hot.1 / 64;
+    assert!(
+        hot_lines.len() as u64 <= max_hot_lines,
+        "hot footprint {} exceeds declared {} lines",
+        hot_lines.len(),
+        max_hot_lines
+    );
+    // And the region is actually used densely (not a corner of it).
+    assert!(
+        hot_lines.len() as u64 > max_hot_lines / 2,
+        "hot region underused: {} of {}",
+        hot_lines.len(),
+        max_hot_lines
+    );
+}
+
+#[test]
+fn store_fraction_matches_mix() {
+    let profile = Benchmark::Gap.profile();
+    let want = profile.mix.store;
+    let ops = TraceGenerator::new(profile).take_ops(N);
+    let stores = ops.iter().filter(|o| o.kind == OpClass::Store).count();
+    let frac = stores as f64 / ops.len() as f64;
+    assert!(
+        (frac - want).abs() < 0.01,
+        "store fraction {frac} vs {want}"
+    );
+}

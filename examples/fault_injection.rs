@@ -1,0 +1,71 @@
+//! Fault-injection campaign: exercises the paper's §2 fault model.
+//!
+//! Injects single-bit transient faults at every modelled site while the
+//! coupled system runs, and reports detection/recovery coverage — with
+//! and without the paper's ECC protection set. A golden architectural
+//! oracle checks that every recovery actually restored correct state.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use rmt3d::rmt::{EccConfig, RmtConfig, RmtSystem};
+use rmt3d::ProcessorModel;
+use rmt3d_cache::{CacheHierarchy, NucaPolicy};
+use rmt3d_cpu::{CoreConfig, OooCore};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+fn campaign(name: &str, ecc: EccConfig, rate: f64, seed: u64) {
+    let leader = OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(Benchmark::Twolf.profile()),
+        CacheHierarchy::new(
+            ProcessorModel::ThreeD2A.nuca_layout(),
+            NucaPolicy::DistributedSets,
+        ),
+    );
+    let mut sys = RmtSystem::new(leader, RmtConfig::paper()).with_fault_injection(seed, rate, ecc);
+    sys.prefill_caches();
+    sys.run_instructions(300_000);
+    sys.drain();
+
+    let stats = sys.stats();
+    let inj = sys.injector().expect("injection enabled");
+    println!("-- {name} --");
+    println!(
+        "faults injected: {} (corrected by ECC: {})",
+        inj.injected(),
+        inj.corrected()
+    );
+    println!(
+        "errors detected by checker: {}, recoveries: {}, unrecoverable: {}",
+        stats.detected, stats.recoveries, stats.unrecoverable
+    );
+    println!(
+        "recovery stall cycles: {} ({:.3}% of runtime)",
+        stats.recovery_stall_cycles,
+        100.0 * stats.recovery_stall_cycles as f64 / sys.total_cycles() as f64
+    );
+    println!(
+        "architectural state clean at end: {}",
+        sys.leader_matches_golden()
+    );
+    println!("effective IPC: {:.3}\n", sys.effective_ipc());
+}
+
+fn main() {
+    println!("== rmt3d fault-injection campaign (twolf, 300K instructions) ==\n");
+    campaign(
+        "paper ECC set (D-cache/LVQ + trailer register file)",
+        EccConfig::paper(),
+        2e-4,
+        42,
+    );
+    campaign("no ECC anywhere (ablation)", EccConfig::none(), 2e-4, 42);
+    campaign(
+        "high fault pressure, paper ECC",
+        EccConfig::paper(),
+        2e-3,
+        7,
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build the paper's proposed 3D reliable processor, run a
+//! benchmark through the coupled leader/checker system, and report
+//! performance, checker behaviour and chip temperature.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use rmt3d::power::CheckerPowerModel;
+use rmt3d::thermal::{solve, ThermalConfig};
+use rmt3d::{build_power_map, simulate, PowerMapConfig, ProcessorModel, RunScale, SimConfig};
+use rmt3d_workload::Benchmark;
+
+fn main() {
+    let benchmark: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(Benchmark::Gzip);
+
+    println!("== rmt3d quickstart: {benchmark} on the 3d-2a reliable processor ==\n");
+
+    // 1. Cycle-level co-simulation of the leading core and the
+    //    DFS-throttled checker (paper §2, Fig. 1).
+    let scale = RunScale {
+        warmup_instructions: 50_000,
+        instructions: 500_000,
+        thermal_grid: 50,
+    };
+    let cfg = SimConfig::nominal(ProcessorModel::ThreeD2A, scale);
+    let perf = simulate(&cfg, benchmark);
+    println!("leading core IPC        : {:.3}", perf.ipc());
+    println!(
+        "checker mean frequency  : {:.2} of 2 GHz peak ({:.2} GHz)",
+        perf.mean_checker_fraction,
+        2.0 * perf.mean_checker_fraction
+    );
+    println!(
+        "L2: mean hit latency {:.1} cycles, {:.2} misses / 10K instructions",
+        perf.l2.mean_hit_cycles(),
+        perf.l2_misses_per_10k()
+    );
+    println!("\nDFS histogram (Fig. 7 for this benchmark):");
+    for (i, f) in perf.dfs_histogram.iter().enumerate() {
+        println!(
+            "  {:.1}f {:5.1}% {}",
+            (i + 1) as f64 / 10.0,
+            f * 100.0,
+            "#".repeat((f * 60.0).round() as usize)
+        );
+    }
+    println!(
+        "  shape: {}",
+        rmt3d::report::histogram_line(&perf.dfs_histogram)
+    );
+
+    // 2. Power map and steady-state thermals (paper §3.2).
+    let chip = build_power_map(
+        &perf,
+        &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+    );
+    println!(
+        "\nchip power: total {:.1} W (leader {:.1}, checker {:.1}, L2+wires {:.1})",
+        chip.total().0,
+        chip.leader.0,
+        chip.checker.0,
+        chip.l2.0
+    );
+    let thermal = solve(
+        &ProcessorModel::ThreeD2A.floorplan(),
+        &chip.map,
+        &ThermalConfig::paper(),
+    )
+    .expect("thermal solve");
+    println!(
+        "peak temperature: {} (lower die {}, stacked die {})",
+        thermal.peak(),
+        thermal.die_peak(0),
+        thermal.die_peak(1)
+    );
+}

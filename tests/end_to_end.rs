@@ -1,0 +1,155 @@
+//! End-to-end integration: trace synthesis → cycle-level co-simulation →
+//! power map → thermal solve, across every processor model.
+
+use rmt3d::power::CheckerPowerModel;
+use rmt3d::thermal::{solve, ThermalConfig};
+use rmt3d::{build_power_map, simulate, PowerMapConfig, ProcessorModel, RunScale, SimConfig};
+use rmt3d_workload::Benchmark;
+
+fn scale() -> RunScale {
+    RunScale::quick()
+}
+
+#[test]
+fn every_model_simulates_and_solves() {
+    for model in ProcessorModel::ALL {
+        let perf = simulate(&SimConfig::nominal(model, scale()), Benchmark::Vpr);
+        assert!(perf.ipc() > 0.1, "{model} IPC {}", perf.ipc());
+        let chip = build_power_map(
+            &perf,
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        assert!(chip.total().0 > 20.0, "{model} power {}", chip.total());
+        let r = solve(&model.floorplan(), &chip.map, &ThermalConfig::fast())
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        let peak = r.peak().0;
+        assert!(
+            (50.0..130.0).contains(&peak),
+            "{model} peak temperature {peak}"
+        );
+    }
+}
+
+#[test]
+fn power_follows_activity_across_benchmarks() {
+    // A high-IPC program must draw more power and run hotter than a
+    // memory-bound one on the same chip.
+    let cfg = SimConfig::nominal(ProcessorModel::TwoDA, scale());
+    let busy = simulate(&cfg, Benchmark::Eon);
+    let idle = simulate(&cfg, Benchmark::Mcf);
+    let pm = PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w());
+    let p_busy = build_power_map(&busy, &pm);
+    let p_idle = build_power_map(&idle, &pm);
+    assert!(
+        p_busy.leader.0 > p_idle.leader.0 + 5.0,
+        "eon {} vs mcf {}",
+        p_busy.leader,
+        p_idle.leader
+    );
+    let t_cfg = ThermalConfig::fast();
+    let plan = ProcessorModel::TwoDA.floorplan();
+    let t_busy = solve(&plan, &p_busy.map, &t_cfg).expect("solve busy");
+    let t_idle = solve(&plan, &p_idle.map, &t_cfg).expect("solve idle");
+    assert!(t_busy.peak() > t_idle.peak());
+}
+
+#[test]
+fn checker_slack_and_frequency_are_consistent() {
+    // The DFS mean frequency must be sufficient for the checker to have
+    // verified (almost) everything the leader committed.
+    let perf = simulate(
+        &SimConfig::nominal(ProcessorModel::ThreeD2A, scale()),
+        Benchmark::Gap,
+    );
+    assert!(perf.trailer.committed > 0);
+    let verified_ratio = perf.trailer.committed as f64 / perf.leader.committed as f64;
+    assert!(
+        verified_ratio > 0.95,
+        "checker verified only {verified_ratio} of the stream"
+    );
+    // Trailer cycles x trailer IPC ~= leader instructions.
+    let trailer_ipc = perf.trailer.committed as f64 / perf.trailer.cycles.max(1) as f64;
+    assert!(
+        trailer_ipc > 1.0,
+        "the RVP checker sustains high ILP, got {trailer_ipc}"
+    );
+}
+
+#[test]
+fn leading_core_power_calibration_pin() {
+    // Table 2: the leading core averages ~35 W. Check the suite-mean
+    // over a representative spread of benchmarks (quick windows).
+    let benchmarks = [
+        rmt3d_workload::Benchmark::Gzip,
+        rmt3d_workload::Benchmark::Mcf,
+        rmt3d_workload::Benchmark::Swim,
+        rmt3d_workload::Benchmark::Eon,
+        rmt3d_workload::Benchmark::Vpr,
+        rmt3d_workload::Benchmark::Ammp,
+    ];
+    let pm = PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w());
+    let mean: f64 = benchmarks
+        .iter()
+        .map(|&b| {
+            let perf = simulate(&SimConfig::nominal(ProcessorModel::TwoDA, scale()), b);
+            build_power_map(&perf, &pm).leader.0
+        })
+        .sum::<f64>()
+        / benchmarks.len() as f64;
+    assert!(
+        (28.0..42.0).contains(&mean),
+        "suite-mean leading-core power {mean} W vs Table 2's 35 W"
+    );
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let run = || {
+        let perf = simulate(
+            &SimConfig::nominal(ProcessorModel::ThreeD2A, scale()),
+            Benchmark::Twolf,
+        );
+        let chip = build_power_map(
+            &perf,
+            &PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w()),
+        );
+        let r = solve(
+            &ProcessorModel::ThreeD2A.floorplan(),
+            &chip.map,
+            &ThermalConfig::fast(),
+        )
+        .expect("solve");
+        (perf.ipc(), chip.total().0, r.peak().0)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "whole pipeline must be deterministic");
+}
+
+#[test]
+fn three_d_chip_is_hotter_but_not_slower() {
+    let base = simulate(
+        &SimConfig::nominal(ProcessorModel::TwoDA, scale()),
+        Benchmark::Gzip,
+    );
+    let rmt = simulate(
+        &SimConfig::nominal(ProcessorModel::ThreeD2A, scale()),
+        Benchmark::Gzip,
+    );
+    // Performance parity (paper §3.3: the checker rarely stalls the
+    // leader).
+    assert!(
+        (rmt.ipc() / base.ipc() - 1.0).abs() < 0.06,
+        "3d-2a {} vs 2d-a {}",
+        rmt.ipc(),
+        base.ipc()
+    );
+    // Thermal cost exists (paper Fig. 4).
+    let pm7 = PowerMapConfig::with_checker(CheckerPowerModel::optimistic_7w());
+    let p_base = build_power_map(&base, &pm7);
+    let p_rmt = build_power_map(&rmt, &pm7);
+    let t_cfg = ThermalConfig::fast();
+    let t_base = solve(&ProcessorModel::TwoDA.floorplan(), &p_base.map, &t_cfg).expect("base");
+    let t_rmt = solve(&ProcessorModel::ThreeD2A.floorplan(), &p_rmt.map, &t_cfg).expect("rmt");
+    assert!(t_rmt.peak() > t_base.peak());
+}

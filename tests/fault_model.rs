@@ -1,0 +1,127 @@
+//! Integration tests of the paper's §2 fault model, exercised through
+//! the full coupled system with the golden architectural oracle.
+
+use rmt3d::rmt::{EccConfig, FaultFate, FaultSite, RmtConfig, RmtSystem};
+use rmt3d::ProcessorModel;
+use rmt3d_cache::{CacheHierarchy, NucaPolicy};
+use rmt3d_cpu::{CoreConfig, OooCore};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+fn system(benchmark: Benchmark) -> RmtSystem {
+    let leader = OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(benchmark.profile()),
+        CacheHierarchy::new(
+            ProcessorModel::ThreeD2A.nuca_layout(),
+            NucaPolicy::DistributedSets,
+        ),
+    );
+    RmtSystem::new(leader, RmtConfig::paper())
+}
+
+#[test]
+fn paper_ecc_recovers_every_datapath_fault() {
+    // §2: "detection of and recovery from a single transient fault".
+    let mut sys = system(Benchmark::Gzip).with_fault_injection(99, 5e-4, EccConfig::paper());
+    sys.prefill_caches();
+    sys.run_instructions(120_000);
+    sys.drain();
+    assert!(sys.injector().unwrap().injected() > 10, "faults injected");
+    assert!(sys.stats().detected > 0, "checker flagged errors");
+    assert_eq!(
+        sys.stats().unrecoverable,
+        0,
+        "with the paper's ECC set every recovery must restore golden state"
+    );
+    assert!(sys.leader_matches_golden(), "no silent corruption");
+}
+
+#[test]
+fn ecc_protected_sites_never_corrupt_execution() {
+    // LVQ and trailer-regfile strikes are corrected in place.
+    let mut sys = system(Benchmark::Vpr).with_fault_injection(5, 1e-3, EccConfig::paper());
+    sys.prefill_caches();
+    sys.run_instructions(80_000);
+    sys.drain();
+    let corrected = sys.injector().unwrap().corrected();
+    assert!(corrected > 0, "some strikes hit protected sites");
+    // Corrected strikes never appear among the applied-fault fates.
+    for &(site, _) in sys.fault_fates() {
+        assert!(
+            !matches!(site, FaultSite::LvqValue | FaultSite::TrailerRegfile),
+            "protected site {site:?} leaked into the datapath"
+        );
+    }
+}
+
+#[test]
+fn unprotected_trailer_regfile_can_lose_recoveries() {
+    // Ablation: §2 requires the trailer register file to be
+    // ECC-protected for guaranteed recovery. Remove it and some faults
+    // become detected-but-unrecoverable or silently corrupt state.
+    let mut bad_outcomes = 0;
+    for seed in 0..8 {
+        let mut sys = system(Benchmark::Twolf).with_fault_injection(seed, 2e-3, EccConfig::none());
+        sys.prefill_caches();
+        sys.run_instructions(60_000);
+        sys.drain();
+        if sys.stats().unrecoverable > 0 || !sys.leader_matches_golden() {
+            bad_outcomes += 1;
+        }
+    }
+    assert!(
+        bad_outcomes > 0,
+        "without ECC at least one campaign must fail to recover cleanly"
+    );
+}
+
+#[test]
+fn recovery_preserves_forward_progress() {
+    let mut sys = system(Benchmark::Gap).with_fault_injection(3, 1e-3, EccConfig::paper());
+    sys.prefill_caches();
+    sys.run_instructions(100_000);
+    assert!(sys.stats().recoveries > 0);
+    assert!(
+        sys.leader().activity().committed >= 100_000,
+        "the system keeps committing through recoveries"
+    );
+    // Recovery stalls are visible but bounded at this fault rate.
+    let stall_frac = sys.stats().recovery_stall_cycles as f64 / sys.total_cycles() as f64;
+    assert!(stall_frac < 0.25, "recovery stalls {stall_frac}");
+}
+
+#[test]
+fn fault_fates_are_classified() {
+    let mut sys = system(Benchmark::Gzip).with_fault_injection(17, 1e-3, EccConfig::paper());
+    sys.prefill_caches();
+    sys.run_instructions(80_000);
+    sys.drain();
+    let fates = sys.fault_fates();
+    assert!(!fates.is_empty());
+    let recovered = fates
+        .iter()
+        .filter(|(_, f)| *f == FaultFate::DetectedRecovered)
+        .count();
+    assert!(recovered > 0, "some faults were detected and recovered");
+    // BOQ flips are masked: outcomes are hints, never architectural.
+    for (site, fate) in fates {
+        if *site == FaultSite::BoqOutcome {
+            assert!(
+                matches!(fate, FaultFate::Masked | FaultFate::DetectedRecovered),
+                "BOQ fault fate {fate:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_run_has_zero_overhead_and_zero_errors() {
+    let mut with = system(Benchmark::Gzip).with_fault_injection(1, 0.0, EccConfig::paper());
+    with.prefill_caches();
+    with.run_instructions(60_000);
+    with.drain();
+    assert_eq!(with.stats().detected, 0);
+    assert_eq!(with.stats().recoveries, 0);
+    assert_eq!(with.stats().recovery_stall_cycles, 0);
+    assert!(with.leader_matches_golden());
+}
