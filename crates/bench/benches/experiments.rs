@@ -5,12 +5,12 @@
 //! Run with `cargo bench -p rmt3d-bench --bench experiments`. Set
 //! `RMT3D_PAPER=1` for the full suite.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rmt3d::experiments::{
     dfs_ablation, fig7, hard_error, heterogeneous, interconnect, interrupts, iso_thermal,
     leakage_feedback, margins, resilience, rmt_summary, shared_cache, tmr_study,
 };
 use rmt3d::RunScale;
+use rmt3d_bench::bench;
 use rmt3d_interconnect::{wire_report, BandwidthConfig};
 use rmt3d_units::TechNode;
 use rmt3d_workload::Benchmark;
@@ -96,44 +96,37 @@ fn print_experiments() {
     println!();
 }
 
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
     print_experiments();
 
-    c.bench_function("sec34_wire_extraction", |b| {
+    {
         let plan = rmt3d::floorplan::ChipFloorplan::three_d_2a();
         let cfg = BandwidthConfig::paper();
-        b.iter(|| black_box(wire_report(&plan, &cfg).intercore_length))
-    });
+        bench("sec34_wire_extraction", 10, || {
+            black_box(wire_report(&plan, &cfg).intercore_length)
+        });
+    }
 
-    c.bench_function("rmt_fault_injection_50k", |b| {
+    bench("rmt_fault_injection_50k", 10, || {
         use rmt3d::rmt::{EccConfig, RmtConfig, RmtSystem};
         use rmt3d_cache::{CacheHierarchy, NucaPolicy};
         use rmt3d_cpu::{CoreConfig, OooCore};
         use rmt3d_workload::TraceGenerator;
-        b.iter(|| {
-            let leader = OooCore::new(
-                CoreConfig::leading_ev7_like(),
-                TraceGenerator::new(Benchmark::Gzip.profile()),
-                CacheHierarchy::new(
-                    rmt3d::ProcessorModel::ThreeD2A.nuca_layout(),
-                    NucaPolicy::DistributedSets,
-                ),
-            );
-            let mut sys = RmtSystem::new(leader, RmtConfig::paper()).with_fault_injection(
-                1,
-                1e-4,
-                EccConfig::paper(),
-            );
-            sys.prefill_caches();
-            sys.run_instructions(50_000);
-            black_box(sys.stats().recoveries)
-        })
+        let leader = OooCore::new(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(Benchmark::Gzip.profile()),
+            CacheHierarchy::new(
+                rmt3d::ProcessorModel::ThreeD2A.nuca_layout(),
+                NucaPolicy::DistributedSets,
+            ),
+        );
+        let mut sys = RmtSystem::new(leader, RmtConfig::paper()).with_fault_injection(
+            1,
+            1e-4,
+            EccConfig::paper(),
+        );
+        sys.prefill_caches();
+        sys.run_instructions(50_000);
+        black_box(sys.stats().recoveries)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_experiments
-}
-criterion_main!(benches);

@@ -5,10 +5,10 @@
 //! `RMT3D_PAPER=1` to regenerate with all 19 benchmarks at full scale
 //! (takes tens of minutes); the default uses a representative subset.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rmt3d::experiments::{fig4, fig5, fig6, fig7};
 use rmt3d::thermal::{solve, PowerMap, ThermalConfig};
 use rmt3d::{simulate, ProcessorModel, RunScale, SimConfig};
+use rmt3d_bench::bench;
 use rmt3d_reliability::{mbu_probability_at, per_bit_ser, relative_chip_ser};
 use rmt3d_units::{TechNode, Watts};
 use rmt3d_workload::Benchmark;
@@ -90,11 +90,11 @@ fn print_figures() {
     println!();
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     print_figures();
 
     // Thermal solve kernel (the Fig. 4/5 workhorse).
-    c.bench_function("fig4_thermal_solve_25x25", |b| {
+    {
         let plan = ProcessorModel::ThreeD2A.floorplan();
         let mut map = PowerMap::new();
         for die in &plan.dies {
@@ -103,53 +103,55 @@ fn bench_kernels(c: &mut Criterion) {
             }
         }
         let cfg = ThermalConfig::fast();
-        b.iter(|| black_box(solve(&plan, &map, &cfg).unwrap().peak()))
-    });
+        bench("fig4_thermal_solve_25x25", 10, || {
+            black_box(solve(&plan, &map, &cfg).unwrap().peak())
+        });
+    }
 
     // Co-simulation kernel (the Fig. 6/7 workhorse): 20K instructions
     // through the coupled RMT system.
-    c.bench_function("fig6_cosim_20k_instructions", |b| {
+    {
         let scale = RunScale {
             warmup_instructions: 1_000,
             instructions: 20_000,
             thermal_grid: 25,
         };
         let cfg = SimConfig::nominal(ProcessorModel::ThreeD2A, scale);
-        b.iter(|| black_box(simulate(&cfg, Benchmark::Gzip).ipc()))
-    });
+        bench("fig6_cosim_20k_instructions", 10, || {
+            black_box(simulate(&cfg, Benchmark::Gzip).ipc())
+        });
+    }
 
     // Substrate kernels: the building blocks every figure rests on.
-    c.bench_function("substrate_trace_generation_10k_ops", |b| {
+    bench("substrate_trace_generation_10k_ops", 10, || {
         use rmt3d_workload::TraceGenerator;
-        b.iter(|| {
-            let mut g = TraceGenerator::new(Benchmark::Gzip.profile());
-            let mut acc = 0u64;
-            for _ in 0..10_000 {
-                acc ^= g.next_op().imm;
-            }
-            black_box(acc)
-        })
+        let mut g = TraceGenerator::new(Benchmark::Gzip.profile());
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            acc ^= g.next_op().imm;
+        }
+        black_box(acc)
     });
 
-    c.bench_function("substrate_l1_cache_10k_accesses", |b| {
+    {
         use rmt3d_cache::{CacheConfig, SetAssocCache};
         let mut cache = SetAssocCache::new(CacheConfig::l1_32k_2way());
         let mut addr = 0u64;
-        b.iter(|| {
+        bench("substrate_l1_cache_10k_accesses", 10, || {
             let mut hits = 0u32;
             for _ in 0..10_000 {
                 addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
                 hits += cache.access(addr % (64 * 1024), false) as u32;
             }
             black_box(hits)
-        })
-    });
+        });
+    }
 
-    c.bench_function("substrate_branch_predictor_10k", |b| {
+    {
         use rmt3d_cpu::CombinedPredictor;
         let mut p = CombinedPredictor::table1();
         let mut x = 1u64;
-        b.iter(|| {
+        bench("substrate_branch_predictor_10k", 10, || {
             let mut hits = 0u32;
             for i in 0..10_000u64 {
                 x ^= x << 13;
@@ -157,24 +159,15 @@ fn bench_kernels(c: &mut Criterion) {
                 hits += p.predict_and_train(0x40_0000 + (i % 256) * 16, x & 3 != 0) as u32;
             }
             black_box(hits)
-        })
-    });
+        });
+    }
 
     // Reliability model kernels (Figs. 8-9).
-    c.bench_function("fig8_fig9_reliability_models", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for n in TechNode::ALL {
-                acc += relative_chip_ser(black_box(n)) + mbu_probability_at(n);
-            }
-            black_box(acc)
-        })
+    bench("fig8_fig9_reliability_models", 10, || {
+        let mut acc = 0.0;
+        for n in TechNode::ALL {
+            acc += relative_chip_ser(black_box(n)) + mbu_probability_at(n);
+        }
+        black_box(acc)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels
-}
-criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! printed in the paper's layout before the timing loops run; compare
 //! against `EXPERIMENTS.md`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rmt3d::experiments::tables;
+use rmt3d_bench::bench;
 use rmt3d_interconnect::{BandwidthConfig, D2dViaModel};
 use rmt3d_power::pipeline::relative_power;
 use rmt3d_power::tech::scaling_ratio;
@@ -28,35 +28,22 @@ fn print_tables() {
     );
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     print_tables();
 
-    c.bench_function("table4_d2d_bandwidth", |b| {
-        b.iter(|| {
-            let cfg = BandwidthConfig::paper();
-            black_box(cfg.core_vias() + cfg.total_vias())
-        })
+    bench("table4_d2d_bandwidth", 20, || {
+        let cfg = BandwidthConfig::paper();
+        black_box(cfg.core_vias() + cfg.total_vias())
     });
-    c.bench_function("table5_pipeline_power", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for fo4 in [18.0, 14.0, 10.0, 6.0, 12.0, 8.5] {
-                acc += relative_power(black_box(fo4)).total();
-            }
-            black_box(acc)
-        })
+    bench("table5_pipeline_power", 20, || {
+        let mut acc = 0.0;
+        for fo4 in [18.0, 14.0, 10.0, 6.0, 12.0, 8.5] {
+            acc += relative_power(black_box(fo4)).total();
+        }
+        black_box(acc)
     });
-    c.bench_function("table8_tech_scaling", |b| {
-        b.iter(|| {
-            let r = scaling_ratio(black_box(TechNode::N90), TechNode::N65).unwrap();
-            black_box(r.dynamic + r.leakage)
-        })
+    bench("table8_tech_scaling", 20, || {
+        let r = scaling_ratio(black_box(TechNode::N90), TechNode::N65).unwrap();
+        black_box(r.dynamic + r.leakage)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tables
-}
-criterion_main!(benches);

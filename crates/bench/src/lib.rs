@@ -1,5 +1,5 @@
-//! Benchmark-harness crate: see `benches/` for the Criterion targets
-//! that regenerate every table and figure of the paper.
+//! Benchmark-harness crate: see `benches/` for the targets that
+//! regenerate every table and figure of the paper.
 //!
 //! * `benches/tables.rs` — Tables 4-8.
 //! * `benches/figures.rs` — Figures 4-9.
@@ -8,3 +8,74 @@
 //!
 //! Set `RMT3D_PAPER=1` to run the full 19-benchmark suite at paper
 //! scale.
+//!
+//! The harness is a self-contained `std::time::Instant` timing loop
+//! (no external benchmarking dependency): each target runs a warmup
+//! pass, then `samples` timed passes, and reports min / mean / max
+//! wall time per iteration.
+
+use std::time::Instant;
+
+/// Times `f` over `samples` passes (after one warmup pass) and prints a
+/// one-line `min/mean/max` summary. Returns the mean nanoseconds per
+/// pass so callers can assert coarse regressions if they wish.
+pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    std::hint::black_box(f());
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let ns = t0.elapsed().as_nanos() as f64;
+        min = min.min(ns);
+        max = max.max(ns);
+        total += ns;
+    }
+    let mean = total / samples as f64;
+    println!(
+        "{name:40} {:>12} min {:>12} mean {:>12} max  ({samples} samples)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+    mean
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_mean() {
+        let mean = bench("noop_spin", 3, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -29,11 +29,11 @@ fn main() {
         scale.instructions, scale.thermal_grid, scale.thermal_grid
     );
 
-    print!("{}\n", tables::table4_text());
-    print!("{}\n", tables::table5_text());
-    print!("{}\n", tables::table6_text());
-    print!("{}\n", tables::table7_text());
-    print!("{}\n", tables::table8_text());
+    println!("{}", tables::table4_text());
+    println!("{}", tables::table5_text());
+    println!("{}", tables::table6_text());
+    println!("{}", tables::table7_text());
+    println!("{}", tables::table8_text());
 
     println!("== Fig. 8: SRAM SER scaling ==");
     println!("node    neutron  alpha  per-bit  chip-relative");

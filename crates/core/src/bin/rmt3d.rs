@@ -3,6 +3,8 @@
 //! ```text
 //! rmt3d list
 //! rmt3d simulate  --model 3d-2a --benchmark mcf [--instructions N] [--ways]
+//!                 [--trace-out run.jsonl] [--csv-out samples.csv]
+//!                 [--sample-interval N] [--metrics] [--quiet]
 //! rmt3d thermal   --model 3d-2a --benchmark gzip --checker-watts 15
 //! rmt3d experiment <name> [--paper]
 //! ```
@@ -11,6 +13,9 @@
 //! `iso-thermal`, `interconnect`, `heterogeneous`, `margins`,
 //! `dfs-ablation`, `hard-error`, `summary`, `tmr`, `interrupts`,
 //! `resilience`, `shared-cache`, `leakage`.
+//!
+//! Unknown flags are errors; every argument must be consumed by the
+//! selected command.
 
 use rmt3d::experiments::{
     dfs_ablation, dtm, fig4, fig5, fig6, fig7, hard_error, heterogeneous, interconnect, interrupts,
@@ -18,14 +23,17 @@ use rmt3d::experiments::{
     tmr_study,
 };
 use rmt3d::power::CheckerPowerModel;
+use rmt3d::telemetry::{write_samples_csv, CollectorSink, JsonlSink};
 use rmt3d::thermal::{solve, ThermalConfig};
 use rmt3d::{
-    build_power_map, override_checker_power, simulate, PowerMapConfig, ProcessorModel, RunScale,
-    SimConfig,
+    build_power_map, override_checker_power, simulate, simulate_traced, PowerMapConfig,
+    ProcessorModel, RunScale, SimConfig,
 };
 use rmt3d_cache::NucaPolicy;
 use rmt3d_units::{TechNode, Watts};
 use rmt3d_workload::Benchmark;
+use std::fs::File;
+use std::io::{self, Write};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -35,6 +43,8 @@ fn usage() -> ExitCode {
          commands:\n\
            list                               benchmarks and models\n\
            simulate   --model M --benchmark B [--instructions N] [--ways]\n\
+                      [--trace-out FILE.jsonl] [--csv-out FILE.csv]\n\
+                      [--sample-interval N] [--metrics] [--quiet]\n\
            thermal    --model M --benchmark B [--checker-watts W]\n\
            experiment <name> [--paper]        regenerate a paper result\n\
          \n\
@@ -46,15 +56,175 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    usage()
+}
+
+/// Strict argument consumer: commands pull out the flags they know, and
+/// [`Args::finish`] rejects anything left over instead of silently
+/// ignoring it.
+struct Args {
+    args: Vec<String>,
+    used: Vec<bool>,
+}
+
+impl Args {
+    fn new(args: &[String]) -> Args {
+        Args {
+            args: args.to_vec(),
+            used: vec![false; args.len()],
+        }
+    }
+
+    /// Consumes a boolean `--flag`.
+    fn flag(&mut self, name: &str) -> bool {
+        match self.args.iter().position(|a| a == name) {
+            Some(i) => {
+                self.used[i] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes `--flag value`; errors when the flag is present without
+    /// a value.
+    fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
+        let Some(i) = self.args.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        self.used[i] = true;
+        match self.args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                self.used[i + 1] = true;
+                Ok(Some(v.clone()))
+            }
+            _ => Err(format!("{name} requires a value")),
+        }
+    }
+
+    /// Consumes `--flag value` and parses it.
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name)? {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {name}: {v}")),
+            None => Ok(None),
+        }
+    }
+
+    /// Consumes the next unused positional (non-flag) argument.
+    fn positional(&mut self) -> Option<String> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && !a.starts_with("--") {
+                self.used[i] = true;
+                return Some(a.clone());
+            }
+        }
+        None
+    }
+
+    /// Errors on any argument no consumer claimed (typo'd or misplaced
+    /// flags).
+    fn finish(self) -> Result<(), String> {
+        let leftover: Vec<&str> = self
+            .args
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(a, _)| a.as_str())
+            .collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", leftover.join(" ")))
+        }
+    }
+}
+
 fn parse_model(s: &str) -> Option<ProcessorModel> {
     s.parse().ok()
 }
 
-/// Pulls `--flag value` out of the argument list.
-fn opt(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Telemetry-related `simulate` flags.
+struct TelemetryOpts {
+    trace_out: Option<String>,
+    csv_out: Option<String>,
+    sample_interval: u64,
+    metrics: bool,
+}
+
+impl TelemetryOpts {
+    fn from_args(a: &mut Args) -> Result<TelemetryOpts, String> {
+        Ok(TelemetryOpts {
+            trace_out: a.opt("--trace-out")?,
+            csv_out: a.opt("--csv-out")?,
+            sample_interval: a.parsed("--sample-interval")?.unwrap_or(0),
+            metrics: a.flag("--metrics"),
+        })
+    }
+
+    fn enabled(&self) -> bool {
+        self.trace_out.is_some()
+            || self.csv_out.is_some()
+            || self.sample_interval > 0
+            || self.metrics
+    }
+}
+
+/// Runs the simulation with the configured exporters attached and
+/// writes the artifacts; on I/O failure returns the error message.
+fn run_traced(
+    cfg: &SimConfig,
+    bench: Benchmark,
+    opts: &TelemetryOpts,
+) -> Result<rmt3d::PerfResult, String> {
+    let writer: Box<dyn Write> = match &opts.trace_out {
+        Some(path) => Box::new(io::BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => Box::new(io::sink()),
+    };
+    let jsonl = JsonlSink::new(writer);
+    let collector = CollectorSink::new();
+    let result = simulate_traced(
+        cfg,
+        bench,
+        opts.sample_interval,
+        (collector.clone(), jsonl.clone()),
+    );
+    let snapshot = collector.snapshot();
+    let mut jsonl = jsonl;
+    jsonl.write_summary(&snapshot.registry);
+    jsonl
+        .finish()
+        .map_err(|e| format!("trace write failed: {e}"))?;
+    if let Some(path) = &opts.csv_out {
+        let mut f = io::BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        write_samples_csv(&mut f, snapshot.ring.iter())
+            .map_err(|e| format!("csv write failed: {e}"))?;
+    }
+    if opts.metrics {
+        let (injected, corrected) = snapshot.fault_counts();
+        let (recoveries, unrecoverable) = snapshot.recovery_counts();
+        eprintln!("-- metrics --");
+        eprint!("{}", snapshot.registry.format_human());
+        eprintln!(
+            "samples: {} retained ({} dropped), dfs transitions: {}",
+            snapshot.ring.len(),
+            snapshot.ring.dropped(),
+            snapshot.dfs_transitions(),
+        );
+        eprintln!(
+            "faults: {injected} injected ({corrected} ECC-corrected), \
+             recoveries: {recoveries} ({unrecoverable} unrecoverable)"
+        );
+    }
+    Ok(result)
 }
 
 fn main() -> ExitCode {
@@ -62,8 +232,12 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
+    let mut a = Args::new(&args[1..]);
     match cmd.as_str() {
         "list" => {
+            if let Err(e) = a.finish() {
+                return fail(&e);
+            }
             println!("models:");
             for m in ProcessorModel::ALL {
                 println!(
@@ -80,15 +254,35 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "simulate" => {
-            let Some(model) = opt(&args, "--model").and_then(|m| parse_model(&m)) else {
-                return usage();
+            let model = match a.opt("--model") {
+                Ok(Some(m)) => match parse_model(&m) {
+                    Some(m) => m,
+                    None => return fail(&format!("unknown model: {m}")),
+                },
+                Ok(None) => return fail("--model is required"),
+                Err(e) => return fail(&e),
             };
-            let Some(bench) = opt(&args, "--benchmark").and_then(|b| b.parse().ok()) else {
-                return usage();
+            let bench: Benchmark = match a.opt("--benchmark") {
+                Ok(Some(b)) => match b.parse() {
+                    Ok(b) => b,
+                    Err(_) => return fail(&format!("unknown benchmark: {b}")),
+                },
+                Ok(None) => return fail("--benchmark is required"),
+                Err(e) => return fail(&e),
             };
-            let instructions = opt(&args, "--instructions")
-                .and_then(|n| n.parse().ok())
-                .unwrap_or(500_000);
+            let instructions = match a.parsed("--instructions") {
+                Ok(n) => n.unwrap_or(500_000),
+                Err(e) => return fail(&e),
+            };
+            let ways = a.flag("--ways");
+            let quiet = a.flag("--quiet");
+            let telemetry = match TelemetryOpts::from_args(&mut a) {
+                Ok(t) => t,
+                Err(e) => return fail(&e),
+            };
+            if let Err(e) = a.finish() {
+                return fail(&e);
+            }
             let mut cfg = SimConfig::nominal(
                 model,
                 RunScale {
@@ -97,35 +291,59 @@ fn main() -> ExitCode {
                     thermal_grid: 50,
                 },
             );
-            if args.iter().any(|a| a == "--ways") {
+            if ways {
                 cfg.policy = NucaPolicy::DistributedWays;
             }
-            let r = simulate(&cfg, bench);
-            println!(
-                "model {} benchmark {} ({} instructions)",
-                model, bench, instructions
-            );
-            println!("IPC: {:.3}", r.ipc());
-            println!(
-                "L2: {:.1}-cycle mean hit, {:.2} misses/10K",
-                r.l2.mean_hit_cycles(),
-                r.l2_misses_per_10k()
-            );
-            if model.has_checker() {
-                println!("checker mean frequency: {:.2} f", r.mean_checker_fraction);
+            let r = if telemetry.enabled() {
+                match run_traced(&cfg, bench, &telemetry) {
+                    Ok(r) => r,
+                    Err(e) => return fail(&e),
+                }
+            } else {
+                simulate(&cfg, bench)
+            };
+            if !quiet {
+                println!(
+                    "model {} benchmark {} ({} instructions)",
+                    model, bench, instructions
+                );
+                println!("IPC: {:.3}", r.ipc());
+                println!(
+                    "L2: {:.1}-cycle mean hit, {:.2} misses/10K",
+                    r.l2.mean_hit_cycles(),
+                    r.l2_misses_per_10k()
+                );
+                if model.has_checker() {
+                    println!("checker mean frequency: {:.2} f", r.mean_checker_fraction);
+                }
             }
             ExitCode::SUCCESS
         }
         "thermal" => {
-            let Some(model) = opt(&args, "--model").and_then(|m| parse_model(&m)) else {
-                return usage();
+            let model = match a.opt("--model") {
+                Ok(Some(m)) => match parse_model(&m) {
+                    Some(m) => m,
+                    None => return fail(&format!("unknown model: {m}")),
+                },
+                Ok(None) => return fail("--model is required"),
+                Err(e) => return fail(&e),
             };
-            let Some(bench) = opt(&args, "--benchmark").and_then(|b| b.parse().ok()) else {
-                return usage();
+            let bench: Benchmark = match a.opt("--benchmark") {
+                Ok(Some(b)) => match b.parse() {
+                    Ok(b) => b,
+                    Err(_) => return fail(&format!("unknown benchmark: {b}")),
+                },
+                Ok(None) => return fail("--benchmark is required"),
+                Err(e) => return fail(&e),
             };
-            let watts = opt(&args, "--checker-watts")
-                .and_then(|w| w.parse().ok())
-                .unwrap_or(7.0);
+            let watts = match a.parsed("--checker-watts") {
+                Ok(w) => w.unwrap_or(7.0),
+                Err(e) => return fail(&e),
+            };
+            let quiet = a.flag("--quiet");
+            if let Err(e) = a.finish() {
+                return fail(&e);
+            }
             let perf = simulate(
                 &SimConfig::nominal(
                     model,
@@ -146,19 +364,24 @@ fn main() -> ExitCode {
             }
             let r = solve(&model.floorplan(), &chip.map, &ThermalConfig::paper())
                 .expect("thermal solve");
-            println!("model {} benchmark {} checker {} W", model, bench, watts);
-            println!("chip power: {:.1} W", chip.total().0);
-            println!("peak temperature: {}", r.peak());
-            for (d, _) in model.floorplan().dies.iter().enumerate() {
-                println!("  die {d}: {}", r.die_peak(d));
+            if !quiet {
+                println!("model {} benchmark {} checker {} W", model, bench, watts);
+                println!("chip power: {:.1} W", chip.total().0);
+                println!("peak temperature: {}", r.peak());
+                for (d, _) in model.floorplan().dies.iter().enumerate() {
+                    println!("  die {d}: {}", r.die_peak(d));
+                }
             }
             ExitCode::SUCCESS
         }
         "experiment" => {
-            let Some(name) = args.get(1) else {
-                return usage();
+            let Some(name) = a.positional() else {
+                return fail("experiment requires a name");
             };
-            let paper = args.iter().any(|a| a == "--paper");
+            let paper = a.flag("--paper");
+            if let Err(e) = a.finish() {
+                return fail(&e);
+            }
             let (benchmarks, scale): (Vec<Benchmark>, RunScale) = if paper {
                 (Benchmark::ALL.to_vec(), RunScale::paper())
             } else {
@@ -243,10 +466,10 @@ fn main() -> ExitCode {
                         r.iterations
                     );
                 }
-                _ => return usage(),
+                other => return fail(&format!("unknown experiment: {other}")),
             }
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        other => fail(&format!("unknown command: {other}")),
     }
 }

@@ -157,6 +157,9 @@ mod tests {
     }
 
     #[test]
+    // The paper's Table 8 dynamic-power ratio happens to be 3.14; it is
+    // not the circle constant.
+    #[allow(clippy::approx_constant)]
     fn table8_reproduces_derived_ratios() {
         let t = table8();
         assert!((t[0].2.dynamic - 2.21).abs() < 0.02);

@@ -31,7 +31,9 @@ mod simulate;
 
 pub use model::{L2Policy, ParseModelError, ProcessorModel, RunScale};
 pub use powermap::{build_power_map, override_checker_power, ChipPower, PowerMapConfig};
-pub use simulate::{simulate, PerfResult, SimConfig};
+pub use simulate::{simulate, simulate_traced, PerfResult, SimConfig};
+
+pub use rmt3d_telemetry as telemetry;
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -18,11 +18,12 @@
 pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
     let max = rows
         .iter()
-        .map(|&(_, v)| v)
+        .map(|&(_, v)| sanitize(v))
         .fold(f64::MIN_POSITIVE, f64::max);
     let label_w = rows.iter().map(|&(l, _)| l.len()).max().unwrap_or(0);
     let mut s = String::new();
     for &(label, v) in rows {
+        let v = sanitize(v);
         let n = ((v / max) * width as f64).round().max(0.0) as usize;
         s.push_str(&format!(
             "{label:label_w$} {v:8.2} {}\n",
@@ -30,6 +31,17 @@ pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
         ));
     }
     s
+}
+
+/// Treats non-finite values as 0 so a NaN produced upstream (e.g. a 0/0
+/// rate) renders as an empty bar instead of poisoning the scale and the
+/// printed numbers.
+fn sanitize(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
 }
 
 /// Renders a grouped bar chart: one block per row, one bar per series.
@@ -44,7 +56,7 @@ pub fn grouped_chart(
     let max = values
         .iter()
         .flatten()
-        .copied()
+        .map(|&v| sanitize(v))
         .fold(f64::MIN_POSITIVE, f64::max);
     let label_w = row_labels
         .iter()
@@ -61,6 +73,7 @@ pub fn grouped_chart(
         );
         s.push_str(&format!("{row}\n"));
         for (series, &v) in series_labels.iter().zip(vals) {
+            let v = sanitize(v);
             let n = ((v / max) * width as f64).round().max(0.0) as usize;
             s.push_str(&format!(
                 "  {series:label_w$} {v:8.2} {}\n",
@@ -77,10 +90,13 @@ pub fn histogram_line(bins: &[f64]) -> String {
     const GLYPHS: [char; 8] = [
         ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
     ];
-    let max = bins.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    let max = bins
+        .iter()
+        .map(|&b| sanitize(b))
+        .fold(f64::MIN_POSITIVE, f64::max);
     bins.iter()
         .map(|&b| {
-            let i = ((b / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            let i = ((sanitize(b) / max) * (GLYPHS.len() - 1) as f64).round() as usize;
             GLYPHS[i.min(GLYPHS.len() - 1)]
         })
         .collect()
@@ -175,5 +191,39 @@ mod tests {
     fn empty_inputs_are_safe() {
         assert_eq!(bar_chart(&[], 10), "");
         assert_eq!(histogram_line(&[]), "");
+        assert_eq!(grouped_chart(&[], &[], &[], 10), "");
+    }
+
+    #[test]
+    fn non_finite_values_render_as_empty_bars() {
+        let c = bar_chart(&[("ok", 4.0), ("nan", f64::NAN), ("inf", f64::INFINITY)], 8);
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[0].ends_with(&"#".repeat(8)), "finite bar sets scale");
+        assert!(!lines[1].contains('#'), "NaN renders empty: {c}");
+        assert!(!lines[2].contains('#'), "inf renders empty: {c}");
+        assert!(lines[1].contains("0.00"), "NaN prints as 0: {c}");
+        assert!(lines[2].contains("0.00"), "inf prints as 0: {c}");
+    }
+
+    #[test]
+    fn all_nan_bar_chart_is_well_formed() {
+        let c = bar_chart(&[("a", f64::NAN), ("b", f64::NAN)], 8);
+        assert_eq!(c.lines().count(), 2);
+        assert!(!c.contains('#'));
+    }
+
+    #[test]
+    fn grouped_chart_tolerates_nan() {
+        let c = grouped_chart(&["row"], &["x", "y"], &[vec![f64::NAN, 2.0]], 10);
+        assert_eq!(c.lines().count(), 3);
+        assert!(!c.contains("NaN"));
+    }
+
+    #[test]
+    fn histogram_line_tolerates_nan() {
+        let h = histogram_line(&[f64::NAN, 0.5, 0.0]);
+        assert_eq!(h.chars().count(), 3);
+        let chars: Vec<char> = h.chars().collect();
+        assert_eq!(chars[0], ' ', "NaN bin renders blank");
     }
 }

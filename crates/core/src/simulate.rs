@@ -4,6 +4,7 @@ use crate::model::{ProcessorModel, RunScale};
 use rmt3d_cache::{CacheHierarchy, HierarchyStats, NucaPolicy, NucaStats};
 use rmt3d_cpu::{ActivityCounters, CoreConfig, OooCore};
 use rmt3d_rmt::{DfsConfig, RmtConfig, RmtSystem, DFS_LEVELS};
+use rmt3d_telemetry::{emit, Event, IntervalSample, NullSink, Sink, SpanTimer};
 use rmt3d_units::Gigahertz;
 use rmt3d_workload::{Benchmark, TraceGenerator};
 
@@ -89,38 +90,136 @@ fn memory_cycles(f: Gigahertz) -> u32 {
     (150.0 * f.value()).round() as u32
 }
 
-/// Runs one (model, benchmark) performance simulation.
+/// Runs one (model, benchmark) performance simulation with telemetry
+/// disabled. Equivalent to [`simulate_traced`] with a
+/// [`NullSink`] — and produces bit-identical results, since the
+/// [`NullSink`] path compiles event construction out entirely.
 pub fn simulate(cfg: &SimConfig, benchmark: Benchmark) -> PerfResult {
+    simulate_traced(cfg, benchmark, 0, NullSink)
+}
+
+/// Periodic machine-state snapshots: every `interval` cycles the run
+/// loop reads occupancies/counters through accessors and emits an
+/// [`Event::Interval`], so sampling never perturbs the simulation.
+struct Sampler {
+    interval: u64,
+    index: u64,
+    last_cycle: u64,
+    last_committed: u64,
+    last_stall: u64,
+}
+
+impl Sampler {
+    fn new(interval: u64, cycle: u64, committed: u64, stall_cycles: u64) -> Sampler {
+        Sampler {
+            interval,
+            index: 0,
+            last_cycle: cycle,
+            last_committed: committed,
+            last_stall: stall_cycles,
+        }
+    }
+
+    fn due(&self, cycle: u64) -> bool {
+        self.interval != 0 && cycle - self.last_cycle >= self.interval
+    }
+
+    /// Builds the next sample's run-loop-level fields from cumulative
+    /// counters; the caller fills in the structure occupancies.
+    fn take(&mut self, cycle: u64, committed: u64, stall_cycles: u64) -> IntervalSample {
+        let window = (cycle - self.last_cycle).max(1);
+        let delta = committed - self.last_committed;
+        let sample = IntervalSample {
+            index: self.index,
+            cycle,
+            committed: delta,
+            ipc: delta as f64 / window as f64,
+            commit_stall_cycles: stall_cycles - self.last_stall,
+            ..IntervalSample::default()
+        };
+        self.index += 1;
+        self.last_cycle = cycle;
+        self.last_committed = committed;
+        self.last_stall = stall_cycles;
+        sample
+    }
+}
+
+/// Runs one (model, benchmark) performance simulation, streaming
+/// telemetry to `sink`: `simulate`/`warmup`/`measure` spans, every
+/// event the cores and the RMT system emit, and — when
+/// `sample_interval > 0` — an [`Event::Interval`] snapshot of
+/// pipeline/queue occupancies every `sample_interval` leader cycles of
+/// the measured window.
+pub fn simulate_traced<S: Sink + Clone>(
+    cfg: &SimConfig,
+    benchmark: Benchmark,
+    sample_interval: u64,
+    mut sink: S,
+) -> PerfResult {
     let layout = cfg
         .layout
         .clone()
         .unwrap_or_else(|| cfg.model.nuca_layout());
     let mut hierarchy = CacheHierarchy::new(layout, cfg.policy);
     hierarchy.set_memory_cycles(memory_cycles(cfg.frequency));
-    let leader = OooCore::new(
+    let leader = OooCore::with_sink(
         CoreConfig::leading_ev7_like(),
         TraceGenerator::new(benchmark.profile()),
         hierarchy,
+        sink.clone(),
     );
+    let run_span = SpanTimer::begin(&mut sink, "simulate", 0);
 
-    if cfg.model.has_checker() {
+    let result = if cfg.model.has_checker() {
         let rmt_cfg = RmtConfig {
             dfs: DfsConfig::paper().with_frequency_cap(cfg.checker_peak_fraction),
             ..RmtConfig::paper()
         };
-        let mut sys = RmtSystem::new(leader, rmt_cfg);
+        let mut sys = RmtSystem::with_sink(leader, rmt_cfg, sink.clone());
         sys.prefill_caches();
+        let warm_span = SpanTimer::begin(&mut sink, "warmup", 0);
         sys.run_instructions(cfg.scale.warmup_instructions);
+        warm_span.end(&mut sink, sys.total_cycles());
         // Reset is not exposed on the composite; measure the delta
         // window instead.
         let start_leader = *sys.leader().activity();
         let start_trailer = *sys.trailer().activity();
         let start_cycles = sys.total_cycles();
-        sys.run_instructions(cfg.scale.instructions);
-        let mut leader_act = *sys.leader().activity();
-        let mut trailer_act = *sys.trailer().activity();
-        diff(&mut leader_act, &start_leader);
-        diff(&mut trailer_act, &start_trailer);
+        let measure_span = SpanTimer::begin(&mut sink, "measure", start_cycles);
+        let mut sampler = Sampler::new(
+            sample_interval,
+            start_cycles,
+            start_leader.committed,
+            start_leader.commit_stall_cycles,
+        );
+        while sys.leader().activity().committed - start_leader.committed < cfg.scale.instructions {
+            sys.step();
+            let cycle = sys.total_cycles();
+            if sampler.due(cycle) {
+                let act = sys.leader().activity();
+                let mut s = sampler.take(cycle, act.committed, act.commit_stall_cycles);
+                s.rob = sys.leader().rob_occupancy();
+                s.iq_int = sys.leader().iq_int_occupancy();
+                s.iq_fp = sys.leader().iq_fp_occupancy();
+                s.lsq = sys.leader().lsq_occupancy();
+                let occ = sys.queues().occupancy();
+                s.rvq = occ.rvq as u32;
+                s.lvq = occ.lvq as u32;
+                s.boq = occ.boq as u32;
+                s.stb = occ.stb as u32;
+                s.checker_fraction = sys.dfs().current().fraction();
+                let stats = sys.leader().caches().stats();
+                s.dl1_accesses = stats.l1d.accesses;
+                s.dl1_misses = stats.l1d.misses;
+                s.l2_accesses = stats.l2_accesses;
+                s.l2_misses = stats.l2_misses;
+                emit(&mut sink, || Event::Interval(s));
+            }
+        }
+        measure_span.end(&mut sink, sys.total_cycles());
+        let leader_act = sys.leader().activity().delta_since(&start_leader);
+        let trailer_act = sys.trailer().activity().delta_since(&start_trailer);
         PerfResult {
             model: cfg.model,
             benchmark,
@@ -136,9 +235,33 @@ pub fn simulate(cfg: &SimConfig, benchmark: Benchmark) -> PerfResult {
     } else {
         let mut core = leader;
         core.prefill_caches();
+        let warm_span = SpanTimer::begin(&mut sink, "warmup", 0);
         core.run_instructions(cfg.scale.warmup_instructions);
         core.reset_stats();
-        core.run_instructions(cfg.scale.instructions);
+        warm_span.end(&mut sink, core.activity().cycles);
+        let measure_span = SpanTimer::begin(&mut sink, "measure", 0);
+        let mut sampler = Sampler::new(sample_interval, 0, 0, 0);
+        let mut commit_buf = Vec::with_capacity(8);
+        while core.activity().committed < cfg.scale.instructions {
+            commit_buf.clear();
+            core.step_cycle(&mut commit_buf);
+            let cycle = core.activity().cycles;
+            if sampler.due(cycle) {
+                let act = core.activity();
+                let mut s = sampler.take(cycle, act.committed, act.commit_stall_cycles);
+                s.rob = core.rob_occupancy();
+                s.iq_int = core.iq_int_occupancy();
+                s.iq_fp = core.iq_fp_occupancy();
+                s.lsq = core.lsq_occupancy();
+                let stats = core.caches().stats();
+                s.dl1_accesses = stats.l1d.accesses;
+                s.dl1_misses = stats.l1d.misses;
+                s.l2_accesses = stats.l2_accesses;
+                s.l2_misses = stats.l2_misses;
+                emit(&mut sink, || Event::Interval(s));
+            }
+        }
+        measure_span.end(&mut sink, core.activity().cycles);
         PerfResult {
             model: cfg.model,
             benchmark,
@@ -151,29 +274,9 @@ pub fn simulate(cfg: &SimConfig, benchmark: Benchmark) -> PerfResult {
             mean_checker_fraction: 0.0,
             total_cycles: core.activity().cycles,
         }
-    }
-}
-
-/// Subtracts `start` from `acc` field-wise (window delta).
-fn diff(acc: &mut ActivityCounters, start: &ActivityCounters) {
-    acc.cycles -= start.cycles;
-    acc.fetched -= start.fetched;
-    acc.dispatched -= start.dispatched;
-    acc.issued -= start.issued;
-    acc.committed -= start.committed;
-    acc.int_alu_ops -= start.int_alu_ops;
-    acc.int_mul_ops -= start.int_mul_ops;
-    acc.fp_alu_ops -= start.fp_alu_ops;
-    acc.fp_mul_ops -= start.fp_mul_ops;
-    acc.bpred_accesses -= start.bpred_accesses;
-    acc.icache_accesses -= start.icache_accesses;
-    acc.dcache_accesses -= start.dcache_accesses;
-    acc.lsq_accesses -= start.lsq_accesses;
-    acc.regfile_reads -= start.regfile_reads;
-    acc.regfile_writes -= start.regfile_writes;
-    acc.bypass_transfers -= start.bypass_transfers;
-    acc.commit_stall_cycles -= start.commit_stall_cycles;
-    acc.branch_mispredicts -= start.branch_mispredicts;
+    };
+    run_span.end(&mut sink, result.total_cycles);
+    result
 }
 
 #[cfg(test)]

@@ -4,6 +4,36 @@
 //! structure, with aggressive (cc3) clock gating for idle units. The core
 //! models maintain these counters; `rmt3d-power` turns them into watts.
 
+/// Applies a callback macro to every counter field exactly once, so
+/// field-wise operations ([`ActivityCounters::merge`],
+/// [`ActivityCounters::delta_since`]) cannot drift out of sync with the
+/// struct definition when counters are added.
+macro_rules! for_each_counter {
+    ($apply:ident!($($args:tt)*)) => {
+        $apply!(
+            ($($args)*),
+            cycles,
+            fetched,
+            dispatched,
+            issued,
+            committed,
+            int_alu_ops,
+            int_mul_ops,
+            fp_alu_ops,
+            fp_mul_ops,
+            bpred_accesses,
+            icache_accesses,
+            dcache_accesses,
+            lsq_accesses,
+            regfile_reads,
+            regfile_writes,
+            bypass_transfers,
+            commit_stall_cycles,
+            branch_mispredicts
+        )
+    };
+}
+
 /// Activity counts accumulated by a core over a simulation window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ActivityCounters {
@@ -78,24 +108,29 @@ impl ActivityCounters {
 
     /// Element-wise accumulation of another window's counters.
     pub fn merge(&mut self, other: &ActivityCounters) {
-        self.cycles += other.cycles;
-        self.fetched += other.fetched;
-        self.dispatched += other.dispatched;
-        self.issued += other.issued;
-        self.committed += other.committed;
-        self.int_alu_ops += other.int_alu_ops;
-        self.int_mul_ops += other.int_mul_ops;
-        self.fp_alu_ops += other.fp_alu_ops;
-        self.fp_mul_ops += other.fp_mul_ops;
-        self.bpred_accesses += other.bpred_accesses;
-        self.icache_accesses += other.icache_accesses;
-        self.dcache_accesses += other.dcache_accesses;
-        self.lsq_accesses += other.lsq_accesses;
-        self.regfile_reads += other.regfile_reads;
-        self.regfile_writes += other.regfile_writes;
-        self.bypass_transfers += other.bypass_transfers;
-        self.commit_stall_cycles += other.commit_stall_cycles;
-        self.branch_mispredicts += other.branch_mispredicts;
+        macro_rules! add {
+            (($self:ident, $other:ident), $($field:ident),*) => {
+                $($self.$field += $other.$field;)*
+            };
+        }
+        for_each_counter!(add!(self, other));
+    }
+
+    /// Counters accumulated since the `start` snapshot (field-wise
+    /// `self - start`): the measurement-window delta used after warm-up.
+    ///
+    /// `start` must be an earlier snapshot of the same accumulating
+    /// counters; each field underflow-panics (debug) otherwise.
+    #[must_use]
+    pub fn delta_since(&self, start: &ActivityCounters) -> ActivityCounters {
+        let mut delta = *self;
+        macro_rules! sub {
+            (($delta:ident, $start:ident), $($field:ident),*) => {
+                $($delta.$field -= $start.$field;)*
+            };
+        }
+        for_each_counter!(sub!(delta, start));
+        delta
     }
 }
 
@@ -150,5 +185,28 @@ mod tests {
         assert_eq!(a.cycles, 30);
         assert_eq!(a.committed, 20);
         assert_eq!(a.int_alu_ops, 7);
+    }
+
+    #[test]
+    fn delta_since_inverts_merge() {
+        let start = ActivityCounters {
+            cycles: 100,
+            committed: 80,
+            dcache_accesses: 30,
+            branch_mispredicts: 2,
+            ..Default::default()
+        };
+        let window = ActivityCounters {
+            cycles: 55,
+            committed: 40,
+            dcache_accesses: 12,
+            regfile_writes: 9,
+            ..Default::default()
+        };
+        let mut acc = start;
+        acc.merge(&window);
+        assert_eq!(acc.delta_since(&start), window);
+        // Zero-width window.
+        assert_eq!(acc.delta_since(&acc), ActivityCounters::default());
     }
 }

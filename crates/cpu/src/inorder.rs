@@ -12,6 +12,7 @@
 use crate::activity::ActivityCounters;
 use crate::commit::CommittedOp;
 use crate::config::TrailerConfig;
+use rmt3d_telemetry::{emit, Event, NullSink, Sink};
 use rmt3d_workload::OpClass;
 use std::collections::VecDeque;
 
@@ -66,22 +67,36 @@ struct InFlight {
 /// order. The caller owns the clock-domain crossing (GALS) and the DFS
 /// policy — see the `rmt3d-rmt` crate.
 #[derive(Debug)]
-pub struct InOrderCore {
+pub struct InOrderCore<S: Sink = NullSink> {
     cfg: TrailerConfig,
     cycle: u64,
     regfile: [u64; 64],
     pipe: VecDeque<InFlight>,
     complete_at: Box<[u64; RING]>,
     activity: ActivityCounters,
+    sink: S,
 }
 
 impl InOrderCore {
-    /// Creates an idle checker core.
+    /// Creates an idle checker core with telemetry disabled
+    /// ([`NullSink`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails validation.
     pub fn new(cfg: TrailerConfig) -> InOrderCore {
+        InOrderCore::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: Sink> InOrderCore<S> {
+    /// Creates an idle checker core that reports each detected mismatch
+    /// to `sink` (as an [`Event::Counter`] named `checker_mismatch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn with_sink(cfg: TrailerConfig, sink: S) -> InOrderCore<S> {
         cfg.validate().expect("invalid trailer configuration");
         InOrderCore {
             cfg,
@@ -90,6 +105,7 @@ impl InOrderCore {
             pipe: VecDeque::with_capacity(64),
             complete_at: Box::new([0; RING]),
             activity: ActivityCounters::default(),
+            sink,
         }
     }
 
@@ -233,6 +249,14 @@ impl InOrderCore {
             // it is the recovery point (paper §2).
             self.activity.regfile_reads +=
                 op.src1_reg.is_some() as u64 + op.src2_reg.is_some() as u64;
+            if outcome != CheckOutcome::Ok {
+                let cycle = self.cycle;
+                emit(&mut self.sink, || Event::Counter {
+                    name: "checker_mismatch",
+                    cycle,
+                    value: 1.0,
+                });
+            }
             out.push(Verification {
                 seq: op.seq,
                 outcome,

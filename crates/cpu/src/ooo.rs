@@ -12,6 +12,7 @@ use crate::bpred::CombinedPredictor;
 use crate::commit::CommittedOp;
 use crate::config::CoreConfig;
 use rmt3d_cache::CacheHierarchy;
+use rmt3d_telemetry::{emit, Event, NullSink, Sink};
 use rmt3d_workload::{MicroOp, OpClass, TraceGenerator};
 use std::collections::VecDeque;
 
@@ -94,7 +95,7 @@ impl FuBudget {
 /// assert!(core.activity().committed > 0);
 /// ```
 #[derive(Debug)]
-pub struct OooCore {
+pub struct OooCore<S: Sink = NullSink> {
     cfg: CoreConfig,
     trace: TraceGenerator,
     caches: CacheHierarchy,
@@ -114,16 +115,36 @@ pub struct OooCore {
     commit_stalled: bool,
     activity: ActivityCounters,
     last_fetch_line: u64,
+    sink: S,
 }
 
 impl OooCore {
-    /// Creates a core over a trace and cache hierarchy.
+    /// Creates a core over a trace and cache hierarchy, with telemetry
+    /// disabled ([`NullSink`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails validation (the dependence ring
     /// requires `rob + ifq + 63 < 256`).
     pub fn new(cfg: CoreConfig, trace: TraceGenerator, caches: CacheHierarchy) -> OooCore {
+        OooCore::with_sink(cfg, trace, caches, NullSink)
+    }
+}
+
+impl<S: Sink> OooCore<S> {
+    /// Creates a core that reports telemetry events to `sink` (commit
+    /// back-pressure transitions, as [`Event::Counter`] samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (the dependence ring
+    /// requires `rob + ifq + 63 < 256`).
+    pub fn with_sink(
+        cfg: CoreConfig,
+        trace: TraceGenerator,
+        caches: CacheHierarchy,
+        sink: S,
+    ) -> OooCore<S> {
         cfg.validate().expect("invalid core configuration");
         assert!(
             (cfg.rob_size + cfg.ifq_size + 63) < RING as u32,
@@ -147,12 +168,33 @@ impl OooCore {
             commit_stalled: false,
             activity: ActivityCounters::default(),
             last_fetch_line: u64::MAX,
+            sink,
         }
     }
 
     /// Current cycle count.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Re-order buffer occupancy (entries), for interval sampling.
+    pub fn rob_occupancy(&self) -> u32 {
+        self.rob.len() as u32
+    }
+
+    /// Integer issue-queue occupancy (entries).
+    pub fn iq_int_occupancy(&self) -> u32 {
+        self.iq_int
+    }
+
+    /// Floating-point issue-queue occupancy (entries).
+    pub fn iq_fp_occupancy(&self) -> u32 {
+        self.iq_fp
+    }
+
+    /// Load/store-queue occupancy (entries).
+    pub fn lsq_occupancy(&self) -> u32 {
+        self.lsq
     }
 
     /// Accumulated activity counters.
@@ -180,6 +222,14 @@ impl OooCore {
     /// stalled the core stops retiring — this is how an over-throttled
     /// checker slows the leader (paper §4 Discussion).
     pub fn set_commit_stall(&mut self, stalled: bool) {
+        if stalled != self.commit_stalled {
+            let cycle = self.cycle;
+            emit(&mut self.sink, || Event::Counter {
+                name: "leader_commit_stall",
+                cycle,
+                value: if stalled { 1.0 } else { 0.0 },
+            });
+        }
         self.commit_stalled = stalled;
     }
 

@@ -1,21 +1,24 @@
 //! Property tests over the core pipelines: structural invariants must
 //! hold for every benchmark profile and random configuration tweak.
+//!
+//! Cases come from a seeded [`SplitMix64`] stream for bit-for-bit
+//! reproducibility without an external property-test dependency.
 
-use proptest::prelude::*;
 use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
 use rmt3d_cpu::{CheckOutcome, CoreConfig, InOrderCore, OooCore, TrailerConfig};
-use rmt3d_workload::{Benchmark, TraceGenerator};
+use rmt3d_workload::{Benchmark, SplitMix64, TraceGenerator};
 use std::collections::VecDeque;
 
-fn any_benchmark() -> impl Strategy<Value = Benchmark> {
-    (0usize..19).prop_map(|i| Benchmark::ALL[i])
+fn any_benchmark(rng: &mut SplitMix64) -> Benchmark {
+    Benchmark::ALL[rng.below_usize(19)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn commits_are_in_order_and_complete(b in any_benchmark(), cycles in 500u64..3000) {
+#[test]
+fn commits_are_in_order_and_complete() {
+    let mut rng = SplitMix64::new(0x0de2);
+    for _ in 0..24 {
+        let b = any_benchmark(&mut rng);
+        let cycles = rng.range_u64(500, 3000);
         let mut core = OooCore::new(
             CoreConfig::leading_ev7_like(),
             TraceGenerator::new(b.profile()),
@@ -26,16 +29,20 @@ proptest! {
             core.step_cycle(&mut out);
         }
         for w in out.windows(2) {
-            prop_assert_eq!(w[1].op.seq, w[0].op.seq + 1);
+            assert_eq!(w[1].op.seq, w[0].op.seq + 1);
         }
         let a = core.activity();
-        prop_assert!(a.committed <= a.dispatched);
-        prop_assert!(a.dispatched <= a.fetched);
-        prop_assert!(a.issued <= a.dispatched);
+        assert!(a.committed <= a.dispatched);
+        assert!(a.dispatched <= a.fetched);
+        assert!(a.issued <= a.dispatched);
     }
+}
 
-    #[test]
-    fn narrow_cores_are_never_faster(b in any_benchmark()) {
+#[test]
+fn narrow_cores_are_never_faster() {
+    let mut rng = SplitMix64::new(0xa22);
+    for _ in 0..6 {
+        let b = any_benchmark(&mut rng);
         let run = |cfg: CoreConfig| {
             let mut core = OooCore::new(
                 cfg,
@@ -48,15 +55,17 @@ proptest! {
         };
         let wide = run(CoreConfig::leading_ev7_like());
         let narrow = run(CoreConfig::checker_as_leader());
-        prop_assert!(narrow <= wide * 1.02, "narrow {narrow} vs wide {wide}");
+        assert!(narrow <= wide * 1.02, "narrow {narrow} vs wide {wide}");
     }
+}
 
-    #[test]
-    fn checker_verifies_any_committed_stream_clean(
-        b in any_benchmark(),
-        n in 500usize..3000,
-        ports in 1u32..4,
-    ) {
+#[test]
+fn checker_verifies_any_committed_stream_clean() {
+    let mut rng = SplitMix64::new(0xc4ec);
+    for _ in 0..12 {
+        let b = any_benchmark(&mut rng);
+        let n = rng.range_u64(500, 3000) as usize;
+        let ports = rng.range_u64(1, 4) as u32;
         let mut core = OooCore::new(
             CoreConfig::leading_ev7_like(),
             TraceGenerator::new(b.profile()),
@@ -77,23 +86,25 @@ proptest! {
         while out.len() < n {
             trailer.step_cycle(&mut q, &mut out);
             guard += 1;
-            prop_assert!(guard < 50 * n + 1000, "trailer wedged");
+            assert!(guard < 50 * n + 1000, "trailer wedged");
         }
         // Fault-free stream: every verification passes, in order.
         for (i, v) in out.iter().enumerate() {
-            prop_assert_eq!(v.outcome, CheckOutcome::Ok, "at {}", i);
-            prop_assert_eq!(v.seq, i as u64);
+            assert_eq!(v.outcome, CheckOutcome::Ok, "at {}", i);
+            assert_eq!(v.seq, i as u64);
         }
         // Port count bounds throughput.
-        prop_assert!(trailer.cycle() + 64 >= n as u64 / ports as u64);
+        assert!(trailer.cycle() + 64 >= n as u64 / ports as u64);
     }
+}
 
-    #[test]
-    fn single_bit_flip_is_always_detected(
-        b in any_benchmark(),
-        victim_frac in 0.1f64..0.9,
-        bit in 0u8..64,
-    ) {
+#[test]
+fn single_bit_flip_is_always_detected() {
+    let mut rng = SplitMix64::new(0xf11b);
+    for _ in 0..24 {
+        let b = any_benchmark(&mut rng);
+        let victim_frac = rng.range_f64(0.1, 0.9);
+        let bit = rng.below(64) as u8;
         let mut core = OooCore::new(
             CoreConfig::leading_ev7_like(),
             TraceGenerator::new(b.profile()),
@@ -108,7 +119,7 @@ proptest! {
         // chosen point.
         let start = (victim_frac * stream.len() as f64) as usize;
         let Some(victim) = (start..stream.len()).find(|&i| stream[i].op.dest.is_some()) else {
-            return Ok(());
+            continue;
         };
         stream[victim].result ^= 1u64 << bit;
 
@@ -118,11 +129,11 @@ proptest! {
         while out.len() < 1200 {
             trailer.step_cycle(&mut q, &mut out);
         }
-        prop_assert!(
+        assert!(
             out[victim].outcome != CheckOutcome::Ok,
             "flip of bit {bit} at op {victim} must be detected"
         );
-        prop_assert!(
+        assert!(
             out[..victim].iter().all(|v| v.outcome == CheckOutcome::Ok),
             "no false positives before the fault"
         );

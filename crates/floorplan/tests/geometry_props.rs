@@ -1,7 +1,10 @@
 //! Property tests: geometric invariants hold for every chip variant.
+//!
+//! Randomized cases come from a seeded [`SplitMix64`] stream for
+//! deterministic replay without an external property-test dependency.
 
-use proptest::prelude::*;
 use rmt3d_floorplan::{BlockId, ChipFloorplan, Rect};
+use rmt3d_workload::SplitMix64;
 
 #[test]
 fn all_variants_validate_and_cover_reasonable_area() {
@@ -44,47 +47,58 @@ fn bank_indices_are_dense_and_unique() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn overlap_is_symmetric_and_irreflexive(
-        x1 in -5.0..5.0f64, y1 in -5.0..5.0f64, w1 in 0.1..5.0f64, h1 in 0.1..5.0f64,
-        x2 in -5.0..5.0f64, y2 in -5.0..5.0f64, w2 in 0.1..5.0f64, h2 in 0.1..5.0f64,
-    ) {
-        let a = Rect::new(x1, y1, w1, h1);
-        let b = Rect::new(x2, y2, w2, h2);
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-        prop_assert!(a.overlaps(&a), "positive-area rects self-overlap");
-        prop_assert!(a.within(&a));
+#[test]
+fn overlap_is_symmetric_and_irreflexive() {
+    let mut rng = SplitMix64::new(0x0e0);
+    for _ in 0..64 {
+        let a = Rect::new(
+            rng.range_f64(-5.0, 5.0),
+            rng.range_f64(-5.0, 5.0),
+            rng.range_f64(0.1, 5.0),
+            rng.range_f64(0.1, 5.0),
+        );
+        let b = Rect::new(
+            rng.range_f64(-5.0, 5.0),
+            rng.range_f64(-5.0, 5.0),
+            rng.range_f64(0.1, 5.0),
+            rng.range_f64(0.1, 5.0),
+        );
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert!(a.overlaps(&a), "positive-area rects self-overlap");
+        assert!(a.within(&a));
     }
+}
 
-    #[test]
-    fn containment_implies_overlap_or_zero_gap(
-        x in 0.0..3.0f64, y in 0.0..3.0f64, w in 0.1..2.0f64, h in 0.1..2.0f64,
-    ) {
+#[test]
+fn containment_implies_overlap_or_zero_gap() {
+    let mut rng = SplitMix64::new(0xc0a);
+    for _ in 0..64 {
         let outer = Rect::new(0.0, 0.0, 6.0, 6.0);
-        let inner = Rect::new(x, y, w, h);
-        prop_assert!(inner.within(&outer));
-        prop_assert!(inner.overlaps(&outer));
+        let inner = Rect::new(
+            rng.range_f64(0.0, 3.0),
+            rng.range_f64(0.0, 3.0),
+            rng.range_f64(0.1, 2.0),
+            rng.range_f64(0.1, 2.0),
+        );
+        assert!(inner.within(&outer));
+        assert!(inner.overlaps(&outer));
         // Manhattan distance to self is zero.
-        prop_assert!(inner.manhattan_to(&inner).0.abs() < 1e-12);
+        assert!(inner.manhattan_to(&inner).0.abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn manhattan_is_a_metric(
-        ax in 0.0..10.0f64, ay in 0.0..10.0f64,
-        bx in 0.0..10.0f64, by in 0.0..10.0f64,
-        cx in 0.0..10.0f64, cy in 0.0..10.0f64,
-    ) {
-        let a = Rect::new(ax, ay, 1.0, 1.0);
-        let b = Rect::new(bx, by, 1.0, 1.0);
-        let c = Rect::new(cx, cy, 1.0, 1.0);
+#[test]
+fn manhattan_is_a_metric() {
+    let mut rng = SplitMix64::new(0x3a4);
+    for _ in 0..64 {
+        let a = Rect::new(rng.range_f64(0.0, 10.0), rng.range_f64(0.0, 10.0), 1.0, 1.0);
+        let b = Rect::new(rng.range_f64(0.0, 10.0), rng.range_f64(0.0, 10.0), 1.0, 1.0);
+        let c = Rect::new(rng.range_f64(0.0, 10.0), rng.range_f64(0.0, 10.0), 1.0, 1.0);
         let ab = a.manhattan_to(&b).0;
         let ba = b.manhattan_to(&a).0;
         let ac = a.manhattan_to(&c).0;
         let cb = c.manhattan_to(&b).0;
-        prop_assert!((ab - ba).abs() < 1e-12, "symmetry");
-        prop_assert!(ab <= ac + cb + 1e-12, "triangle inequality");
+        assert!((ab - ba).abs() < 1e-12, "symmetry");
+        assert!(ab <= ac + cb + 1e-12, "triangle inequality");
     }
 }

@@ -6,9 +6,8 @@
 //! single-bit flips at the sites below; ECC-protected sites correct the
 //! flip (and count it) instead of propagating it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rmt3d_cpu::CommittedOp;
+use rmt3d_workload::SplitMix64;
 
 /// Where a transient fault strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +37,17 @@ impl FaultSite {
         FaultSite::BoqOutcome,
         FaultSite::TrailerRegfile,
     ];
+
+    /// Stable snake_case label used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::LeaderResult => "leader_result",
+            FaultSite::RvqOperand => "rvq_operand",
+            FaultSite::LvqValue => "lvq_value",
+            FaultSite::BoqOutcome => "boq_outcome",
+            FaultSite::TrailerRegfile => "trailer_regfile",
+        }
+    }
 }
 
 /// Which structures carry ECC (paper §2 requirements).
@@ -104,7 +114,7 @@ pub enum FaultFate {
 /// probability `rate` at a uniformly chosen site.
 #[derive(Debug)]
 pub struct FaultInjector {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Faults per committed instruction.
     rate: f64,
     ecc: EccConfig,
@@ -132,7 +142,7 @@ impl FaultInjector {
     pub fn new(seed: u64, rate: f64, ecc: EccConfig) -> FaultInjector {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
         FaultInjector {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             rate,
             ecc,
             injected: 0,
@@ -159,20 +169,40 @@ impl FaultInjector {
     /// one should be applied to the datapath (ECC-corrected strikes are
     /// counted and return `None`).
     pub fn draw(&mut self) -> Option<DrawnFault> {
-        if self.rate == 0.0 || self.rng.gen::<f64>() >= self.rate {
+        self.draw_event()
+            .and_then(|(fault, corrected)| (!corrected).then_some(fault))
+    }
+
+    /// Like [`FaultInjector::draw`], but also reports ECC-corrected
+    /// strikes (as `(fault, true)`) so telemetry can log every strike.
+    /// Corrected strikes carry dummy `bit`/`reg` values: no extra
+    /// randomness is consumed for them, which keeps the RNG stream — and
+    /// therefore seed-determinism — identical to [`FaultInjector::draw`].
+    pub fn draw_event(&mut self) -> Option<(DrawnFault, bool)> {
+        if self.rate == 0.0 || self.rng.next_f64() >= self.rate {
             return None;
         }
         self.injected += 1;
-        let site = FaultSite::ALL[self.rng.gen_range(0..FaultSite::ALL.len())];
+        let site = FaultSite::ALL[self.rng.below_usize(FaultSite::ALL.len())];
         if self.ecc.corrects(site) {
             self.corrected += 1;
-            return None;
+            return Some((
+                DrawnFault {
+                    site,
+                    bit: 0,
+                    reg: 0,
+                },
+                true,
+            ));
         }
-        Some(DrawnFault {
-            site,
-            bit: self.rng.gen_range(0..64),
-            reg: self.rng.gen_range(1..32),
-        })
+        Some((
+            DrawnFault {
+                site,
+                bit: self.rng.below(64) as u8,
+                reg: self.rng.range_u64(1, 32) as u8,
+            },
+            false,
+        ))
     }
 
     /// Applies a drawn fault to an in-transit committed op (the

@@ -7,6 +7,7 @@ use crate::queues::{IntercoreQueues, QueueConfig};
 use rmt3d_cpu::{
     load_memory_value, CheckOutcome, CommittedOp, InOrderCore, OooCore, TrailerConfig, Verification,
 };
+use rmt3d_telemetry::{emit, Event, NullSink, Sink};
 use rmt3d_workload::OpClass;
 
 /// Configuration of the coupled RMT system.
@@ -83,9 +84,9 @@ impl RmtStats {
 /// checker advances fractionally according to the DFS controller's
 /// current normalized frequency (GALS-style decoupling, §2.1).
 #[derive(Debug)]
-pub struct RmtSystem {
-    leader: OooCore,
-    trailer: InOrderCore,
+pub struct RmtSystem<S: Sink = NullSink> {
+    leader: OooCore<S>,
+    trailer: InOrderCore<S>,
     queues: IntercoreQueues,
     dfs: DfsController,
     injector: Option<FaultInjector>,
@@ -102,14 +103,26 @@ pub struct RmtSystem {
     commit_buf: Vec<CommittedOp>,
     verify_buf: Vec<Verification>,
     fault_fates: Vec<(FaultSite, FaultFate)>,
+    sink: S,
 }
 
 impl RmtSystem {
-    /// Couples a leading core to a fresh checker.
+    /// Couples a leading core to a fresh checker, telemetry disabled.
     pub fn new(leader: OooCore, config: RmtConfig) -> RmtSystem {
+        RmtSystem::with_sink(leader, config, NullSink)
+    }
+}
+
+impl<S: Sink + Clone> RmtSystem<S> {
+    /// Couples a leading core to a fresh checker; the sink is cloned
+    /// into the checker and also receives system-level events (DFS
+    /// transitions, fault injections, recoveries). The leader should
+    /// have been built with a clone of the same sink
+    /// ([`OooCore::with_sink`]).
+    pub fn with_sink(leader: OooCore<S>, config: RmtConfig, sink: S) -> RmtSystem<S> {
         RmtSystem {
             leader,
-            trailer: InOrderCore::new(config.trailer),
+            trailer: InOrderCore::with_sink(config.trailer, sink.clone()),
             queues: IntercoreQueues::new(config.queues),
             dfs: DfsController::new(config.dfs),
             injector: None,
@@ -121,22 +134,25 @@ impl RmtSystem {
             commit_buf: Vec::with_capacity(8),
             verify_buf: Vec::with_capacity(8),
             fault_fates: Vec::new(),
+            sink,
         }
     }
+}
 
+impl<S: Sink> RmtSystem<S> {
     /// Enables random fault injection.
-    pub fn with_fault_injection(mut self, seed: u64, rate: f64, ecc: EccConfig) -> RmtSystem {
+    pub fn with_fault_injection(mut self, seed: u64, rate: f64, ecc: EccConfig) -> RmtSystem<S> {
         self.injector = Some(FaultInjector::new(seed, rate, ecc));
         self
     }
 
     /// The leading core.
-    pub fn leader(&self) -> &OooCore {
+    pub fn leader(&self) -> &OooCore<S> {
         &self.leader
     }
 
     /// The checker core.
-    pub fn trailer(&self) -> &InOrderCore {
+    pub fn trailer(&self) -> &InOrderCore<S> {
         &self.trailer
     }
 
@@ -201,12 +217,21 @@ impl RmtSystem {
         self.leader.step_cycle(&mut self.commit_buf);
 
         // Golden shadow execution + fault injection + enqueue.
+        let cycle = self.leader.activity().cycles;
         for i in 0..self.commit_buf.len() {
             let mut item = self.commit_buf[i];
             self.update_golden(&item);
             if let Some(inj) = self.injector.as_mut() {
-                if let Some(fault) = inj.draw() {
-                    if fault.site == FaultSite::TrailerRegfile {
+                if let Some((fault, corrected)) = inj.draw_event() {
+                    emit(&mut self.sink, || Event::FaultInjected {
+                        cycle,
+                        site: fault.site.name(),
+                        bit: fault.bit,
+                        corrected,
+                    });
+                    if corrected {
+                        // Absorbed by ECC; invisible to execution.
+                    } else if fault.site == FaultSite::TrailerRegfile {
                         self.trailer.flip_regfile_bit(fault.reg, fault.bit);
                         self.fault_fates.push((fault.site, FaultFate::Masked));
                     } else if FaultInjector::apply_to_payload(fault, &mut item) {
@@ -219,7 +244,17 @@ impl RmtSystem {
         }
 
         // DFS decision and fractional trailer advance.
+        let level_before = self.dfs.current().level();
         self.dfs.tick(self.queues.rvq_fill());
+        let after = self.dfs.current();
+        if after.level() != level_before {
+            emit(&mut self.sink, || Event::DfsTransition {
+                cycle,
+                from_level: level_before,
+                to_level: after.level(),
+                fraction: after.fraction(),
+            });
+        }
         self.stats.slack_sum += self.queues.occupancy().rvq as u64;
         self.stats.slack_samples += 1;
 
@@ -267,6 +302,13 @@ impl RmtSystem {
             self.recover(&verifications[i..]);
             // Mark the most recent unresolved fault as detected.
             let recovered = self.trailer.regfile() == &self.golden;
+            let cycle = self.leader.activity().cycles;
+            let penalty = self.config.recovery_penalty;
+            emit(&mut self.sink, || Event::Recovery {
+                cycle,
+                penalty_cycles: penalty,
+                unrecoverable: !recovered,
+            });
             if let Some(last) = self
                 .fault_fates
                 .iter_mut()

@@ -1,13 +1,15 @@
 //! Property tests over the RMT machinery: queue conservation, DFS
 //! boundedness, fault-injection coverage and recovery invariants.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream so every failure
+//! replays deterministically without an external property-test crate.
 
-use proptest::prelude::*;
 use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
 use rmt3d_cpu::{CoreConfig, OooCore};
 use rmt3d_rmt::{
     DfsConfig, EccConfig, IntercoreQueues, QueueConfig, RmtConfig, RmtSystem, TmrSystem,
 };
-use rmt3d_workload::{ArchReg, Benchmark, MemRef, MicroOp, OpClass, TraceGenerator};
+use rmt3d_workload::{ArchReg, Benchmark, MemRef, MicroOp, OpClass, SplitMix64, TraceGenerator};
 
 fn item(seq: u64, kind: OpClass) -> rmt3d_cpu::CommittedOp {
     rmt3d_cpu::CommittedOp {
@@ -33,15 +35,12 @@ fn item(seq: u64, kind: OpClass) -> rmt3d_cpu::CommittedOp {
     }
 }
 
-fn any_kind() -> impl Strategy<Value = OpClass> {
-    (0usize..7).prop_map(|i| OpClass::ALL[i])
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn queue_occupancy_is_conserved(kinds in proptest::collection::vec(any_kind(), 1..120)) {
+#[test]
+fn queue_occupancy_is_conserved() {
+    let mut rng = SplitMix64::new(0x0cc);
+    for _ in 0..32 {
+        let n = rng.range_u64(1, 120) as usize;
+        let kinds: Vec<OpClass> = (0..n).map(|_| OpClass::ALL[rng.below_usize(7)]).collect();
         let mut q = IntercoreQueues::new(QueueConfig::paper());
         let mut pushed = 0usize;
         for (i, &k) in kinds.iter().enumerate() {
@@ -50,7 +49,7 @@ proptest! {
                 pushed += 1;
             }
         }
-        prop_assert_eq!(q.occupancy().rvq, pushed);
+        assert_eq!(q.occupancy().rvq, pushed);
         // Draining the stream and reporting consumption empties every
         // logical queue.
         let drained: Vec<_> = q.stream_mut().drain(..).collect();
@@ -58,28 +57,38 @@ proptest! {
             q.on_trailer_consumed(c.op.kind);
         }
         let o = q.occupancy();
-        prop_assert_eq!((o.rvq, o.lvq, o.boq, o.stb), (0, 0, 0, 0));
+        assert_eq!((o.rvq, o.lvq, o.boq, o.stb), (0, 0, 0, 0));
         // Peaks are monotone records.
-        prop_assert!(q.peak_occupancy().rvq >= 1 || pushed == 0);
+        assert!(q.peak_occupancy().rvq >= 1 || pushed == 0);
     }
+}
 
-    #[test]
-    fn dfs_histogram_mass_equals_decisions(fills in proptest::collection::vec(0.0..1.0f64, 1..50)) {
+#[test]
+fn dfs_histogram_mass_equals_decisions() {
+    let mut rng = SplitMix64::new(0xd1f5);
+    for _ in 0..32 {
+        let n = rng.range_u64(1, 50) as usize;
         let mut d = rmt3d_rmt::DfsController::new(DfsConfig::paper());
         let mut ticks = 0u64;
-        for f in fills {
+        for _ in 0..n {
+            let f = rng.next_f64();
             for _ in 0..250 {
                 d.tick(f);
                 ticks += 1;
             }
         }
         let decisions: u64 = d.histogram_counts().iter().sum();
-        prop_assert_eq!(decisions, d.intervals());
-        prop_assert_eq!(d.intervals(), ticks / DfsConfig::paper().interval);
+        assert_eq!(decisions, d.intervals());
+        assert_eq!(d.intervals(), ticks / DfsConfig::paper().interval);
     }
+}
 
-    #[test]
-    fn rmt_recovers_at_any_fault_rate(seed in 0u64..1000, rate_exp in 1u32..4) {
+#[test]
+fn rmt_recovers_at_any_fault_rate() {
+    let mut rng = SplitMix64::new(0x4ec0);
+    for _ in 0..8 {
+        let seed = rng.below(1000);
+        let rate_exp = rng.range_u64(1, 4) as u32;
         // Rates from 1e-4 to 1e-2: with the paper ECC set, golden state
         // must always be restored.
         let rate = 10f64.powi(-(rate_exp as i32 + 1));
@@ -88,22 +97,29 @@ proptest! {
             TraceGenerator::new(Benchmark::Gzip.profile()),
             CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
         );
-        let mut sys = RmtSystem::new(leader, RmtConfig::paper())
-            .with_fault_injection(seed, rate, EccConfig::paper());
+        let mut sys = RmtSystem::new(leader, RmtConfig::paper()).with_fault_injection(
+            seed,
+            rate,
+            EccConfig::paper(),
+        );
         sys.prefill_caches();
         sys.run_instructions(12_000);
         sys.drain();
-        prop_assert_eq!(sys.stats().unrecoverable, 0);
-        prop_assert!(sys.leader_matches_golden());
+        assert_eq!(sys.stats().unrecoverable, 0);
+        assert!(sys.leader_matches_golden());
         // Recovery squashes re-execute work architecturally, so at high
         // fault rates many instructions retire via replay instead of
         // normal verification; the invariant is golden-state equality,
         // not the verified count.
-        prop_assert!(sys.stats().verified_ok > 0);
+        assert!(sys.stats().verified_ok > 0);
     }
+}
 
-    #[test]
-    fn tmr_masks_everything_without_ecc(seed in 0u64..500) {
+#[test]
+fn tmr_masks_everything_without_ecc() {
+    let mut rng = SplitMix64::new(0x73a);
+    for _ in 0..6 {
+        let seed = rng.below(500);
         let leader = OooCore::new(
             CoreConfig::leading_ev7_like(),
             TraceGenerator::new(Benchmark::Vpr.profile()),
@@ -112,6 +128,6 @@ proptest! {
         let mut sys = TmrSystem::new(leader).with_fault_injection(seed, 2e-3, EccConfig::none());
         sys.prefill_caches();
         sys.run_instructions(10_000);
-        prop_assert!(sys.leader_matches_golden(), "stats {:?}", sys.stats());
+        assert!(sys.leader_matches_golden(), "stats {:?}", sys.stats());
     }
 }

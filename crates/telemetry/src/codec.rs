@@ -1,0 +1,436 @@
+//! JSON Lines encoding and decoding for [`Event`].
+//!
+//! Every event becomes one flat object with an `"event"` discriminator.
+//! Decoding returns owned [`ParsedEvent`]s (string fields become
+//! `String`, since `&'static str` cannot be reconstituted from a file);
+//! the round-trip tests compare events through this lossless view.
+
+use crate::json::{parse, JsonObject, JsonValue};
+use crate::sample::IntervalSample;
+use crate::Event;
+
+impl Event {
+    /// Serializes the event as one JSON line (no trailing newline).
+    ///
+    /// When `deterministic` is true, wall-clock fields are written as 0
+    /// so traces of identical runs are byte-identical.
+    pub fn to_json_line(&self, deterministic: bool) -> String {
+        let mut o = JsonObject::new();
+        o.str("event", self.kind());
+        match self {
+            Event::SpanBegin { name, cycle } => {
+                o.str("name", name).u64("cycle", *cycle);
+            }
+            Event::SpanEnd {
+                name,
+                cycle,
+                wall_nanos,
+            } => {
+                o.str("name", name)
+                    .u64("cycle", *cycle)
+                    .u64("wall_nanos", if deterministic { 0 } else { *wall_nanos });
+            }
+            Event::Counter { name, cycle, value } => {
+                o.str("name", name)
+                    .u64("cycle", *cycle)
+                    .f64("value", *value);
+            }
+            Event::DfsTransition {
+                cycle,
+                from_level,
+                to_level,
+                fraction,
+            } => {
+                o.u64("cycle", *cycle)
+                    .u64("from_level", u64::from(*from_level))
+                    .u64("to_level", u64::from(*to_level))
+                    .f64("fraction", *fraction);
+            }
+            Event::FaultInjected {
+                cycle,
+                site,
+                bit,
+                corrected,
+            } => {
+                o.u64("cycle", *cycle)
+                    .str("site", site)
+                    .u64("bit", u64::from(*bit))
+                    .bool("corrected", *corrected);
+            }
+            Event::Recovery {
+                cycle,
+                penalty_cycles,
+                unrecoverable,
+            } => {
+                o.u64("cycle", *cycle)
+                    .u64("penalty_cycles", *penalty_cycles)
+                    .bool("unrecoverable", *unrecoverable);
+            }
+            Event::SolverIteration {
+                iteration,
+                residual,
+            } => {
+                o.u64("iteration", *iteration).f64("residual", *residual);
+            }
+            Event::Interval(s) => {
+                o.u64("index", s.index)
+                    .u64("cycle", s.cycle)
+                    .u64("committed", s.committed)
+                    .f64("ipc", s.ipc)
+                    .u64("rob", u64::from(s.rob))
+                    .u64("iq_int", u64::from(s.iq_int))
+                    .u64("iq_fp", u64::from(s.iq_fp))
+                    .u64("lsq", u64::from(s.lsq))
+                    .u64("rvq", u64::from(s.rvq))
+                    .u64("lvq", u64::from(s.lvq))
+                    .u64("boq", u64::from(s.boq))
+                    .u64("stb", u64::from(s.stb))
+                    .f64("checker_fraction", s.checker_fraction)
+                    .u64("dl1_accesses", s.dl1_accesses)
+                    .u64("dl1_misses", s.dl1_misses)
+                    .u64("l2_accesses", s.l2_accesses)
+                    .u64("l2_misses", s.l2_misses)
+                    .u64("commit_stall_cycles", s.commit_stall_cycles);
+            }
+        }
+        o.finish()
+    }
+}
+
+/// An [`Event`] read back from a JSON line. Mirrors [`Event`] with
+/// owned strings so decoded traces can be compared and post-processed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedEvent {
+    /// See [`Event::SpanBegin`].
+    SpanBegin { name: String, cycle: u64 },
+    /// See [`Event::SpanEnd`].
+    SpanEnd {
+        name: String,
+        cycle: u64,
+        wall_nanos: u64,
+    },
+    /// See [`Event::Counter`].
+    Counter {
+        name: String,
+        cycle: u64,
+        value: f64,
+    },
+    /// See [`Event::DfsTransition`].
+    DfsTransition {
+        cycle: u64,
+        from_level: u8,
+        to_level: u8,
+        fraction: f64,
+    },
+    /// See [`Event::FaultInjected`].
+    FaultInjected {
+        cycle: u64,
+        site: String,
+        bit: u8,
+        corrected: bool,
+    },
+    /// See [`Event::Recovery`].
+    Recovery {
+        cycle: u64,
+        penalty_cycles: u64,
+        unrecoverable: bool,
+    },
+    /// See [`Event::SolverIteration`].
+    SolverIteration { iteration: u64, residual: f64 },
+    /// See [`Event::Interval`].
+    Interval(IntervalSample),
+    /// The trailing metrics-summary line (`"event":"summary"`).
+    Summary,
+}
+
+impl ParsedEvent {
+    /// Parses one JSON line back into an event. Errors on malformed
+    /// JSON, unknown discriminators, or missing fields.
+    pub fn from_json_line(line: &str) -> Result<ParsedEvent, String> {
+        let v = parse(line)?;
+        let kind = v
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"event\" field")?
+            .to_string();
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing or non-integer \"{k}\""))
+        };
+        let f = |k: &str| -> Result<f64, String> {
+            match v.get(k) {
+                Some(JsonValue::Null) => Ok(f64::NAN),
+                Some(x) => x.as_f64().ok_or_else(|| format!("non-number \"{k}\"")),
+                None => Err(format!("missing \"{k}\"")),
+            }
+        };
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string \"{k}\""))
+        };
+        let b = |k: &str| -> Result<bool, String> {
+            v.get(k)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("missing or non-boolean \"{k}\""))
+        };
+        let byte = |k: &str| -> Result<u8, String> {
+            u(k).and_then(|n| u8::try_from(n).map_err(|_| format!("\"{k}\" out of u8 range")))
+        };
+        Ok(match kind.as_str() {
+            "span_begin" => ParsedEvent::SpanBegin {
+                name: s("name")?,
+                cycle: u("cycle")?,
+            },
+            "span_end" => ParsedEvent::SpanEnd {
+                name: s("name")?,
+                cycle: u("cycle")?,
+                wall_nanos: u("wall_nanos")?,
+            },
+            "counter" => ParsedEvent::Counter {
+                name: s("name")?,
+                cycle: u("cycle")?,
+                value: f("value")?,
+            },
+            "dfs_transition" => ParsedEvent::DfsTransition {
+                cycle: u("cycle")?,
+                from_level: byte("from_level")?,
+                to_level: byte("to_level")?,
+                fraction: f("fraction")?,
+            },
+            "fault" => ParsedEvent::FaultInjected {
+                cycle: u("cycle")?,
+                site: s("site")?,
+                bit: byte("bit")?,
+                corrected: b("corrected")?,
+            },
+            "recovery" => ParsedEvent::Recovery {
+                cycle: u("cycle")?,
+                penalty_cycles: u("penalty_cycles")?,
+                unrecoverable: b("unrecoverable")?,
+            },
+            "solver_iteration" => ParsedEvent::SolverIteration {
+                iteration: u("iteration")?,
+                residual: f("residual")?,
+            },
+            "interval" => ParsedEvent::Interval(IntervalSample {
+                index: u("index")?,
+                cycle: u("cycle")?,
+                committed: u("committed")?,
+                ipc: f("ipc")?,
+                rob: u("rob")? as u32,
+                iq_int: u("iq_int")? as u32,
+                iq_fp: u("iq_fp")? as u32,
+                lsq: u("lsq")? as u32,
+                rvq: u("rvq")? as u32,
+                lvq: u("lvq")? as u32,
+                boq: u("boq")? as u32,
+                stb: u("stb")? as u32,
+                checker_fraction: f("checker_fraction")?,
+                dl1_accesses: u("dl1_accesses")?,
+                dl1_misses: u("dl1_misses")?,
+                l2_accesses: u("l2_accesses")?,
+                l2_misses: u("l2_misses")?,
+                commit_stall_cycles: u("commit_stall_cycles")?,
+            }),
+            "summary" => ParsedEvent::Summary,
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
+    }
+
+    /// The `"event"` discriminator this variant serializes under
+    /// (mirrors [`Event::kind`], plus `"summary"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ParsedEvent::SpanBegin { .. } => "span_begin",
+            ParsedEvent::SpanEnd { .. } => "span_end",
+            ParsedEvent::Counter { .. } => "counter",
+            ParsedEvent::DfsTransition { .. } => "dfs_transition",
+            ParsedEvent::FaultInjected { .. } => "fault",
+            ParsedEvent::Recovery { .. } => "recovery",
+            ParsedEvent::SolverIteration { .. } => "solver_iteration",
+            ParsedEvent::Interval(_) => "interval",
+            ParsedEvent::Summary => "summary",
+        }
+    }
+
+    /// True when this parsed event equals the given in-memory event
+    /// (string fields compared by content, wall clocks ignored when
+    /// `deterministic`).
+    pub fn matches(&self, event: &Event, deterministic: bool) -> bool {
+        match (self, event) {
+            (ParsedEvent::SpanBegin { name, cycle }, Event::SpanBegin { name: n, cycle: c }) => {
+                name == n && cycle == c
+            }
+            (
+                ParsedEvent::SpanEnd {
+                    name,
+                    cycle,
+                    wall_nanos,
+                },
+                Event::SpanEnd {
+                    name: n,
+                    cycle: c,
+                    wall_nanos: w,
+                },
+            ) => name == n && cycle == c && (deterministic || wall_nanos == w),
+            (
+                ParsedEvent::Counter { name, cycle, value },
+                Event::Counter {
+                    name: n,
+                    cycle: c,
+                    value: x,
+                },
+            ) => name == n && cycle == c && value == x,
+            (
+                ParsedEvent::DfsTransition {
+                    cycle,
+                    from_level,
+                    to_level,
+                    fraction,
+                },
+                Event::DfsTransition {
+                    cycle: c,
+                    from_level: fl,
+                    to_level: tl,
+                    fraction: fr,
+                },
+            ) => cycle == c && from_level == fl && to_level == tl && fraction == fr,
+            (
+                ParsedEvent::FaultInjected {
+                    cycle,
+                    site,
+                    bit,
+                    corrected,
+                },
+                Event::FaultInjected {
+                    cycle: c,
+                    site: s,
+                    bit: bi,
+                    corrected: co,
+                },
+            ) => cycle == c && site == s && bit == bi && corrected == co,
+            (
+                ParsedEvent::Recovery {
+                    cycle,
+                    penalty_cycles,
+                    unrecoverable,
+                },
+                Event::Recovery {
+                    cycle: c,
+                    penalty_cycles: p,
+                    unrecoverable: un,
+                },
+            ) => cycle == c && penalty_cycles == p && unrecoverable == un,
+            (
+                ParsedEvent::SolverIteration {
+                    iteration,
+                    residual,
+                },
+                Event::SolverIteration {
+                    iteration: i,
+                    residual: r,
+                },
+            ) => iteration == i && residual == r,
+            (ParsedEvent::Interval(a), Event::Interval(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<Event> {
+        vec![
+            Event::SpanBegin {
+                name: "simulate",
+                cycle: 0,
+            },
+            Event::SpanEnd {
+                name: "simulate",
+                cycle: 120_000,
+                wall_nanos: 987_654,
+            },
+            Event::Counter {
+                name: "ipc",
+                cycle: 5_000,
+                value: 1.875,
+            },
+            Event::DfsTransition {
+                cycle: 10_000,
+                from_level: 4,
+                to_level: 6,
+                fraction: 0.7,
+            },
+            Event::FaultInjected {
+                cycle: 33,
+                site: "rvq_operand",
+                bit: 17,
+                corrected: false,
+            },
+            Event::Recovery {
+                cycle: 40,
+                penalty_cycles: 200,
+                unrecoverable: false,
+            },
+            Event::SolverIteration {
+                iteration: 12,
+                residual: 0.0425,
+            },
+            Event::Interval(IntervalSample {
+                index: 2,
+                cycle: 30_000,
+                committed: 9_000,
+                ipc: 0.9,
+                rob: 40,
+                iq_int: 8,
+                iq_fp: 2,
+                lsq: 11,
+                rvq: 30,
+                lvq: 5,
+                boq: 3,
+                stb: 1,
+                checker_fraction: 0.5,
+                dl1_accesses: 12_345,
+                dl1_misses: 678,
+                l2_accesses: 910,
+                l2_misses: 100,
+                commit_stall_cycles: 250,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for event in examples() {
+            let line = event.to_json_line(false);
+            let parsed =
+                ParsedEvent::from_json_line(&line).unwrap_or_else(|e| panic!("parse {line}: {e}"));
+            assert!(parsed.matches(&event, false), "mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_zeroes_wall_clock() {
+        let event = Event::SpanEnd {
+            name: "x",
+            cycle: 1,
+            wall_nanos: 42,
+        };
+        let line = event.to_json_line(true);
+        match ParsedEvent::from_json_line(&line).unwrap() {
+            ParsedEvent::SpanEnd { wall_nanos, .. } => assert_eq!(wall_nanos, 0),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        assert!(ParsedEvent::from_json_line(r#"{"event":"bogus"}"#).is_err());
+        assert!(ParsedEvent::from_json_line(r#"{"cycle":1}"#).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Typed telemetry events emitted by the simulation stack.
+//!
+//! Events are flat, owned values (no lifetimes, no foreign types) so
+//! every layer of the workspace can emit them without the telemetry
+//! crate depending on the simulators. The JSONL schema of each variant
+//! is documented on the variant itself; see `DESIGN.md` ("Observability")
+//! for the complete schema reference.
+
+use crate::sample::IntervalSample;
+
+/// One telemetry event. Each variant maps to one JSON Lines record with
+/// an `"event"` discriminator field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A named phase started. JSONL: `{"event":"span_begin","name":…,"cycle":…}`.
+    SpanBegin {
+        /// Phase name (`"simulate"`, `"warmup"`, `"measure"`, `"thermal_solve"`, …).
+        name: &'static str,
+        /// Leader cycle (or solver iteration) at entry.
+        cycle: u64,
+    },
+    /// A named phase ended. JSONL:
+    /// `{"event":"span_end","name":…,"cycle":…,"wall_nanos":…}`.
+    SpanEnd {
+        /// Phase name, matching the corresponding [`Event::SpanBegin`].
+        name: &'static str,
+        /// Leader cycle (or solver iteration) at exit.
+        cycle: u64,
+        /// Wall-clock nanoseconds spent inside the span (0 when the
+        /// sink is configured deterministic).
+        wall_nanos: u64,
+    },
+    /// A scalar counter sample. JSONL:
+    /// `{"event":"counter","name":…,"cycle":…,"value":…}`.
+    Counter {
+        /// Series name.
+        name: &'static str,
+        /// Leader cycle at the sample.
+        cycle: u64,
+        /// Sampled value.
+        value: f64,
+    },
+    /// The DFS controller moved the checker to a new frequency level.
+    /// JSONL: `{"event":"dfs_transition","cycle":…,"from_level":…,
+    /// "to_level":…,"fraction":…}`.
+    DfsTransition {
+        /// Leader cycle of the decision.
+        cycle: u64,
+        /// Previous level index (0-based, `(i+1)*0.1 f`).
+        from_level: u8,
+        /// New level index.
+        to_level: u8,
+        /// New normalized frequency.
+        fraction: f64,
+    },
+    /// A transient fault was injected into the datapath. JSONL:
+    /// `{"event":"fault","cycle":…,"site":…,"bit":…,"corrected":…}`.
+    FaultInjected {
+        /// Leader cycle of the strike.
+        cycle: u64,
+        /// Strike site name (see `rmt3d_rmt::FaultSite`).
+        site: &'static str,
+        /// Bit position flipped.
+        bit: u8,
+        /// True when ECC absorbed the strike before it propagated.
+        corrected: bool,
+    },
+    /// The checker flagged an error and the system executed a recovery.
+    /// JSONL: `{"event":"recovery","cycle":…,"penalty_cycles":…,
+    /// "unrecoverable":…}`.
+    Recovery {
+        /// Leader cycle of the recovery.
+        cycle: u64,
+        /// Stall cycles charged.
+        penalty_cycles: u64,
+        /// True when the restored state disagreed with the golden
+        /// shadow (the §3.5 multi-error concern).
+        unrecoverable: bool,
+    },
+    /// One thermal-solver SOR iteration. JSONL:
+    /// `{"event":"solver_iteration","iteration":…,"residual":…}`.
+    SolverIteration {
+        /// Iteration number (1-based).
+        iteration: u64,
+        /// Max-norm residual in kelvin.
+        residual: f64,
+    },
+    /// A periodic snapshot of the machine state (see [`IntervalSample`]).
+    /// JSONL: `{"event":"interval",…}` with the sample's fields inlined.
+    Interval(IntervalSample),
+}
+
+impl Event {
+    /// The JSONL `"event"` discriminator for this variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::DfsTransition { .. } => "dfs_transition",
+            Event::FaultInjected { .. } => "fault",
+            Event::Recovery { .. } => "recovery",
+            Event::SolverIteration { .. } => "solver_iteration",
+            Event::Interval(_) => "interval",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            Event::SpanBegin {
+                name: "a",
+                cycle: 0,
+            },
+            Event::SpanEnd {
+                name: "a",
+                cycle: 0,
+                wall_nanos: 0,
+            },
+            Event::Counter {
+                name: "x",
+                cycle: 0,
+                value: 0.0,
+            },
+            Event::DfsTransition {
+                cycle: 0,
+                from_level: 0,
+                to_level: 1,
+                fraction: 0.2,
+            },
+            Event::FaultInjected {
+                cycle: 0,
+                site: "rvq_operand",
+                bit: 3,
+                corrected: false,
+            },
+            Event::Recovery {
+                cycle: 0,
+                penalty_cycles: 200,
+                unrecoverable: false,
+            },
+            Event::SolverIteration {
+                iteration: 1,
+                residual: 0.5,
+            },
+            Event::Interval(IntervalSample::default()),
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

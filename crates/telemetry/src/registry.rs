@@ -1,0 +1,226 @@
+//! Metrics registry: named scalar series with summary statistics.
+
+use crate::json::JsonObject;
+use std::fmt::Write as _;
+
+/// Summary statistics over one recorded series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Number of finite samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Series {
+    name: String,
+    values: Vec<f64>,
+}
+
+/// Accumulates named f64 series and reports per-series summaries.
+///
+/// Series appear in first-recorded order, so summaries are stable for a
+/// deterministic run. Non-finite samples are dropped at the door — they
+/// would poison every statistic downstream.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    series: Vec<Series>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample to the named series, creating it on first use.
+    pub fn record(&mut self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.values.push(value),
+            None => self.series.push(Series {
+                name: name.to_string(),
+                values: vec![value],
+            }),
+        }
+    }
+
+    /// Series names in first-recorded order.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Summary for one series, or `None` if it was never recorded.
+    pub fn summary(&self, name: &str) -> Option<SeriesSummary> {
+        let s = self.series.iter().find(|s| s.name == name)?;
+        Some(summarize(&s.values))
+    }
+
+    /// All summaries, in first-recorded order.
+    pub fn summaries(&self) -> Vec<(&str, SeriesSummary)> {
+        self.series
+            .iter()
+            .map(|s| (s.name.as_str(), summarize(&s.values)))
+            .collect()
+    }
+
+    /// Renders the registry as an aligned human-readable table for
+    /// stderr.
+    pub fn format_human(&self) -> String {
+        if self.series.is_empty() {
+            return String::from("metrics: no samples recorded\n");
+        }
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("series".len());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "series", "count", "min", "mean", "p50", "p99", "max"
+        );
+        for (name, s) in self.summaries() {
+            let _ = writeln!(
+                out,
+                "{name:width$}  {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                s.count, s.min, s.mean, s.p50, s.p99, s.max
+            );
+        }
+        out
+    }
+
+    /// Serializes every summary as one flat JSON line tagged
+    /// `"event":"summary"`, suitable as the final record of a trace.
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("event", "summary");
+        for (name, s) in self.summaries() {
+            o.u64(&format!("{name}.count"), s.count)
+                .f64(&format!("{name}.min"), s.min)
+                .f64(&format!("{name}.max"), s.max)
+                .f64(&format!("{name}.mean"), s.mean)
+                .f64(&format!("{name}.p50"), s.p50)
+                .f64(&format!("{name}.p99"), s.p99);
+        }
+        o.finish()
+    }
+}
+
+fn summarize(values: &[f64]) -> SeriesSummary {
+    if values.is_empty() {
+        return SeriesSummary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p99: 0.0,
+        };
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let count = sorted.len();
+    let sum: f64 = sorted.iter().sum();
+    let rank = |p: f64| -> f64 {
+        // Nearest-rank percentile on the sorted samples.
+        let idx = ((p * count as f64).ceil() as usize).clamp(1, count) - 1;
+        sorted[idx]
+    };
+    SeriesSummary {
+        count: count as u64,
+        min: sorted[0],
+        max: sorted[count - 1],
+        mean: sum / count as f64,
+        p50: rank(0.50),
+        p99: rank(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn summary_statistics() {
+        let mut reg = MetricsRegistry::new();
+        for v in 1..=100 {
+            reg.record("x", f64::from(v));
+        }
+        let s = reg.summary("x").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut reg = MetricsRegistry::new();
+        reg.record("x", f64::NAN);
+        reg.record("x", f64::INFINITY);
+        reg.record("x", 2.0);
+        let s = reg.summary("x").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn series_keep_first_recorded_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.record("zeta", 1.0);
+        reg.record("alpha", 1.0);
+        reg.record("zeta", 2.0);
+        assert_eq!(reg.names(), vec!["zeta", "alpha"]);
+    }
+
+    #[test]
+    fn missing_series_is_none() {
+        assert!(MetricsRegistry::new().summary("nope").is_none());
+    }
+
+    #[test]
+    fn json_summary_line_parses() {
+        let mut reg = MetricsRegistry::new();
+        reg.record("ipc", 1.5);
+        reg.record("ipc", 2.5);
+        let line = reg.to_json_line();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("summary"));
+        assert_eq!(v.get("ipc.count").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("ipc.mean").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn human_table_lists_every_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.record("ipc", 1.0);
+        reg.record("rvq_occupancy", 30.0);
+        let table = reg.format_human();
+        assert!(table.contains("ipc"));
+        assert!(table.contains("rvq_occupancy"));
+        assert!(table.contains("p99"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Periodic machine-state snapshots and the bounded ring that stores
+//! them.
+//!
+//! The interval sampler lives in `rmt3d::simulate`, which is the only
+//! layer that can see the leader pipeline, the checker queues, and the
+//! cache hierarchy at once. Every `--sample-interval` cycles it fills
+//! an [`IntervalSample`] from read-only accessors and hands it to the
+//! active [`Sink`](crate::Sink); sampling therefore never perturbs the
+//! simulated numbers.
+
+/// One snapshot of the coupled leader/checker machine state, taken
+/// every `sample_interval` leader cycles.
+///
+/// All fields are plain numbers so a sample can be serialized as one
+/// flat JSONL record or one CSV row without any schema machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IntervalSample {
+    /// 0-based index of the sample within the run.
+    pub index: u64,
+    /// Leader cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Instructions committed by the leader since the previous sample.
+    pub committed: u64,
+    /// Committed IPC over the interval.
+    pub ipc: f64,
+    /// Leader re-order buffer occupancy (entries).
+    pub rob: u32,
+    /// Leader integer issue-queue occupancy (entries).
+    pub iq_int: u32,
+    /// Leader floating-point issue-queue occupancy (entries).
+    pub iq_fp: u32,
+    /// Leader load/store-queue occupancy (entries).
+    pub lsq: u32,
+    /// Register value queue occupancy (leader -> checker operands).
+    pub rvq: u32,
+    /// Load value queue occupancy (leader -> checker load values).
+    pub lvq: u32,
+    /// Branch outcome queue occupancy (leader -> checker outcomes).
+    pub boq: u32,
+    /// Checker store buffer occupancy.
+    pub stb: u32,
+    /// Checker clock as a fraction of the leader clock (DFS level).
+    pub checker_fraction: f64,
+    /// Cumulative L1 data-cache accesses at the snapshot.
+    pub dl1_accesses: u64,
+    /// Cumulative L1 data-cache misses at the snapshot.
+    pub dl1_misses: u64,
+    /// Cumulative L2 accesses at the snapshot.
+    pub l2_accesses: u64,
+    /// Cumulative L2 misses at the snapshot.
+    pub l2_misses: u64,
+    /// Leader cycles spent commit-stalled since the previous sample.
+    pub commit_stall_cycles: u64,
+}
+
+/// Bounded FIFO of [`IntervalSample`]s. Keeps the most recent
+/// `capacity` samples; older ones are dropped (and counted) so a long
+/// run cannot grow memory without bound.
+#[derive(Debug, Clone, Default)]
+pub struct SampleRing {
+    samples: std::collections::VecDeque<IntervalSample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SampleRing {
+    /// Creates a ring holding at most `capacity` samples. A capacity of
+    /// 0 means unbounded.
+    pub fn new(capacity: usize) -> Self {
+        SampleRing {
+            samples: std::collections::VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest if the ring is full.
+    pub fn push(&mut self, sample: IntervalSample) {
+        if self.capacity != 0 && self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of samples evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &IntervalSample> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> IntervalSample {
+        IntervalSample {
+            index: i,
+            cycle: i * 100,
+            ..IntervalSample::default()
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = SampleRing::new(3);
+        for i in 0..5 {
+            ring.push(sample(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let idx: Vec<u64> = ring.iter().map(|s| s.index).collect();
+        assert_eq!(idx, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut ring = SampleRing::new(0);
+        for i in 0..1000 {
+            ring.push(sample(i));
+        }
+        assert_eq!(ring.len(), 1000);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::model::{layer_stack, PowerMap, ThermalConfig};
 use crate::result::ThermalResult;
 use rmt3d_floorplan::ChipFloorplan;
+use rmt3d_telemetry::{emit, Event, NullSink, Sink};
 use rmt3d_units::Celsius;
 
 /// Errors from a thermal solve.
@@ -51,6 +52,21 @@ pub fn solve(
     plan: &ChipFloorplan,
     power: &PowerMap,
     cfg: &ThermalConfig,
+) -> Result<ThermalResult, ThermalError> {
+    solve_traced(plan, power, cfg, &mut NullSink)
+}
+
+/// Like [`solve`], additionally reporting each SOR sweep's residual to
+/// `sink` as an [`Event::SolverIteration`] (for convergence plots).
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_traced<S: Sink>(
+    plan: &ChipFloorplan,
+    power: &PowerMap,
+    cfg: &ThermalConfig,
+    sink: &mut S,
 ) -> Result<ThermalResult, ThermalError> {
     cfg.validate().map_err(ThermalError::BadConfig)?;
     let n = cfg.grid;
@@ -180,6 +196,10 @@ pub fn solve(
             }
         }
         iters += 1;
+        emit(sink, || Event::SolverIteration {
+            iteration: iters as u64,
+            residual,
+        });
     }
     if residual > cfg.tolerance {
         return Err(ThermalError::NotConverged { residual });

@@ -1,11 +1,14 @@
 //! Physics properties of the thermal solver: linearity, superposition,
 //! monotonicity and symmetry, checked on coarse grids.
+//!
+//! Randomized cases come from a seeded [`SplitMix64`] stream for
+//! deterministic replay without an external property-test dependency.
 
-use proptest::prelude::*;
 use rmt3d_floorplan::{BlockId, ChipFloorplan};
 use rmt3d_power::CoreBlock;
 use rmt3d_thermal::{solve, PowerMap, ThermalConfig};
 use rmt3d_units::Watts;
+use rmt3d_workload::SplitMix64;
 
 fn cfg() -> ThermalConfig {
     ThermalConfig {
@@ -15,21 +18,23 @@ fn cfg() -> ThermalConfig {
     }
 }
 
-fn any_block() -> impl Strategy<Value = BlockId> {
-    prop_oneof![
-        Just(BlockId::Leader(CoreBlock::ExecInt)),
-        Just(BlockId::Leader(CoreBlock::Dcache)),
-        Just(BlockId::Leader(CoreBlock::IcacheFetch)),
-        Just(BlockId::L2Bank { die: 0, index: 1 }),
-        Just(BlockId::L2Bank { die: 0, index: 4 }),
-    ]
+fn any_block(rng: &mut SplitMix64) -> BlockId {
+    [
+        BlockId::Leader(CoreBlock::ExecInt),
+        BlockId::Leader(CoreBlock::Dcache),
+        BlockId::Leader(CoreBlock::IcacheFetch),
+        BlockId::L2Bank { die: 0, index: 1 },
+        BlockId::L2Bank { die: 0, index: 4 },
+    ][rng.below_usize(5)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn rise_is_linear_in_power(block in any_block(), w in 1.0f64..30.0, k in 1.2f64..3.0) {
+#[test]
+fn rise_is_linear_in_power() {
+    let mut rng = SplitMix64::new(0x11aa);
+    for _ in 0..16 {
+        let block = any_block(&mut rng);
+        let w = rng.range_f64(1.0, 30.0);
+        let k = rng.range_f64(1.2, 3.0);
         let plan = ChipFloorplan::two_d_a();
         let mut m1 = PowerMap::new();
         m1.set(block, Watts(w));
@@ -39,11 +44,19 @@ proptest! {
         let r2 = solve(&plan, &m2, &cfg()).unwrap();
         let rise1 = r1.peak().0 - 47.0;
         let rise2 = r2.peak().0 - 47.0;
-        prop_assert!((rise2 / rise1 - k).abs() < 0.02 * k, "{rise1} x{k} -> {rise2}");
+        assert!(
+            (rise2 / rise1 - k).abs() < 0.02 * k,
+            "{rise1} x{k} -> {rise2}"
+        );
     }
+}
 
-    #[test]
-    fn superposition_bounds_the_sum(w1 in 2.0f64..20.0, w2 in 2.0f64..20.0) {
+#[test]
+fn superposition_bounds_the_sum() {
+    let mut rng = SplitMix64::new(0x50b);
+    for _ in 0..16 {
+        let w1 = rng.range_f64(2.0, 20.0);
+        let w2 = rng.range_f64(2.0, 20.0);
         // T(A+B) peak <= T(A) peak + T(B) peak rises (peaks may sit at
         // different cells, so the combined peak cannot exceed the sum).
         let plan = ChipFloorplan::two_d_a();
@@ -59,12 +72,18 @@ proptest! {
         let ra = solve(&plan, &ma, &cfg()).unwrap().peak().0 - 47.0;
         let rb = solve(&plan, &mb, &cfg()).unwrap().peak().0 - 47.0;
         let rab = solve(&plan, &mab, &cfg()).unwrap().peak().0 - 47.0;
-        prop_assert!(rab <= ra + rb + 1e-6, "{rab} > {ra} + {rb}");
-        prop_assert!(rab >= ra.max(rb) - 1e-6, "adding power never cools");
+        assert!(rab <= ra + rb + 1e-6, "{rab} > {ra} + {rb}");
+        assert!(rab >= ra.max(rb) - 1e-6, "adding power never cools");
     }
+}
 
-    #[test]
-    fn more_power_is_never_cooler(block in any_block(), w in 1.0f64..25.0, extra in 0.5f64..10.0) {
+#[test]
+fn more_power_is_never_cooler() {
+    let mut rng = SplitMix64::new(0xc001);
+    for _ in 0..16 {
+        let block = any_block(&mut rng);
+        let w = rng.range_f64(1.0, 25.0);
+        let extra = rng.range_f64(0.5, 10.0);
         let plan = ChipFloorplan::three_d_2a();
         let mut m1 = PowerMap::new();
         m1.set(block, Watts(w));
@@ -74,28 +93,46 @@ proptest! {
         m2.set(BlockId::Checker, Watts(7.0));
         let r1 = solve(&plan, &m1, &cfg()).unwrap();
         let r2 = solve(&plan, &m2, &cfg()).unwrap();
-        prop_assert!(r2.peak() >= r1.peak());
+        assert!(r2.peak() >= r1.peak());
         // Block-level peak also rises.
-        prop_assert!(r2.block_peak(block).unwrap() >= r1.block_peak(block).unwrap());
+        assert!(r2.block_peak(block).unwrap() >= r1.block_peak(block).unwrap());
     }
+}
 
-    #[test]
-    fn grid_refinement_converges(w in 5.0f64..25.0) {
+#[test]
+fn grid_refinement_converges() {
+    let mut rng = SplitMix64::new(0x96d);
+    for _ in 0..4 {
+        let w = rng.range_f64(5.0, 25.0);
         // Peak temperature at 25x25 and 50x50 must agree within a couple
         // of degrees (discretization error, not model error).
         let plan = ChipFloorplan::two_d_a();
         let mut m = PowerMap::new();
         m.set(BlockId::Leader(CoreBlock::ExecInt), Watts(w));
-        let coarse = solve(&plan, &m, &ThermalConfig { grid: 25, ..ThermalConfig::paper() })
-            .unwrap()
-            .peak()
-            .0;
-        let fine = solve(&plan, &m, &ThermalConfig { grid: 50, ..ThermalConfig::paper() })
-            .unwrap()
-            .peak()
-            .0;
+        let coarse = solve(
+            &plan,
+            &m,
+            &ThermalConfig {
+                grid: 25,
+                ..ThermalConfig::paper()
+            },
+        )
+        .unwrap()
+        .peak()
+        .0;
+        let fine = solve(
+            &plan,
+            &m,
+            &ThermalConfig {
+                grid: 50,
+                ..ThermalConfig::paper()
+            },
+        )
+        .unwrap()
+        .peak()
+        .0;
         let rise = fine - 47.0;
-        prop_assert!(
+        assert!(
             (coarse - fine).abs() < 0.15 * rise + 1.0,
             "25x25 {coarse} vs 50x50 {fine}"
         );

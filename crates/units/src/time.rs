@@ -127,6 +127,13 @@ impl NormalizedFrequency {
         Gigahertz(peak.0 * self.0)
     }
 
+    /// The discrete DFS level `1..=10` this frequency rounds to (one
+    /// level per `0.1 f`, matching the paper's 10-level DFS).
+    #[inline]
+    pub fn level(self) -> u8 {
+        ((self.0 * 10.0).round() as u8).clamp(1, 10)
+    }
+
     /// Snaps to the nearest multiple of `step` (e.g. `0.1` for the
     /// paper's 10 discrete DFS levels), never exceeding 1.0 and never
     /// going below one step.

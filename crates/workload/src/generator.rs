@@ -1,6 +1,7 @@
 //! Deterministic micro-op trace generation.
 
 use crate::op::{ArchReg, BranchInfo, MemRef, MicroOp, OpClass, INT_REG_COUNT};
+use crate::prng::SplitMix64;
 use crate::profile::WorkloadProfile;
 
 /// Cache-line size assumed by the spatial-locality model (bytes).
@@ -44,45 +45,6 @@ impl MemoryRegions {
             warm: (WARM_BASE, profile.memory.warm_kb as u64 * 1024),
             code: (CODE_BASE, CODE_FOOTPRINT),
         }
-    }
-}
-
-/// SplitMix64: tiny, fast, deterministic PRNG. Good enough statistical
-/// quality for workload synthesis and fully reproducible across
-/// platforms, which `rand`'s unseeded entropy sources are not.
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 {
-            state: seed.wrapping_add(0x9e3779b97f4a7c15),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform f64 in [0,1).
-    #[inline]
-    pub(crate) fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform integer in [0, n).
-    #[inline]
-    pub(crate) fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
-        // Multiplicative range reduction; bias is negligible for our n.
-        ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 }
 

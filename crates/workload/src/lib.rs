@@ -28,10 +28,12 @@
 
 mod generator;
 mod op;
+pub mod prng;
 mod profile;
 mod spec2k;
 
 pub use generator::{MemoryRegions, TraceGenerator};
 pub use op::{ArchReg, BranchInfo, MemRef, MicroOp, OpClass, INT_REG_COUNT, REG_COUNT};
+pub use prng::SplitMix64;
 pub use profile::{InstructionMix, MemoryProfile, WorkloadProfile};
 pub use spec2k::{Benchmark, Suite};

@@ -1,149 +1,205 @@
 //! Property-based tests over the core data structures and models.
+//!
+//! Each test draws its cases from a seeded [`SplitMix64`] stream, so
+//! every failure is reproducible bit-for-bit without any external
+//! property-testing dependency.
 
-use proptest::prelude::*;
 use rmt3d::cache::{CacheConfig, NucaLayout, NucaPolicy, SetAssocCache};
 use rmt3d::power::pipeline::relative_power;
 use rmt3d::power::DvfsPoint;
 use rmt3d::reliability::{mbu_probability, normal_tail};
 use rmt3d::rmt::{DfsConfig, DfsController};
 use rmt3d::units::{Celsius, DegreesDelta, NormalizedFrequency, Watts};
-use rmt3d::workload::{Benchmark, MicroOp, OpClass, TraceGenerator};
+use rmt3d::workload::{Benchmark, MicroOp, OpClass, SplitMix64, TraceGenerator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    // ---- units ----
+// ---- units ----
 
-    #[test]
-    fn watts_addition_is_commutative(a in 0.0..1e3f64, b in 0.0..1e3f64) {
-        prop_assert_eq!(Watts(a) + Watts(b), Watts(b) + Watts(a));
+#[test]
+fn watts_addition_is_commutative() {
+    let mut rng = SplitMix64::new(0x57a7);
+    for _ in 0..CASES {
+        let a = rng.range_f64(0.0, 1e3);
+        let b = rng.range_f64(0.0, 1e3);
+        assert_eq!(Watts(a) + Watts(b), Watts(b) + Watts(a));
     }
+}
 
-    #[test]
-    fn temperature_delta_round_trip(t in -50.0..150.0f64, d in -40.0..40.0f64) {
+#[test]
+fn temperature_delta_round_trip() {
+    let mut rng = SplitMix64::new(0xc0de);
+    for _ in 0..CASES {
+        let t = rng.range_f64(-50.0, 150.0);
+        let d = rng.range_f64(-40.0, 40.0);
         let c = Celsius(t);
         let back = (c + DegreesDelta(d)) - DegreesDelta(d);
-        prop_assert!((back.0 - t).abs() < 1e-9);
+        assert!((back.0 - t).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn normalized_frequency_quantize_is_idempotent(f in 0.0..1.5f64) {
+#[test]
+fn normalized_frequency_quantize_is_idempotent() {
+    let mut rng = SplitMix64::new(0xf00d);
+    for _ in 0..CASES {
+        let f = rng.range_f64(0.0, 1.5);
         let q = NormalizedFrequency::new(f).quantize(0.1);
         let qq = q.quantize(0.1);
-        prop_assert!((q.fraction() - qq.fraction()).abs() < 1e-12);
-        prop_assert!(q.fraction() >= 0.1 - 1e-12 && q.fraction() <= 1.0 + 1e-12);
+        assert!((q.fraction() - qq.fraction()).abs() < 1e-12);
+        assert!(q.fraction() >= 0.1 - 1e-12 && q.fraction() <= 1.0 + 1e-12);
     }
+}
 
-    // ---- workload ----
+// ---- workload ----
 
-    #[test]
-    fn traces_are_structurally_valid(seed in 0u64..32, len in 100usize..800) {
+#[test]
+fn traces_are_structurally_valid() {
+    let mut rng = SplitMix64::new(0x7ace);
+    for _ in 0..CASES {
+        let seed = rng.below(32);
+        let len = rng.range_u64(100, 800) as usize;
         let mut profile = Benchmark::ALL[(seed % 19) as usize].profile();
         profile.seed ^= seed;
         let ops: Vec<MicroOp> = TraceGenerator::new(profile).take_ops(len);
         for (i, op) in ops.iter().enumerate() {
-            prop_assert_eq!(op.seq, i as u64);
-            prop_assert_eq!(op.kind.writes_register(), op.dest.is_some());
-            prop_assert_eq!(op.kind.is_memory(), op.mem.is_some());
-            prop_assert_eq!(op.kind == OpClass::Branch, op.branch.is_some());
+            assert_eq!(op.seq, i as u64);
+            assert_eq!(op.kind.writes_register(), op.dest.is_some());
+            assert_eq!(op.kind.is_memory(), op.mem.is_some());
+            assert_eq!(op.kind == OpClass::Branch, op.branch.is_some());
             for (d, r) in [(op.src1_dist, op.src1_reg), (op.src2_dist, op.src2_reg)] {
                 if let Some(d) = d {
-                    prop_assert!(d >= 1 && (d as usize) <= i);
-                    prop_assert_eq!(ops[i - d as usize].dest, r);
+                    assert!(d >= 1 && (d as usize) <= i);
+                    assert_eq!(ops[i - d as usize].dest, r);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn result_function_is_injective_in_operand_bits(
-        s1 in any::<u64>(), s2 in any::<u64>(), bit in 0u8..64
-    ) {
+#[test]
+fn result_function_is_injective_in_operand_bits() {
+    let mut rng = SplitMix64::new(0xb17);
+    for _ in 0..CASES {
+        let s1 = rng.next_u64();
+        let s2 = rng.next_u64();
+        let bit = rng.below(64) as u8;
         let op = TraceGenerator::new(Benchmark::Gzip.profile()).next_op();
         let a = op.compute_result(s1, s2);
         let b = op.compute_result(s1 ^ (1 << bit), s2);
-        prop_assert_ne!(a, b, "bit flips must be observable");
+        assert_ne!(a, b, "bit flips must be observable");
     }
+}
 
-    // ---- cache ----
+// ---- cache ----
 
-    #[test]
-    fn cache_hits_after_access(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn cache_hits_after_access() {
+    let mut rng = SplitMix64::new(0xcac4e);
+    for _ in 0..CASES {
+        let n = rng.range_u64(1, 200) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
         let mut c = SetAssocCache::new(CacheConfig::new(32 * 1024, 2, 64, 1).unwrap());
         for &a in &addrs {
             c.access(a, false);
-            prop_assert!(c.probe(a), "line just accessed must be resident");
+            assert!(c.probe(a), "line just accessed must be resident");
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.hits + s.misses, s.accesses);
     }
+}
 
-    #[test]
-    fn nuca_policies_agree_on_hit_count_order_of_magnitude(
-        lines in proptest::collection::vec(0u64..4096, 50..300)
-    ) {
+#[test]
+fn nuca_policies_agree_on_hit_count_order_of_magnitude() {
+    let mut rng = SplitMix64::new(0x2ca);
+    for _ in 0..16 {
+        let n = rng.range_u64(50, 300) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.below(4096)).collect();
         // Both policies cache the same working set; repeated access must
         // hit in both.
-        let mut sets = rmt3d::cache::NucaCache::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets);
-        let mut ways = rmt3d::cache::NucaCache::new(NucaLayout::two_d_a(), NucaPolicy::DistributedWays);
+        let mut sets =
+            rmt3d::cache::NucaCache::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets);
+        let mut ways =
+            rmt3d::cache::NucaCache::new(NucaLayout::two_d_a(), NucaPolicy::DistributedWays);
         for &l in &lines {
             sets.access(l * 64, false);
             ways.access(l * 64, false);
         }
         for &l in &lines {
-            prop_assert!(sets.access(l * 64, false).hit);
-            prop_assert!(ways.access(l * 64, false).hit);
+            assert!(sets.access(l * 64, false).hit);
+            assert!(ways.access(l * 64, false).hit);
         }
     }
+}
 
-    // ---- DFS ----
+// ---- DFS ----
 
-    #[test]
-    fn dfs_stays_in_bounds_under_arbitrary_fill(
-        fills in proptest::collection::vec(0.0..1.0f64, 10..500),
-        cap in 0.3..1.0f64
-    ) {
+#[test]
+fn dfs_stays_in_bounds_under_arbitrary_fill() {
+    let mut rng = SplitMix64::new(0xdf5);
+    for _ in 0..CASES {
+        let cap = rng.range_f64(0.3, 1.0);
+        let n = rng.range_u64(10, 500) as usize;
         let mut d = DfsController::new(DfsConfig::paper().with_frequency_cap(cap));
-        for f in fills {
+        for _ in 0..n {
+            let f = rng.next_f64();
             for _ in 0..40 {
                 d.tick(f);
             }
             let cur = d.current().fraction();
-            prop_assert!(cur >= 0.1 - 1e-9 && cur <= cap + 1e-9, "f={cur} cap={cap}");
+            assert!(cur >= 0.1 - 1e-9 && cur <= cap + 1e-9, "f={cur} cap={cap}");
         }
         let total: f64 = d.histogram_fractions().iter().sum();
-        prop_assert!(d.intervals() == 0 || (total - 1.0).abs() < 1e-9);
+        assert!(d.intervals() == 0 || (total - 1.0).abs() < 1e-9);
     }
+}
 
-    // ---- power / reliability ----
+// ---- power / reliability ----
 
-    #[test]
-    fn dvfs_factors_are_monotone(f in 0.05..1.0f64) {
+#[test]
+fn dvfs_factors_are_monotone() {
+    let mut rng = SplitMix64::new(0xd0f5);
+    for _ in 0..CASES {
+        let f = rng.range_f64(0.05, 1.0);
         let p = DvfsPoint::from_frequency_linear_vdd(f);
-        prop_assert!(p.dynamic_factor() <= 1.0 + 1e-12);
-        prop_assert!(p.leakage_factor() <= 1.0 + 1e-12);
+        assert!(p.dynamic_factor() <= 1.0 + 1e-12);
+        assert!(p.leakage_factor() <= 1.0 + 1e-12);
         let slower = DvfsPoint::from_frequency_linear_vdd(f * 0.9);
-        prop_assert!(slower.dynamic_factor() < p.dynamic_factor());
+        assert!(slower.dynamic_factor() < p.dynamic_factor());
     }
+}
 
-    #[test]
-    fn pipeline_power_is_monotone_in_depth(a in 6.0..18.0f64, b in 6.0..18.0f64) {
+#[test]
+fn pipeline_power_is_monotone_in_depth() {
+    let mut rng = SplitMix64::new(0x9199);
+    for _ in 0..CASES {
+        let a = rng.range_f64(6.0, 18.0);
+        let b = rng.range_f64(6.0, 18.0);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         // Fewer FO4 per stage (deeper pipe) never costs less power.
-        prop_assert!(relative_power(lo).total() >= relative_power(hi).total() - 1e-9);
+        assert!(relative_power(lo).total() >= relative_power(hi).total() - 1e-9);
     }
+}
 
-    #[test]
-    fn normal_tail_is_a_valid_survival_function(z1 in -6.0..6.0f64, z2 in -6.0..6.0f64) {
+#[test]
+fn normal_tail_is_a_valid_survival_function() {
+    let mut rng = SplitMix64::new(0x7a11);
+    for _ in 0..CASES {
+        let z1 = rng.range_f64(-6.0, 6.0);
+        let z2 = rng.range_f64(-6.0, 6.0);
         let (lo, hi) = if z1 < z2 { (z1, z2) } else { (z2, z1) };
         let (plo, phi) = (normal_tail(lo), normal_tail(hi));
-        prop_assert!((0.0..=1.0).contains(&plo));
-        prop_assert!(phi <= plo + 1e-9, "survival function decreases");
+        assert!((0.0..=1.0).contains(&plo));
+        assert!(phi <= plo + 1e-9, "survival function decreases");
     }
+}
 
-    #[test]
-    fn mbu_probability_is_monotone_decreasing(q1 in 0.1..20.0f64, q2 in 0.1..20.0f64) {
+#[test]
+fn mbu_probability_is_monotone_decreasing() {
+    let mut rng = SplitMix64::new(0x3b0);
+    for _ in 0..CASES {
+        let q1 = rng.range_f64(0.1, 20.0);
+        let q2 = rng.range_f64(0.1, 20.0);
         let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(mbu_probability(lo) >= mbu_probability(hi) - 1e-12);
+        assert!(mbu_probability(lo) >= mbu_probability(hi) - 1e-12);
     }
 }
