@@ -13,7 +13,12 @@
 //! (no external benchmarking dependency): each target runs a warmup
 //! pass, then `samples` timed passes, and reports min / mean / max
 //! wall time per iteration.
+//!
+//! Set `RMT3D_BENCH_JSON=path` to additionally append one JSON-lines
+//! record per target — `{"name", "min", "mean", "max", "samples"}`,
+//! times in nanoseconds — so CI can diff runs machine-readably.
 
+use std::io::Write;
 use std::time::Instant;
 
 /// Times `f` over `samples` passes (after one warmup pass) and prints a
@@ -40,7 +45,40 @@ pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> f64 {
         format_ns(mean),
         format_ns(max)
     );
+    if let Ok(path) = std::env::var("RMT3D_BENCH_JSON") {
+        if let Err(e) = append_json_record(&path, name, min, mean, max, samples) {
+            eprintln!("warning: cannot append bench record to {path}: {e}");
+        }
+    }
     mean
+}
+
+/// Appends one `{"name", "min", "mean", "max", "samples"}` record to
+/// the JSONL file at `path` (created on first use).
+fn append_json_record(
+    path: &str,
+    name: &str,
+    min: f64,
+    mean: f64,
+    max: f64,
+    samples: u32,
+) -> std::io::Result<()> {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c < ' ' => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        f,
+        "{{\"name\":\"{escaped}\",\"min\":{min},\"mean\":{mean},\"max\":{max},\"samples\":{samples}}}"
+    )
 }
 
 fn format_ns(ns: f64) -> String {
@@ -69,6 +107,24 @@ mod tests {
             acc
         });
         assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn json_mode_appends_parseable_records() {
+        let path =
+            std::env::temp_dir().join(format!("rmt3d-bench-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_json_record(path.to_str().unwrap(), "spin \"q\"", 10.0, 20.5, 31.0, 3).unwrap();
+        append_json_record(path.to_str().unwrap(), "second", 1.0, 2.0, 3.0, 1).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"spin \\\"q\\\"\",\"min\":10,\"mean\":20.5,\"max\":31,\"samples\":3}"
+        );
+        assert!(lines[1].contains("\"name\":\"second\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

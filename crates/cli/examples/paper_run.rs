@@ -1,10 +1,12 @@
 //! Full reproduction run: every table and figure, all 19 benchmarks.
 //!
 //! ```sh
-//! cargo run --release -p rmt3d --example paper_run | tee paper_results.txt
+//! cargo run --release -p rmt3d-cli --example paper_run | tee paper_results.txt
 //! ```
 //!
-//! Takes on the order of 15-30 minutes; `EXPERIMENTS.md` records one
+//! Takes on the order of 15-30 minutes serially; the heavy sweeps
+//! (Fig. 4, Fig. 5, iso-thermal) run on the `rmt3d-sweep` parallel
+//! engine, one worker per available core. `EXPERIMENTS.md` records one
 //! such run against the paper's numbers.
 
 use rmt3d::experiments::{
@@ -12,6 +14,7 @@ use rmt3d::experiments::{
 };
 use rmt3d::RunScale;
 use rmt3d_reliability::{critical_charge_fc, mbu_probability_at, per_bit_ser, relative_chip_ser};
+use rmt3d_sweep::ParallelSimulator;
 use rmt3d_units::TechNode;
 use rmt3d_workload::Benchmark;
 
@@ -22,6 +25,8 @@ fn main() {
         thermal_grid: 50,
     };
     let all = Benchmark::ALL;
+    // One worker per core; results are bit-identical to the serial run.
+    let sim = ParallelSimulator::new(0);
 
     println!("==== rmt3d full reproduction run ====");
     println!(
@@ -72,7 +77,7 @@ fn main() {
     );
 
     println!("\n== Fig. 5 (full suite) ==");
-    let f5 = fig5::run(&all, scale).expect("fig5");
+    let f5 = fig5::run_with(&sim, &all, scale).expect("fig5");
     print!("{}", f5.to_table());
     println!(
         "suite means: 2d-a {:.1}, 2d-2a@7 {:.1}, 3d-2a@7 {:.1}, 2d-2a@15 {:.1}, 3d-2a@15 {:.1}",
@@ -84,12 +89,12 @@ fn main() {
     );
 
     println!("\n== Fig. 4 (full suite) ==");
-    let f4 = fig4::run(&all, scale).expect("fig4");
+    let f4 = fig4::run_with(&sim, &all, scale).expect("fig4");
     print!("{}", f4.to_table());
 
     println!("\n== Sec 3.3: iso-thermal ==");
     for w in [7.0, 15.0] {
-        let p = iso_thermal::run(w, &all, scale).expect("iso-thermal");
+        let p = iso_thermal::run_with(&sim, w, &all, scale).expect("iso-thermal");
         println!(
             "{:4.0} W checker: {:.2} GHz to match 2d-a ({:.1} C), perf loss {:.1}%",
             w,

@@ -1,0 +1,123 @@
+//! Strict argument consumer shared by every `rmt3d` subcommand.
+//!
+//! Commands pull out the flags they know, and [`Args::finish`] rejects
+//! anything left over instead of silently ignoring it.
+
+pub struct Args {
+    args: Vec<String>,
+    used: Vec<bool>,
+}
+
+impl Args {
+    pub fn new(args: &[String]) -> Args {
+        Args {
+            args: args.to_vec(),
+            used: vec![false; args.len()],
+        }
+    }
+
+    /// Consumes a boolean `--flag`.
+    pub fn flag(&mut self, name: &str) -> bool {
+        match self.args.iter().position(|a| a == name) {
+            Some(i) => {
+                self.used[i] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes `--flag value`; errors when the flag is present without
+    /// a value.
+    pub fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
+        let Some(i) = self.args.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        self.used[i] = true;
+        match self.args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                self.used[i + 1] = true;
+                Ok(Some(v.clone()))
+            }
+            _ => Err(format!("{name} requires a value")),
+        }
+    }
+
+    /// Consumes `--flag value` and parses it.
+    pub fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name)? {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {name}: {v}")),
+            None => Ok(None),
+        }
+    }
+
+    /// Consumes the next unused positional (non-flag) argument.
+    pub fn positional(&mut self) -> Option<String> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && !a.starts_with("--") {
+                self.used[i] = true;
+                return Some(a.clone());
+            }
+        }
+        None
+    }
+
+    /// Errors on any argument no consumer claimed (typo'd or misplaced
+    /// flags).
+    pub fn finish(self) -> Result<(), String> {
+        let leftover: Vec<&str> = self
+            .args
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(a, _)| a.as_str())
+            .collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", leftover.join(" ")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flags_options_and_positionals_consume() {
+        let mut a = args(&["fig4", "--paper", "--jobs", "4"]);
+        assert_eq!(a.positional().as_deref(), Some("fig4"));
+        assert!(a.flag("--paper"));
+        assert_eq!(a.parsed::<usize>("--jobs").unwrap(), Some(4));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn leftover_arguments_are_errors() {
+        let mut a = args(&["--model", "3d-2a", "--typo"]);
+        assert_eq!(a.opt("--model").unwrap().as_deref(), Some("3d-2a"));
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("--typo"), "{err}");
+    }
+
+    #[test]
+    fn option_without_value_is_an_error() {
+        let mut a = args(&["--out-dir", "--resume"]);
+        assert!(a.opt("--out-dir").is_err());
+    }
+
+    #[test]
+    fn parse_failure_names_the_flag() {
+        let mut a = args(&["--jobs", "many"]);
+        let err = a.parsed::<usize>("--jobs").unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+    }
+}

@@ -6,7 +6,10 @@
 //!                 [--trace-out run.jsonl] [--csv-out samples.csv]
 //!                 [--sample-interval N] [--metrics] [--quiet]
 //! rmt3d thermal   --model 3d-2a --benchmark gzip --checker-watts 15
-//! rmt3d experiment <name> [--paper]
+//! rmt3d experiment <name> [--paper] [--jobs N]
+//! rmt3d sweep     [--models M,..|all] [--benchmarks B,..|all]
+//!                 [--instructions N] [--jobs N] [--out-dir DIR]
+//!                 [--resume] [--no-cache] [--quiet] [--trace-out FILE]
 //! ```
 //!
 //! Experiment names: `tables`, `fig4`, `fig5`, `fig6`, `fig7`,
@@ -17,23 +20,28 @@
 //! Unknown flags are errors; every argument must be consumed by the
 //! selected command.
 
+mod args;
+
+use args::Args;
 use rmt3d::experiments::{
     dfs_ablation, dtm, fig4, fig5, fig6, fig7, hard_error, heterogeneous, interconnect, interrupts,
     iso_thermal, leakage_feedback, margins, resilience, rmt_summary, shared_cache, tables,
     tmr_study,
 };
 use rmt3d::power::CheckerPowerModel;
-use rmt3d::telemetry::{write_samples_csv, CollectorSink, JsonlSink};
+use rmt3d::telemetry::{write_samples_csv, CollectorSink, Event, JsonlSink, Sink};
 use rmt3d::thermal::{solve, ThermalConfig};
 use rmt3d::{
     build_power_map, override_checker_power, simulate, simulate_traced, PowerMapConfig,
-    ProcessorModel, RunScale, SimConfig,
+    ProcessorModel, RunScale, SerialSimulator, SimConfig, Simulator,
 };
 use rmt3d_cache::NucaPolicy;
+use rmt3d_sweep::{run_sweep, CacheMode, ParallelSimulator, SweepOptions, SweepSpec};
 use rmt3d_units::{TechNode, Watts};
 use rmt3d_workload::Benchmark;
 use std::fs::File;
 use std::io::{self, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -46,12 +54,22 @@ fn usage() -> ExitCode {
                       [--trace-out FILE.jsonl] [--csv-out FILE.csv]\n\
                       [--sample-interval N] [--metrics] [--quiet]\n\
            thermal    --model M --benchmark B [--checker-watts W]\n\
-           experiment <name> [--paper]        regenerate a paper result\n\
+           experiment <name> [--paper] [--jobs N]   regenerate a paper result\n\
+           sweep      [--models M1,M2|all] [--benchmarks B1,B2|all]\n\
+                      [--instructions N] [--jobs N] [--out-dir DIR]\n\
+                      [--resume] [--no-cache] [--quiet] [--trace-out FILE.jsonl]\n\
          \n\
          models: 2d-a, 2d-2a, 3d-2a, 3d-checker\n\
          experiments: tables fig4 fig5 fig6 fig7 iso-thermal interconnect\n\
                       heterogeneous margins dfs-ablation hard-error summary\n\
-                      tmr interrupts resilience shared-cache leakage dtm"
+                      tmr interrupts resilience shared-cache leakage dtm\n\
+         \n\
+         sweep caches each job's result under --out-dir (default\n\
+         target/sweep-cache) and skips cached jobs on re-runs.\n\
+         validation errors:\n\
+           --jobs must be at least 1\n\
+           --resume and --no-cache are mutually exclusive\n\
+           --resume requires an existing --out-dir cache directory"
     );
     ExitCode::FAILURE
 }
@@ -61,91 +79,65 @@ fn fail(msg: &str) -> ExitCode {
     usage()
 }
 
-/// Strict argument consumer: commands pull out the flags they know, and
-/// [`Args::finish`] rejects anything left over instead of silently
-/// ignoring it.
-struct Args {
-    args: Vec<String>,
-    used: Vec<bool>,
-}
-
-impl Args {
-    fn new(args: &[String]) -> Args {
-        Args {
-            args: args.to_vec(),
-            used: vec![false; args.len()],
-        }
-    }
-
-    /// Consumes a boolean `--flag`.
-    fn flag(&mut self, name: &str) -> bool {
-        match self.args.iter().position(|a| a == name) {
-            Some(i) => {
-                self.used[i] = true;
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Consumes `--flag value`; errors when the flag is present without
-    /// a value.
-    fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
-        let Some(i) = self.args.iter().position(|a| a == name) else {
-            return Ok(None);
-        };
-        self.used[i] = true;
-        match self.args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => {
-                self.used[i + 1] = true;
-                Ok(Some(v.clone()))
-            }
-            _ => Err(format!("{name} requires a value")),
-        }
-    }
-
-    /// Consumes `--flag value` and parses it.
-    fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
-        match self.opt(name)? {
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("invalid value for {name}: {v}")),
-            None => Ok(None),
-        }
-    }
-
-    /// Consumes the next unused positional (non-flag) argument.
-    fn positional(&mut self) -> Option<String> {
-        for (i, a) in self.args.iter().enumerate() {
-            if !self.used[i] && !a.starts_with("--") {
-                self.used[i] = true;
-                return Some(a.clone());
-            }
-        }
-        None
-    }
-
-    /// Errors on any argument no consumer claimed (typo'd or misplaced
-    /// flags).
-    fn finish(self) -> Result<(), String> {
-        let leftover: Vec<&str> = self
-            .args
-            .iter()
-            .zip(&self.used)
-            .filter(|(_, used)| !**used)
-            .map(|(a, _)| a.as_str())
-            .collect();
-        if leftover.is_empty() {
-            Ok(())
-        } else {
-            Err(format!("unrecognized arguments: {}", leftover.join(" ")))
-        }
-    }
-}
-
 fn parse_model(s: &str) -> Option<ProcessorModel> {
     s.parse().ok()
+}
+
+/// Parses a comma-separated `--models`/`--benchmarks` list, where the
+/// keyword `all` (also the default) selects the whole axis.
+fn parse_list<T: Copy>(
+    spec: Option<String>,
+    all: &[T],
+    parse: impl Fn(&str) -> Option<T>,
+    what: &str,
+) -> Result<Vec<T>, String> {
+    match spec.as_deref() {
+        None | Some("all") => Ok(all.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                parse(s).ok_or_else(|| format!("unknown {what}: {s}"))
+            })
+            .collect(),
+    }
+}
+
+/// Streams sweep progress to stderr as the engine emits job events.
+struct ProgressSink {
+    quiet: bool,
+}
+
+impl Sink for ProgressSink {
+    fn record(&mut self, event: &Event) {
+        if self.quiet {
+            return;
+        }
+        match event {
+            Event::JobStarted { job, total, label } => {
+                eprintln!("[{}/{total}] start  {label}", job + 1);
+            }
+            Event::JobCacheHit { job, total, label } => {
+                eprintln!("[{}/{total}] cached {label}", job + 1);
+            }
+            Event::JobFinished {
+                job,
+                total,
+                ok,
+                wall_nanos,
+                eta_nanos,
+            } => {
+                eprintln!(
+                    "[{}/{total}] {} in {:.1} s (eta {:.1} s)",
+                    job + 1,
+                    if *ok { "done  " } else { "FAILED" },
+                    *wall_nanos as f64 / 1e9,
+                    *eta_nanos as f64 / 1e9,
+                );
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Telemetry-related `simulate` flags.
@@ -225,6 +217,118 @@ fn run_traced(
         );
     }
     Ok(result)
+}
+
+/// The `rmt3d sweep` subcommand: expand a declarative spec and run it
+/// on the parallel engine with the on-disk result cache.
+fn run_sweep_command(mut a: Args) -> ExitCode {
+    let models = match a
+        .opt("--models")
+        .and_then(|spec| parse_list(spec, &ProcessorModel::ALL, parse_model, "model"))
+    {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    let benchmarks = match a
+        .opt("--benchmarks")
+        .and_then(|spec| parse_list(spec, &Benchmark::ALL, |s| s.parse().ok(), "benchmark"))
+    {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let instructions = match a.parsed("--instructions") {
+        Ok(n) => n.unwrap_or(250_000),
+        Err(e) => return fail(&e),
+    };
+    let jobs = match a.parsed::<usize>("--jobs") {
+        Ok(Some(0)) => return fail("--jobs must be at least 1"),
+        Ok(Some(n)) => n,
+        Ok(None) => 0, // auto: one worker per available core
+        Err(e) => return fail(&e),
+    };
+    let resume = a.flag("--resume");
+    let no_cache = a.flag("--no-cache");
+    let out_dir = match a.opt("--out-dir") {
+        Ok(d) => PathBuf::from(d.unwrap_or_else(|| "target/sweep-cache".into())),
+        Err(e) => return fail(&e),
+    };
+    let quiet = a.flag("--quiet");
+    let trace_out = match a.opt("--trace-out") {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = a.finish() {
+        return fail(&e);
+    }
+    if resume && no_cache {
+        return fail("--resume and --no-cache are mutually exclusive");
+    }
+    let cache = if no_cache {
+        CacheMode::Disabled
+    } else {
+        if resume && !out_dir.is_dir() {
+            return fail(&format!(
+                "--resume requires an existing cache directory, but {} does not exist",
+                out_dir.display()
+            ));
+        }
+        CacheMode::Dir(out_dir)
+    };
+
+    let scale = RunScale {
+        warmup_instructions: instructions / 10,
+        instructions,
+        thermal_grid: 50,
+    };
+    let spec = SweepSpec::new(&models, &benchmarks, scale);
+    let opts = SweepOptions { jobs, cache };
+    if !quiet {
+        eprintln!(
+            "sweep: {} jobs ({} models x {} benchmarks, {} instructions) on {} workers",
+            spec.job_count(),
+            models.len(),
+            benchmarks.len(),
+            instructions,
+            opts.worker_count(),
+        );
+    }
+
+    let writer: Box<dyn Write> = match &trace_out {
+        Some(path) => match File::create(path) {
+            Ok(f) => Box::new(io::BufWriter::new(f)),
+            Err(e) => return fail(&format!("cannot create {path}: {e}")),
+        },
+        None => Box::new(io::sink()),
+    };
+    let jsonl = JsonlSink::new(writer);
+    let mut sink = (ProgressSink { quiet }, jsonl.clone());
+    let report = match run_sweep(spec.expand(), &opts, &mut sink) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let mut jsonl = jsonl;
+    if let Err(e) = jsonl.finish() {
+        return fail(&format!("trace write failed: {e}"));
+    }
+
+    for record in &report.records {
+        match &record.outcome {
+            Ok(r) => println!(
+                "{:28} IPC {:.3}  L2 {:5.2} misses/10K  checker {:.2} f",
+                record.job.label(),
+                r.ipc(),
+                r.l2_misses_per_10k(),
+                r.mean_checker_fraction,
+            ),
+            Err(e) => println!("{:28} FAILED: {e}", record.job.label()),
+        }
+    }
+    println!("{}", report.summary());
+    if report.failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -379,6 +483,12 @@ fn main() -> ExitCode {
                 return fail("experiment requires a name");
             };
             let paper = a.flag("--paper");
+            let sim: Box<dyn Simulator> = match a.parsed::<usize>("--jobs") {
+                Ok(Some(0)) => return fail("--jobs must be at least 1"),
+                Ok(Some(1)) | Ok(None) => Box::new(SerialSimulator),
+                Ok(Some(n)) => Box::new(ParallelSimulator::new(n)),
+                Err(e) => return fail(&e),
+            };
             if let Err(e) = a.finish() {
                 return fail(&e);
             }
@@ -404,17 +514,22 @@ fn main() -> ExitCode {
                 }
                 "fig4" => print!(
                     "{}",
-                    fig4::run(&benchmarks, scale).expect("fig4").to_table()
+                    fig4::run_with(sim.as_ref(), &benchmarks, scale)
+                        .expect("fig4")
+                        .to_table()
                 ),
                 "fig5" => print!(
                     "{}",
-                    fig5::run(&benchmarks, scale).expect("fig5").to_table()
+                    fig5::run_with(sim.as_ref(), &benchmarks, scale)
+                        .expect("fig5")
+                        .to_table()
                 ),
                 "fig6" => print!("{}", fig6::run(&benchmarks, scale).to_table()),
                 "fig7" => print!("{}", fig7::run(&benchmarks, scale).to_table()),
                 "iso-thermal" => {
                     for w in [7.0, 15.0] {
-                        let p = iso_thermal::run(w, &benchmarks, scale).expect("iso-thermal");
+                        let p = iso_thermal::run_with(sim.as_ref(), w, &benchmarks, scale)
+                            .expect("iso-thermal");
                         println!(
                             "{:4.0} W checker: {:.2} GHz, perf loss {:.1}%",
                             w,
@@ -470,6 +585,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "sweep" => run_sweep_command(a),
         other => fail(&format!("unknown command: {other}")),
     }
 }

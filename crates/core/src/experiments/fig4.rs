@@ -8,7 +8,7 @@
 
 use crate::model::{ProcessorModel, RunScale};
 use crate::powermap::{build_power_map, override_checker_power, PowerMapConfig};
-use crate::simulate::{simulate, PerfResult, SimConfig};
+use crate::simulate::{PerfResult, SerialSimulator, SimConfig, Simulator};
 use rmt3d_power::CheckerPowerModel;
 use rmt3d_thermal::{solve, ThermalConfig, ThermalError};
 use rmt3d_units::{Celsius, Watts};
@@ -134,17 +134,46 @@ fn mean_peak(
 ///
 /// Panics if `benchmarks` is empty.
 pub fn run(benchmarks: &[Benchmark], scale: RunScale) -> Result<Fig4Result, ThermalError> {
+    run_with(&SerialSimulator, benchmarks, scale)
+}
+
+/// [`run`] with an explicit [`Simulator`]: all `4 × |benchmarks|`
+/// performance runs are submitted as one batch, so a parallel
+/// simulator overlaps them.
+///
+/// # Errors
+///
+/// Propagates thermal solver failures.
+///
+/// # Panics
+///
+/// Panics if `benchmarks` is empty.
+pub fn run_with(
+    sim: &dyn Simulator,
+    benchmarks: &[Benchmark],
+    scale: RunScale,
+) -> Result<Fig4Result, ThermalError> {
     assert!(!benchmarks.is_empty(), "need at least one benchmark");
-    let sim = |model: ProcessorModel| -> Vec<PerfResult> {
-        benchmarks
-            .iter()
-            .map(|&b| simulate(&SimConfig::nominal(model, scale), b))
-            .collect()
-    };
-    let base_perfs = sim(ProcessorModel::TwoDA);
-    let p2_perfs = sim(ProcessorModel::TwoD2A);
-    let p3_perfs = sim(ProcessorModel::ThreeD2A);
-    let pc_perfs = sim(ProcessorModel::ThreeDChecker);
+    let models = [
+        ProcessorModel::TwoDA,
+        ProcessorModel::TwoD2A,
+        ProcessorModel::ThreeD2A,
+        ProcessorModel::ThreeDChecker,
+    ];
+    let jobs: Vec<(SimConfig, Benchmark)> = models
+        .iter()
+        .flat_map(|&m| {
+            benchmarks
+                .iter()
+                .map(move |&b| (SimConfig::nominal(m, scale), b))
+        })
+        .collect();
+    let mut perfs = sim.simulate_batch(&jobs);
+    // Batch order is model-major, so each model's runs are contiguous.
+    let pc_perfs = perfs.split_off(3 * benchmarks.len());
+    let p3_perfs = perfs.split_off(2 * benchmarks.len());
+    let p2_perfs = perfs.split_off(benchmarks.len());
+    let base_perfs = perfs;
 
     let baseline = mean_peak(&base_perfs, ProcessorModel::TwoDA, 0.0, scale.thermal_grid)?;
     let mut points = Vec::new();

@@ -4,7 +4,7 @@
 
 use crate::model::{ProcessorModel, RunScale};
 use crate::powermap::{build_power_map, override_checker_power, PowerMapConfig};
-use crate::simulate::{simulate, SimConfig};
+use crate::simulate::{PerfResult, SerialSimulator, SimConfig, Simulator};
 use rmt3d_power::CheckerPowerModel;
 use rmt3d_thermal::{solve, ThermalConfig, ThermalError};
 use rmt3d_units::{Celsius, Watts};
@@ -73,30 +73,62 @@ impl Fig5Result {
 ///
 /// Propagates thermal solver failures.
 pub fn run(benchmarks: &[Benchmark], scale: RunScale) -> Result<Fig5Result, ThermalError> {
+    run_with(&SerialSimulator, benchmarks, scale)
+}
+
+/// [`run`] with an explicit [`Simulator`]. Each of the three distinct
+/// models simulates once per benchmark (checker wattage only affects
+/// the thermal solve, so the 7 W and 15 W columns share one
+/// performance run) and the whole grid is submitted as one batch.
+///
+/// # Errors
+///
+/// Propagates thermal solver failures.
+pub fn run_with(
+    sim: &dyn Simulator,
+    benchmarks: &[Benchmark],
+    scale: RunScale,
+) -> Result<Fig5Result, ThermalError> {
     let tcfg = ThermalConfig {
         grid: scale.thermal_grid,
         ..ThermalConfig::paper()
     };
-    let solve_at = |model: ProcessorModel, b: Benchmark, watts: f64| {
-        let perf = simulate(&SimConfig::nominal(model, scale), b);
+    let models = [
+        ProcessorModel::TwoDA,
+        ProcessorModel::TwoD2A,
+        ProcessorModel::ThreeD2A,
+    ];
+    let jobs: Vec<(SimConfig, Benchmark)> = models
+        .iter()
+        .flat_map(|&m| {
+            benchmarks
+                .iter()
+                .map(move |&b| (SimConfig::nominal(m, scale), b))
+        })
+        .collect();
+    let perfs = sim.simulate_batch(&jobs);
+    let solve_at = |perf: &PerfResult, watts: f64| {
         let mut chip = build_power_map(
-            &perf,
+            perf,
             &PowerMapConfig::with_checker(CheckerPowerModel::with_peak(Watts(watts.max(1.0)))),
         );
-        if model.has_checker() {
+        if perf.model.has_checker() {
             override_checker_power(&mut chip, Watts(watts));
         }
-        solve(&model.floorplan(), &chip.map, &tcfg).map(|r| r.peak())
+        solve(&perf.model.floorplan(), &chip.map, &tcfg).map(|r| r.peak())
     };
     let mut rows = Vec::with_capacity(benchmarks.len());
-    for &b in benchmarks {
+    for (i, &b) in benchmarks.iter().enumerate() {
+        let base = &perfs[i];
+        let p2 = &perfs[benchmarks.len() + i];
+        let p3 = &perfs[2 * benchmarks.len() + i];
         rows.push(Fig5Row {
             benchmark: b,
-            two_d_a: solve_at(ProcessorModel::TwoDA, b, 0.0)?,
-            two_d_2a_7w: solve_at(ProcessorModel::TwoD2A, b, 7.0)?,
-            three_d_2a_7w: solve_at(ProcessorModel::ThreeD2A, b, 7.0)?,
-            two_d_2a_15w: solve_at(ProcessorModel::TwoD2A, b, 15.0)?,
-            three_d_2a_15w: solve_at(ProcessorModel::ThreeD2A, b, 15.0)?,
+            two_d_a: solve_at(base, 0.0)?,
+            two_d_2a_7w: solve_at(p2, 7.0)?,
+            three_d_2a_7w: solve_at(p3, 7.0)?,
+            two_d_2a_15w: solve_at(p2, 15.0)?,
+            three_d_2a_15w: solve_at(p3, 15.0)?,
         });
     }
     Ok(Fig5Result { rows })

@@ -9,7 +9,7 @@
 
 use crate::model::{ProcessorModel, RunScale};
 use crate::powermap::{build_power_map, PowerMapConfig};
-use crate::simulate::{simulate, SimConfig};
+use crate::simulate::{SerialSimulator, SimConfig, Simulator};
 use rmt3d_power::{CheckerPowerModel, DvfsPoint};
 use rmt3d_thermal::{solve, ThermalConfig, ThermalError};
 use rmt3d_units::{Celsius, Gigahertz, Watts};
@@ -29,8 +29,11 @@ pub struct IsoThermalPoint {
     pub performance_loss: f64,
 }
 
-/// Suite-mean peak temperature of a model at a DVFS point.
+/// Suite-mean peak temperature of a model at a DVFS point. The
+/// per-benchmark performance runs go through `sim` as one batch; the
+/// thermal solves stay on the calling thread.
 fn mean_peak(
+    sim: &dyn Simulator,
     model: ProcessorModel,
     benchmarks: &[Benchmark],
     freq: Gigahertz,
@@ -41,14 +44,21 @@ fn mean_peak(
         grid: scale.thermal_grid,
         ..ThermalConfig::paper()
     };
+    let jobs: Vec<(SimConfig, Benchmark)> = benchmarks
+        .iter()
+        .map(|&b| {
+            (
+                SimConfig {
+                    frequency: freq,
+                    ..SimConfig::nominal(model, scale)
+                },
+                b,
+            )
+        })
+        .collect();
     let mut temp = 0.0;
     let mut work = 0.0;
-    for &b in benchmarks {
-        let cfg = SimConfig {
-            frequency: freq,
-            ..SimConfig::nominal(model, scale)
-        };
-        let perf = simulate(&cfg, b);
+    for perf in sim.simulate_batch(&jobs) {
         let mut pm_cfg = PowerMapConfig::with_checker(checker);
         pm_cfg.dvfs = DvfsPoint::from_frequency_linear_vdd(freq.value() / 2.0);
         let chip = build_power_map(&perf, &pm_cfg);
@@ -71,8 +81,26 @@ pub fn run(
     benchmarks: &[Benchmark],
     scale: RunScale,
 ) -> Result<IsoThermalPoint, ThermalError> {
+    run_with(&SerialSimulator, checker_watts, benchmarks, scale)
+}
+
+/// [`run`] with an explicit [`Simulator`]. The bisection is inherently
+/// sequential (each frequency choice depends on the previous solve),
+/// but every step's per-benchmark runs are batched, so a parallel
+/// simulator still overlaps within a step.
+///
+/// # Errors
+///
+/// Propagates thermal solver failures.
+pub fn run_with(
+    sim: &dyn Simulator,
+    checker_watts: f64,
+    benchmarks: &[Benchmark],
+    scale: RunScale,
+) -> Result<IsoThermalPoint, ThermalError> {
     let checker = CheckerPowerModel::with_peak(Watts(checker_watts));
     let (baseline, _) = mean_peak(
+        sim,
         ProcessorModel::TwoDA,
         benchmarks,
         Gigahertz(2.0),
@@ -80,6 +108,7 @@ pub fn run(
         scale,
     )?;
     let (_, work_full) = mean_peak(
+        sim,
         ProcessorModel::ThreeD2A,
         benchmarks,
         Gigahertz(2.0),
@@ -93,6 +122,7 @@ pub fn run(
     for _ in 0..6 {
         let mid = 0.5 * (lo + hi);
         let (t, w) = mean_peak(
+            sim,
             ProcessorModel::ThreeD2A,
             benchmarks,
             Gigahertz(mid),
@@ -108,6 +138,7 @@ pub fn run(
     }
     // If even 2.0 GHz is cool enough, report no loss.
     let (t2, w2) = mean_peak(
+        sim,
         ProcessorModel::ThreeD2A,
         benchmarks,
         Gigahertz(2.0),

@@ -98,6 +98,40 @@ pub fn simulate(cfg: &SimConfig, benchmark: Benchmark) -> PerfResult {
     simulate_traced(cfg, benchmark, 0, NullSink)
 }
 
+/// Strategy for producing [`PerfResult`]s.
+///
+/// Experiment drivers (`fig4`, `fig5`, `iso_thermal`, …) route every
+/// simulation through this trait and submit independent
+/// `(config, benchmark)` pairs as one batch, so an implementation may
+/// fan the batch out over worker threads (see the `rmt3d-sweep` crate).
+/// Because [`simulate`] is deterministic, any implementation that runs
+/// each job through it yields results bit-identical to
+/// [`SerialSimulator`], whatever the execution order.
+pub trait Simulator {
+    /// Produces the result of one `(config, benchmark)` run.
+    fn simulate(&self, cfg: &SimConfig, benchmark: Benchmark) -> PerfResult;
+
+    /// Produces results for a batch of independent runs, in input
+    /// order. The default runs them serially through
+    /// [`Simulator::simulate`]; parallel implementations override this.
+    fn simulate_batch(&self, jobs: &[(SimConfig, Benchmark)]) -> Vec<PerfResult> {
+        jobs.iter()
+            .map(|(cfg, b)| Simulator::simulate(self, cfg, *b))
+            .collect()
+    }
+}
+
+/// The in-process, single-threaded [`Simulator`]: every job runs
+/// through [`simulate`] on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialSimulator;
+
+impl Simulator for SerialSimulator {
+    fn simulate(&self, cfg: &SimConfig, benchmark: Benchmark) -> PerfResult {
+        simulate(cfg, benchmark)
+    }
+}
+
 /// Periodic machine-state snapshots: every `interval` cycles the run
 /// loop reads occupancies/counters through accessors and emits an
 /// [`Event::Interval`], so sampling never perturbs the simulation.

@@ -1,0 +1,405 @@
+//! The parallel execution engine.
+//!
+//! Jobs are pulled from a shared atomic cursor by `--jobs` worker
+//! threads (default: available parallelism), each running
+//! `rmt3d::simulate` with telemetry disabled — the traced path is
+//! bit-identical to the untraced one, so workers lose nothing. Results
+//! stream back to the coordinator (the calling thread), which owns the
+//! caller's [`Sink`], emits job lifecycle events with an ETA, and
+//! aggregates records in **spec order**, so parallel output is
+//! bit-identical to a 1-thread run. A panicking job is caught,
+//! reported as failed, and the sweep completes.
+
+use crate::spec::JobSpec;
+use crate::store::ResultStore;
+use rmt3d::{simulate, PerfResult};
+use rmt3d_telemetry::{emit, Event, Sink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// Where cached results live.
+#[derive(Debug, Clone, Default)]
+pub enum CacheMode {
+    /// No cache: every job simulates, nothing is persisted.
+    #[default]
+    Disabled,
+    /// Read and write entries under this directory. Completed jobs are
+    /// skipped on re-runs, which is also how an interrupted sweep
+    /// resumes.
+    Dir(PathBuf),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Result-cache policy.
+    pub cache: CacheMode,
+}
+
+impl SweepOptions {
+    /// Serial execution, no cache — the reference configuration.
+    pub fn serial() -> SweepOptions {
+        SweepOptions {
+            jobs: 1,
+            cache: CacheMode::Disabled,
+        }
+    }
+
+    /// The worker count after resolving the 0-means-auto default.
+    pub fn worker_count(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// One job's outcome, in spec order inside [`SweepReport`].
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job that produced this record.
+    pub job: JobSpec,
+    /// The result, or the panic message of a failed job.
+    pub outcome: Result<PerfResult, String>,
+    /// True when the result came from the cache without simulating.
+    pub cached: bool,
+    /// Wall-clock nanoseconds spent simulating (0 for cache hits).
+    pub wall_nanos: u64,
+}
+
+/// Aggregated output of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One record per job, in spec order — independent of execution
+    /// order and worker count.
+    pub records: Vec<JobRecord>,
+    /// Wall-clock nanoseconds for the whole sweep.
+    pub wall_nanos: u64,
+    /// Jobs that actually simulated.
+    pub executed: usize,
+    /// Jobs served from the cache.
+    pub cache_hits: usize,
+    /// Jobs that panicked.
+    pub failures: usize,
+}
+
+impl SweepReport {
+    /// The results in spec order, or the first failure's message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the label and panic message of the first failed job.
+    pub fn results(&self) -> Result<Vec<PerfResult>, String> {
+        self.records
+            .iter()
+            .map(|r| {
+                r.outcome
+                    .clone()
+                    .map_err(|e| format!("job {} ({}) failed: {e}", r.job.index, r.job.label()))
+            })
+            .collect()
+    }
+
+    /// One-line completion summary (`simulated N, cache-hit M, failed K`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs in {:.1} s: simulated {}, cache-hit {}, failed {}",
+            self.records.len(),
+            self.wall_nanos as f64 / 1e9,
+            self.executed,
+            self.cache_hits,
+            self.failures
+        )
+    }
+}
+
+enum Msg {
+    Started {
+        index: usize,
+    },
+    Done {
+        index: usize,
+        outcome: Box<Result<PerfResult, String>>,
+        cached: bool,
+        wall_nanos: u64,
+    },
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("panic with non-string payload")
+    }
+}
+
+/// Runs every job and aggregates the records in spec order.
+///
+/// Events emitted to `sink`: [`Event::JobStarted`] when a worker begins
+/// simulating a job, [`Event::JobFinished`] (with wall time and an ETA
+/// extrapolated from the mean executed-job wall time) when it
+/// completes, and [`Event::JobCacheHit`] when the cache satisfies a job
+/// without simulation.
+///
+/// # Errors
+///
+/// Returns an error when the cache directory cannot be created; job
+/// panics are *not* errors — they surface as failed [`JobRecord`]s.
+pub fn run_sweep<S: Sink>(
+    jobs: Vec<JobSpec>,
+    opts: &SweepOptions,
+    sink: &mut S,
+) -> Result<SweepReport, String> {
+    let store = match &opts.cache {
+        CacheMode::Disabled => None,
+        CacheMode::Dir(dir) => {
+            Some(ResultStore::open(dir).map_err(|e| format!("cannot open cache {dir:?}: {e}"))?)
+        }
+    };
+    let total = jobs.len();
+    let workers = opts.worker_count().max(1).min(total.max(1));
+    let t0 = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<Msg>();
+
+    let mut records: Vec<Option<JobRecord>> = vec![None; total];
+    let mut executed = 0usize;
+    let mut cache_hits = 0usize;
+    let mut failures = 0usize;
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let cursor = &cursor;
+            let store = store.as_ref();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if let Some(store) = store {
+                    if let Some(result) = store.load(job) {
+                        let _ = tx.send(Msg::Done {
+                            index: i,
+                            outcome: Box::new(Ok(result)),
+                            cached: true,
+                            wall_nanos: 0,
+                        });
+                        continue;
+                    }
+                }
+                let _ = tx.send(Msg::Started { index: i });
+                let job_t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| simulate(&job.cfg, job.benchmark)))
+                    .map_err(panic_message);
+                let wall_nanos = job_t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                if let (Some(store), Ok(result)) = (store, &outcome) {
+                    // Cache writes are best-effort: a full disk must not
+                    // fail the sweep, only cost the resume.
+                    let _ = store.save(job, result);
+                }
+                let _ = tx.send(Msg::Done {
+                    index: i,
+                    outcome: Box::new(outcome),
+                    cached: false,
+                    wall_nanos,
+                });
+            });
+        }
+        drop(tx);
+
+        // Coordinator: owns the (non-Send) sink, tallies, and ETA.
+        let mut done = 0usize;
+        let mut exec_wall_sum = 0u64;
+        while done < total {
+            let Ok(msg) = rx.recv() else { break };
+            match msg {
+                Msg::Started { index } => {
+                    emit(sink, || Event::JobStarted {
+                        job: index as u64,
+                        total: total as u64,
+                        label: jobs[index].label(),
+                    });
+                }
+                Msg::Done {
+                    index,
+                    outcome,
+                    cached,
+                    wall_nanos,
+                } => {
+                    done += 1;
+                    if cached {
+                        cache_hits += 1;
+                        emit(sink, || Event::JobCacheHit {
+                            job: index as u64,
+                            total: total as u64,
+                            label: jobs[index].label(),
+                        });
+                    } else {
+                        executed += 1;
+                        exec_wall_sum += wall_nanos;
+                        if outcome.is_err() {
+                            failures += 1;
+                        }
+                        let remaining = (total - done) as u64;
+                        let mean = exec_wall_sum / executed.max(1) as u64;
+                        emit(sink, || Event::JobFinished {
+                            job: index as u64,
+                            total: total as u64,
+                            ok: outcome.is_ok(),
+                            wall_nanos,
+                            eta_nanos: mean * remaining / workers as u64,
+                        });
+                    }
+                    records[index] = Some(JobRecord {
+                        job: jobs[index].clone(),
+                        outcome: *outcome,
+                        cached,
+                        wall_nanos,
+                    });
+                }
+            }
+        }
+    });
+
+    let records: Vec<JobRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every job reports exactly once"))
+        .collect();
+    Ok(SweepReport {
+        records,
+        wall_nanos: t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        executed,
+        cache_hits,
+        failures,
+    })
+}
+
+/// A [`rmt3d::Simulator`] that fans batches out through [`run_sweep`],
+/// letting the experiment drivers (`fig4::run_with`, `fig5::run_with`,
+/// `iso_thermal::run_with`, …) overlap their independent simulations.
+///
+/// # Panics
+///
+/// [`rmt3d::Simulator::simulate_batch`] panics when a job fails, since
+/// the experiment drivers' signatures have no failure channel for
+/// individual runs — matching the serial behaviour, where a panicking
+/// `simulate` unwinds through the driver.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelSimulator {
+    opts: SweepOptions,
+}
+
+impl ParallelSimulator {
+    /// A simulator with `jobs` workers (0 = available parallelism) and
+    /// no cache.
+    pub fn new(jobs: usize) -> ParallelSimulator {
+        ParallelSimulator {
+            opts: SweepOptions {
+                jobs,
+                cache: CacheMode::Disabled,
+            },
+        }
+    }
+
+    /// Attaches a result cache so repeated experiment invocations skip
+    /// completed simulations.
+    #[must_use]
+    pub fn with_cache(mut self, dir: PathBuf) -> ParallelSimulator {
+        self.opts.cache = CacheMode::Dir(dir);
+        self
+    }
+}
+
+impl rmt3d::Simulator for ParallelSimulator {
+    fn simulate(&self, cfg: &rmt3d::SimConfig, benchmark: rmt3d_workload::Benchmark) -> PerfResult {
+        simulate(cfg, benchmark)
+    }
+
+    fn simulate_batch(
+        &self,
+        batch: &[(rmt3d::SimConfig, rmt3d_workload::Benchmark)],
+    ) -> Vec<PerfResult> {
+        let jobs: Vec<JobSpec> = batch
+            .iter()
+            .enumerate()
+            .map(|(index, (cfg, benchmark))| JobSpec {
+                index,
+                cfg: cfg.clone(),
+                benchmark: *benchmark,
+            })
+            .collect();
+        let report = run_sweep(jobs, &self.opts, &mut rmt3d_telemetry::NullSink)
+            .unwrap_or_else(|e| panic!("sweep engine: {e}"));
+        report.results().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use rmt3d::{ProcessorModel, RunScale};
+    use rmt3d_telemetry::NullSink;
+    use rmt3d_workload::Benchmark;
+
+    fn tiny() -> RunScale {
+        RunScale {
+            warmup_instructions: 2_000,
+            instructions: 15_000,
+            thermal_grid: 25,
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported() {
+        let mut jobs = SweepSpec::new(
+            &[ProcessorModel::TwoDA],
+            &[Benchmark::Gzip, Benchmark::Mcf],
+            tiny(),
+        )
+        .expand();
+        // An empty NUCA layout makes the cache model panic on first
+        // access; the engine must report that job failed and still
+        // complete the other.
+        jobs[0].cfg.layout = Some(rmt3d_cache::NucaLayout {
+            banks: vec![],
+            ..rmt3d_cache::NucaLayout::two_d_a()
+        });
+        let report = run_sweep(
+            jobs,
+            &SweepOptions {
+                jobs: 2,
+                cache: CacheMode::Disabled,
+            },
+            &mut NullSink,
+        )
+        .expect("engine runs");
+        assert_eq!(report.failures, 1);
+        assert!(report.records[0].outcome.is_err());
+        assert!(report.records[1].outcome.is_ok());
+        assert!(report.results().is_err());
+        assert!(report.summary().contains("failed 1"));
+    }
+
+    #[test]
+    fn worker_count_resolves_auto() {
+        assert!(SweepOptions::default().worker_count() >= 1);
+        assert_eq!(
+            SweepOptions {
+                jobs: 3,
+                ..Default::default()
+            }
+            .worker_count(),
+            3
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! On-disk content-addressed result cache.
+//!
+//! One file per job, named by the job's [`cache key`](crate::JobSpec::cache_key)
+//! in hex, holding a single JSON line `{"key": <canonical>, "result": {…}}`.
+//! The canonical configuration text is stored alongside the result and
+//! re-verified on load, so a 64-bit hash collision degrades to a cache
+//! miss instead of serving the wrong result. Writes go through a
+//! temporary file and an atomic rename, so a sweep killed mid-write
+//! leaves no partial entry and `--resume` picks up cleanly.
+
+use crate::codec;
+use crate::spec::JobSpec;
+use rmt3d::PerfResult;
+use rmt3d_telemetry::json::{parse, JsonValue};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A directory of cached job results.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if necessary) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn open(dir: &Path) -> io::Result<ResultStore> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for a job.
+    pub fn entry_path(&self, job: &JobSpec) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", job.cache_key()))
+    }
+
+    /// Loads a cached result. Returns `None` on a missing entry, and
+    /// treats corrupt, truncated, or colliding entries as misses (the
+    /// job simply re-runs and overwrites them).
+    pub fn load(&self, job: &JobSpec) -> Option<PerfResult> {
+        let text = fs::read_to_string(self.entry_path(job)).ok()?;
+        let v = parse(text.trim()).ok()?;
+        let stored_key = v.get("key")?.as_str()?;
+        if stored_key != job.canonical() {
+            return None;
+        }
+        let result = v.get("result")?;
+        codec::decode(&render(result)).ok()
+    }
+
+    /// Persists a job's result atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit while writing.
+    pub fn save(&self, job: &JobSpec, result: &PerfResult) -> io::Result<()> {
+        let final_path = self.entry_path(job);
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        let mut line = String::from("{\"key\":");
+        write_json_str(&mut line, &job.canonical());
+        line.push_str(",\"result\":");
+        line.push_str(&codec::encode(result));
+        line.push_str("}\n");
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(line.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Number of entries currently on disk (any `.json` file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory is unreadable.
+    pub fn len(&self) -> io::Result<usize> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "json") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// True when the store holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory is unreadable.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+fn write_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Re-renders a parsed JSON subtree to text so the result decoder can
+/// consume it. Only the shapes the codec emits (objects, arrays,
+/// numbers, strings) need to round-trip.
+fn render(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => format!("{n}"),
+        JsonValue::Str(s) => {
+            let mut out = String::new();
+            write_json_str(&mut out, s);
+            out
+        }
+        JsonValue::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        JsonValue::Obj(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, val)| {
+                    let mut key = String::new();
+                    write_json_str(&mut key, k);
+                    format!("{key}:{}", render(val))
+                })
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use rmt3d::{simulate, ProcessorModel, RunScale};
+    use rmt3d_workload::Benchmark;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rmt3d-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn one_job() -> JobSpec {
+        SweepSpec::new(
+            &[ProcessorModel::TwoDA],
+            &[Benchmark::Gzip],
+            RunScale {
+                warmup_instructions: 2_000,
+                instructions: 20_000,
+                thermal_grid: 25,
+            },
+        )
+        .expand()
+        .remove(0)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let job = one_job();
+        assert!(store.load(&job).is_none(), "empty store misses");
+        let r = simulate(&job.cfg, job.benchmark);
+        store.save(&job, &r).unwrap();
+        let back = store.load(&job).expect("hit after save");
+        assert_eq!(codec::encode(&back), codec::encode(&r));
+        assert_eq!(store.len().unwrap(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_miss() {
+        let dir = tmp("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        let job = one_job();
+        let r = simulate(&job.cfg, job.benchmark);
+        store.save(&job, &r).unwrap();
+
+        // Truncate the entry: must degrade to a miss, not an error.
+        let path = store.entry_path(&job);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(store.load(&job).is_none());
+
+        // Same file name, different canonical key: collision guard.
+        let fake = text.replace("|bench=gzip|", "|bench=mcf|");
+        fs::write(&path, fake).unwrap();
+        assert!(store.load(&job).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

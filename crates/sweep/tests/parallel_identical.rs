@@ -1,0 +1,121 @@
+//! Integration proof of the engine's two core guarantees: a 2-thread
+//! sweep aggregates byte-identical results to the 1-thread run, and a
+//! second run over the same cache directory is 100% cache hits.
+
+use rmt3d::{ProcessorModel, RunScale};
+use rmt3d_sweep::{codec, run_sweep, CacheMode, SweepOptions, SweepReport, SweepSpec};
+use rmt3d_telemetry::{Event, NullSink, RecordingSink};
+use rmt3d_workload::Benchmark;
+use std::path::PathBuf;
+
+fn spec() -> SweepSpec {
+    SweepSpec::new(
+        &[ProcessorModel::TwoDA, ProcessorModel::ThreeD2A],
+        &[Benchmark::Gzip, Benchmark::Mcf, Benchmark::Swim],
+        RunScale {
+            warmup_instructions: 2_000,
+            instructions: 15_000,
+            thermal_grid: 25,
+        },
+    )
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmt3d-sweep-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The sweep's aggregated output as bytes: every record's result in
+/// spec order through the canonical codec.
+fn aggregate_bytes(report: &SweepReport) -> String {
+    report
+        .records
+        .iter()
+        .map(|r| codec::encode(r.outcome.as_ref().expect("job succeeded")))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn two_threads_match_one_thread_and_second_run_is_all_cache_hits() {
+    let jobs = spec().expand();
+    assert!(jobs.len() >= 6, "need at least 6 (model, benchmark) jobs");
+    let total = jobs.len();
+
+    let serial = run_sweep(jobs.clone(), &SweepOptions::serial(), &mut NullSink).unwrap();
+    assert_eq!(serial.executed, total);
+
+    let dir = tmp_dir("identical");
+    let parallel_opts = SweepOptions {
+        jobs: 2,
+        cache: CacheMode::Dir(dir.clone()),
+    };
+    let parallel = run_sweep(jobs.clone(), &parallel_opts, &mut NullSink).unwrap();
+    assert_eq!(parallel.executed, total);
+    assert_eq!(parallel.cache_hits, 0);
+    assert_eq!(
+        aggregate_bytes(&serial),
+        aggregate_bytes(&parallel),
+        "2-thread aggregate must be byte-identical to 1-thread"
+    );
+
+    // Second run over the same cache: zero simulations, all hits, and
+    // the aggregate is still byte-identical.
+    let sink = RecordingSink::new();
+    let rerun = run_sweep(jobs, &parallel_opts, &mut sink.clone()).unwrap();
+    assert_eq!(rerun.executed, 0, "no job may re-simulate");
+    assert_eq!(rerun.cache_hits, total);
+    assert_eq!(aggregate_bytes(&serial), aggregate_bytes(&rerun));
+
+    let events = sink.events();
+    assert_eq!(events.len(), total, "one event per job");
+    let mut seen_jobs: Vec<u64> = events
+        .iter()
+        .map(|e| match e {
+            Event::JobCacheHit { job, total: t, .. } => {
+                assert_eq!(*t, total as u64);
+                *job
+            }
+            other => panic!("expected only cache-hit events, got {other:?}"),
+        })
+        .collect();
+    seen_jobs.sort_unstable();
+    assert_eq!(seen_jobs, (0..total as u64).collect::<Vec<_>>());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn executed_sweep_emits_started_and_finished_pairs_with_eta() {
+    let jobs = spec().expand();
+    let total = jobs.len();
+    let sink = RecordingSink::new();
+    let report = run_sweep(
+        jobs,
+        &SweepOptions {
+            jobs: 2,
+            cache: CacheMode::Disabled,
+        },
+        &mut sink.clone(),
+    )
+    .unwrap();
+    assert_eq!(report.executed, total);
+    let events = sink.events();
+    let started = events
+        .iter()
+        .filter(|e| matches!(e, Event::JobStarted { .. }))
+        .count();
+    let finished: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::JobFinished { ok, eta_nanos, .. } => Some((*ok, *eta_nanos)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(started, total);
+    assert_eq!(finished.len(), total);
+    assert!(finished.iter().all(|(ok, _)| *ok));
+    // The last job to finish has nothing left: its ETA is zero.
+    assert_eq!(finished.last().unwrap().1, 0);
+}

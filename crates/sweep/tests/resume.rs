@@ -1,0 +1,90 @@
+//! Resume semantics: deleting one cached entry from a completed
+//! sweep's directory makes exactly that one job re-execute, and the
+//! final aggregate is unchanged.
+
+use rmt3d::{ProcessorModel, RunScale};
+use rmt3d_sweep::{codec, run_sweep, CacheMode, ResultStore, SweepOptions, SweepReport, SweepSpec};
+use rmt3d_telemetry::{Event, NullSink, RecordingSink};
+use rmt3d_workload::Benchmark;
+
+fn aggregate_bytes(report: &SweepReport) -> String {
+    report
+        .records
+        .iter()
+        .map(|r| codec::encode(r.outcome.as_ref().expect("job succeeded")))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn deleting_one_entry_reruns_exactly_that_job() {
+    let spec = SweepSpec::new(
+        &[ProcessorModel::TwoDA, ProcessorModel::ThreeD2A],
+        &[Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gap],
+        RunScale {
+            warmup_instructions: 2_000,
+            instructions: 15_000,
+            thermal_grid: 25,
+        },
+    );
+    let jobs = spec.expand();
+    let total = jobs.len();
+    let dir = std::env::temp_dir().join(format!("rmt3d-sweep-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        jobs: 2,
+        cache: CacheMode::Dir(dir.clone()),
+    };
+
+    let first = run_sweep(jobs.clone(), &opts, &mut NullSink).unwrap();
+    assert_eq!(first.executed, total);
+    assert_eq!(first.failures, 0);
+
+    // Simulate an interrupted sweep: one entry vanishes.
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len().unwrap(), total);
+    let victim = &jobs[2];
+    std::fs::remove_file(store.entry_path(victim)).unwrap();
+    assert_eq!(store.len().unwrap(), total - 1);
+
+    let sink = RecordingSink::new();
+    let resumed = run_sweep(jobs.clone(), &opts, &mut sink.clone()).unwrap();
+    assert_eq!(resumed.executed, 1, "exactly one job re-executes");
+    assert_eq!(resumed.cache_hits, total - 1);
+    assert_eq!(
+        aggregate_bytes(&first),
+        aggregate_bytes(&resumed),
+        "resume must not change the aggregate"
+    );
+    assert!(!resumed.records[2].cached);
+    assert!(resumed
+        .records
+        .iter()
+        .enumerate()
+        .all(|(i, r)| r.cached || i == 2));
+
+    // Telemetry agrees: one started/finished pair for the victim, a
+    // cache hit for everything else.
+    let events = sink.events();
+    let started: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::JobStarted { job, .. } => Some(*job),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(started, vec![victim.index as u64]);
+    let hits = events
+        .iter()
+        .filter(|e| matches!(e, Event::JobCacheHit { .. }))
+        .count();
+    assert_eq!(hits, total - 1);
+
+    // The re-executed entry landed back on disk: a third run is
+    // entirely cache hits.
+    let third = run_sweep(jobs, &opts, &mut NullSink).unwrap();
+    assert_eq!(third.executed, 0);
+    assert_eq!(third.cache_hits, total);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

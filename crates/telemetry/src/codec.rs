@@ -92,6 +92,25 @@ impl Event {
                     .u64("l2_misses", s.l2_misses)
                     .u64("commit_stall_cycles", s.commit_stall_cycles);
             }
+            Event::JobStarted { job, total, label } => {
+                o.u64("job", *job).u64("total", *total).str("label", label);
+            }
+            Event::JobFinished {
+                job,
+                total,
+                ok,
+                wall_nanos,
+                eta_nanos,
+            } => {
+                o.u64("job", *job)
+                    .u64("total", *total)
+                    .bool("ok", *ok)
+                    .u64("wall_nanos", if deterministic { 0 } else { *wall_nanos })
+                    .u64("eta_nanos", if deterministic { 0 } else { *eta_nanos });
+            }
+            Event::JobCacheHit { job, total, label } => {
+                o.u64("job", *job).u64("total", *total).str("label", label);
+            }
         }
         o.finish()
     }
@@ -139,6 +158,18 @@ pub enum ParsedEvent {
     SolverIteration { iteration: u64, residual: f64 },
     /// See [`Event::Interval`].
     Interval(IntervalSample),
+    /// See [`Event::JobStarted`].
+    JobStarted { job: u64, total: u64, label: String },
+    /// See [`Event::JobFinished`].
+    JobFinished {
+        job: u64,
+        total: u64,
+        ok: bool,
+        wall_nanos: u64,
+        eta_nanos: u64,
+    },
+    /// See [`Event::JobCacheHit`].
+    JobCacheHit { job: u64, total: u64, label: String },
     /// The trailing metrics-summary line (`"event":"summary"`).
     Summary,
 }
@@ -235,6 +266,23 @@ impl ParsedEvent {
                 l2_misses: u("l2_misses")?,
                 commit_stall_cycles: u("commit_stall_cycles")?,
             }),
+            "job_started" => ParsedEvent::JobStarted {
+                job: u("job")?,
+                total: u("total")?,
+                label: s("label")?,
+            },
+            "job_finished" => ParsedEvent::JobFinished {
+                job: u("job")?,
+                total: u("total")?,
+                ok: b("ok")?,
+                wall_nanos: u("wall_nanos")?,
+                eta_nanos: u("eta_nanos")?,
+            },
+            "job_cache_hit" => ParsedEvent::JobCacheHit {
+                job: u("job")?,
+                total: u("total")?,
+                label: s("label")?,
+            },
             "summary" => ParsedEvent::Summary,
             other => return Err(format!("unknown event kind {other:?}")),
         })
@@ -252,6 +300,9 @@ impl ParsedEvent {
             ParsedEvent::Recovery { .. } => "recovery",
             ParsedEvent::SolverIteration { .. } => "solver_iteration",
             ParsedEvent::Interval(_) => "interval",
+            ParsedEvent::JobStarted { .. } => "job_started",
+            ParsedEvent::JobFinished { .. } => "job_finished",
+            ParsedEvent::JobCacheHit { .. } => "job_cache_hit",
             ParsedEvent::Summary => "summary",
         }
     }
@@ -335,6 +386,43 @@ impl ParsedEvent {
                 },
             ) => iteration == i && residual == r,
             (ParsedEvent::Interval(a), Event::Interval(b)) => a == b,
+            (
+                ParsedEvent::JobStarted { job, total, label },
+                Event::JobStarted {
+                    job: j,
+                    total: t,
+                    label: l,
+                },
+            ) => job == j && total == t && label == l,
+            (
+                ParsedEvent::JobFinished {
+                    job,
+                    total,
+                    ok,
+                    wall_nanos,
+                    eta_nanos,
+                },
+                Event::JobFinished {
+                    job: j,
+                    total: t,
+                    ok: o,
+                    wall_nanos: w,
+                    eta_nanos: e,
+                },
+            ) => {
+                job == j
+                    && total == t
+                    && ok == o
+                    && (deterministic || (wall_nanos == w && eta_nanos == e))
+            }
+            (
+                ParsedEvent::JobCacheHit { job, total, label },
+                Event::JobCacheHit {
+                    job: j,
+                    total: t,
+                    label: l,
+                },
+            ) => job == j && total == t && label == l,
             _ => false,
         }
     }
@@ -401,6 +489,23 @@ mod tests {
                 l2_misses: 100,
                 commit_stall_cycles: 250,
             }),
+            Event::JobStarted {
+                job: 3,
+                total: 76,
+                label: "3d-2a/mcf".into(),
+            },
+            Event::JobFinished {
+                job: 3,
+                total: 76,
+                ok: false,
+                wall_nanos: 1_234,
+                eta_nanos: 56_789,
+            },
+            Event::JobCacheHit {
+                job: 4,
+                total: 76,
+                label: "2d-a/gzip".into(),
+            },
         ]
     }
 

@@ -88,6 +88,45 @@ pub enum Event {
     /// A periodic snapshot of the machine state (see [`IntervalSample`]).
     /// JSONL: `{"event":"interval",…}` with the sample's fields inlined.
     Interval(IntervalSample),
+    /// A sweep job began simulating (emitted by `rmt3d-sweep`; cache
+    /// hits skip straight to [`Event::JobCacheHit`]). JSONL:
+    /// `{"event":"job_started","job":…,"total":…,"label":…}`.
+    JobStarted {
+        /// Zero-based job index in spec order.
+        job: u64,
+        /// Total jobs in the sweep.
+        total: u64,
+        /// Human-readable job description (`"3d-2a/mcf"`).
+        label: String,
+    },
+    /// A sweep job finished simulating. JSONL:
+    /// `{"event":"job_finished","job":…,"total":…,"ok":…,
+    /// "wall_nanos":…,"eta_nanos":…}`.
+    JobFinished {
+        /// Zero-based job index in spec order.
+        job: u64,
+        /// Total jobs in the sweep.
+        total: u64,
+        /// False when the job panicked and was isolated.
+        ok: bool,
+        /// Wall-clock nanoseconds the job spent simulating (0 when the
+        /// sink is configured deterministic).
+        wall_nanos: u64,
+        /// Estimated nanoseconds until the sweep completes, from the
+        /// mean executed-job wall time (0 when deterministic).
+        eta_nanos: u64,
+    },
+    /// A sweep job was satisfied from the on-disk result cache without
+    /// simulating. JSONL:
+    /// `{"event":"job_cache_hit","job":…,"total":…,"label":…}`.
+    JobCacheHit {
+        /// Zero-based job index in spec order.
+        job: u64,
+        /// Total jobs in the sweep.
+        total: u64,
+        /// Human-readable job description.
+        label: String,
+    },
 }
 
 impl Event {
@@ -102,6 +141,9 @@ impl Event {
             Event::Recovery { .. } => "recovery",
             Event::SolverIteration { .. } => "solver_iteration",
             Event::Interval(_) => "interval",
+            Event::JobStarted { .. } => "job_started",
+            Event::JobFinished { .. } => "job_finished",
+            Event::JobCacheHit { .. } => "job_cache_hit",
         }
     }
 }
@@ -149,6 +191,23 @@ mod tests {
                 residual: 0.5,
             },
             Event::Interval(IntervalSample::default()),
+            Event::JobStarted {
+                job: 0,
+                total: 4,
+                label: "3d-2a/mcf".into(),
+            },
+            Event::JobFinished {
+                job: 0,
+                total: 4,
+                ok: true,
+                wall_nanos: 100,
+                eta_nanos: 300,
+            },
+            Event::JobCacheHit {
+                job: 1,
+                total: 4,
+                label: "2d-a/gzip".into(),
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
         kinds.sort_unstable();

@@ -112,6 +112,9 @@ pub struct Collector {
     recoveries: u64,
     unrecoverable: u64,
     dfs_transitions: u64,
+    jobs_executed: u64,
+    jobs_failed: u64,
+    job_cache_hits: u64,
 }
 
 impl Collector {
@@ -156,7 +159,17 @@ impl Collector {
                 self.registry.record("stb_occupancy", f64::from(s.stb));
                 self.ring.push(*s);
             }
-            Event::SpanBegin { .. } | Event::SpanEnd { .. } => {}
+            Event::JobFinished { ok, wall_nanos, .. } => {
+                self.jobs_executed += 1;
+                if !*ok {
+                    self.jobs_failed += 1;
+                }
+                self.registry.record("job_wall_nanos", *wall_nanos as f64);
+            }
+            Event::JobCacheHit { .. } => {
+                self.job_cache_hits += 1;
+            }
+            Event::SpanBegin { .. } | Event::SpanEnd { .. } | Event::JobStarted { .. } => {}
         }
     }
 
@@ -173,6 +186,11 @@ impl Collector {
     /// Number of DFS level changes observed.
     pub fn dfs_transitions(&self) -> u64 {
         self.dfs_transitions
+    }
+
+    /// Sweep-job tallies: `(executed, failed, cache_hits)`.
+    pub fn job_counts(&self) -> (u64, u64, u64) {
+        (self.jobs_executed, self.jobs_failed, self.job_cache_hits)
     }
 }
 
