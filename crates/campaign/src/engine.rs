@@ -1,0 +1,127 @@
+//! Campaign execution on the `rmt3d-sweep` work-stealing pool.
+
+use crate::grid::CampaignSpec;
+use crate::report::{CampaignReport, TrialRecord};
+use crate::trial::{run_trial, TrialResult};
+use rmt3d_sweep::{run_pool, PoolEvent};
+use rmt3d_telemetry::{emit, Event, Sink};
+
+/// Runs every trial of `spec` on `jobs` worker threads (0 = available
+/// parallelism) and aggregates the records in grid order.
+///
+/// Lifecycle events stream to `sink` while workers run
+/// ([`Event::JobStarted`] / [`Event::JobFinished`], in completion
+/// order); once the pool drains, one [`Event::CampaignTrial`] per trial
+/// is emitted in grid order, so a deterministic sink sees the same
+/// trial stream regardless of worker count.
+///
+/// # Errors
+///
+/// Returns an error when the spec fails [`CampaignSpec::validate`].
+/// Trial panics are *not* errors — they surface as failed
+/// [`TrialRecord`]s.
+pub fn run_campaign<S: Sink>(
+    spec: &CampaignSpec,
+    jobs: usize,
+    sink: &mut S,
+) -> Result<CampaignReport, String> {
+    spec.validate()?;
+    let trials = spec.expand();
+    let total = trials.len();
+    let workers = if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    };
+    let pool_records = run_pool(
+        &trials,
+        workers,
+        |_| None::<TrialResult>,
+        run_trial,
+        |_, _| {},
+        |ev| match ev {
+            PoolEvent::Started { index } => emit(sink, || Event::JobStarted {
+                job: index as u64,
+                total: total as u64,
+                label: trials[index].label(),
+            }),
+            PoolEvent::Finished {
+                index,
+                ok,
+                wall_nanos,
+                eta_nanos,
+            } => emit(sink, || Event::JobFinished {
+                job: index as u64,
+                total: total as u64,
+                ok,
+                wall_nanos,
+                eta_nanos,
+            }),
+            PoolEvent::CacheHit { .. } => {}
+        },
+    );
+    let records: Vec<TrialRecord> = trials
+        .into_iter()
+        .zip(pool_records)
+        .map(|(spec, r)| TrialRecord {
+            spec,
+            outcome: r.outcome,
+        })
+        .collect();
+    for r in &records {
+        emit(sink, || Event::CampaignTrial {
+            trial: r.spec.index as u64,
+            site: r.spec.site.name(),
+            fate: r.outcome.as_ref().map_or("panicked", |t| t.fate.name()),
+            detect_cycles: r.outcome.as_ref().map_or(0, |t| t.detect_cycles),
+            ok: r.ok(),
+        });
+    }
+    Ok(CampaignReport { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt3d_telemetry::{NullSink, RecordingSink};
+
+    #[test]
+    fn smoke_campaign_has_full_coverage() {
+        let spec = CampaignSpec::smoke(11);
+        let report = run_campaign(&spec, 0, &mut NullSink).expect("campaign runs");
+        assert_eq!(report.records.len(), spec.total_trials());
+        assert!(
+            report.full_coverage(),
+            "violations: {:?}",
+            report
+                .violations()
+                .iter()
+                .map(|r| (r.spec.label(), &r.outcome))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn campaign_trial_events_arrive_in_grid_order() {
+        let spec = CampaignSpec::smoke(3);
+        let mut sink = RecordingSink::new();
+        run_campaign(&spec, 2, &mut sink).expect("campaign runs");
+        let trial_ids: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::CampaignTrial { trial, .. } => Some(*trial),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<u64> = (0..spec.total_trials() as u64).collect();
+        assert_eq!(trial_ids, expected);
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_not_a_panic() {
+        let mut spec = CampaignSpec::smoke(1);
+        spec.benchmarks.clear();
+        assert!(run_campaign(&spec, 1, &mut NullSink).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Campaign grids: (fault site × benchmark × injection point × bit)
+//! sampling, expanded deterministically from one seed.
+
+use crate::trial::TrialSpec;
+use rmt3d_rmt::{EccConfig, FaultSite};
+use rmt3d_workload::{Benchmark, SplitMix64};
+
+/// A declarative fault-injection campaign.
+///
+/// Expansion draws `faults_per_cell` randomized (injection point, bit,
+/// register) tuples for every (site × benchmark) cell from a single
+/// [`SplitMix64`] stream, so the full trial list — and therefore the
+/// whole campaign, worker count notwithstanding — is a pure function of
+/// the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Strike sites to sweep.
+    pub sites: Vec<FaultSite>,
+    /// Workloads to sweep.
+    pub benchmarks: Vec<Benchmark>,
+    /// Randomized faults per (site × benchmark) cell.
+    pub faults_per_cell: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Leader commits per trial.
+    pub instructions: u64,
+    /// ECC protection in force for every trial.
+    pub ecc: EccConfig,
+}
+
+/// The default campaign's benchmark slice: two int and two fp-adjacent
+/// profiles plus the paper's canonical mcf, spanning branchy and
+/// memory-bound behaviour.
+pub const DEFAULT_BENCHMARKS: [Benchmark; 5] = [
+    Benchmark::Gzip,
+    Benchmark::Mcf,
+    Benchmark::Twolf,
+    Benchmark::Vpr,
+    Benchmark::Swim,
+];
+
+impl CampaignSpec {
+    /// The default 1000-trial grid: all five sites × five benchmarks ×
+    /// 40 faults under the paper's ECC, 20k instructions per trial.
+    pub fn default_grid(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            sites: FaultSite::ALL.to_vec(),
+            benchmarks: DEFAULT_BENCHMARKS.to_vec(),
+            faults_per_cell: 40,
+            seed,
+            instructions: 20_000,
+            ecc: EccConfig::paper(),
+        }
+    }
+
+    /// A small grid for CI smoke runs: all five sites × one benchmark ×
+    /// 4 faults at 8k instructions (20 trials, a few seconds).
+    pub fn smoke(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            sites: FaultSite::ALL.to_vec(),
+            benchmarks: vec![Benchmark::Gzip],
+            faults_per_cell: 4,
+            seed,
+            instructions: 8_000,
+            ecc: EccConfig::paper(),
+        }
+    }
+
+    /// Disables ECC at `site` (the seeded-bug mode that demonstrates
+    /// the shrinker: violations become findable).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `site` carries no ECC to disable.
+    pub fn sabotage(mut self, site: FaultSite) -> Result<CampaignSpec, String> {
+        match site {
+            FaultSite::LvqValue => self.ecc.lvq = false,
+            FaultSite::TrailerRegfile => self.ecc.trailer_regfile = false,
+            other => {
+                return Err(format!(
+                    "site {} carries no ECC to sabotage (ECC sites: lvq_value, trailer_regfile)",
+                    other.name()
+                ))
+            }
+        }
+        Ok(self)
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sites.is_empty() {
+            return Err("no fault sites selected".to_string());
+        }
+        if self.benchmarks.is_empty() {
+            return Err("no benchmarks selected".to_string());
+        }
+        if self.faults_per_cell == 0 {
+            return Err("faults-per-site must be positive".to_string());
+        }
+        if self.instructions < 4_000 {
+            return Err(format!(
+                "instructions {} too small: trials need room for warm state, \
+                 an injection window, and a post-fault tail",
+                self.instructions
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total trials the grid expands to.
+    pub fn total_trials(&self) -> usize {
+        self.sites.len() * self.benchmarks.len() * self.faults_per_cell
+    }
+
+    /// Expands the grid into concrete trials (site-major, then
+    /// benchmark, then fault index — always the same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`CampaignSpec::validate`].
+    pub fn expand(&self) -> Vec<TrialSpec> {
+        self.validate().expect("invalid campaign spec");
+        let mut rng = SplitMix64::new(self.seed);
+        // Strike inside the middle of the run: after warm state exists,
+        // with a tail long enough to surface delayed effects.
+        let lo = self.instructions / 8;
+        let hi = self.instructions * 3 / 4;
+        let mut trials = Vec::with_capacity(self.total_trials());
+        for &site in &self.sites {
+            for &benchmark in &self.benchmarks {
+                for _ in 0..self.faults_per_cell {
+                    trials.push(TrialSpec {
+                        index: trials.len(),
+                        site,
+                        benchmark,
+                        ecc: self.ecc,
+                        instructions: self.instructions,
+                        inject_at: rng.range_u64(lo, hi),
+                        bit: rng.below(64) as u8,
+                        // Full architectural file (int 1..32, fp 32..64):
+                        // cold fp registers are exactly where latent
+                        // trailer corruption hides in int-heavy profiles.
+                        reg: rng.range_u64(1, 64) as u8,
+                    });
+                }
+            }
+        }
+        trials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_1000_trials_over_every_site() {
+        let spec = CampaignSpec::default_grid(42);
+        let trials = spec.expand();
+        assert_eq!(trials.len(), 1000);
+        assert_eq!(trials.len(), spec.total_trials());
+        for site in FaultSite::ALL {
+            assert!(
+                trials.iter().any(|t| t.site == site),
+                "{site:?} missing from default grid"
+            );
+        }
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.index, i);
+            t.validate().expect("expanded trials are valid");
+        }
+    }
+
+    #[test]
+    fn expansion_is_seed_deterministic() {
+        let a = CampaignSpec::default_grid(7).expand();
+        let b = CampaignSpec::default_grid(7).expand();
+        let c = CampaignSpec::default_grid(8).expand();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sabotage_only_applies_to_ecc_sites() {
+        let spec = CampaignSpec::smoke(1);
+        let s = spec.clone().sabotage(FaultSite::TrailerRegfile).unwrap();
+        assert!(!s.ecc.trailer_regfile);
+        assert!(s.ecc.lvq);
+        let s = spec.clone().sabotage(FaultSite::LvqValue).unwrap();
+        assert!(!s.ecc.lvq);
+        assert!(spec.sabotage(FaultSite::BoqOutcome).is_err());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut spec = CampaignSpec::smoke(1);
+        spec.sites.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::smoke(1);
+        spec.faults_per_cell = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::smoke(1);
+        spec.instructions = 100;
+        assert!(spec.validate().is_err());
+    }
+}

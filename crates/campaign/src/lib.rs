@@ -1,0 +1,60 @@
+//! # rmt3d-campaign
+//!
+//! A randomized fault-injection campaign engine for the rmt3d RMT
+//! system, validating the paper's central coverage claim (§2) at
+//! statistical scale: *any* single transient fault in an unprotected
+//! datapath structure is detected by the 3D-stacked checker, every
+//! ECC-protected strike is corrected and counted, and no corruption
+//! escapes to architectural state silently.
+//!
+//! The engine composes four pieces:
+//!
+//! 1. **Grids** ([`CampaignSpec`]): (fault site × benchmark ×
+//!    injection point × bit × register) tuples expand deterministically
+//!    from one seed into [`TrialSpec`]s.
+//! 2. **Trials** ([`run_trial`]): each spec runs a fresh
+//!    [`RmtSystem`](rmt3d_rmt::RmtSystem) to the injection point,
+//!    strikes via the directed-injection API, drains, and classifies
+//!    the fate against the site's expectation ([`expected_fate`]) and a
+//!    *differential oracle* — a
+//!    [`ReferenceExecutor`](rmt3d_cpu::ReferenceExecutor) replay of the
+//!    same trace that cross-checks leader, checker, and golden-shadow
+//!    state against pipeline-free ground truth.
+//! 3. **Campaigns** ([`run_campaign`]): trials fan out on the
+//!    `rmt3d-sweep` work-stealing pool with per-trial panic isolation;
+//!    records aggregate in grid order, so the JSONL coverage report
+//!    ([`CampaignReport::to_jsonl`], with per-site detection-latency
+//!    percentiles) is byte-identical between serial and parallel runs.
+//! 4. **Minimization** ([`shrink`], [`write_fixture`]): a violation is
+//!    greedily shrunk to the smallest (instructions, injection point,
+//!    bit, register) tuple that still reproduces it, then emitted as a
+//!    JSON fixture that [`replay_fixture`] turns into a deterministic
+//!    regression test.
+//!
+//! ```no_run
+//! use rmt3d_campaign::{run_campaign, CampaignSpec};
+//!
+//! let spec = CampaignSpec::default_grid(42);
+//! let report = run_campaign(&spec, 0, &mut rmt3d_telemetry::NullSink).unwrap();
+//! assert!(report.full_coverage(), "{}", report.summary());
+//! print!("{}", report.to_jsonl());
+//! ```
+
+mod engine;
+mod fixture;
+mod grid;
+mod report;
+mod shrink;
+mod trial;
+
+pub use engine::run_campaign;
+pub use fixture::{
+    fixture_file_name, fixture_json, parse_fixture, replay_fixture, write_fixture, FIXTURE_KIND,
+    FIXTURE_VERSION,
+};
+pub use grid::{CampaignSpec, DEFAULT_BENCHMARKS};
+pub use report::{CampaignReport, LatencyStats, SiteSummary, TrialRecord};
+pub use shrink::{reproduces, shrink, Shrunk};
+pub use trial::{
+    expected_fate, run_trial, Expectation, TrialFate, TrialResult, TrialSpec, Violation,
+};

@@ -1,0 +1,326 @@
+//! Campaign aggregation: coverage counts, detection-latency
+//! percentiles, and the JSONL report.
+
+use crate::trial::{TrialFate, TrialResult, TrialSpec};
+use rmt3d_rmt::FaultSite;
+use rmt3d_telemetry::json::JsonObject;
+
+/// One trial's spec and outcome (a panicking trial carries the panic
+/// message instead of a result).
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// What ran.
+    pub spec: TrialSpec,
+    /// What happened.
+    pub outcome: Result<TrialResult, String>,
+}
+
+impl TrialRecord {
+    /// True when the trial ran and satisfied the coverage invariant.
+    pub fn ok(&self) -> bool {
+        self.outcome.as_ref().is_ok_and(TrialResult::ok)
+    }
+}
+
+/// Detection-latency distribution (leader cycles from strike to the
+/// checker flagging it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Detected trials contributing samples.
+    pub samples: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst observed.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over the given latency samples.
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |pct: usize| samples[(pct * (n - 1) + 50) / 100];
+        LatencyStats {
+            samples: n as u64,
+            p50: rank(50),
+            p90: rank(90),
+            p99: rank(99),
+            max: samples[n - 1],
+        }
+    }
+}
+
+/// Coverage tallies for one fault site.
+#[derive(Debug, Clone)]
+pub struct SiteSummary {
+    /// The site.
+    pub site: FaultSite,
+    /// Trials run at this site.
+    pub trials: u64,
+    /// Strikes absorbed by ECC.
+    pub corrected: u64,
+    /// Strikes detected by the checker and recovered.
+    pub detected: u64,
+    /// Strikes that never reached an architectural comparison.
+    pub masked: u64,
+    /// Coverage-invariant breaches.
+    pub violations: u64,
+    /// Trials that panicked (harness failures, not coverage results).
+    pub failed: u64,
+    /// Detection-latency distribution over detected strikes.
+    pub latency: LatencyStats,
+}
+
+/// The aggregated outcome of a campaign, in grid order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One record per trial, independent of worker count.
+    pub records: Vec<TrialRecord>,
+}
+
+impl CampaignReport {
+    /// Records that breached the invariant or panicked.
+    pub fn violations(&self) -> Vec<&TrialRecord> {
+        self.records.iter().filter(|r| !r.ok()).collect()
+    }
+
+    /// True when every trial injected, classified, and satisfied the
+    /// invariant — the paper's coverage claim at campaign scale.
+    pub fn full_coverage(&self) -> bool {
+        self.records.iter().all(TrialRecord::ok)
+    }
+
+    /// Per-site tallies, in [`FaultSite::ALL`] order (sites with no
+    /// trials are omitted).
+    pub fn site_summaries(&self) -> Vec<SiteSummary> {
+        FaultSite::ALL
+            .into_iter()
+            .filter_map(|site| {
+                let recs: Vec<&TrialRecord> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.spec.site == site)
+                    .collect();
+                if recs.is_empty() {
+                    return None;
+                }
+                let mut s = SiteSummary {
+                    site,
+                    trials: recs.len() as u64,
+                    corrected: 0,
+                    detected: 0,
+                    masked: 0,
+                    violations: 0,
+                    failed: 0,
+                    latency: LatencyStats::default(),
+                };
+                let mut latencies = Vec::new();
+                for r in recs {
+                    match &r.outcome {
+                        Err(_) => s.failed += 1,
+                        Ok(t) => {
+                            match t.fate {
+                                TrialFate::CorrectedByEcc => s.corrected += 1,
+                                TrialFate::DetectedRecovered => {
+                                    s.detected += 1;
+                                    latencies.push(t.detect_cycles);
+                                }
+                                TrialFate::MaskedHarmless => s.masked += 1,
+                                TrialFate::NotInjected => {}
+                            }
+                            if t.violation.is_some() {
+                                s.violations += 1;
+                            }
+                        }
+                    }
+                }
+                s.latency = LatencyStats::from_samples(latencies);
+                Some(s)
+            })
+            .collect()
+    }
+
+    /// The full JSONL report: one `trial` line per record in grid
+    /// order, one `site_summary` line per site, and a closing
+    /// `campaign_summary` line. Contains no wall-clock fields, so
+    /// parallel and serial runs of the same spec produce byte-identical
+    /// reports.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let mut o = JsonObject::new();
+            o.str("event", "trial")
+                .u64("trial", r.spec.index as u64)
+                .str("site", r.spec.site.name())
+                .str("benchmark", r.spec.benchmark.name())
+                .u64("inject_at", r.spec.inject_at)
+                .u64("bit", u64::from(r.spec.bit))
+                .u64("reg", u64::from(r.spec.reg));
+            match &r.outcome {
+                Ok(t) => {
+                    o.str("fate", t.fate.name())
+                        .bool("ok", t.ok())
+                        .u64("detect_cycles", t.detect_cycles)
+                        .u64("recoveries", t.recoveries);
+                    if let Some(v) = t.violation {
+                        o.str("violation", v.name());
+                    }
+                }
+                Err(e) => {
+                    o.str("fate", "panicked").bool("ok", false).str("error", e);
+                }
+            }
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        for s in self.site_summaries() {
+            let mut o = JsonObject::new();
+            o.str("event", "site_summary")
+                .str("site", s.site.name())
+                .u64("trials", s.trials)
+                .u64("corrected", s.corrected)
+                .u64("detected", s.detected)
+                .u64("masked", s.masked)
+                .u64("violations", s.violations)
+                .u64("failed", s.failed)
+                .u64("latency_samples", s.latency.samples)
+                .u64("latency_p50", s.latency.p50)
+                .u64("latency_p90", s.latency.p90)
+                .u64("latency_p99", s.latency.p99)
+                .u64("latency_max", s.latency.max);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        let violations = self.violations().len() as u64;
+        let mut o = JsonObject::new();
+        o.str("event", "campaign_summary")
+            .u64("trials", self.records.len() as u64)
+            .u64("violations", violations)
+            .bool("full_coverage", self.full_coverage());
+        out.push_str(&o.finish());
+        out.push('\n');
+        out
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let sites = self.site_summaries();
+        let corrected: u64 = sites.iter().map(|s| s.corrected).sum();
+        let detected: u64 = sites.iter().map(|s| s.detected).sum();
+        let masked: u64 = sites.iter().map(|s| s.masked).sum();
+        let violations = self.violations().len();
+        format!(
+            "{} trials: corrected {}, detected {}, masked {}, violations {} — coverage {}",
+            self.records.len(),
+            corrected,
+            detected,
+            masked,
+            violations,
+            if self.full_coverage() {
+                "100%"
+            } else {
+                "BROKEN"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::Violation;
+    use rmt3d_rmt::EccConfig;
+    use rmt3d_workload::Benchmark;
+
+    fn record(site: FaultSite, fate: TrialFate, violation: Option<Violation>) -> TrialRecord {
+        TrialRecord {
+            spec: TrialSpec {
+                index: 0,
+                site,
+                benchmark: Benchmark::Gzip,
+                ecc: EccConfig::paper(),
+                instructions: 8_000,
+                inject_at: 2_000,
+                bit: 1,
+                reg: 1,
+            },
+            outcome: Ok(TrialResult {
+                fate,
+                violation,
+                detect_cycles: 100,
+                detections: 1,
+                recoveries: 1,
+                committed: 8_000,
+            }),
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let stats = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(stats.samples, 100);
+        assert_eq!(stats.p50, 51);
+        assert_eq!(stats.p90, 90);
+        assert_eq!(stats.p99, 99);
+        assert_eq!(stats.max, 100);
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+        let one = LatencyStats::from_samples(vec![7]);
+        assert_eq!((one.p50, one.p99, one.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn report_tallies_fates_per_site() {
+        let report = CampaignReport {
+            records: vec![
+                record(FaultSite::LeaderResult, TrialFate::DetectedRecovered, None),
+                record(FaultSite::LeaderResult, TrialFate::DetectedRecovered, None),
+                record(FaultSite::LvqValue, TrialFate::CorrectedByEcc, None),
+                record(FaultSite::BoqOutcome, TrialFate::MaskedHarmless, None),
+            ],
+        };
+        assert!(report.full_coverage());
+        let sites = report.site_summaries();
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].site, FaultSite::LeaderResult);
+        assert_eq!(sites[0].detected, 2);
+        assert_eq!(sites[0].latency.samples, 2);
+        assert!(report.summary().contains("coverage 100%"));
+    }
+
+    #[test]
+    fn violations_break_coverage_and_show_in_jsonl() {
+        let report = CampaignReport {
+            records: vec![
+                record(FaultSite::LeaderResult, TrialFate::DetectedRecovered, None),
+                record(
+                    FaultSite::TrailerRegfile,
+                    TrialFate::DetectedRecovered,
+                    Some(Violation::UnrecoverableRecovery),
+                ),
+            ],
+        };
+        assert!(!report.full_coverage());
+        assert_eq!(report.violations().len(), 1);
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#""violation":"unrecoverable_recovery""#));
+        assert!(jsonl.contains(r#""full_coverage":false"#));
+        assert!(report.summary().contains("BROKEN"));
+    }
+
+    #[test]
+    fn panicked_trials_are_reported_not_hidden() {
+        let mut r = record(FaultSite::RvqOperand, TrialFate::DetectedRecovered, None);
+        r.outcome = Err("boom".to_string());
+        let report = CampaignReport { records: vec![r] };
+        assert!(!report.full_coverage());
+        assert_eq!(report.site_summaries()[0].failed, 1);
+        assert!(report.to_jsonl().contains(r#""fate":"panicked""#));
+    }
+}

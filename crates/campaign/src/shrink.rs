@@ -1,0 +1,173 @@
+//! Failure minimization: greedily shrink a violating trial to the
+//! smallest reproduction that still exhibits the same violation.
+//!
+//! A campaign violation arrives as a (benchmark, site, injection point,
+//! bit, register, instruction-count) tuple buried in a 20k-instruction
+//! run. Debugging wants the opposite: the shortest run and the simplest
+//! fault that still fails. The shrinker walks a candidate ladder —
+//! truncate the tail, move the strike earlier, zero the bit, lower the
+//! register — re-running the trial for each candidate and keeping any
+//! reduction that preserves the violation kind, until no candidate
+//! improves (a greedy fixpoint, the same discipline proptest applies to
+//! its failing cases).
+
+use crate::trial::{run_trial, TrialResult, TrialSpec, Violation};
+
+/// A minimized failing reproduction.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The smallest spec found that still violates.
+    pub spec: TrialSpec,
+    /// Its (violating) result.
+    pub result: TrialResult,
+    /// Candidate trials executed while shrinking.
+    pub attempts: u32,
+    /// Candidates that were accepted (reductions kept).
+    pub accepted: u32,
+}
+
+/// Size metric, compared lexicographically: run length dominates, then
+/// how late the strike lands, then fault complexity.
+fn metric(s: &TrialSpec) -> (u64, u64, u8, u8) {
+    (s.instructions, s.inject_at, s.bit, s.reg)
+}
+
+/// The candidate ladder: every spec strictly smaller than `s` by one
+/// greedy move. Ordered most-aggressive-first so the fixpoint converges
+/// in few runs.
+fn candidates(s: &TrialSpec) -> Vec<TrialSpec> {
+    let mut out = Vec::new();
+    let mut push = |c: TrialSpec| {
+        if c.validate().is_ok() && metric(&c) < metric(s) {
+            out.push(c);
+        }
+    };
+    // Truncate the tail: keep only a sliver of run past the strike.
+    let tail = s.instructions - s.inject_at;
+    for keep in [1, 64, tail / 4, tail / 2] {
+        let mut c = *s;
+        c.instructions = s.inject_at + keep.max(1);
+        push(c);
+    }
+    // Strike earlier (the run before the strike shrinks with it).
+    for at in [s.inject_at / 8, s.inject_at / 2, s.inject_at - 1] {
+        let mut c = *s;
+        c.inject_at = at.max(1);
+        push(c);
+    }
+    // Simplify the fault itself.
+    for bit in [0, s.bit / 2] {
+        let mut c = *s;
+        c.bit = bit;
+        push(c);
+    }
+    for reg in [1, s.reg / 2] {
+        let mut c = *s;
+        c.reg = reg.max(1);
+        push(c);
+    }
+    out
+}
+
+/// Minimizes a violating trial.
+///
+/// Runs `spec` once to learn the target violation kind, then descends
+/// the candidate ladder until a fixpoint or `max_attempts` re-runs.
+/// Every accepted candidate reproduces the *same* [`Violation`]
+/// variant, so the minimized spec debugs the original failure, not a
+/// different one found along the way.
+///
+/// # Errors
+///
+/// Returns a message when `spec` does not violate in the first place.
+pub fn shrink(spec: &TrialSpec, max_attempts: u32) -> Result<Shrunk, String> {
+    let result = run_trial(spec);
+    let Some(target) = result.violation else {
+        return Err(format!(
+            "trial {} does not violate; nothing to shrink",
+            spec.label()
+        ));
+    };
+    let mut best = Shrunk {
+        spec: *spec,
+        result,
+        attempts: 1,
+        accepted: 0,
+    };
+    'outer: loop {
+        for cand in candidates(&best.spec) {
+            if best.attempts >= max_attempts {
+                break 'outer;
+            }
+            let r = run_trial(&cand);
+            best.attempts += 1;
+            if r.violation == Some(target) {
+                best.spec = cand;
+                best.result = r;
+                best.accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Ok(best)
+}
+
+/// Re-runs a (possibly shrunk) spec and checks it still reproduces the
+/// given violation — the assertion a regression fixture makes.
+pub fn reproduces(spec: &TrialSpec, violation: Violation) -> bool {
+    run_trial(spec).violation == Some(violation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt3d_rmt::{EccConfig, FaultSite};
+    use rmt3d_workload::Benchmark;
+
+    #[test]
+    fn candidates_strictly_shrink_and_stay_valid() {
+        let s = TrialSpec {
+            index: 0,
+            site: FaultSite::TrailerRegfile,
+            benchmark: Benchmark::Gzip,
+            ecc: EccConfig::none(),
+            instructions: 20_000,
+            inject_at: 9_000,
+            bit: 33,
+            reg: 17,
+        };
+        let cands = candidates(&s);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(metric(c) < metric(&s), "{c:?}");
+            c.validate().expect("candidate valid");
+            assert_eq!(c.site, s.site);
+            assert_eq!(c.benchmark, s.benchmark);
+        }
+        // A minimal spec has no candidates left.
+        let minimal = TrialSpec {
+            instructions: 2,
+            inject_at: 1,
+            bit: 0,
+            reg: 1,
+            ..s
+        };
+        assert!(candidates(&minimal).is_empty());
+    }
+
+    #[test]
+    fn shrinking_a_clean_trial_is_an_error() {
+        let s = TrialSpec {
+            index: 0,
+            site: FaultSite::LeaderResult,
+            benchmark: Benchmark::Gzip,
+            ecc: EccConfig::paper(),
+            instructions: 8_000,
+            inject_at: 3_000,
+            bit: 4,
+            reg: 2,
+        };
+        assert!(shrink(&s, 50).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! One fault-injection trial: build a fresh RMT system, run to the
+//! injection point, strike, and classify the outcome against the
+//! paper's coverage invariant and a differential oracle.
+
+use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+use rmt3d_cpu::{CoreConfig, OooCore, ReferenceExecutor};
+use rmt3d_rmt::{DirectedOutcome, DrawnFault, EccConfig, FaultSite, RmtConfig, RmtSystem};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+/// A fully-determined single-fault experiment. Two runs of the same
+/// spec produce bit-identical [`TrialResult`]s, which is what lets the
+/// campaign run in parallel, the shrinker re-execute candidates, and a
+/// fixture replay a failure years later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Position in the campaign grid (0 for ad-hoc/shrunk trials).
+    pub index: usize,
+    /// Strike site.
+    pub site: FaultSite,
+    /// Workload driving the leader.
+    pub benchmark: Benchmark,
+    /// ECC protection in force (the sabotage knob disables one site).
+    pub ecc: EccConfig,
+    /// Leader commits before the final drain.
+    pub instructions: u64,
+    /// Committed-instruction count at which the fault strikes.
+    pub inject_at: u64,
+    /// Bit position flipped.
+    pub bit: u8,
+    /// Register index (trailer-regfile strikes only).
+    pub reg: u8,
+}
+
+impl TrialSpec {
+    /// Human-readable label (`"leader_result/gzip@4000"`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}@{}",
+            self.site.name(),
+            self.benchmark.name(),
+            self.inject_at
+        )
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the injection point falls outside the run
+    /// or the bit/register indices are out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.inject_at == 0 || self.inject_at >= self.instructions {
+            return Err(format!(
+                "inject_at {} must be in 1..{}",
+                self.inject_at, self.instructions
+            ));
+        }
+        if self.bit >= 64 {
+            return Err(format!("bit {} out of range", self.bit));
+        }
+        if self.reg == 0 || self.reg >= 64 {
+            return Err(format!("reg {} must be in 1..64", self.reg));
+        }
+        Ok(())
+    }
+}
+
+/// How a trial's fault played out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialFate {
+    /// ECC absorbed the strike.
+    CorrectedByEcc,
+    /// The checker flagged the corruption and recovery restored clean
+    /// state.
+    DetectedRecovered,
+    /// The flip never reached an architectural comparison and the final
+    /// state is clean (BOQ hints).
+    MaskedHarmless,
+    /// No suitable target op ever appeared (grid bug, not a coverage
+    /// result).
+    NotInjected,
+}
+
+impl TrialFate {
+    /// Stable snake_case label for reports and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrialFate::CorrectedByEcc => "corrected_by_ecc",
+            TrialFate::DetectedRecovered => "detected_recovered",
+            TrialFate::MaskedHarmless => "masked_harmless",
+            TrialFate::NotInjected => "not_injected",
+        }
+    }
+}
+
+/// A breach of the paper's coverage invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// Architectural state diverged from the reference executor with no
+    /// detection — corruption escaped to commit.
+    SilentCorruption,
+    /// The checker detected the fault but recovery restored corrupt
+    /// state (the §3.5 multi-error concern).
+    UnrecoverableRecovery,
+    /// The site's faults must be detected, but this one was masked.
+    MissedDetection,
+    /// The site's faults must be invisible (corrected or masked), but
+    /// the checker flagged one — a false positive costing a recovery.
+    UnexpectedDetection,
+    /// The injector never found a target op, so the trial proves
+    /// nothing.
+    TargetUnavailable,
+}
+
+impl Violation {
+    /// All violation kinds.
+    pub const ALL: [Violation; 5] = [
+        Violation::SilentCorruption,
+        Violation::UnrecoverableRecovery,
+        Violation::MissedDetection,
+        Violation::UnexpectedDetection,
+        Violation::TargetUnavailable,
+    ];
+
+    /// Parses a [`Violation::name`] label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized label.
+    pub fn parse(label: &str) -> Result<Violation, String> {
+        Violation::ALL
+            .into_iter()
+            .find(|v| v.name() == label)
+            .ok_or_else(|| format!("unknown violation '{label}'"))
+    }
+
+    /// Stable snake_case label for reports and fixtures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Violation::SilentCorruption => "silent_corruption",
+            Violation::UnrecoverableRecovery => "unrecoverable_recovery",
+            Violation::MissedDetection => "missed_detection",
+            Violation::UnexpectedDetection => "unexpected_detection",
+            Violation::TargetUnavailable => "target_unavailable",
+        }
+    }
+}
+
+/// What the coverage invariant demands of a strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// ECC must absorb it.
+    Corrected,
+    /// The checker must flag it and recovery must restore clean state.
+    Detected,
+    /// It must stay invisible (never compared architecturally) and the
+    /// final state must be clean.
+    Masked,
+    /// No guarantee beyond "detected faults recover and nothing escapes
+    /// silently" — the sabotaged-ECC regime, where violations are the
+    /// expected find.
+    AnyClean,
+}
+
+/// The paper's §2 coverage table. Deliberately a wildcard-free match:
+/// adding a [`FaultSite`] variant fails compilation here until the
+/// campaign states what the invariant requires of it.
+pub fn expected_fate(site: FaultSite, ecc: EccConfig) -> Expectation {
+    match site {
+        FaultSite::LeaderResult => Expectation::Detected,
+        FaultSite::RvqOperand => Expectation::Detected,
+        FaultSite::LvqValue => {
+            if ecc.lvq {
+                Expectation::Corrected
+            } else {
+                // Without ECC the corrupt LVQ value still feeds the
+                // checker's result comparison.
+                Expectation::Detected
+            }
+        }
+        FaultSite::BoqOutcome => Expectation::Masked,
+        FaultSite::TrailerRegfile => {
+            if ecc.trailer_regfile {
+                Expectation::Corrected
+            } else {
+                // The recovery point itself is unprotected: the paper
+                // makes no promise (that is why it requires this ECC).
+                Expectation::AnyClean
+            }
+        }
+    }
+}
+
+/// Everything one trial observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialResult {
+    /// Classified fate.
+    pub fate: TrialFate,
+    /// The invariant breach, if any.
+    pub violation: Option<Violation>,
+    /// Leader cycles from injection to the checker's first detection
+    /// (0 when nothing was detected).
+    pub detect_cycles: u64,
+    /// Checker mismatches flagged.
+    pub detections: u64,
+    /// Recovery procedures executed.
+    pub recoveries: u64,
+    /// Instructions the leader committed.
+    pub committed: u64,
+}
+
+impl TrialResult {
+    /// True when the coverage invariant held.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Runs one trial to completion and classifies it.
+///
+/// The system runs to `inject_at` committed instructions, strikes (or
+/// lets ECC absorb the strike), runs to `instructions`, drains the
+/// checker, and then cross-checks three independent views of the final
+/// architectural state: the leader register file, the trailer register
+/// file, and a [`ReferenceExecutor`] replay of the same trace — ground
+/// truth computed with no pipeline, queue, or recovery machinery.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`TrialSpec::validate`].
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    spec.validate().expect("invalid trial spec");
+    let leader = OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(spec.benchmark.profile()),
+        CacheHierarchy::new(NucaLayout::three_d_2a(), NucaPolicy::DistributedSets),
+    );
+    let mut sys = RmtSystem::new(leader, RmtConfig::paper());
+    sys.prefill_caches();
+    while sys.leader().activity().committed < spec.inject_at {
+        sys.step();
+    }
+
+    let fault = DrawnFault {
+        site: spec.site,
+        bit: spec.bit,
+        reg: spec.reg,
+    };
+    let mut injected = sys.inject_directed(fault, spec.ecc);
+    // Payload sites need a suitable op in the RVQ; step until one shows
+    // up (a branch or load is at most a few commits away).
+    while injected == DirectedOutcome::NoTarget
+        && sys.leader().activity().committed < spec.instructions
+    {
+        sys.step();
+        injected = sys.inject_directed(fault, spec.ecc);
+    }
+    if injected == DirectedOutcome::NoTarget {
+        return TrialResult {
+            fate: TrialFate::NotInjected,
+            violation: Some(Violation::TargetUnavailable),
+            detect_cycles: 0,
+            detections: 0,
+            recoveries: 0,
+            committed: sys.leader().activity().committed,
+        };
+    }
+    let inject_cycle = sys.total_cycles();
+
+    let mut detect_cycle = None;
+    while sys.leader().activity().committed < spec.instructions {
+        sys.step();
+        if detect_cycle.is_none() && sys.stats().detected > 0 {
+            detect_cycle = Some(sys.total_cycles());
+        }
+    }
+    sys.drain();
+    if detect_cycle.is_none() && sys.stats().detected > 0 {
+        // Flagged during the drain; the leader clock stops there, so
+        // charge the end-of-run cycle.
+        detect_cycle = Some(sys.total_cycles());
+    }
+
+    // Differential oracle: replay the committed stream independently.
+    let committed = sys.leader().activity().committed;
+    let mut oracle = ReferenceExecutor::new(TraceGenerator::new(spec.benchmark.profile()));
+    oracle.run_to(committed);
+    let states_clean = sys.leader().regfile() == oracle.regfile()
+        && sys.trailer().regfile() == oracle.regfile()
+        && sys.leader_matches_golden();
+
+    let detected = sys.stats().detected > 0;
+    let fate = if injected == DirectedOutcome::CorrectedByEcc {
+        TrialFate::CorrectedByEcc
+    } else if detected {
+        TrialFate::DetectedRecovered
+    } else {
+        TrialFate::MaskedHarmless
+    };
+    let violation = classify(spec, fate, sys.stats().unrecoverable > 0, states_clean);
+    TrialResult {
+        fate,
+        violation,
+        detect_cycles: detect_cycle.map_or(0, |c| c.saturating_sub(inject_cycle)),
+        detections: sys.stats().detected,
+        recoveries: sys.stats().recoveries,
+        committed,
+    }
+}
+
+/// Applies the coverage invariant to one trial's observations.
+fn classify(
+    spec: &TrialSpec,
+    fate: TrialFate,
+    unrecoverable: bool,
+    states_clean: bool,
+) -> Option<Violation> {
+    if unrecoverable {
+        return Some(Violation::UnrecoverableRecovery);
+    }
+    if !states_clean {
+        return Some(match fate {
+            // Detected, recovery claimed success, yet the final state
+            // disagrees with the oracle: the recovery point was bad.
+            TrialFate::DetectedRecovered => Violation::UnrecoverableRecovery,
+            _ => Violation::SilentCorruption,
+        });
+    }
+    match expected_fate(spec.site, spec.ecc) {
+        Expectation::Corrected => match fate {
+            TrialFate::CorrectedByEcc => None,
+            TrialFate::DetectedRecovered => Some(Violation::UnexpectedDetection),
+            _ => Some(Violation::MissedDetection),
+        },
+        Expectation::Detected => match fate {
+            TrialFate::DetectedRecovered => None,
+            _ => Some(Violation::MissedDetection),
+        },
+        Expectation::Masked => match fate {
+            TrialFate::MaskedHarmless => None,
+            _ => Some(Violation::UnexpectedDetection),
+        },
+        Expectation::AnyClean => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(site: FaultSite) -> TrialSpec {
+        TrialSpec {
+            index: 0,
+            site,
+            benchmark: Benchmark::Gzip,
+            ecc: EccConfig::paper(),
+            instructions: 8_000,
+            inject_at: 3_000,
+            bit: 21,
+            reg: 9,
+        }
+    }
+
+    #[test]
+    fn unprotected_sites_detect_with_positive_latency() {
+        for site in [FaultSite::LeaderResult, FaultSite::RvqOperand] {
+            let r = run_trial(&spec(site));
+            assert_eq!(r.fate, TrialFate::DetectedRecovered, "{site:?}");
+            assert!(r.ok(), "{site:?}: {:?}", r.violation);
+            assert!(r.detect_cycles > 0, "{site:?} latency");
+            assert!(r.recoveries >= 1);
+        }
+    }
+
+    #[test]
+    fn ecc_sites_are_corrected() {
+        for site in [FaultSite::LvqValue, FaultSite::TrailerRegfile] {
+            let r = run_trial(&spec(site));
+            assert_eq!(r.fate, TrialFate::CorrectedByEcc, "{site:?}");
+            assert!(r.ok());
+            assert_eq!(r.detect_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn boq_faults_are_masked_and_clean() {
+        let r = run_trial(&spec(FaultSite::BoqOutcome));
+        assert_eq!(r.fate, TrialFate::MaskedHarmless);
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn lvq_without_ecc_is_still_detected() {
+        let mut s = spec(FaultSite::LvqValue);
+        s.ecc = EccConfig {
+            lvq: false,
+            trailer_regfile: true,
+        };
+        let r = run_trial(&s);
+        assert_eq!(r.fate, TrialFate::DetectedRecovered);
+        assert!(r.ok(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let s = spec(FaultSite::RvqOperand);
+        assert_eq!(run_trial(&s), run_trial(&s));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let mut s = spec(FaultSite::LeaderResult);
+        s.inject_at = s.instructions;
+        assert!(s.validate().is_err());
+        s = spec(FaultSite::LeaderResult);
+        s.bit = 64;
+        assert!(s.validate().is_err());
+        s = spec(FaultSite::LeaderResult);
+        s.reg = 0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -10,6 +10,10 @@
 //! rmt3d sweep     [--models M,..|all] [--benchmarks B,..|all]
 //!                 [--instructions N] [--jobs N] [--out-dir DIR]
 //!                 [--resume] [--no-cache] [--quiet] [--trace-out FILE]
+//! rmt3d campaign  [--sites S,..|all] [--benchmarks B,..|all]
+//!                 [--faults-per-site N] [--seed N] [--instructions N]
+//!                 [--jobs N] [--out-dir DIR] [--sabotage SITE]
+//!                 [--quiet] [--trace-out FILE]
 //! ```
 //!
 //! Experiment names: `tables`, `fig4`, `fig5`, `fig6`, `fig7`,
@@ -36,6 +40,8 @@ use rmt3d::{
     ProcessorModel, RunScale, SerialSimulator, SimConfig, Simulator,
 };
 use rmt3d_cache::NucaPolicy;
+use rmt3d_campaign::{run_campaign, shrink, write_fixture, CampaignSpec, DEFAULT_BENCHMARKS};
+use rmt3d_rmt::{EccConfig, FaultSite};
 use rmt3d_sweep::{run_sweep, CacheMode, ParallelSimulator, SweepOptions, SweepSpec};
 use rmt3d_units::{TechNode, Watts};
 use rmt3d_workload::Benchmark;
@@ -58,14 +64,24 @@ fn usage() -> ExitCode {
            sweep      [--models M1,M2|all] [--benchmarks B1,B2|all]\n\
                       [--instructions N] [--jobs N] [--out-dir DIR]\n\
                       [--resume] [--no-cache] [--quiet] [--trace-out FILE.jsonl]\n\
+           campaign   [--sites S1,S2|all] [--benchmarks B1,B2|all]\n\
+                      [--faults-per-site N] [--seed N] [--instructions N]\n\
+                      [--jobs N] [--out-dir DIR] [--sabotage SITE]\n\
+                      [--quiet] [--trace-out FILE.jsonl]\n\
          \n\
          models: 2d-a, 2d-2a, 3d-2a, 3d-checker\n\
          experiments: tables fig4 fig5 fig6 fig7 iso-thermal interconnect\n\
                       heterogeneous margins dfs-ablation hard-error summary\n\
                       tmr interrupts resilience shared-cache leakage dtm\n\
          \n\
+         fault sites: leader_result, rvq_operand, lvq_value, boq_outcome,\n\
+                      trailer_regfile\n\
+         \n\
          sweep caches each job's result under --out-dir (default\n\
          target/sweep-cache) and skips cached jobs on re-runs.\n\
+         campaign writes a JSONL coverage report (and, on violations, a\n\
+         minimized regression fixture) under --out-dir (default\n\
+         target/campaign) and exits non-zero unless coverage is 100%.\n\
          validation errors:\n\
            --jobs must be at least 1\n\
            --resume and --no-cache are mutually exclusive\n\
@@ -331,6 +347,179 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
     }
 }
 
+/// The `rmt3d campaign` subcommand: expand a fault-injection grid, run
+/// it on the parallel engine, write the JSONL coverage report, and — on
+/// a violation — minimize the first one into a regression fixture.
+fn run_campaign_command(mut a: Args) -> ExitCode {
+    let sites = match a.opt("--sites").and_then(|spec| {
+        parse_list(
+            spec,
+            &FaultSite::ALL,
+            |s| FaultSite::parse(s).ok(),
+            "fault site",
+        )
+    }) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let benchmarks = match a.opt("--benchmarks") {
+        // The curated default slice differs from `all`: five profiles
+        // spanning branchy and memory-bound behaviour.
+        Ok(None) => DEFAULT_BENCHMARKS.to_vec(),
+        Ok(spec) => match parse_list(spec, &Benchmark::ALL, |s| s.parse().ok(), "benchmark") {
+            Ok(b) => b,
+            Err(e) => return fail(&e),
+        },
+        Err(e) => return fail(&e),
+    };
+    let faults_per_cell = match a.parsed::<usize>("--faults-per-site") {
+        Ok(n) => n.unwrap_or(40),
+        Err(e) => return fail(&e),
+    };
+    let seed = match a.parsed::<u64>("--seed") {
+        Ok(n) => n.unwrap_or(42),
+        Err(e) => return fail(&e),
+    };
+    let instructions = match a.parsed::<u64>("--instructions") {
+        Ok(n) => n.unwrap_or(20_000),
+        Err(e) => return fail(&e),
+    };
+    let jobs = match a.parsed::<usize>("--jobs") {
+        Ok(Some(0)) => return fail("--jobs must be at least 1"),
+        Ok(Some(n)) => n,
+        Ok(None) => 0, // auto: one worker per available core
+        Err(e) => return fail(&e),
+    };
+    let out_dir = match a.opt("--out-dir") {
+        Ok(d) => PathBuf::from(d.unwrap_or_else(|| "target/campaign".into())),
+        Err(e) => return fail(&e),
+    };
+    let sabotage = match a.opt("--sabotage") {
+        Ok(None) => None,
+        Ok(Some(s)) => match FaultSite::parse(&s) {
+            Ok(site) => Some(site),
+            Err(e) => return fail(&e),
+        },
+        Err(e) => return fail(&e),
+    };
+    let quiet = a.flag("--quiet");
+    let trace_out = match a.opt("--trace-out") {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = a.finish() {
+        return fail(&e);
+    }
+
+    let mut spec = CampaignSpec {
+        sites,
+        benchmarks,
+        faults_per_cell,
+        seed,
+        instructions,
+        ecc: EccConfig::paper(),
+    };
+    if let Some(site) = sabotage {
+        spec = match spec.sabotage(site) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+    }
+    if let Err(e) = spec.validate() {
+        return fail(&e);
+    }
+    if !quiet {
+        eprintln!(
+            "campaign: {} trials ({} sites x {} benchmarks x {} faults, \
+             {} instructions, seed {}){}",
+            spec.total_trials(),
+            spec.sites.len(),
+            spec.benchmarks.len(),
+            spec.faults_per_cell,
+            spec.instructions,
+            spec.seed,
+            if sabotage.is_some() {
+                " [ECC SABOTAGED]"
+            } else {
+                ""
+            },
+        );
+    }
+
+    let writer: Box<dyn Write> = match &trace_out {
+        Some(path) => match File::create(path) {
+            Ok(f) => Box::new(io::BufWriter::new(f)),
+            Err(e) => return fail(&format!("cannot create {path}: {e}")),
+        },
+        None => Box::new(io::sink()),
+    };
+    let jsonl = JsonlSink::new(writer);
+    let mut sink = (ProgressSink { quiet }, jsonl.clone());
+    let report = match run_campaign(&spec, jobs, &mut sink) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let mut jsonl = jsonl;
+    if let Err(e) = jsonl.finish() {
+        return fail(&format!("trace write failed: {e}"));
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let report_path = out_dir.join("campaign.jsonl");
+    if let Err(e) = std::fs::write(&report_path, report.to_jsonl()) {
+        return fail(&format!("cannot write {}: {e}", report_path.display()));
+    }
+
+    for s in report.site_summaries() {
+        println!(
+            "{:16} {:4} trials: {:4} corrected, {:4} detected, {:4} masked, \
+             {:2} violations | detect latency p50 {} p90 {} p99 {} max {} cycles",
+            s.site.name(),
+            s.trials,
+            s.corrected,
+            s.detected,
+            s.masked,
+            s.violations + s.failed,
+            s.latency.p50,
+            s.latency.p90,
+            s.latency.p99,
+            s.latency.max,
+        );
+    }
+    println!("{}", report.summary());
+    println!("report: {}", report_path.display());
+
+    let violations = report.violations();
+    if let Some(victim) = violations.first() {
+        if let Some(violation) = victim.outcome.as_ref().ok().and_then(|t| t.violation) {
+            if !quiet {
+                eprintln!("minimizing first violation: {}", victim.spec.label());
+            }
+            match shrink(&victim.spec, 300) {
+                Ok(shrunk) => {
+                    match write_fixture(&out_dir.join("fixtures"), &shrunk.spec, violation) {
+                        Ok(path) => println!(
+                            "minimized fixture ({} attempts, {} reductions): {}",
+                            shrunk.attempts,
+                            shrunk.accepted,
+                            path.display()
+                        ),
+                        Err(e) => eprintln!("fixture write failed: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("shrink failed: {e}"),
+            }
+        }
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -586,6 +775,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "sweep" => run_sweep_command(a),
+        "campaign" => run_campaign_command(a),
         other => fail(&format!("unknown command: {other}")),
     }
 }

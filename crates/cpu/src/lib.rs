@@ -31,6 +31,7 @@ mod commit;
 mod config;
 mod inorder;
 mod ooo;
+mod refexec;
 
 pub use activity::ActivityCounters;
 pub use bpred::CombinedPredictor;
@@ -38,3 +39,4 @@ pub use commit::CommittedOp;
 pub use config::{CoreConfig, TrailerConfig};
 pub use inorder::{CheckOutcome, InOrderCore, Verification};
 pub use ooo::{load_memory_value, OooCore};
+pub use refexec::ReferenceExecutor;

@@ -48,6 +48,47 @@ impl FaultSite {
             FaultSite::TrailerRegfile => "trailer_regfile",
         }
     }
+
+    /// Parses a [`FaultSite::name`] label back to the site.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized label.
+    pub fn parse(label: &str) -> Result<FaultSite, String> {
+        FaultSite::ALL
+            .into_iter()
+            .find(|s| s.name() == label)
+            .ok_or_else(|| format!("unknown fault site '{label}'"))
+    }
+
+    /// True when `item` is a payload a fault at this site can strike:
+    /// the flip must be able to reach an architectural comparison.
+    /// `TrailerRegfile` strikes hit core state, not payloads, so this is
+    /// always false for it.
+    pub fn can_strike(self, item: &CommittedOp) -> bool {
+        match self {
+            FaultSite::LeaderResult => item.op.dest.is_some(),
+            FaultSite::RvqOperand => item.op.src1_reg.is_some(),
+            FaultSite::LvqValue => item.load_value.is_some(),
+            FaultSite::BoqOutcome => item.op.branch.is_some(),
+            FaultSite::TrailerRegfile => false,
+        }
+    }
+}
+
+/// Result of a directed single-fault injection attempt
+/// ([`crate::RmtSystem::inject_directed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectedOutcome {
+    /// ECC absorbed the strike before it could propagate (counted, no
+    /// state touched — single-bit faults are always correctable).
+    CorrectedByEcc,
+    /// The fault was applied to an in-flight payload or to the trailer
+    /// register file.
+    Applied,
+    /// No suitable target was in flight this cycle; the caller may step
+    /// the system and retry.
+    NoTarget,
 }
 
 /// Which structures carry ECC (paper §2 requirements).

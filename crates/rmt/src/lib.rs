@@ -36,7 +36,7 @@ mod system;
 mod tmr;
 
 pub use dfs::{DfsConfig, DfsController, DFS_LEVELS};
-pub use fault::{DrawnFault, EccConfig, FaultFate, FaultInjector, FaultSite};
+pub use fault::{DirectedOutcome, DrawnFault, EccConfig, FaultFate, FaultInjector, FaultSite};
 pub use queues::{IntercoreQueues, QueueConfig, QueueOccupancy};
 pub use system::{RmtConfig, RmtStats, RmtSystem};
 pub use tmr::{TmrStats, TmrSystem};

@@ -2,7 +2,7 @@
 //! checker core, with fault injection and recovery (paper §2, Fig. 1).
 
 use crate::dfs::{DfsConfig, DfsController, DFS_LEVELS};
-use crate::fault::{EccConfig, FaultFate, FaultInjector, FaultSite};
+use crate::fault::{DirectedOutcome, DrawnFault, EccConfig, FaultFate, FaultInjector, FaultSite};
 use crate::queues::{IntercoreQueues, QueueConfig};
 use rmt3d_cpu::{
     load_memory_value, CheckOutcome, CommittedOp, InOrderCore, OooCore, TrailerConfig, Verification,
@@ -356,6 +356,55 @@ impl<S: Sink> RmtSystem<S> {
         }
     }
 
+    /// Injects one directed single-bit fault (the campaign harness's
+    /// entry point; random soft-error arrival uses
+    /// [`RmtSystem::with_fault_injection`] instead).
+    ///
+    /// ECC-protected sites absorb the strike without touching state.
+    /// `TrailerRegfile` strikes flip the checker's own register file.
+    /// Payload sites strike the *newest* suitable op in the RVQ stream —
+    /// the fault hits the value as it enters the queue, so the detection
+    /// latency observed by the caller measures the full leader/checker
+    /// slack. Returns [`DirectedOutcome::NoTarget`] when nothing
+    /// suitable is queued; the caller may step and retry.
+    pub fn inject_directed(&mut self, fault: DrawnFault, ecc: EccConfig) -> DirectedOutcome {
+        let cycle = self.leader.activity().cycles;
+        if ecc.corrects(fault.site) {
+            emit(&mut self.sink, || Event::FaultInjected {
+                cycle,
+                site: fault.site.name(),
+                bit: fault.bit,
+                corrected: true,
+            });
+            return DirectedOutcome::CorrectedByEcc;
+        }
+        if fault.site == FaultSite::TrailerRegfile {
+            self.trailer.flip_regfile_bit(fault.reg, fault.bit);
+        } else {
+            let Some(item) = self
+                .queues
+                .stream_mut()
+                .iter_mut()
+                .rev()
+                .find(|i| fault.site.can_strike(i))
+            else {
+                return DirectedOutcome::NoTarget;
+            };
+            let applied = FaultInjector::apply_to_payload(fault, item);
+            debug_assert!(applied, "can_strike guarantees a mutable target");
+        }
+        // Fate starts Masked; process_verifications upgrades it when
+        // (if) the checker flags the corruption.
+        self.fault_fates.push((fault.site, FaultFate::Masked));
+        emit(&mut self.sink, || Event::FaultInjected {
+            cycle,
+            site: fault.site.name(),
+            bit: fault.bit,
+            corrected: false,
+        });
+        DirectedOutcome::Applied
+    }
+
     /// Runs until `n` instructions have committed on the leader.
     pub fn run_instructions(&mut self, n: u64) {
         let start = self.leader.activity().committed;
@@ -424,6 +473,15 @@ impl<S: Sink> RmtSystem<S> {
     /// shadow (no silent corruption escaped the checker).
     pub fn leader_matches_golden(&self) -> bool {
         self.leader.regfile() == &self.golden
+    }
+
+    /// True when the checker's architectural state matches the golden
+    /// shadow. Only meaningful after [`RmtSystem::drain`] (the trailer
+    /// lags the leader while ops are in flight); a mismatch then means
+    /// the recovery point itself is corrupt — latent state corruption
+    /// that a future recovery would propagate.
+    pub fn trailer_matches_golden(&self) -> bool {
+        self.trailer.regfile() == &self.golden
     }
 }
 
@@ -567,6 +625,128 @@ mod tests {
         s.drain();
         let cycles = s.service_interrupt();
         assert!(cycles < 16, "drained system syncs instantly, took {cycles}");
+    }
+
+    /// Steps until a directed fault lands, then returns the outcome.
+    fn inject_when_possible(s: &mut RmtSystem, fault: crate::DrawnFault) -> DirectedOutcome {
+        use crate::DirectedOutcome::*;
+        for _ in 0..10_000 {
+            match s.inject_directed(fault, EccConfig::paper()) {
+                NoTarget => s.step(),
+                outcome => return outcome,
+            }
+        }
+        panic!("no target op ever appeared for {fault:?}");
+    }
+
+    #[test]
+    fn directed_unprotected_faults_are_detected() {
+        use crate::DrawnFault;
+        for site in [FaultSite::LeaderResult, FaultSite::RvqOperand] {
+            let mut s = system(Benchmark::Gzip);
+            s.prefill_caches();
+            s.run_instructions(3_000);
+            let out = inject_when_possible(
+                &mut s,
+                DrawnFault {
+                    site,
+                    bit: 13,
+                    reg: 0,
+                },
+            );
+            assert_eq!(out, DirectedOutcome::Applied);
+            s.run_instructions(2_000);
+            s.drain();
+            assert!(s.stats().detected > 0, "{site:?} must be detected");
+            assert_eq!(s.stats().unrecoverable, 0);
+            assert!(s.leader_matches_golden());
+            assert!(s.trailer_matches_golden());
+            assert_eq!(
+                s.fault_fates(),
+                &[(site, FaultFate::DetectedRecovered)],
+                "{site:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn directed_ecc_sites_are_corrected() {
+        use crate::DrawnFault;
+        for site in [FaultSite::LvqValue, FaultSite::TrailerRegfile] {
+            let mut s = system(Benchmark::Gzip);
+            s.prefill_caches();
+            s.run_instructions(3_000);
+            let out = s.inject_directed(
+                DrawnFault {
+                    site,
+                    bit: 5,
+                    reg: 3,
+                },
+                EccConfig::paper(),
+            );
+            assert_eq!(out, DirectedOutcome::CorrectedByEcc, "{site:?}");
+            s.drain();
+            assert_eq!(s.stats().detected, 0);
+            assert!(s.fault_fates().is_empty());
+            assert!(s.trailer_matches_golden());
+        }
+    }
+
+    #[test]
+    fn directed_boq_fault_is_masked_and_harmless() {
+        use crate::DrawnFault;
+        let mut s = system(Benchmark::Gzip);
+        s.prefill_caches();
+        s.run_instructions(3_000);
+        let out = inject_when_possible(
+            &mut s,
+            DrawnFault {
+                site: FaultSite::BoqOutcome,
+                bit: 0,
+                reg: 0,
+            },
+        );
+        assert_eq!(out, DirectedOutcome::Applied);
+        s.run_instructions(2_000);
+        s.drain();
+        assert_eq!(s.stats().detected, 0, "BOQ hints are never compared");
+        assert_eq!(
+            s.fault_fates(),
+            &[(FaultSite::BoqOutcome, FaultFate::Masked)]
+        );
+        assert!(s.leader_matches_golden());
+        assert!(s.trailer_matches_golden());
+    }
+
+    #[test]
+    fn directed_trailer_fault_without_ecc_corrupts_recovery_point() {
+        use crate::DrawnFault;
+        // The §3.5 concern: with trailer-regfile ECC disabled, a strike
+        // there either surfaces as an unrecoverable recovery or as
+        // latent trailer-state corruption.
+        let mut s = system(Benchmark::Gzip);
+        s.prefill_caches();
+        s.run_instructions(3_000);
+        let out = s.inject_directed(
+            DrawnFault {
+                site: FaultSite::TrailerRegfile,
+                bit: 60,
+                reg: 7,
+            },
+            EccConfig {
+                lvq: true,
+                trailer_regfile: false,
+            },
+        );
+        assert_eq!(out, DirectedOutcome::Applied);
+        s.run_instructions(5_000);
+        s.drain();
+        let violated = s.stats().unrecoverable > 0 || !s.trailer_matches_golden();
+        let healed = s.trailer_matches_golden() && s.stats().unrecoverable == 0;
+        assert!(
+            violated || healed,
+            "fault must either surface or be overwritten"
+        );
     }
 
     #[test]

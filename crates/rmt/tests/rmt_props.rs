@@ -115,6 +115,37 @@ fn rmt_recovers_at_any_fault_rate() {
     }
 }
 
+/// Promoted from `rmt_props.proptest-regressions` (case
+/// `cc 795a865b…`, "shrinks to seed = 0, rate_exp = 1"): the shrunk
+/// historical failure of [`rmt_recovers_at_any_fault_rate`], pinned as
+/// a named test so it replays on every run — by name, with no seed
+/// file — and never regresses silently.
+#[test]
+fn regression_seed0_rate_exp1_recovers_at_percent_fault_rate() {
+    let seed = 0;
+    let rate_exp: u32 = 1;
+    let rate = 10f64.powi(-(rate_exp as i32 + 1)); // 1e-2: the harshest drawn rate
+    let leader = OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(Benchmark::Gzip.profile()),
+        CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+    );
+    let mut sys = RmtSystem::new(leader, RmtConfig::paper()).with_fault_injection(
+        seed,
+        rate,
+        EccConfig::paper(),
+    );
+    sys.prefill_caches();
+    sys.run_instructions(12_000);
+    sys.drain();
+    assert_eq!(sys.stats().unrecoverable, 0);
+    assert!(sys.leader_matches_golden());
+    assert!(sys.stats().verified_ok > 0);
+    // The regression case strikes often enough to exercise recovery,
+    // not just verification.
+    assert!(sys.stats().recoveries > 0, "stats {:?}", sys.stats());
+}
+
 #[test]
 fn tmr_masks_everything_without_ecc() {
     let mut rng = SplitMix64::new(0x73a);

@@ -10,14 +10,12 @@
 //! bit-identical to a 1-thread run. A panicking job is caught,
 //! reported as failed, and the sweep completes.
 
+use crate::pool::{run_pool, PoolEvent};
 use crate::spec::JobSpec;
 use crate::store::ResultStore;
 use rmt3d::{simulate, PerfResult};
 use rmt3d_telemetry::{emit, Event, Sink};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
@@ -120,28 +118,6 @@ impl SweepReport {
     }
 }
 
-enum Msg {
-    Started {
-        index: usize,
-    },
-    Done {
-        index: usize,
-        outcome: Box<Result<PerfResult, String>>,
-        cached: bool,
-        wall_nanos: u64,
-    },
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        String::from("panic with non-string payload")
-    }
-}
-
 /// Runs every job and aggregates the records in spec order.
 ///
 /// Events emitted to `sink`: [`Event::JobStarted`] when a worker begins
@@ -166,113 +142,68 @@ pub fn run_sweep<S: Sink>(
         }
     };
     let total = jobs.len();
-    let workers = opts.worker_count().max(1).min(total.max(1));
     let t0 = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<Msg>();
+    let store = store.as_ref();
+    let pool_records = run_pool(
+        &jobs,
+        opts.worker_count(),
+        |job: &JobSpec| store.and_then(|s| s.load(job)),
+        |job: &JobSpec| simulate(&job.cfg, job.benchmark),
+        |job: &JobSpec, result: &PerfResult| {
+            // Cache writes are best-effort: a full disk must not fail
+            // the sweep, only cost the resume.
+            if let Some(store) = store {
+                let _ = store.save(job, result);
+            }
+        },
+        |ev| match ev {
+            PoolEvent::Started { index } => emit(sink, || Event::JobStarted {
+                job: index as u64,
+                total: total as u64,
+                label: jobs[index].label(),
+            }),
+            PoolEvent::CacheHit { index } => emit(sink, || Event::JobCacheHit {
+                job: index as u64,
+                total: total as u64,
+                label: jobs[index].label(),
+            }),
+            PoolEvent::Finished {
+                index,
+                ok,
+                wall_nanos,
+                eta_nanos,
+            } => emit(sink, || Event::JobFinished {
+                job: index as u64,
+                total: total as u64,
+                ok,
+                wall_nanos,
+                eta_nanos,
+            }),
+        },
+    );
 
-    let mut records: Vec<Option<JobRecord>> = vec![None; total];
     let mut executed = 0usize;
     let mut cache_hits = 0usize;
     let mut failures = 0usize;
-
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let jobs = &jobs;
-            let cursor = &cursor;
-            let store = store.as_ref();
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if let Some(store) = store {
-                    if let Some(result) = store.load(job) {
-                        let _ = tx.send(Msg::Done {
-                            index: i,
-                            outcome: Box::new(Ok(result)),
-                            cached: true,
-                            wall_nanos: 0,
-                        });
-                        continue;
-                    }
-                }
-                let _ = tx.send(Msg::Started { index: i });
-                let job_t0 = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| simulate(&job.cfg, job.benchmark)))
-                    .map_err(panic_message);
-                let wall_nanos = job_t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                if let (Some(store), Ok(result)) = (store, &outcome) {
-                    // Cache writes are best-effort: a full disk must not
-                    // fail the sweep, only cost the resume.
-                    let _ = store.save(job, result);
-                }
-                let _ = tx.send(Msg::Done {
-                    index: i,
-                    outcome: Box::new(outcome),
-                    cached: false,
-                    wall_nanos,
-                });
-            });
-        }
-        drop(tx);
-
-        // Coordinator: owns the (non-Send) sink, tallies, and ETA.
-        let mut done = 0usize;
-        let mut exec_wall_sum = 0u64;
-        while done < total {
-            let Ok(msg) = rx.recv() else { break };
-            match msg {
-                Msg::Started { index } => {
-                    emit(sink, || Event::JobStarted {
-                        job: index as u64,
-                        total: total as u64,
-                        label: jobs[index].label(),
-                    });
-                }
-                Msg::Done {
-                    index,
-                    outcome,
-                    cached,
-                    wall_nanos,
-                } => {
-                    done += 1;
-                    if cached {
-                        cache_hits += 1;
-                        emit(sink, || Event::JobCacheHit {
-                            job: index as u64,
-                            total: total as u64,
-                            label: jobs[index].label(),
-                        });
-                    } else {
-                        executed += 1;
-                        exec_wall_sum += wall_nanos;
-                        if outcome.is_err() {
-                            failures += 1;
-                        }
-                        let remaining = (total - done) as u64;
-                        let mean = exec_wall_sum / executed.max(1) as u64;
-                        emit(sink, || Event::JobFinished {
-                            job: index as u64,
-                            total: total as u64,
-                            ok: outcome.is_ok(),
-                            wall_nanos,
-                            eta_nanos: mean * remaining / workers as u64,
-                        });
-                    }
-                    records[index] = Some(JobRecord {
-                        job: jobs[index].clone(),
-                        outcome: *outcome,
-                        cached,
-                        wall_nanos,
-                    });
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .zip(pool_records)
+        .map(|(job, r)| {
+            if r.cached {
+                cache_hits += 1;
+            } else {
+                executed += 1;
+                if r.outcome.is_err() {
+                    failures += 1;
                 }
             }
-        }
-    });
-
-    let records: Vec<JobRecord> = records
-        .into_iter()
-        .map(|r| r.expect("every job reports exactly once"))
+            JobRecord {
+                job: job.clone(),
+                outcome: r.outcome,
+                cached: r.cached,
+                wall_nanos: r.wall_nanos,
+            }
+        })
         .collect();
     Ok(SweepReport {
         records,

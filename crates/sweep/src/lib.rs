@@ -50,9 +50,11 @@
 
 pub mod codec;
 mod engine;
+mod pool;
 mod spec;
 mod store;
 
 pub use engine::{run_sweep, CacheMode, JobRecord, ParallelSimulator, SweepOptions, SweepReport};
+pub use pool::{panic_message, run_pool, PoolEvent, PoolRecord};
 pub use spec::{JobSpec, SweepSpec, CACHE_VERSION};
 pub use store::ResultStore;

@@ -1,0 +1,290 @@
+//! The generic work-stealing pool underneath [`run_sweep`] and the
+//! fault-injection campaign engine (`rmt3d-campaign`).
+//!
+//! [`run_pool`] owns the concurrency skeleton — a shared atomic cursor,
+//! scoped worker threads, per-item panic isolation, and a coordinator
+//! loop that funnels lifecycle events back to the (possibly non-`Send`)
+//! caller — while the *work* is supplied as three closures: a cache
+//! `probe`, the `exec` body, and a best-effort `save`. Records come
+//! back in item order regardless of worker count, which is what makes
+//! parallel runs byte-identical to serial ones.
+//!
+//! [`run_sweep`]: crate::run_sweep
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// One item's outcome, in item order in [`run_pool`]'s return value.
+#[derive(Debug, Clone)]
+pub struct PoolRecord<R> {
+    /// The produced result, or the panic message of a failed item.
+    pub outcome: Result<R, String>,
+    /// True when `probe` satisfied the item without running `exec`.
+    pub cached: bool,
+    /// Wall-clock nanoseconds spent in `exec` (0 for cache hits).
+    pub wall_nanos: u64,
+}
+
+/// Lifecycle notification delivered to the coordinator-side observer.
+///
+/// Events arrive in completion order (not item order); `index` is the
+/// item's position in the input slice.
+#[derive(Debug, Clone, Copy)]
+pub enum PoolEvent {
+    /// A worker began executing item `index` (not sent for cache hits).
+    Started {
+        /// Item position.
+        index: usize,
+    },
+    /// `probe` satisfied item `index` without executing it.
+    CacheHit {
+        /// Item position.
+        index: usize,
+    },
+    /// Item `index` finished executing.
+    Finished {
+        /// Item position.
+        index: usize,
+        /// False when the item panicked.
+        ok: bool,
+        /// Wall-clock nanoseconds the item's `exec` took.
+        wall_nanos: u64,
+        /// Estimated nanoseconds until the pool drains, extrapolated
+        /// from the mean executed-item wall time.
+        eta_nanos: u64,
+    },
+}
+
+enum Msg<R> {
+    Started {
+        index: usize,
+    },
+    Done {
+        index: usize,
+        outcome: Box<Result<R, String>>,
+        cached: bool,
+        wall_nanos: u64,
+    },
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("panic with non-string payload")
+    }
+}
+
+/// Runs `exec` over every item on `workers` threads and returns the
+/// records in item order.
+///
+/// Per item: `probe` runs first (worker-side) and a `Some` result
+/// becomes a cache-hit record; otherwise `exec` runs under
+/// `catch_unwind` (a panicking item is isolated and reported as a
+/// failed record) and a successful result is offered to `save`
+/// (worker-side, best-effort — e.g. persisting to a result store).
+/// `observe` runs on the calling thread only, so it may own non-`Send`
+/// state such as a telemetry sink.
+pub fn run_pool<I, R, P, E, V, O>(
+    items: &[I],
+    workers: usize,
+    probe: P,
+    exec: E,
+    save: V,
+    mut observe: O,
+) -> Vec<PoolRecord<R>>
+where
+    I: Sync,
+    R: Send,
+    P: Fn(&I) -> Option<R> + Sync,
+    E: Fn(&I) -> R + Sync,
+    V: Fn(&I, &R) + Sync,
+    O: FnMut(PoolEvent),
+{
+    let total = items.len();
+    let workers = workers.max(1).min(total.max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<Msg<R>>();
+
+    let mut records: Vec<Option<PoolRecord<R>>> = Vec::with_capacity(total);
+    records.resize_with(total, || None);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let probe = &probe;
+            let exec = &exec;
+            let save = &save;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if let Some(result) = probe(item) {
+                    let _ = tx.send(Msg::Done {
+                        index: i,
+                        outcome: Box::new(Ok(result)),
+                        cached: true,
+                        wall_nanos: 0,
+                    });
+                    continue;
+                }
+                let _ = tx.send(Msg::Started { index: i });
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| exec(item))).map_err(panic_message);
+                let wall_nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                if let Ok(result) = &outcome {
+                    save(item, result);
+                }
+                let _ = tx.send(Msg::Done {
+                    index: i,
+                    outcome: Box::new(outcome),
+                    cached: false,
+                    wall_nanos,
+                });
+            });
+        }
+        drop(tx);
+
+        // Coordinator: tallies, ETA, and the caller's observer.
+        let mut done = 0usize;
+        let mut executed = 0usize;
+        let mut exec_wall_sum = 0u64;
+        while done < total {
+            let Ok(msg) = rx.recv() else { break };
+            match msg {
+                Msg::Started { index } => observe(PoolEvent::Started { index }),
+                Msg::Done {
+                    index,
+                    outcome,
+                    cached,
+                    wall_nanos,
+                } => {
+                    done += 1;
+                    if cached {
+                        observe(PoolEvent::CacheHit { index });
+                    } else {
+                        executed += 1;
+                        exec_wall_sum += wall_nanos;
+                        let remaining = (total - done) as u64;
+                        let mean = exec_wall_sum / executed.max(1) as u64;
+                        observe(PoolEvent::Finished {
+                            index,
+                            ok: outcome.is_ok(),
+                            wall_nanos,
+                            eta_nanos: mean * remaining / workers as u64,
+                        });
+                    }
+                    records[index] = Some(PoolRecord {
+                        outcome: *outcome,
+                        cached,
+                        wall_nanos,
+                    });
+                }
+            }
+        }
+    });
+
+    records
+        .into_iter()
+        .map(|r| r.expect("every item reports exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn records_come_back_in_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let records = run_pool(&items, 8, |_| None, |&i| i * i, |_, _| {}, |_| {});
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.outcome, Ok((i * i) as u64));
+            assert!(!r.cached);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_per_item() {
+        let items: Vec<u64> = (0..10).collect();
+        let records = run_pool(
+            &items,
+            4,
+            |_| None,
+            |&i| {
+                assert!(i != 3, "item three explodes");
+                i
+            },
+            |_, _| {},
+            |_| {},
+        );
+        assert!(records[3]
+            .outcome
+            .as_ref()
+            .is_err_and(|e| e.contains("item three explodes")));
+        assert_eq!(records.iter().filter(|r| r.outcome.is_ok()).count(), 9);
+    }
+
+    #[test]
+    fn probe_hits_skip_exec_and_save() {
+        let items: Vec<u64> = (0..20).collect();
+        let executed = AtomicU64::new(0);
+        let saved = AtomicU64::new(0);
+        let records = run_pool(
+            &items,
+            3,
+            |&i| (i % 2 == 0).then_some(i + 100),
+            |&i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                i + 100
+            },
+            |_, _| {
+                saved.fetch_add(1, Ordering::Relaxed);
+            },
+            |_| {},
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 10);
+        assert_eq!(saved.load(Ordering::Relaxed), 10);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.outcome, Ok(i as u64 + 100));
+            assert_eq!(r.cached, i % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_lifecycle_event() {
+        let items: Vec<u64> = (0..16).collect();
+        let mut started = 0usize;
+        let mut finished = 0usize;
+        let mut hits = 0usize;
+        run_pool(
+            &items,
+            4,
+            |&i| (i < 4).then_some(i),
+            |&i| i,
+            |_, _| {},
+            |ev| match ev {
+                PoolEvent::Started { .. } => started += 1,
+                PoolEvent::CacheHit { .. } => hits += 1,
+                PoolEvent::Finished { .. } => finished += 1,
+            },
+        );
+        assert_eq!(started, 12);
+        assert_eq!(finished, 12);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let items: Vec<u64> = Vec::new();
+        let records = run_pool(&items, 4, |_| None, |&i| i, |_, _| {}, |_| {});
+        assert!(records.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Corruption paths of the result cache: every damaged entry must
+//! degrade to a cache miss — never a panic, never a wrong result.
+//!
+//! The cache is attacked at three layers: the JSON result codec
+//! (`decode` on mangled text), the store's canonical-key guard (hash
+//! collisions and stale [`CACHE_VERSION`] entries), and raw file-level
+//! damage (truncation at every byte boundary).
+
+use rmt3d::{simulate, ProcessorModel, RunScale};
+use rmt3d_sweep::{codec, JobSpec, ResultStore, SweepSpec, CACHE_VERSION};
+use rmt3d_workload::Benchmark;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rmt3d-codec-corruption-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn one_job() -> JobSpec {
+    SweepSpec::new(
+        &[ProcessorModel::ThreeD2A],
+        &[Benchmark::Gzip],
+        RunScale {
+            warmup_instructions: 2_000,
+            instructions: 20_000,
+            thermal_grid: 25,
+        },
+    )
+    .expand()
+    .remove(0)
+}
+
+/// `decode` must reject (with `Err`, not a panic) a truncation at
+/// *every* byte boundary of a valid entry — partial writes can stop
+/// anywhere.
+#[test]
+fn decode_never_panics_on_any_truncation() {
+    let job = one_job();
+    let line = codec::encode(&simulate(&job.cfg, job.benchmark));
+    for cut in 0..line.len() {
+        if !line.is_char_boundary(cut) {
+            continue;
+        }
+        assert!(
+            codec::decode(&line[..cut]).is_err(),
+            "truncation at byte {cut} decoded successfully"
+        );
+    }
+    // The untruncated line still decodes — the loop above proves
+    // rejection, this proves the input was valid to begin with.
+    codec::decode(&line).expect("full entry decodes");
+}
+
+/// Structured damage inside a well-formed JSON document: wrong types,
+/// out-of-range arrays, unknown enum labels.
+#[test]
+fn decode_rejects_ill_typed_fields() {
+    let job = one_job();
+    let line = codec::encode(&simulate(&job.cfg, job.benchmark));
+    for (from, to) in [
+        // Model / benchmark labels the parser cannot resolve.
+        ("\"model\":\"3d-2a\"", "\"model\":\"4d-9z\""),
+        ("\"benchmark\":\"gzip\"", "\"benchmark\":\"quake3\""),
+        // A counter replaced by a string.
+        ("\"total_cycles\":", "\"total_cycles\":\"many\",\"x\":"),
+        // Histogram with a bin lopped off (fixed-size array check).
+        ("\"dfs_histogram\":[0", "\"dfs_histogram\":["),
+        // A whole sub-object replaced by a scalar.
+        ("\"leader\":{", "\"leader\":3,\"x\":{"),
+    ] {
+        let mangled = line.replace(from, to);
+        assert_ne!(mangled, line, "pattern {from:?} not found in entry");
+        assert!(
+            codec::decode(&mangled).is_err(),
+            "mangled entry ({from:?} -> {to:?}) decoded successfully"
+        );
+    }
+}
+
+/// File-level truncation of a stored entry at every byte boundary:
+/// always a miss, never a panic or a partial result.
+#[test]
+fn store_treats_any_truncated_entry_as_miss() {
+    let dir = tmp("truncate");
+    let store = ResultStore::open(&dir).unwrap();
+    let job = one_job();
+    let r = simulate(&job.cfg, job.benchmark);
+    store.save(&job, &r).unwrap();
+    let path = store.entry_path(&job);
+    let full = fs::read_to_string(&path).unwrap();
+    // Every 97th boundary keeps the test fast while still sampling cuts
+    // inside the key, the result object, and both array payloads.
+    for cut in (0..full.len()).step_by(97) {
+        if !full.is_char_boundary(cut) {
+            continue;
+        }
+        fs::write(&path, &full[..cut]).unwrap();
+        assert!(
+            store.load(&job).is_none(),
+            "truncation at byte {cut} served a cache hit"
+        );
+    }
+    fs::write(&path, &full).unwrap();
+    assert!(store.load(&job).is_some(), "restored entry hits again");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A colliding entry — right file name, different canonical
+/// configuration — must miss: the stored key text is the collision
+/// guard behind the 64-bit file-name hash.
+#[test]
+fn store_treats_canonical_key_mismatch_as_miss() {
+    let dir = tmp("collision");
+    let store = ResultStore::open(&dir).unwrap();
+    let job = one_job();
+    let r = simulate(&job.cfg, job.benchmark);
+    store.save(&job, &r).unwrap();
+    let path = store.entry_path(&job);
+    let text = fs::read_to_string(&path).unwrap();
+
+    // Same benchmark axis, different value: as if FNV-1a collided.
+    let collided = text.replace("|bench=gzip|", "|bench=mcf|");
+    assert_ne!(collided, text);
+    fs::write(&path, collided).unwrap();
+    assert!(store.load(&job).is_none(), "colliding entry served");
+
+    // The key field dropped entirely.
+    let keyless = text.replacen("\"key\":", "\"kex\":", 1);
+    fs::write(&path, keyless).unwrap();
+    assert!(store.load(&job).is_none(), "keyless entry served");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An entry written by a different crate version must miss:
+/// [`CACHE_VERSION`] leads the canonical text precisely so that stale
+/// caches invalidate wholesale on upgrade.
+#[test]
+fn store_treats_stale_cache_version_as_miss() {
+    let dir = tmp("version");
+    let store = ResultStore::open(&dir).unwrap();
+    let job = one_job();
+    let r = simulate(&job.cfg, job.benchmark);
+    store.save(&job, &r).unwrap();
+    let path = store.entry_path(&job);
+    let text = fs::read_to_string(&path).unwrap();
+
+    assert!(
+        job.canonical().starts_with(CACHE_VERSION),
+        "canonical text must lead with the cache version"
+    );
+    let stale = text.replace(CACHE_VERSION, "rmt3d-sweep/0.0.0-ancient/0");
+    assert_ne!(stale, text, "entry does not embed the cache version");
+    fs::write(&path, stale).unwrap();
+    assert!(store.load(&job).is_none(), "stale-version entry served");
+    let _ = fs::remove_dir_all(&dir);
+}

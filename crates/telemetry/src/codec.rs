@@ -111,6 +111,19 @@ impl Event {
             Event::JobCacheHit { job, total, label } => {
                 o.u64("job", *job).u64("total", *total).str("label", label);
             }
+            Event::CampaignTrial {
+                trial,
+                site,
+                fate,
+                detect_cycles,
+                ok,
+            } => {
+                o.u64("trial", *trial)
+                    .str("site", site)
+                    .str("fate", fate)
+                    .u64("detect_cycles", *detect_cycles)
+                    .bool("ok", *ok);
+            }
         }
         o.finish()
     }
@@ -170,6 +183,14 @@ pub enum ParsedEvent {
     },
     /// See [`Event::JobCacheHit`].
     JobCacheHit { job: u64, total: u64, label: String },
+    /// See [`Event::CampaignTrial`].
+    CampaignTrial {
+        trial: u64,
+        site: String,
+        fate: String,
+        detect_cycles: u64,
+        ok: bool,
+    },
     /// The trailing metrics-summary line (`"event":"summary"`).
     Summary,
 }
@@ -283,6 +304,13 @@ impl ParsedEvent {
                 total: u("total")?,
                 label: s("label")?,
             },
+            "campaign_trial" => ParsedEvent::CampaignTrial {
+                trial: u("trial")?,
+                site: s("site")?,
+                fate: s("fate")?,
+                detect_cycles: u("detect_cycles")?,
+                ok: b("ok")?,
+            },
             "summary" => ParsedEvent::Summary,
             other => return Err(format!("unknown event kind {other:?}")),
         })
@@ -303,6 +331,7 @@ impl ParsedEvent {
             ParsedEvent::JobStarted { .. } => "job_started",
             ParsedEvent::JobFinished { .. } => "job_finished",
             ParsedEvent::JobCacheHit { .. } => "job_cache_hit",
+            ParsedEvent::CampaignTrial { .. } => "campaign_trial",
             ParsedEvent::Summary => "summary",
         }
     }
@@ -423,6 +452,22 @@ impl ParsedEvent {
                     label: l,
                 },
             ) => job == j && total == t && label == l,
+            (
+                ParsedEvent::CampaignTrial {
+                    trial,
+                    site,
+                    fate,
+                    detect_cycles,
+                    ok,
+                },
+                Event::CampaignTrial {
+                    trial: tr,
+                    site: s,
+                    fate: fa,
+                    detect_cycles: d,
+                    ok: o,
+                },
+            ) => trial == tr && site == s && fate == fa && detect_cycles == d && ok == o,
             _ => false,
         }
     }
@@ -505,6 +550,13 @@ mod tests {
                 job: 4,
                 total: 76,
                 label: "2d-a/gzip".into(),
+            },
+            Event::CampaignTrial {
+                trial: 41,
+                site: "rvq_operand",
+                fate: "detected_recovered",
+                detect_cycles: 96,
+                ok: true,
             },
         ]
     }

@@ -127,6 +127,24 @@ pub enum Event {
         /// Human-readable job description.
         label: String,
     },
+    /// One fault-injection campaign trial completed (emitted by
+    /// `rmt3d-campaign`). JSONL: `{"event":"campaign_trial","trial":…,
+    /// "site":…,"fate":…,"detect_cycles":…,"ok":…}`.
+    CampaignTrial {
+        /// Zero-based trial index in grid order.
+        trial: u64,
+        /// Strike site name (see `rmt3d_rmt::FaultSite`).
+        site: &'static str,
+        /// Observed fate label (`"corrected_by_ecc"`,
+        /// `"detected_recovered"`, `"masked_harmless"`, or a violation
+        /// label).
+        fate: &'static str,
+        /// Leader cycles from injection to checker detection (0 when
+        /// the fault was corrected or masked).
+        detect_cycles: u64,
+        /// True when the trial satisfied the coverage invariant.
+        ok: bool,
+    },
 }
 
 impl Event {
@@ -144,6 +162,7 @@ impl Event {
             Event::JobStarted { .. } => "job_started",
             Event::JobFinished { .. } => "job_finished",
             Event::JobCacheHit { .. } => "job_cache_hit",
+            Event::CampaignTrial { .. } => "campaign_trial",
         }
     }
 }
@@ -207,6 +226,13 @@ mod tests {
                 job: 1,
                 total: 4,
                 label: "2d-a/gzip".into(),
+            },
+            Event::CampaignTrial {
+                trial: 7,
+                site: "leader_result",
+                fate: "detected_recovered",
+                detect_cycles: 120,
+                ok: true,
             },
         ];
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();

@@ -169,7 +169,10 @@ impl Collector {
             Event::JobCacheHit { .. } => {
                 self.job_cache_hits += 1;
             }
-            Event::SpanBegin { .. } | Event::SpanEnd { .. } | Event::JobStarted { .. } => {}
+            Event::SpanBegin { .. }
+            | Event::SpanEnd { .. }
+            | Event::JobStarted { .. }
+            | Event::CampaignTrial { .. } => {}
         }
     }
 
