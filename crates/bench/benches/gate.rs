@@ -1,0 +1,38 @@
+//! Lean perf-regression gate targets: two small, deterministic
+//! simulations timed with the shared harness, plus exact deterministic
+//! stats (`record_stat`) for each.
+//!
+//! CI runs this with `RMT3D_BENCH_JSON=BENCH_<sha>.json` and feeds the
+//! output to `rmt3d bench-gate --baseline BENCH_BASELINE.json`: wall
+//! times may drift up to the tolerance, deterministic stats must match
+//! the baseline exactly. Keep the workload small — the gate must be
+//! cheap enough to run on every push.
+
+use rmt3d::{simulate, ProcessorModel, RunScale, SimConfig};
+use rmt3d_bench::{bench, record_stat};
+use rmt3d_workload::Benchmark;
+use std::hint::black_box;
+
+fn gate_scale() -> RunScale {
+    RunScale {
+        warmup_instructions: 5_000,
+        instructions: 40_000,
+        thermal_grid: 25,
+    }
+}
+
+fn main() {
+    for model in [ProcessorModel::TwoDA, ProcessorModel::ThreeD2A] {
+        let cfg = SimConfig::nominal(model, gate_scale());
+        let bench_name = format!("gate/{model}/gzip");
+        bench(&bench_name, 5, || {
+            black_box(simulate(&cfg, Benchmark::Gzip))
+        });
+        let r = simulate(&cfg, Benchmark::Gzip);
+        record_stat(&format!("{bench_name}/total_cycles"), r.total_cycles as f64);
+        record_stat(
+            &format!("{bench_name}/committed"),
+            r.leader.committed as f64,
+        );
+    }
+}

@@ -53,6 +53,38 @@ pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> f64 {
     mean
 }
 
+/// Records a deterministic statistic (cycle counts, committed
+/// instructions, …) alongside the wall-clock records. Stats must be
+/// bit-identical across runs on any machine, so the perf-regression
+/// gate compares them exactly while wall times get a tolerance.
+/// Appends `{"name", "stat"}` to `RMT3D_BENCH_JSON` when set.
+pub fn record_stat(name: &str, value: f64) {
+    println!("{name:40} {value:>12} (deterministic stat)");
+    if let Ok(path) = std::env::var("RMT3D_BENCH_JSON") {
+        if let Err(e) = append_stat_record(&path, name, value) {
+            eprintln!("warning: cannot append stat record to {path}: {e}");
+        }
+    }
+}
+
+fn json_escape(name: &str) -> String {
+    name.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c < ' ' => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn append_stat_record(path: &str, name: &str, value: f64) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{{\"name\":\"{}\",\"stat\":{value}}}", json_escape(name))
+}
+
 /// Appends one `{"name", "min", "mean", "max", "samples"}` record to
 /// the JSONL file at `path` (created on first use).
 fn append_json_record(
@@ -63,14 +95,7 @@ fn append_json_record(
     max: f64,
     samples: u32,
 ) -> std::io::Result<()> {
-    let escaped: String = name
-        .chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if c < ' ' => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect();
+    let escaped = json_escape(name);
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -124,6 +149,25 @@ mod tests {
             "{\"name\":\"spin \\\"q\\\"\",\"min\":10,\"mean\":20.5,\"max\":31,\"samples\":3}"
         );
         assert!(lines[1].contains("\"name\":\"second\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stat_records_are_parseable_and_exact() {
+        let path =
+            std::env::temp_dir().join(format!("rmt3d-bench-stat-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_stat_record(
+            path.to_str().unwrap(),
+            "gate/2d-a/gzip/total_cycles",
+            48123.0,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"name\":\"gate/2d-a/gzip/total_cycles\",\"stat\":48123}\n"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

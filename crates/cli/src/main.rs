@@ -14,6 +14,10 @@
 //!                 [--faults-per-site N] [--seed N] [--instructions N]
 //!                 [--jobs N] [--out-dir DIR] [--sabotage SITE]
 //!                 [--quiet] [--trace-out FILE]
+//! rmt3d profile   --model 3d-2a --benchmark gzip [--instructions N]
+//!                 [--sample-interval N] [--out-dir DIR] [--quiet]
+//! rmt3d trace-report --in run.jsonl
+//! rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]
 //! ```
 //!
 //! Experiment names: `tables`, `fig4`, `fig5`, `fig6`, `fig7`,
@@ -25,6 +29,7 @@
 //! selected command.
 
 mod args;
+mod profile;
 
 use args::Args;
 use rmt3d::experiments::{
@@ -68,6 +73,12 @@ fn usage() -> ExitCode {
                       [--faults-per-site N] [--seed N] [--instructions N]\n\
                       [--jobs N] [--out-dir DIR] [--sabotage SITE]\n\
                       [--quiet] [--trace-out FILE.jsonl]\n\
+           profile    --model M --benchmark B [--instructions N]\n\
+                      [--sample-interval N] [--out-dir DIR] [--quiet]\n\
+                      CPI stacks, histograms, Perfetto .trace.json\n\
+           trace-report --in FILE.jsonl      rebuild the report offline\n\
+           bench-gate --baseline FILE --current FILE [--tolerance PCT]\n\
+                      fail on wall-clock or deterministic-stat regression\n\
          \n\
          models: 2d-a, 2d-2a, 3d-2a, 3d-checker\n\
          experiments: tables fig4 fig5 fig6 fig7 iso-thermal interconnect\n\
@@ -776,6 +787,9 @@ fn main() -> ExitCode {
         }
         "sweep" => run_sweep_command(a),
         "campaign" => run_campaign_command(a),
+        "profile" => profile::run_profile_command(a),
+        "trace-report" => profile::run_trace_report_command(a),
+        "bench-gate" => profile::run_bench_gate_command(a),
         other => fail(&format!("unknown command: {other}")),
     }
 }

@@ -1,0 +1,380 @@
+//! The profiler-facing subcommands: `profile`, `trace-report`, and
+//! `bench-gate`.
+//!
+//! * `profile` runs one simulation with the CPI-stack classifier and
+//!   the Perfetto trace exporter attached, prints the cycle-accounting
+//!   report, and writes a `.trace.json` loadable in ui.perfetto.dev.
+//!   Everything printed is simulation-deterministic — no wall times —
+//!   so two runs of the same configuration are byte-identical.
+//! * `trace-report` rebuilds the same report offline from a JSONL
+//!   trace produced by `simulate --trace-out` (the CPI stacks ride in
+//!   the trace as `cpi_leader_*`/`cpi_checker_*` counter samples).
+//! * `bench-gate` compares two `RMT3D_BENCH_JSON` files and fails on
+//!   wall-clock regressions beyond a tolerance or on any drift in a
+//!   deterministic stat.
+
+use crate::args::Args;
+use crate::{fail, parse_model};
+use rmt3d::telemetry::json::{parse, JsonValue};
+use rmt3d::telemetry::{
+    CollectorSink, CpiComponent, CpiStack, MetricsRegistry, ParsedEvent, TraceEventSink,
+};
+use rmt3d::{simulate_traced, RunScale, SimConfig};
+use rmt3d_workload::Benchmark;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// `rmt3d profile --model M --benchmark B`: run with the profiler
+/// sinks attached, print the CPI stacks and histograms, and export a
+/// Perfetto trace.
+pub fn run_profile_command(mut a: Args) -> ExitCode {
+    let model = match a.opt("--model") {
+        Ok(Some(m)) => match parse_model(&m) {
+            Some(m) => m,
+            None => return fail(&format!("unknown model: {m}")),
+        },
+        Ok(None) => return fail("--model is required"),
+        Err(e) => return fail(&e),
+    };
+    let bench: Benchmark = match a.opt("--benchmark") {
+        Ok(Some(b)) => match b.parse() {
+            Ok(b) => b,
+            Err(_) => return fail(&format!("unknown benchmark: {b}")),
+        },
+        Ok(None) => return fail("--benchmark is required"),
+        Err(e) => return fail(&e),
+    };
+    let instructions = match a.parsed("--instructions") {
+        Ok(n) => n.unwrap_or(200_000),
+        Err(e) => return fail(&e),
+    };
+    let sample_interval = match a.parsed("--sample-interval") {
+        Ok(n) => n.unwrap_or(1_000),
+        Err(e) => return fail(&e),
+    };
+    let out_dir = match a.opt("--out-dir") {
+        Ok(d) => PathBuf::from(d.unwrap_or_else(|| "target/profile".into())),
+        Err(e) => return fail(&e),
+    };
+    let quiet = a.flag("--quiet");
+    if let Err(e) = a.finish() {
+        return fail(&e);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let trace_path = out_dir.join(format!("{model}-{bench}.trace.json"));
+    let writer = match File::create(&trace_path) {
+        Ok(f) => BufWriter::new(f),
+        Err(e) => return fail(&format!("cannot create {}: {e}", trace_path.display())),
+    };
+
+    let cfg = SimConfig::nominal(
+        model,
+        RunScale {
+            warmup_instructions: instructions / 10,
+            instructions,
+            thermal_grid: 50,
+        },
+    );
+    let collector = CollectorSink::new();
+    let mut trace = TraceEventSink::new(writer);
+    let r = simulate_traced(
+        &cfg,
+        bench,
+        sample_interval,
+        (collector.clone(), trace.clone()),
+    );
+    if let Err(e) = trace.finish() {
+        return fail(&format!("trace write failed: {e}"));
+    }
+    let snapshot = collector.snapshot();
+
+    println!(
+        "profile: model {model} benchmark {bench} ({instructions} instructions, \
+         sample interval {sample_interval})"
+    );
+    println!(
+        "IPC {:.3} over {} cycles ({} committed)",
+        r.ipc(),
+        r.total_cycles,
+        r.leader.committed
+    );
+    println!();
+    print!(
+        "{}",
+        r.leader_cpi.format_table("leader", r.leader.committed)
+    );
+    debug_assert_eq!(r.leader_cpi.total(), r.total_cycles);
+    if model.has_checker() {
+        println!();
+        print!(
+            "{}",
+            r.trailer_cpi.format_table("checker", r.leader.committed)
+        );
+        debug_assert_eq!(r.trailer_cpi.total(), r.total_cycles);
+    }
+    if !snapshot.registry.is_empty() {
+        println!();
+        println!("-- histograms --");
+        print!("{}", snapshot.registry.format_histograms());
+    }
+    println!();
+    println!("trace: {}", trace_path.display());
+    if !quiet {
+        eprintln!(
+            "open the trace in ui.perfetto.dev, or re-derive this report with \
+             `rmt3d trace-report` from a simulate --trace-out JSONL"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Maps an exported counter-series name back to its CPI component and
+/// track (`true` = leader).
+fn cpi_series(name: &str) -> Option<(bool, CpiComponent)> {
+    for c in CpiComponent::ALL {
+        if name == c.leader_counter_name() {
+            return Some((true, c));
+        }
+        if name == c.checker_counter_name() {
+            return Some((false, c));
+        }
+    }
+    None
+}
+
+/// `rmt3d trace-report --in FILE`: rebuild the profile report from a
+/// JSONL event trace, offline.
+pub fn run_trace_report_command(mut a: Args) -> ExitCode {
+    let path = match a.opt("--in") {
+        Ok(Some(p)) => p,
+        Ok(None) => return fail("--in is required"),
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = a.finish() {
+        return fail(&e);
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+
+    let mut leader = CpiStack::new();
+    let mut checker = CpiStack::new();
+    let mut registry = MetricsRegistry::default();
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    let mut events = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let event = match ParsedEvent::from_json_line(line) {
+            Ok(e) => e,
+            Err(e) => return fail(&format!("{path}:{}: {e}", lineno + 1)),
+        };
+        events += 1;
+        match counts.iter_mut().find(|(k, _)| *k == event.kind()) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((event.kind(), 1)),
+        }
+        match &event {
+            ParsedEvent::Counter { name, value, .. } => {
+                // The stacks are exported once, post-measurement; keep
+                // the last sample in case a file concatenates runs.
+                match cpi_series(name) {
+                    Some((true, c)) => leader.set(c, *value as u64),
+                    Some((false, c)) => checker.set(c, *value as u64),
+                    None => registry.record(name, *value),
+                }
+            }
+            ParsedEvent::Interval(s) => {
+                registry.record("interval_ipc", s.ipc);
+                registry.record_hist("slack", u64::from(s.rvq));
+                registry.record_hist("rob_occupancy", u64::from(s.rob));
+                registry.record_hist("lsq_occupancy", u64::from(s.lsq));
+                registry.record_hist("lvq_occupancy", u64::from(s.lvq));
+                registry.record_hist("boq_occupancy", u64::from(s.boq));
+                registry.record_hist("stb_occupancy", u64::from(s.stb));
+            }
+            ParsedEvent::CampaignTrial { detect_cycles, .. } if *detect_cycles > 0 => {
+                registry.record_hist("detection_latency", *detect_cycles);
+            }
+            _ => {}
+        }
+    }
+
+    println!("trace report: {path} ({events} events)");
+    for (kind, n) in &counts {
+        println!("  {kind:16} {n:>10}");
+    }
+    if !leader.is_empty() {
+        println!();
+        print!("{}", leader.format_table("leader", 0));
+    }
+    if !checker.is_empty() {
+        println!();
+        print!("{}", checker.format_table("checker", 0));
+    }
+    if !registry.is_empty() {
+        println!();
+        println!("-- histograms --");
+        print!("{}", registry.format_histograms());
+    }
+    ExitCode::SUCCESS
+}
+
+/// One record from an `RMT3D_BENCH_JSON` file: either a timed target
+/// (minimum wall nanoseconds kept — the most noise-resistant statistic)
+/// or a deterministic stat that must match the baseline exactly.
+enum BenchRecord {
+    Wall(f64),
+    Stat(f64),
+}
+
+fn read_bench_file(path: &str) -> Result<Vec<(String, BenchRecord)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records: Vec<(String, BenchRecord)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}:{}: record without \"name\"", lineno + 1))?
+            .to_string();
+        let record = if let Some(stat) = v.get("stat").and_then(JsonValue::as_f64) {
+            BenchRecord::Stat(stat)
+        } else if let Some(min) = v.get("min").and_then(JsonValue::as_f64) {
+            BenchRecord::Wall(min)
+        } else {
+            return Err(format!(
+                "{path}:{}: record has neither \"stat\" nor \"min\"",
+                lineno + 1
+            ));
+        };
+        // Re-runs append; the last record for a name wins.
+        match records.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, slot)) => *slot = record,
+            None => records.push((name, record)),
+        }
+    }
+    Ok(records)
+}
+
+/// `rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]`:
+/// compare two bench JSONL files; exit non-zero on regression.
+pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
+    let baseline_path = match a.opt("--baseline") {
+        Ok(Some(p)) => p,
+        Ok(None) => return fail("--baseline is required"),
+        Err(e) => return fail(&e),
+    };
+    let current_path = match a.opt("--current") {
+        Ok(Some(p)) => p,
+        Ok(None) => return fail("--current is required"),
+        Err(e) => return fail(&e),
+    };
+    let tolerance = match a.parsed::<f64>("--tolerance") {
+        Ok(t) => t.unwrap_or(10.0),
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = a.finish() {
+        return fail(&e);
+    }
+    if !(0.0..1000.0).contains(&tolerance) {
+        return fail("--tolerance must be a percentage in [0, 1000)");
+    }
+    let baseline = match read_bench_file(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let current = match read_bench_file(&current_path) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    if baseline.is_empty() {
+        return fail(&format!("{baseline_path} contains no records"));
+    }
+
+    let mut violations = 0u32;
+    println!(
+        "bench gate: {current_path} vs baseline {baseline_path} \
+         (wall tolerance {tolerance}%)"
+    );
+    for (name, base) in &baseline {
+        let cur = current.iter().find(|(n, _)| n == name).map(|(_, r)| r);
+        match (base, cur) {
+            (_, None) => {
+                violations += 1;
+                println!("  {name:44} MISSING from current run");
+            }
+            (BenchRecord::Wall(b), Some(BenchRecord::Wall(c))) => {
+                let delta = 100.0 * (c - b) / b;
+                let over = *c > b * (1.0 + tolerance / 100.0);
+                if over {
+                    violations += 1;
+                }
+                println!(
+                    "  {name:44} wall {:>10.0} ns -> {:>10.0} ns  {delta:+6.1}%  {}",
+                    b,
+                    c,
+                    if over { "REGRESSED" } else { "ok" }
+                );
+            }
+            (BenchRecord::Stat(b), Some(BenchRecord::Stat(c))) => {
+                let drifted = b != c;
+                if drifted {
+                    violations += 1;
+                }
+                println!(
+                    "  {name:44} stat {b} -> {c}  {}",
+                    if drifted { "DRIFTED" } else { "exact" }
+                );
+            }
+            _ => {
+                violations += 1;
+                println!("  {name:44} record kind changed between runs");
+            }
+        }
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("  {name:44} new (not in baseline; re-bless to gate it)");
+        }
+    }
+    if violations > 0 {
+        println!("bench gate: {violations} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: clean");
+        ExitCode::SUCCESS
+    }
+}
+
+// The subcommands above are exercised end-to-end by the CLI
+// integration tests; `cpi_series` is the only pure helper worth
+// pinning here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_series_maps_both_tracks_and_rejects_noise() {
+        assert_eq!(
+            cpi_series("cpi_leader_base_issue"),
+            Some((true, CpiComponent::BaseIssue))
+        );
+        assert_eq!(
+            cpi_series("cpi_checker_dfs_throttled"),
+            Some((false, CpiComponent::DfsThrottled))
+        );
+        assert_eq!(cpi_series("interval_ipc"), None);
+        assert_eq!(cpi_series("cpi_leader_bogus"), None);
+    }
+}

@@ -4,7 +4,9 @@ use crate::model::{ProcessorModel, RunScale};
 use rmt3d_cache::{CacheHierarchy, HierarchyStats, NucaPolicy, NucaStats};
 use rmt3d_cpu::{ActivityCounters, CoreConfig, OooCore};
 use rmt3d_rmt::{DfsConfig, RmtConfig, RmtSystem, DFS_LEVELS};
-use rmt3d_telemetry::{emit, Event, IntervalSample, NullSink, Sink, SpanTimer};
+use rmt3d_telemetry::{
+    emit, CpiComponent, CpiStack, Event, IntervalSample, NullSink, Sink, SpanTimer,
+};
 use rmt3d_units::Gigahertz;
 use rmt3d_workload::{Benchmark, TraceGenerator};
 
@@ -32,6 +34,14 @@ pub struct PerfResult {
     pub mean_checker_fraction: f64,
     /// Leader cycles including recovery stalls.
     pub total_cycles: u64,
+    /// Leader CPI stack over the measured window. Zero under
+    /// [`NullSink`] (classification is profiling-only); when populated
+    /// its components sum exactly to [`PerfResult::total_cycles`].
+    pub leader_cpi: CpiStack,
+    /// Checker CPI stack lifted into the leader-cycle domain (zero for
+    /// checker-less models and under [`NullSink`]); when populated it
+    /// also sums to [`PerfResult::total_cycles`].
+    pub trailer_cpi: CpiStack,
 }
 
 impl PerfResult {
@@ -219,6 +229,8 @@ pub fn simulate_traced<S: Sink + Clone>(
         // window instead.
         let start_leader = *sys.leader().activity();
         let start_trailer = *sys.trailer().activity();
+        let start_leader_cpi = sys.leader_cpi_stack();
+        let start_trailer_cpi = sys.trailer_cpi_stack();
         let start_cycles = sys.total_cycles();
         let measure_span = SpanTimer::begin(&mut sink, "measure", start_cycles);
         let mut sampler = Sampler::new(
@@ -254,6 +266,30 @@ pub fn simulate_traced<S: Sink + Clone>(
         measure_span.end(&mut sink, sys.total_cycles());
         let leader_act = sys.leader().activity().delta_since(&start_leader);
         let trailer_act = sys.trailer().activity().delta_since(&start_trailer);
+        // The composed stacks fold in recovery/DFS cycles from system
+        // stats, which advance even when the cores skip classification;
+        // under a disabled sink the stacks must stay all-zero.
+        let (leader_cpi, trailer_cpi) = if S::ENABLED {
+            (
+                sys.leader_cpi_stack().delta_since(&start_leader_cpi),
+                sys.trailer_cpi_stack().delta_since(&start_trailer_cpi),
+            )
+        } else {
+            (CpiStack::new(), CpiStack::new())
+        };
+        if S::ENABLED {
+            // Export the stacks as counter samples so an offline
+            // `trace-report` can rebuild them from the JSONL alone.
+            let cycle = sys.total_cycles();
+            for c in CpiComponent::ALL {
+                let name = c.leader_counter_name();
+                let value = leader_cpi.get(c) as f64;
+                emit(&mut sink, || Event::Counter { name, cycle, value });
+                let name = c.checker_counter_name();
+                let value = trailer_cpi.get(c) as f64;
+                emit(&mut sink, || Event::Counter { name, cycle, value });
+            }
+        }
         PerfResult {
             model: cfg.model,
             benchmark,
@@ -265,6 +301,8 @@ pub fn simulate_traced<S: Sink + Clone>(
             dfs_histogram: sys.frequency_histogram(),
             mean_checker_fraction: sys.dfs().mean_fraction(),
             total_cycles: sys.total_cycles() - start_cycles,
+            leader_cpi,
+            trailer_cpi,
         }
     } else {
         let mut core = leader;
@@ -296,6 +334,17 @@ pub fn simulate_traced<S: Sink + Clone>(
             }
         }
         measure_span.end(&mut sink, core.activity().cycles);
+        // reset_stats() after warm-up cleared the stack, so the core's
+        // accumulated stack is exactly the measured window.
+        let leader_cpi = *core.cpi_stack();
+        if S::ENABLED {
+            let cycle = core.activity().cycles;
+            for c in CpiComponent::ALL {
+                let name = c.leader_counter_name();
+                let value = leader_cpi.get(c) as f64;
+                emit(&mut sink, || Event::Counter { name, cycle, value });
+            }
+        }
         PerfResult {
             model: cfg.model,
             benchmark,
@@ -307,6 +356,8 @@ pub fn simulate_traced<S: Sink + Clone>(
             dfs_histogram: [0.0; DFS_LEVELS],
             mean_checker_fraction: 0.0,
             total_cycles: core.activity().cycles,
+            leader_cpi,
+            trailer_cpi: CpiStack::new(),
         }
     };
     run_span.end(&mut sink, result.total_cycles);
@@ -317,6 +368,45 @@ pub fn simulate_traced<S: Sink + Clone>(
 mod tests {
     use super::*;
     use crate::model::RunScale;
+
+    #[test]
+    fn cpi_stacks_sum_to_total_cycles_when_traced() {
+        use rmt3d_telemetry::RecordingSink;
+        let quick = RunScale::quick();
+        for model in [ProcessorModel::TwoDA, ProcessorModel::ThreeD2A] {
+            let r = simulate_traced(
+                &SimConfig::nominal(model, quick),
+                Benchmark::Gzip,
+                0,
+                RecordingSink::new(),
+            );
+            assert_eq!(
+                r.leader_cpi.total(),
+                r.total_cycles,
+                "{model:?} leader CPI stack must sum to total cycles"
+            );
+            if model.has_checker() {
+                assert_eq!(
+                    r.trailer_cpi.total(),
+                    r.total_cycles,
+                    "{model:?} checker CPI stack must sum to total cycles"
+                );
+                assert!(r.trailer_cpi.get(CpiComponent::DfsThrottled) > 0);
+            } else {
+                assert!(r.trailer_cpi.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn cpi_stacks_are_zero_untraced() {
+        let r = simulate(
+            &SimConfig::nominal(ProcessorModel::ThreeD2A, RunScale::quick()),
+            Benchmark::Gzip,
+        );
+        assert!(r.leader_cpi.is_empty(), "NullSink does not classify");
+        assert!(r.trailer_cpi.is_empty());
+    }
 
     #[test]
     fn baseline_and_3d_have_similar_ipc() {

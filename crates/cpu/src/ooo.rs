@@ -12,7 +12,7 @@ use crate::bpred::CombinedPredictor;
 use crate::commit::CommittedOp;
 use crate::config::CoreConfig;
 use rmt3d_cache::CacheHierarchy;
-use rmt3d_telemetry::{emit, Event, NullSink, Sink};
+use rmt3d_telemetry::{emit, CpiComponent, CpiStack, Event, NullSink, Sink};
 use rmt3d_workload::{MicroOp, OpClass, TraceGenerator};
 use std::collections::VecDeque;
 
@@ -114,6 +114,7 @@ pub struct OooCore<S: Sink = NullSink> {
     regfile: [u64; 64],
     commit_stalled: bool,
     activity: ActivityCounters,
+    cpi: CpiStack,
     last_fetch_line: u64,
     sink: S,
 }
@@ -167,6 +168,7 @@ impl<S: Sink> OooCore<S> {
             regfile: [0; 64],
             commit_stalled: false,
             activity: ActivityCounters::default(),
+            cpi: CpiStack::new(),
             last_fetch_line: u64::MAX,
             sink,
         }
@@ -200,6 +202,15 @@ impl<S: Sink> OooCore<S> {
     /// Accumulated activity counters.
     pub fn activity(&self) -> &ActivityCounters {
         &self.activity
+    }
+
+    /// CPI stack: every cycle attributed to one stall class. Only
+    /// populated when the sink is enabled (under [`NullSink`] the
+    /// per-cycle classification compiles out and the stack stays zero);
+    /// when populated, the components sum exactly to
+    /// [`ActivityCounters::cycles`].
+    pub fn cpi_stack(&self) -> &CpiStack {
+        &self.cpi
     }
 
     /// The cache hierarchy (for L2 statistics and per-bank power maps).
@@ -253,6 +264,7 @@ impl<S: Sink> OooCore<S> {
     /// Resets statistics after warm-up, keeping microarchitectural state.
     pub fn reset_stats(&mut self) {
         self.activity = ActivityCounters::default();
+        self.cpi = CpiStack::new();
         self.bpred.reset_stats();
         self.caches.reset_stats();
     }
@@ -280,9 +292,65 @@ impl<S: Sink> OooCore<S> {
         self.do_issue();
         self.do_dispatch();
         self.do_fetch();
+        // Cycle attribution is profiling-only: gated on the sink so the
+        // NullSink build stays identical to the uninstrumented core.
+        if S::ENABLED {
+            self.cpi.add(self.classify_cycle(committed));
+        }
         self.cycle += 1;
         self.activity.cycles += 1;
+        if S::ENABLED {
+            debug_assert_eq!(
+                self.cpi.total(),
+                self.activity.cycles,
+                "CPI stack must sum to total cycles"
+            );
+        }
         committed
+    }
+
+    /// Attributes the cycle that just executed to one stall class
+    /// (first matching cause wins, ordered from the commit end of the
+    /// pipe backwards).
+    fn classify_cycle(&self, committed: u32) -> CpiComponent {
+        if committed > 0 {
+            return CpiComponent::BaseIssue;
+        }
+        if self.commit_stalled {
+            return CpiComponent::CheckerStall;
+        }
+        match self.rob.front() {
+            // Empty window: blame whatever is holding fetch back.
+            None => {
+                if self.redirect_seq.is_some() {
+                    CpiComponent::BranchRedirect
+                } else if self.cycle < self.fetch_blocked_until {
+                    CpiComponent::IcacheMiss
+                } else {
+                    CpiComponent::FetchStarved
+                }
+            }
+            Some(head) => {
+                if head.issued {
+                    // Commit waits on the head's execution; loads mean
+                    // an outstanding D-cache access, the rest is plain
+                    // execute latency (dependence-bound).
+                    if head.op.kind == OpClass::Load {
+                        CpiComponent::DcacheMiss
+                    } else {
+                        CpiComponent::BaseIssue
+                    }
+                } else if self.rob.len() as u32 >= self.cfg.rob_size
+                    || self.iq_int >= self.cfg.iq_int_size
+                    || self.iq_fp >= self.cfg.iq_fp_size
+                    || self.lsq >= self.cfg.lsq_size
+                {
+                    CpiComponent::StructFull
+                } else {
+                    CpiComponent::BaseIssue
+                }
+            }
+        }
     }
 
     fn do_commit(&mut self, out: &mut Vec<CommittedOp>) -> u32 {
@@ -531,6 +599,40 @@ mod tests {
             TraceGenerator::new(b.profile()),
             CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
         )
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_cycles_under_enabled_sink() {
+        let mut c = OooCore::with_sink(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(Benchmark::Mcf.profile()),
+            CacheHierarchy::new(NucaLayout::two_d_a(), NucaPolicy::DistributedSets),
+            rmt3d_telemetry::RecordingSink::new(),
+        );
+        let mut out = Vec::new();
+        for _ in 0..20_000 {
+            c.step_cycle(&mut out);
+        }
+        assert_eq!(c.cpi_stack().total(), c.activity().cycles);
+        assert!(
+            c.cpi_stack().get(CpiComponent::BaseIssue) > 0,
+            "a real run commits"
+        );
+        // mcf is memory-bound: some cycles must be charged to the
+        // D-cache with the commit-stall heuristic.
+        assert!(c.cpi_stack().get(CpiComponent::DcacheMiss) > 0);
+        c.reset_stats();
+        assert!(c.cpi_stack().is_empty());
+    }
+
+    #[test]
+    fn cpi_stack_stays_zero_under_null_sink() {
+        let mut c = core(Benchmark::Gzip);
+        c.run_instructions(5_000);
+        assert!(
+            c.cpi_stack().is_empty(),
+            "NullSink must not pay for classification"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::queues::{IntercoreQueues, QueueConfig};
 use rmt3d_cpu::{
     load_memory_value, CheckOutcome, CommittedOp, InOrderCore, OooCore, TrailerConfig, Verification,
 };
-use rmt3d_telemetry::{emit, Event, NullSink, Sink};
+use rmt3d_telemetry::{emit, CpiComponent, CpiStack, Event, NullSink, Sink};
 use rmt3d_workload::OpClass;
 
 /// Configuration of the coupled RMT system.
@@ -184,6 +184,35 @@ impl<S: Sink> RmtSystem<S> {
     /// Leader cycles including recovery stalls.
     pub fn total_cycles(&self) -> u64 {
         self.leader.activity().cycles + self.stats.recovery_stall_cycles
+    }
+
+    /// Leader CPI stack lifted into the system cycle domain: the
+    /// per-core stack (populated only when the sink is enabled) plus
+    /// one `Recovery` cycle per recovery stall, during which the leader
+    /// core does not step. When the sink is enabled the components sum
+    /// exactly to [`RmtSystem::total_cycles`].
+    pub fn leader_cpi_stack(&self) -> CpiStack {
+        let mut s = *self.leader.cpi_stack();
+        s.add_cycles(CpiComponent::Recovery, self.stats.recovery_stall_cycles);
+        s
+    }
+
+    /// Checker CPI stack lifted into the same (leader) cycle domain:
+    /// the trailer's per-tick stack, plus `Recovery` stalls, plus one
+    /// `DfsThrottled` cycle for every leader cycle the checker's gated
+    /// clock did not tick. The DFS fraction never exceeds 1, so trailer
+    /// ticks never exceed leader cycles and the composition also sums
+    /// to [`RmtSystem::total_cycles`] when the sink is enabled.
+    pub fn trailer_cpi_stack(&self) -> CpiStack {
+        let mut s = *self.trailer.cpi_stack();
+        s.add_cycles(CpiComponent::Recovery, self.stats.recovery_stall_cycles);
+        let leader_cycles = self.leader.activity().cycles;
+        let trailer_ticks = self.trailer.activity().cycles;
+        s.add_cycles(
+            CpiComponent::DfsThrottled,
+            leader_cycles.saturating_sub(trailer_ticks),
+        );
+        s
     }
 
     /// End-to-end IPC of the reliable processor: committed instructions
@@ -499,6 +528,37 @@ mod tests {
             CacheHierarchy::new(NucaLayout::three_d_2a(), NucaPolicy::DistributedSets),
         );
         RmtSystem::new(leader, RmtConfig::paper())
+    }
+
+    #[test]
+    fn composed_cpi_stacks_sum_to_total_cycles() {
+        use rmt3d_telemetry::RecordingSink;
+        let sink = RecordingSink::new();
+        let leader = OooCore::with_sink(
+            CoreConfig::leading_ev7_like(),
+            TraceGenerator::new(Benchmark::Gzip.profile()),
+            CacheHierarchy::new(NucaLayout::three_d_2a(), NucaPolicy::DistributedSets),
+            sink.clone(),
+        );
+        let mut s = RmtSystem::with_sink(leader, RmtConfig::paper(), sink).with_fault_injection(
+            7,
+            2e-4,
+            EccConfig::paper(),
+        );
+        s.prefill_caches();
+        s.run_instructions(30_000);
+        s.drain();
+        let leader_cpi = s.leader_cpi_stack();
+        let trailer_cpi = s.trailer_cpi_stack();
+        assert_eq!(leader_cpi.total(), s.total_cycles());
+        assert_eq!(trailer_cpi.total(), s.total_cycles());
+        assert_eq!(
+            leader_cpi.get(CpiComponent::Recovery),
+            s.stats().recovery_stall_cycles
+        );
+        // The DFS-throttled checker runs at a fraction of the leader
+        // clock: gated-off cycles must be attributed, not lost.
+        assert!(trailer_cpi.get(CpiComponent::DfsThrottled) > 0);
     }
 
     #[test]

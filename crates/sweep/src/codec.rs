@@ -12,6 +12,7 @@ use rmt3d::PerfResult;
 use rmt3d_cache::{CacheStats, HierarchyStats, NucaStats};
 use rmt3d_cpu::ActivityCounters;
 use rmt3d_telemetry::json::{parse, JsonValue};
+use rmt3d_telemetry::{CpiComponent, CpiStack};
 use std::fmt::Write as _;
 
 /// Largest integer exactly representable in an f64; the JSON parser
@@ -73,6 +74,24 @@ fn write_counters(out: &mut String, key: &str, c: &ActivityCounters) {
     out.push(',');
 }
 
+fn write_cpi(out: &mut String, key: &str, s: &CpiStack) {
+    let _ = write!(out, "\"{key}\":{{");
+    for c in CpiComponent::ALL {
+        push_u64(out, c.name(), s.get(c));
+    }
+    close(out);
+    out.push(',');
+}
+
+fn read_cpi(v: &JsonValue, key: &str) -> Result<CpiStack, String> {
+    let obj = need(v, key)?;
+    let mut s = CpiStack::new();
+    for c in CpiComponent::ALL {
+        s.set(c, need_u64(obj, c.name())?);
+    }
+    Ok(s)
+}
+
 fn write_cache_stats(out: &mut String, key: &str, c: &CacheStats) {
     let _ = write!(out, "\"{key}\":{{");
     push_u64(out, "accesses", c.accesses);
@@ -92,6 +111,8 @@ pub fn encode(r: &PerfResult) -> String {
     push_f64(&mut out, "frequency", r.frequency.value());
     write_counters(&mut out, "leader", &r.leader);
     write_counters(&mut out, "trailer", &r.trailer);
+    write_cpi(&mut out, "leader_cpi", &r.leader_cpi);
+    write_cpi(&mut out, "trailer_cpi", &r.trailer_cpi);
     out.push_str("\"caches\":{");
     write_cache_stats(&mut out, "l1i", &r.caches.l1i);
     write_cache_stats(&mut out, "l1d", &r.caches.l1d);
@@ -232,6 +253,8 @@ pub fn decode(line: &str) -> Result<PerfResult, String> {
         frequency: rmt3d_units::Gigahertz(need_f64(&v, "frequency")?),
         leader: read_counters(&v, "leader")?,
         trailer: read_counters(&v, "trailer")?,
+        leader_cpi: read_cpi(&v, "leader_cpi")?,
+        trailer_cpi: read_cpi(&v, "trailer_cpi")?,
         caches,
         l2,
         dfs_histogram,

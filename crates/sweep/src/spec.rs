@@ -14,7 +14,7 @@ use rmt3d_workload::Benchmark;
 
 /// Version tag folded into every cache key. Bump when the simulator or
 /// the result schema changes in a way that invalidates cached results.
-pub const CACHE_VERSION: &str = concat!("rmt3d-sweep/", env!("CARGO_PKG_VERSION"), "/1");
+pub const CACHE_VERSION: &str = concat!("rmt3d-sweep/", env!("CARGO_PKG_VERSION"), "/2");
 
 /// A declarative design-space sweep: the cross product of the axes,
 /// expanded in axis order (model-major, then benchmark, frequency,

@@ -477,97 +477,25 @@ impl ParsedEvent {
 mod tests {
     use super::*;
 
-    fn examples() -> Vec<Event> {
-        vec![
-            Event::SpanBegin {
-                name: "simulate",
-                cycle: 0,
-            },
-            Event::SpanEnd {
-                name: "simulate",
-                cycle: 120_000,
-                wall_nanos: 987_654,
-            },
-            Event::Counter {
-                name: "ipc",
-                cycle: 5_000,
-                value: 1.875,
-            },
-            Event::DfsTransition {
-                cycle: 10_000,
-                from_level: 4,
-                to_level: 6,
-                fraction: 0.7,
-            },
-            Event::FaultInjected {
-                cycle: 33,
-                site: "rvq_operand",
-                bit: 17,
-                corrected: false,
-            },
-            Event::Recovery {
-                cycle: 40,
-                penalty_cycles: 200,
-                unrecoverable: false,
-            },
-            Event::SolverIteration {
-                iteration: 12,
-                residual: 0.0425,
-            },
-            Event::Interval(IntervalSample {
-                index: 2,
-                cycle: 30_000,
-                committed: 9_000,
-                ipc: 0.9,
-                rob: 40,
-                iq_int: 8,
-                iq_fp: 2,
-                lsq: 11,
-                rvq: 30,
-                lvq: 5,
-                boq: 3,
-                stb: 1,
-                checker_fraction: 0.5,
-                dl1_accesses: 12_345,
-                dl1_misses: 678,
-                l2_accesses: 910,
-                l2_misses: 100,
-                commit_stall_cycles: 250,
-            }),
-            Event::JobStarted {
-                job: 3,
-                total: 76,
-                label: "3d-2a/mcf".into(),
-            },
-            Event::JobFinished {
-                job: 3,
-                total: 76,
-                ok: false,
-                wall_nanos: 1_234,
-                eta_nanos: 56_789,
-            },
-            Event::JobCacheHit {
-                job: 4,
-                total: 76,
-                label: "2d-a/gzip".into(),
-            },
-            Event::CampaignTrial {
-                trial: 41,
-                site: "rvq_operand",
-                fate: "detected_recovered",
-                detect_cycles: 96,
-                ok: true,
-            },
-        ]
-    }
-
     #[test]
     fn every_event_round_trips() {
-        for event in examples() {
+        // `Event::examples()` is exhaustiveness-checked: a new variant
+        // cannot compile without joining this round-trip.
+        for event in Event::examples() {
             let line = event.to_json_line(false);
             let parsed =
                 ParsedEvent::from_json_line(&line).unwrap_or_else(|e| panic!("parse {line}: {e}"));
             assert!(parsed.matches(&event, false), "mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn deterministic_round_trip_zeroes_only_wall_clocks() {
+        for event in Event::examples() {
+            let line = event.to_json_line(true);
+            let parsed =
+                ParsedEvent::from_json_line(&line).unwrap_or_else(|e| panic!("parse {line}: {e}"));
+            assert!(parsed.matches(&event, true), "mismatch for {line}");
         }
     }
 

@@ -1,0 +1,308 @@
+//! CPI stacks: cycle-accounting taxonomy for the leader and checker.
+//!
+//! Every simulated cycle is attributed to exactly one
+//! [`CpiComponent`], so the stack's components always sum to the cycle
+//! count — the invariant the profiler's tables rest on. The simulators
+//! classify cycles only when their [`Sink`](crate::Sink) is enabled;
+//! under [`NullSink`](crate::NullSink) the stack stays zero and the
+//! classification code compiles out with the rest of the telemetry.
+
+use std::fmt::Write as _;
+
+/// Where one cycle went. The taxonomy follows the stall-accounting
+/// style of CPI-stack papers: a cycle is *base issue* when forward
+/// progress happened (or was bounded only by dependences/latency), and
+/// otherwise is charged to the oldest blocking cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiComponent {
+    /// Instructions committed, or progress was dependence/latency bound.
+    BaseIssue,
+    /// Nothing to do: the front end delivered no work (empty window).
+    FetchStarved,
+    /// Fetch squashed behind an unresolved branch mispredict.
+    BranchRedirect,
+    /// Fetch blocked on an instruction-cache miss.
+    IcacheMiss,
+    /// Commit blocked on an outstanding data-cache (load) miss.
+    DcacheMiss,
+    /// Dispatch blocked: ROB, issue queue, LSQ, or pipe at capacity.
+    StructFull,
+    /// Leader commit stalled by checker back-pressure (RVQ/StB full).
+    CheckerStall,
+    /// Checker clock gated off by DFS (leader-cycle domain only).
+    DfsThrottled,
+    /// Cycles charged to recovery stalls after a detected error.
+    Recovery,
+}
+
+impl CpiComponent {
+    /// Every component, in stack-display order.
+    pub const ALL: [CpiComponent; 9] = [
+        CpiComponent::BaseIssue,
+        CpiComponent::FetchStarved,
+        CpiComponent::BranchRedirect,
+        CpiComponent::IcacheMiss,
+        CpiComponent::DcacheMiss,
+        CpiComponent::StructFull,
+        CpiComponent::CheckerStall,
+        CpiComponent::DfsThrottled,
+        CpiComponent::Recovery,
+    ];
+
+    /// Number of components (the stack's array length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name, used in tables, JSON, and the sweep
+    /// cache codec.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiComponent::BaseIssue => "base_issue",
+            CpiComponent::FetchStarved => "fetch_starved",
+            CpiComponent::BranchRedirect => "branch_redirect",
+            CpiComponent::IcacheMiss => "icache_miss",
+            CpiComponent::DcacheMiss => "dcache_miss",
+            CpiComponent::StructFull => "struct_full",
+            CpiComponent::CheckerStall => "checker_stall",
+            CpiComponent::DfsThrottled => "dfs_throttled",
+            CpiComponent::Recovery => "recovery",
+        }
+    }
+
+    /// Position in [`CpiComponent::ALL`] (and in the stack's array).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Counter-series name used when the leader's stack is exported
+    /// into a trace (`Event::Counter`); `trace-report` reads these back.
+    pub fn leader_counter_name(self) -> &'static str {
+        match self {
+            CpiComponent::BaseIssue => "cpi_leader_base_issue",
+            CpiComponent::FetchStarved => "cpi_leader_fetch_starved",
+            CpiComponent::BranchRedirect => "cpi_leader_branch_redirect",
+            CpiComponent::IcacheMiss => "cpi_leader_icache_miss",
+            CpiComponent::DcacheMiss => "cpi_leader_dcache_miss",
+            CpiComponent::StructFull => "cpi_leader_struct_full",
+            CpiComponent::CheckerStall => "cpi_leader_checker_stall",
+            CpiComponent::DfsThrottled => "cpi_leader_dfs_throttled",
+            CpiComponent::Recovery => "cpi_leader_recovery",
+        }
+    }
+
+    /// Counter-series name for the checker's composed stack.
+    pub fn checker_counter_name(self) -> &'static str {
+        match self {
+            CpiComponent::BaseIssue => "cpi_checker_base_issue",
+            CpiComponent::FetchStarved => "cpi_checker_fetch_starved",
+            CpiComponent::BranchRedirect => "cpi_checker_branch_redirect",
+            CpiComponent::IcacheMiss => "cpi_checker_icache_miss",
+            CpiComponent::DcacheMiss => "cpi_checker_dcache_miss",
+            CpiComponent::StructFull => "cpi_checker_struct_full",
+            CpiComponent::CheckerStall => "cpi_checker_checker_stall",
+            CpiComponent::DfsThrottled => "cpi_checker_dfs_throttled",
+            CpiComponent::Recovery => "cpi_checker_recovery",
+        }
+    }
+}
+
+/// Per-component cycle counts. `Copy` and cheap: the cores hold one and
+/// bump a single array slot per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpiStack {
+    counts: [u64; CpiComponent::COUNT],
+}
+
+impl CpiStack {
+    /// An empty stack.
+    pub fn new() -> CpiStack {
+        CpiStack::default()
+    }
+
+    /// Charges one cycle to `component`.
+    #[inline]
+    pub fn add(&mut self, component: CpiComponent) {
+        self.counts[component.index()] += 1;
+    }
+
+    /// Charges `cycles` cycles to `component` (system-level composition:
+    /// recovery stalls, DFS-gated cycles).
+    pub fn add_cycles(&mut self, component: CpiComponent, cycles: u64) {
+        self.counts[component.index()] += cycles;
+    }
+
+    /// Cycles charged to `component`.
+    pub fn get(&self, component: CpiComponent) -> u64 {
+        self.counts[component.index()]
+    }
+
+    /// Overwrites one component's count (decoding a cached result).
+    pub fn set(&mut self, component: CpiComponent, cycles: u64) {
+        self.counts[component.index()] = cycles;
+    }
+
+    /// Sum of every component — by construction, the number of cycles
+    /// classified.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True when no cycle has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Component-wise `self - earlier` (measurement over a window whose
+    /// start state was snapshotted).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any component ran backwards.
+    pub fn delta_since(&self, earlier: &CpiStack) -> CpiStack {
+        let mut d = CpiStack::new();
+        for (slot, (now, then)) in d
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(earlier.counts.iter()))
+        {
+            debug_assert!(now >= then, "CPI component ran backwards");
+            *slot = now - then;
+        }
+        d
+    }
+
+    /// Component-wise sum (aggregating stacks across runs).
+    pub fn merge(&mut self, other: &CpiStack) {
+        for (slot, v) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += v;
+        }
+    }
+
+    /// Fraction of total cycles charged to `component` (0 when empty).
+    pub fn fraction(&self, component: CpiComponent) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(component) as f64 / total as f64
+        }
+    }
+
+    /// Renders the stack as an aligned table. `committed` scales each
+    /// component into CPI contribution (cycles per committed
+    /// instruction); pass 0 to omit the CPI column's meaning and print
+    /// 0.
+    pub fn format_table(&self, label: &str, committed: u64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{label:18} {:>14} {:>8} {:>10}",
+            "cycles", "share", "CPI"
+        );
+        for c in CpiComponent::ALL {
+            let cycles = self.get(c);
+            if cycles == 0 {
+                continue;
+            }
+            let cpi = if committed == 0 {
+                0.0
+            } else {
+                cycles as f64 / committed as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:16} {cycles:>14} {:>7.1}% {cpi:>10.4}",
+                c.name(),
+                100.0 * self.fraction(c),
+            );
+        }
+        let total_cpi = if committed == 0 {
+            0.0
+        } else {
+            self.total() as f64 / committed as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:16} {:>14} {:>7.1}% {total_cpi:>10.4}",
+            "total",
+            self.total(),
+            if self.is_empty() { 0.0 } else { 100.0 },
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_sum_to_total() {
+        let mut s = CpiStack::new();
+        for (i, c) in CpiComponent::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                s.add(c);
+            }
+        }
+        let by_hand: u64 = CpiComponent::ALL.into_iter().map(|c| s.get(c)).sum();
+        assert_eq!(s.total(), by_hand);
+        assert_eq!(s.total(), (1..=CpiComponent::COUNT as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn names_and_counter_names_are_distinct() {
+        let mut names: Vec<&str> = CpiComponent::ALL.iter().map(|c| c.name()).collect();
+        names.extend(CpiComponent::ALL.iter().map(|c| c.leader_counter_name()));
+        names.extend(CpiComponent::ALL.iter().map(|c| c.checker_counter_name()));
+        let count = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), count);
+    }
+
+    #[test]
+    fn delta_and_merge_are_inverses() {
+        let mut early = CpiStack::new();
+        early.add(CpiComponent::BaseIssue);
+        early.add_cycles(CpiComponent::DcacheMiss, 5);
+        let mut late = early;
+        late.add_cycles(CpiComponent::Recovery, 200);
+        late.add(CpiComponent::BaseIssue);
+        let delta = late.delta_since(&early);
+        assert_eq!(delta.get(CpiComponent::Recovery), 200);
+        assert_eq!(delta.get(CpiComponent::BaseIssue), 1);
+        assert_eq!(delta.get(CpiComponent::DcacheMiss), 0);
+        let mut rebuilt = early;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, late);
+    }
+
+    #[test]
+    fn fractions_partition_unity() {
+        let mut s = CpiStack::new();
+        s.add_cycles(CpiComponent::BaseIssue, 60);
+        s.add_cycles(CpiComponent::FetchStarved, 25);
+        s.add_cycles(CpiComponent::CheckerStall, 15);
+        let sum: f64 = CpiComponent::ALL.iter().map(|&c| s.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(s.fraction(CpiComponent::BaseIssue), 0.6);
+    }
+
+    #[test]
+    fn table_lists_nonzero_components_and_total() {
+        let mut s = CpiStack::new();
+        s.add_cycles(CpiComponent::BaseIssue, 900);
+        s.add_cycles(CpiComponent::DcacheMiss, 100);
+        let t = s.format_table("leader", 500);
+        assert!(t.contains("base_issue"));
+        assert!(t.contains("dcache_miss"));
+        assert!(!t.contains("recovery"), "zero rows are elided:\n{t}");
+        assert!(t.contains("total"));
+        assert!(t.contains("2.0000"), "total CPI 1000/500:\n{t}");
+    }
+
+    #[test]
+    fn empty_stack_formats_without_dividing_by_zero() {
+        let t = CpiStack::new().format_table("leader", 0);
+        assert!(t.contains("total"));
+    }
+}

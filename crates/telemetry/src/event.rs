@@ -148,6 +148,120 @@ pub enum Event {
 }
 
 impl Event {
+    /// One representative of every variant, with every field set to a
+    /// distinctive non-default value. The construction is paired with
+    /// an exhaustive `match` in [`Event::examples_cover`]: adding a
+    /// variant without extending this list is a compile error, so no
+    /// variant can silently skip the codec round-trip tests (same
+    /// pattern as `FaultSite::ALL` in `rmt3d-rmt`).
+    pub fn examples() -> Vec<Event> {
+        let examples = vec![
+            Event::SpanBegin {
+                name: "measure",
+                cycle: 7,
+            },
+            Event::SpanEnd {
+                name: "measure",
+                cycle: 11,
+                wall_nanos: 12_345,
+            },
+            Event::Counter {
+                name: "ipc",
+                cycle: 13,
+                value: 1.25,
+            },
+            Event::DfsTransition {
+                cycle: 17,
+                from_level: 4,
+                to_level: 5,
+                fraction: 0.6,
+            },
+            Event::FaultInjected {
+                cycle: 19,
+                site: "rvq_operand",
+                bit: 3,
+                corrected: true,
+            },
+            Event::Recovery {
+                cycle: 23,
+                penalty_cycles: 200,
+                unrecoverable: true,
+            },
+            Event::SolverIteration {
+                iteration: 29,
+                residual: 0.031,
+            },
+            Event::Interval(crate::sample::IntervalSample {
+                index: 2,
+                cycle: 31,
+                committed: 37,
+                ipc: 1.19,
+                rob: 41,
+                iq_int: 5,
+                iq_fp: 2,
+                lsq: 11,
+                rvq: 13,
+                lvq: 17,
+                boq: 3,
+                stb: 7,
+                checker_fraction: 0.7,
+                dl1_accesses: 43,
+                dl1_misses: 6,
+                l2_accesses: 9,
+                l2_misses: 1,
+                commit_stall_cycles: 8,
+            }),
+            Event::JobStarted {
+                job: 1,
+                total: 4,
+                label: "3d-2a/mcf".into(),
+            },
+            Event::JobFinished {
+                job: 1,
+                total: 4,
+                ok: false,
+                wall_nanos: 5_000,
+                eta_nanos: 15_000,
+            },
+            Event::JobCacheHit {
+                job: 2,
+                total: 4,
+                label: "2d-a/gzip".into(),
+            },
+            Event::CampaignTrial {
+                trial: 47,
+                site: "leader_result",
+                fate: "detected_recovered",
+                detect_cycles: 120,
+                ok: true,
+            },
+        ];
+        for e in &examples {
+            Self::examples_cover(e);
+        }
+        examples
+    }
+
+    /// Exhaustiveness witness for [`Event::examples`]: no wildcard arm,
+    /// so a new variant fails to compile here until `examples()` (and
+    /// therefore the codec tests) know about it.
+    fn examples_cover(event: &Event) {
+        match event {
+            Event::SpanBegin { .. }
+            | Event::SpanEnd { .. }
+            | Event::Counter { .. }
+            | Event::DfsTransition { .. }
+            | Event::FaultInjected { .. }
+            | Event::Recovery { .. }
+            | Event::SolverIteration { .. }
+            | Event::Interval(_)
+            | Event::JobStarted { .. }
+            | Event::JobFinished { .. }
+            | Event::JobCacheHit { .. }
+            | Event::CampaignTrial { .. } => {}
+        }
+    }
+
     /// The JSONL `"event"` discriminator for this variant.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -173,71 +287,22 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct() {
-        let events = [
-            Event::SpanBegin {
-                name: "a",
-                cycle: 0,
-            },
-            Event::SpanEnd {
-                name: "a",
-                cycle: 0,
-                wall_nanos: 0,
-            },
-            Event::Counter {
-                name: "x",
-                cycle: 0,
-                value: 0.0,
-            },
-            Event::DfsTransition {
-                cycle: 0,
-                from_level: 0,
-                to_level: 1,
-                fraction: 0.2,
-            },
-            Event::FaultInjected {
-                cycle: 0,
-                site: "rvq_operand",
-                bit: 3,
-                corrected: false,
-            },
-            Event::Recovery {
-                cycle: 0,
-                penalty_cycles: 200,
-                unrecoverable: false,
-            },
-            Event::SolverIteration {
-                iteration: 1,
-                residual: 0.5,
-            },
-            Event::Interval(IntervalSample::default()),
-            Event::JobStarted {
-                job: 0,
-                total: 4,
-                label: "3d-2a/mcf".into(),
-            },
-            Event::JobFinished {
-                job: 0,
-                total: 4,
-                ok: true,
-                wall_nanos: 100,
-                eta_nanos: 300,
-            },
-            Event::JobCacheHit {
-                job: 1,
-                total: 4,
-                label: "2d-a/gzip".into(),
-            },
-            Event::CampaignTrial {
-                trial: 7,
-                site: "leader_result",
-                fate: "detected_recovered",
-                detect_cycles: 120,
-                ok: true,
-            },
-        ];
+        let events = Event::examples();
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn examples_cover_every_variant_exactly_once() {
+        let events = Event::examples();
+        // One example per discriminator; `examples_cover`'s exhaustive
+        // match guarantees no variant is missing at compile time.
+        let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
+        let n = kinds.len();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), n, "duplicate example kinds");
     }
 }

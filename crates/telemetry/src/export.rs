@@ -92,6 +92,18 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Flush-on-drop: a CLI error path that returns before calling
+        // `finish()` still leaves a complete, newline-terminated JSONL
+        // file behind. Every record is written whole, so flushing is
+        // all finalization requires; errors here have nowhere to go.
+        if let Ok(mut out) = self.out.try_borrow_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
 impl<W: Write> Sink for JsonlSink<W> {
     fn record(&mut self, event: &Event) {
         let line = event.to_json_line(self.deterministic);
@@ -157,6 +169,14 @@ impl Collector {
                 self.registry.record("lvq_occupancy", f64::from(s.lvq));
                 self.registry.record("boq_occupancy", f64::from(s.boq));
                 self.registry.record("stb_occupancy", f64::from(s.stb));
+                // Log2 histograms: slack (RVQ depth is the leader/checker
+                // slack) and per-structure occupancy distributions.
+                self.registry.record_hist("slack", u64::from(s.rvq));
+                self.registry.record_hist("rob_occupancy", u64::from(s.rob));
+                self.registry.record_hist("lsq_occupancy", u64::from(s.lsq));
+                self.registry.record_hist("lvq_occupancy", u64::from(s.lvq));
+                self.registry.record_hist("boq_occupancy", u64::from(s.boq));
+                self.registry.record_hist("stb_occupancy", u64::from(s.stb));
                 self.ring.push(*s);
             }
             Event::JobFinished { ok, wall_nanos, .. } => {
@@ -169,10 +189,15 @@ impl Collector {
             Event::JobCacheHit { .. } => {
                 self.job_cache_hits += 1;
             }
-            Event::SpanBegin { .. }
-            | Event::SpanEnd { .. }
-            | Event::JobStarted { .. }
-            | Event::CampaignTrial { .. } => {}
+            Event::CampaignTrial { detect_cycles, .. } => {
+                // Zero means the fault never reached the checker
+                // (corrected or masked) — not a latency sample.
+                if *detect_cycles > 0 {
+                    self.registry
+                        .record_hist("detection_latency", *detect_cycles);
+                }
+            }
+            Event::SpanBegin { .. } | Event::SpanEnd { .. } | Event::JobStarted { .. } => {}
         }
     }
 
@@ -211,6 +236,14 @@ impl CollectorSink {
 
     /// Creates a collector retaining at most `capacity` interval
     /// samples (0 = unbounded).
+    ///
+    /// Eviction is strictly oldest-first: once the ring holds
+    /// `capacity` samples, each new [`Event::Interval`] evicts the
+    /// sample with the smallest index, so the ring always holds the
+    /// most recent `capacity` samples in arrival order and
+    /// [`SampleRing::dropped`] counts the evictions. Scalar series in
+    /// the registry are unaffected — only retained raw samples are
+    /// bounded.
     pub fn with_ring_capacity(capacity: usize) -> Self {
         CollectorSink {
             inner: Rc::new(RefCell::new(Collector {
@@ -241,6 +274,46 @@ impl Sink for CollectorSink {
 /// fields.
 pub const CSV_HEADER: &str = "index,cycle,committed,ipc,rob,iq_int,iq_fp,lsq,rvq,lvq,boq,stb,\
 checker_fraction,dl1_accesses,dl1_misses,l2_accesses,l2_misses,commit_stall_cycles";
+
+/// Quotes a CSV field when it contains a comma, quote, or newline
+/// (quotes are doubled per RFC 4180); plain fields pass through.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes per-series summary statistics as CSV. Series names are
+/// CSV-escaped, so names containing commas or quotes cannot shift
+/// columns.
+pub fn write_metrics_csv<W: Write>(out: &mut W, registry: &MetricsRegistry) -> io::Result<()> {
+    writeln!(out, "series,count,min,mean,p50,p99,max")?;
+    for (name, s) in registry.summaries() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            csv_escape(name),
+            s.count,
+            s.min,
+            s.mean,
+            s.p50,
+            s.p99,
+            s.max,
+        )?;
+    }
+    out.flush()
+}
 
 /// Writes interval samples as CSV (header + one row per sample).
 pub fn write_samples_csv<'a, W: Write>(
@@ -279,6 +352,28 @@ pub fn write_samples_csv<'a, W: Write>(
 mod tests {
     use super::*;
     use crate::codec::ParsedEvent;
+    use crate::registry::Log2Histogram;
+
+    /// Shared byte buffer that outlives the sink, so tests can inspect
+    /// output after the sink (and its drop guard) is gone.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.borrow().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
 
     fn fault(cycle: u64, corrected: bool) -> Event {
         Event::FaultInjected {
@@ -291,7 +386,8 @@ mod tests {
 
     #[test]
     fn jsonl_sink_streams_parseable_lines() {
-        let mut sink = JsonlSink::new(Vec::new());
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::new(buf.clone());
         sink.record(&fault(10, true));
         sink.record(&Event::SpanBegin {
             name: "measure",
@@ -301,14 +397,36 @@ mod tests {
         reg.record("ipc", 1.25);
         sink.write_summary(&reg);
         sink.finish().unwrap();
-        let bytes = Rc::try_unwrap(sink.out).unwrap().into_inner();
-        let text = String::from_utf8(bytes).unwrap();
+        let text = buf.text();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for line in &lines {
             ParsedEvent::from_json_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
         assert!(lines[2].contains("\"event\":\"summary\""));
+    }
+
+    #[test]
+    fn jsonl_dropped_mid_run_is_parseable_and_newline_terminated() {
+        let buf = SharedBuf::default();
+        {
+            let sink = JsonlSink::new(buf.clone());
+            let mut clone = sink.clone();
+            clone.record(&fault(10, true));
+            clone.record(&Event::Recovery {
+                cycle: 20,
+                penalty_cycles: 200,
+                unrecoverable: false,
+            });
+            // Dropped without finish(): simulates a CLI error path that
+            // bails before end-of-run finalization.
+        }
+        let text = buf.text();
+        assert!(text.ends_with('\n'), "trace must be newline-terminated");
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            ParsedEvent::from_json_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
     }
 
     #[test]
@@ -382,5 +500,98 @@ mod tests {
             "header and rows must have the same arity"
         );
         assert!(lines[1].starts_with("0,100,80,0.8"));
+    }
+
+    #[test]
+    fn csv_header_is_pinned() {
+        // The sample-CSV header is a published interface: downstream
+        // notebooks key on these exact column names. Changing it is a
+        // breaking change and must be deliberate.
+        assert_eq!(
+            CSV_HEADER,
+            "index,cycle,committed,ipc,rob,iq_int,iq_fp,lsq,rvq,lvq,boq,stb,\
+             checker_fraction,dl1_accesses,dl1_misses,l2_accesses,l2_misses,commit_stall_cycles"
+        );
+    }
+
+    #[test]
+    fn csv_escape_quotes_only_when_needed() {
+        assert_eq!(csv_escape("interval_ipc"), "interval_ipc");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn metrics_csv_escapes_series_names() {
+        let mut reg = MetricsRegistry::new();
+        reg.record("plain", 1.0);
+        reg.record("weird,name \"x\"", 2.0);
+        let mut buf = Vec::new();
+        write_metrics_csv(&mut buf, &reg).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "series,count,min,mean,p50,p99,max");
+        assert!(lines[1].starts_with("plain,1,"));
+        assert!(lines[2].starts_with("\"weird,name \"\"x\"\"\",1,"));
+        // Every row keeps the header's arity once quoted fields are
+        // accounted for: the quoted name counts as one field.
+        assert_eq!(lines[0].split(',').count(), 7);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest_first() {
+        let mut sink = CollectorSink::with_ring_capacity(2);
+        for index in 0..3 {
+            sink.record(&Event::Interval(IntervalSample {
+                index,
+                cycle: (index + 1) * 100,
+                ..IntervalSample::default()
+            }));
+        }
+        sink.with(|c| {
+            assert_eq!(c.ring.len(), 2);
+            assert_eq!(c.ring.dropped(), 1);
+            let kept: Vec<u64> = c.ring.iter().map(|s| s.index).collect();
+            assert_eq!(kept, vec![1, 2], "sample 0 (oldest) is evicted first");
+        });
+        // The registry still saw every sample — only raw retention is
+        // bounded.
+        assert_eq!(
+            sink.with(|c| c.registry.summary("interval_ipc").unwrap().count),
+            3
+        );
+    }
+
+    #[test]
+    fn collector_feeds_histograms() {
+        let mut sink = CollectorSink::new();
+        sink.record(&Event::Interval(IntervalSample {
+            rvq: 12,
+            rob: 100,
+            ..IntervalSample::default()
+        }));
+        sink.record(&Event::CampaignTrial {
+            trial: 0,
+            site: "rvq_operand",
+            fate: "detected_recovered",
+            detect_cycles: 37,
+            ok: true,
+        });
+        sink.record(&Event::CampaignTrial {
+            trial: 1,
+            site: "lvq_value",
+            fate: "corrected_by_ecc",
+            detect_cycles: 0,
+            ok: true,
+        });
+        sink.with(|c| {
+            let slack = c.registry.histogram("slack").unwrap();
+            assert_eq!(slack.samples(), 1);
+            assert_eq!(slack.count(Log2Histogram::bucket_of(12)), 1);
+            let lat = c.registry.histogram("detection_latency").unwrap();
+            assert_eq!(lat.samples(), 1, "zero-latency trials are not samples");
+            assert_eq!(lat.count(Log2Histogram::bucket_of(37)), 1);
+        });
     }
 }

@@ -147,6 +147,15 @@ impl JsonObject {
         self
     }
 
+    /// Appends a field whose value is already-serialized JSON (nested
+    /// objects, e.g. a trace event's `args`). The caller guarantees
+    /// `json` is valid.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
     /// Closes the object and returns the JSON text (no trailing newline).
     pub fn finish(mut self) -> String {
         self.buf.push('}');

@@ -31,19 +31,25 @@
 //! ```
 
 pub mod codec;
+pub mod cpi;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod registry;
 pub mod sample;
 pub mod sink;
+pub mod trace_event;
 
 pub use codec::ParsedEvent;
+pub use cpi::{CpiComponent, CpiStack};
 pub use event::Event;
-pub use export::{write_samples_csv, Collector, CollectorSink, JsonlSink, CSV_HEADER};
-pub use registry::{MetricsRegistry, SeriesSummary};
+pub use export::{
+    write_metrics_csv, write_samples_csv, Collector, CollectorSink, JsonlSink, CSV_HEADER,
+};
+pub use registry::{Log2Histogram, MetricsRegistry, SeriesSummary};
 pub use sample::{IntervalSample, SampleRing};
 pub use sink::{emit, NullSink, RecordingSink, Sink};
+pub use trace_event::TraceEventSink;
 
 use std::time::Instant;
 

@@ -26,6 +26,106 @@ struct Series {
     values: Vec<f64>,
 }
 
+/// Fixed-bucket base-2 logarithmic histogram over `u64` samples.
+///
+/// Bucket 0 holds exactly the value 0; bucket `b` (1..=64) holds the
+/// range `[2^(b-1), 2^b)`. The bucket count is fixed, so recording is a
+/// single index increment and two histograms always merge/compare
+/// bucket-for-bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; 65],
+    samples: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            counts: [0; 65],
+            samples: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.samples += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples in bucket `b`.
+    pub fn count(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Inclusive value range covered by bucket `b`.
+    pub fn bucket_range(bucket: usize) -> (u64, u64) {
+        if bucket == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (bucket - 1);
+            let hi = if bucket == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bucket) - 1
+            };
+            (lo, hi)
+        }
+    }
+
+    /// Renders the non-empty buckets as aligned `[lo, hi] count share`
+    /// rows.
+    pub fn format_rows(&self) -> String {
+        let mut out = String::new();
+        for (b, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = Self::bucket_range(b);
+            let share = 100.0 * n as f64 / self.samples as f64;
+            let _ = writeln!(out, "    [{lo:>10}, {hi:>10}] {n:>10} {share:>6.1}%");
+        }
+        out
+    }
+}
+
 /// Accumulates named f64 series and reports per-series summaries.
 ///
 /// Series appear in first-recorded order, so summaries are stable for a
@@ -34,6 +134,7 @@ struct Series {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     series: Vec<Series>,
+    hists: Vec<(String, Log2Histogram)>,
 }
 
 impl MetricsRegistry {
@@ -56,6 +157,42 @@ impl MetricsRegistry {
         }
     }
 
+    /// Appends one sample to the named log2 histogram, creating it on
+    /// first use.
+    pub fn record_hist(&mut self, name: &str, value: u64) {
+        match self.hists.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Log2Histogram::new();
+                h.record(value);
+                self.hists.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// Histogram by name, or `None` if it was never recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Histogram names in first-recorded order.
+    pub fn histogram_names(&self) -> Vec<&str> {
+        self.hists.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Renders every histogram as a human-readable block of bucket rows.
+    pub fn format_histograms(&self) -> String {
+        if self.hists.is_empty() {
+            return String::from("histograms: no samples recorded\n");
+        }
+        let mut out = String::new();
+        for (name, h) in &self.hists {
+            let _ = writeln!(out, "  {name} (n={}, mean={:.1})", h.samples(), h.mean());
+            out.push_str(&h.format_rows());
+        }
+        out
+    }
+
     /// Series names in first-recorded order.
     pub fn names(&self) -> Vec<&str> {
         self.series.iter().map(|s| s.name.as_str()).collect()
@@ -63,7 +200,7 @@ impl MetricsRegistry {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.series.is_empty()
+        self.series.is_empty() && self.hists.is_empty()
     }
 
     /// Summary for one series, or `None` if it was never recorded.
@@ -211,6 +348,54 @@ mod tests {
         assert_eq!(v.get("event").unwrap().as_str(), Some("summary"));
         assert_eq!(v.get("ipc.count").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("ipc.mean").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn log2_buckets_partition_the_u64_range() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..=64 {
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            assert_eq!(Log2Histogram::bucket_of(lo), b);
+            assert_eq!(Log2Histogram::bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 5);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 1); // 5 ∈ [4, 7]
+        assert_eq!(h.count(10), 1); // 1000 ∈ [512, 1023]
+        assert!((h.mean() - 1007.0 / 5.0).abs() < 1e-12);
+        let rows = h.format_rows();
+        assert!(rows.contains("[       512,       1023]"), "{rows}");
+    }
+
+    #[test]
+    fn registry_hosts_named_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_hist("slack", 12);
+        reg.record_hist("slack", 40);
+        reg.record_hist("detection_latency", 200);
+        assert_eq!(reg.histogram_names(), vec!["slack", "detection_latency"]);
+        assert_eq!(reg.histogram("slack").unwrap().samples(), 2);
+        assert!(reg.histogram("nope").is_none());
+        let text = reg.format_histograms();
+        assert!(text.contains("slack (n=2"));
+        assert!(text.contains("detection_latency"));
+        assert!(!reg.is_empty());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Golden-file pin for the Perfetto trace-event export.
+//!
+//! The `.trace.json` schema is a published interface: any byte-level
+//! change to how events render must be deliberate and reviewed. Feed a
+//! fixed synthetic event sequence (one of every variant) through
+//! [`TraceEventSink`] and compare against the checked-in golden.
+//! Regenerate with `RMT3D_BLESS=1 cargo test -p rmt3d-telemetry`.
+
+use rmt3d_telemetry::json::{parse, JsonValue};
+use rmt3d_telemetry::{Event, Sink, TraceEventSink};
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("RMT3D_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with RMT3D_BLESS=1 cargo test -p rmt3d-telemetry",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "trace output drifted from {}; if intentional, regenerate with \
+         RMT3D_BLESS=1 cargo test -p rmt3d-telemetry",
+        path.display()
+    );
+}
+
+fn render_synthetic_trace() -> String {
+    let buf = SharedBuf::default();
+    let mut sink = TraceEventSink::new(buf.clone());
+    // One of every Event variant, in a fixed order; the example set is
+    // exhaustiveness-checked, so new variants land here automatically.
+    for event in Event::examples() {
+        sink.record(&event);
+    }
+    sink.finish().unwrap();
+    let bytes = buf.0.borrow().clone();
+    String::from_utf8(bytes).unwrap()
+}
+
+#[test]
+fn synthetic_trace_matches_golden() {
+    assert_golden("synthetic.trace.json", &render_synthetic_trace());
+}
+
+#[test]
+fn synthetic_trace_is_strict_json_with_expected_tracks() {
+    let text = render_synthetic_trace();
+    let doc = parse(&text).expect("trace must be strict JSON");
+    let events = match doc.get("traceEvents") {
+        Some(JsonValue::Arr(events)) => events,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for expected in [
+        "process_name",
+        "thread_name",
+        "ipc",
+        "slack_queues",
+        "fault",
+    ] {
+        assert!(names.contains(&expected), "missing record {expected}");
+    }
+    // Every record carries the mandatory trace-event keys.
+    for e in events {
+        assert!(e.get("ph").is_some(), "record without ph: {e:?}");
+        assert!(e.get("pid").is_some(), "record without pid: {e:?}");
+    }
+}

@@ -2,7 +2,9 @@
 //! the hand-rolled codec, traces are deterministic across identical
 //! runs, and attaching a `NullSink` cannot change simulation results.
 
-use rmt3d::telemetry::{CollectorSink, Event, JsonlSink, ParsedEvent, RecordingSink};
+use rmt3d::telemetry::{
+    CollectorSink, CpiComponent, Event, JsonlSink, ParsedEvent, RecordingSink, TraceEventSink,
+};
 use rmt3d::{simulate, simulate_traced, PerfResult, ProcessorModel, RunScale, SimConfig};
 use rmt3d_workload::Benchmark;
 use std::cell::RefCell;
@@ -147,6 +149,62 @@ fn sampler_emits_expected_interval_cadence() {
         assert!(s.cycle > last_cycle || i == 0);
         last_cycle = s.cycle;
     }
+}
+
+#[test]
+fn cpi_stacks_partition_total_cycles_end_to_end() {
+    for model in [ProcessorModel::TwoDA, ProcessorModel::ThreeD2A] {
+        let (r, _) = traced_run(model, 2_000);
+        assert_eq!(
+            r.leader_cpi.total(),
+            r.total_cycles,
+            "{model:?}: every cycle is attributed exactly once"
+        );
+        assert!(r.leader_cpi.get(CpiComponent::BaseIssue) > 0, "{model:?}");
+        if model.has_checker() {
+            assert_eq!(r.trailer_cpi.total(), r.total_cycles, "{model:?}");
+            assert!(
+                r.trailer_cpi.get(CpiComponent::DfsThrottled) > 0,
+                "{model:?}: the checker spends gated cycles under DFS"
+            );
+        } else {
+            assert!(r.trailer_cpi.is_empty(), "{model:?}: no checker, no stack");
+        }
+    }
+}
+
+#[test]
+fn perfetto_trace_is_strict_json_and_byte_deterministic() {
+    let render = || {
+        let buf = SharedBuf::default();
+        let mut sink = TraceEventSink::new(buf.clone());
+        let r = simulate_traced(
+            &quick_cfg(ProcessorModel::ThreeD2A),
+            Benchmark::Gzip,
+            2_000,
+            sink.clone(),
+        );
+        sink.finish().unwrap();
+        let bytes = buf.0.borrow().clone();
+        (r, String::from_utf8(bytes).unwrap())
+    };
+    let (r1, t1) = render();
+    let (r2, t2) = render();
+    assert_eq!(r1.total_cycles, r2.total_cycles);
+    assert_eq!(t1, t2, "trace export must be byte-deterministic");
+    let doc = rmt3d::telemetry::json::parse(&t1).expect("strict JSON");
+    let events = match doc.get("traceEvents") {
+        Some(rmt3d::telemetry::json::JsonValue::Arr(events)) => events,
+        other => panic!("traceEvents missing: {other:?}"),
+    };
+    assert!(events.len() > 20, "got {} records", events.len());
+    // The exported CPI counters are present for both tracks.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(names.contains(&"cpi_leader_base_issue"), "{names:?}");
+    assert!(names.contains(&"cpi_checker_dfs_throttled"), "{names:?}");
 }
 
 #[test]
