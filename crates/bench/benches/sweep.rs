@@ -52,6 +52,7 @@ fn main() {
     let opts = SweepOptions {
         jobs: 0,
         cache: CacheMode::Dir(dir.clone()),
+        ..SweepOptions::default()
     };
     run_sweep(jobs.clone(), &opts, &mut NullSink).unwrap();
     bench("sweep_cache_replay", 3, || {

@@ -11,9 +11,11 @@ use rmt3d_telemetry::{emit, Event, Sink};
 ///
 /// Lifecycle events stream to `sink` while workers run
 /// ([`Event::JobStarted`] / [`Event::JobFinished`], in completion
-/// order); once the pool drains, one [`Event::CampaignTrial`] per trial
-/// is emitted in grid order, so a deterministic sink sees the same
-/// trial stream regardless of worker count.
+/// order, plus [`Event::JobStalled`] when `watchdog` is set); once the
+/// pool drains it emits one [`Event::PoolStats`] utilization summary,
+/// then one [`Event::CampaignTrial`] per trial in grid order, so a
+/// deterministic sink sees the same trial stream regardless of worker
+/// count.
 ///
 /// # Errors
 ///
@@ -23,6 +25,21 @@ use rmt3d_telemetry::{emit, Event, Sink};
 pub fn run_campaign<S: Sink>(
     spec: &CampaignSpec,
     jobs: usize,
+    sink: &mut S,
+) -> Result<CampaignReport, String> {
+    run_campaign_watched(spec, jobs, None, sink)
+}
+
+/// [`run_campaign`] with an optional heartbeat watchdog flagging silent
+/// trials as [`Event::JobStalled`].
+///
+/// # Errors
+///
+/// Returns an error when the spec fails [`CampaignSpec::validate`].
+pub fn run_campaign_watched<S: Sink>(
+    spec: &CampaignSpec,
+    jobs: usize,
+    watchdog: Option<rmt3d_obs::WatchdogConfig>,
     sink: &mut S,
 ) -> Result<CampaignReport, String> {
     spec.validate()?;
@@ -39,6 +56,7 @@ pub fn run_campaign<S: Sink>(
         |_| None::<TrialResult>,
         run_trial,
         |_, _| {},
+        watchdog,
         |ev| match ev {
             PoolEvent::Started { index } => emit(sink, || Event::JobStarted {
                 job: index as u64,
@@ -56,6 +74,27 @@ pub fn run_campaign<S: Sink>(
                 ok,
                 wall_nanos,
                 eta_nanos,
+            }),
+            PoolEvent::Stalled {
+                index,
+                elapsed_nanos,
+                median_nanos,
+            } => emit(sink, || Event::JobStalled {
+                job: index as u64,
+                total: total as u64,
+                label: trials[index].label(),
+                elapsed_nanos,
+                median_nanos,
+            }),
+            PoolEvent::Drained { stats } => emit(sink, || Event::PoolStats {
+                workers: stats.workers,
+                executed: stats.executed,
+                cache_hits: stats.cache_hits,
+                failed: stats.failed,
+                steals: stats.steals,
+                busy_nanos: stats.busy_nanos,
+                idle_nanos: stats.idle_nanos,
+                wall_nanos: stats.wall_nanos,
             }),
             PoolEvent::CacheHit { .. } => {}
         },

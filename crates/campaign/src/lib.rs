@@ -47,7 +47,7 @@ mod report;
 mod shrink;
 mod trial;
 
-pub use engine::run_campaign;
+pub use engine::{run_campaign, run_campaign_watched};
 pub use fixture::{
     fixture_file_name, fixture_json, parse_fixture, replay_fixture, write_fixture, FIXTURE_KIND,
     FIXTURE_VERSION,

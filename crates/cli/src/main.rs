@@ -18,7 +18,14 @@
 //!                 [--sample-interval N] [--out-dir DIR] [--quiet]
 //! rmt3d trace-report --in run.jsonl
 //! rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]
+//! rmt3d status    [--run ID] [--follow] [--runs-root DIR]
+//! rmt3d report    --html [--run ID] [--out FILE] [--runs-root DIR]
 //! ```
+//!
+//! `sweep`, `campaign`, and `profile` additionally accept
+//! `--runs-root DIR` / `--no-ledger` (run-ledger registration, stderr
+//! announcements only) and — for the pool-driven commands —
+//! `--stall-factor F` (heartbeat watchdog).
 //!
 //! Experiment names: `tables`, `fig4`, `fig5`, `fig6`, `fig7`,
 //! `iso-thermal`, `interconnect`, `heterogeneous`, `margins`,
@@ -30,6 +37,7 @@
 
 mod args;
 mod profile;
+mod runctl;
 
 use args::Args;
 use rmt3d::experiments::{
@@ -45,7 +53,10 @@ use rmt3d::{
     ProcessorModel, RunScale, SerialSimulator, SimConfig, Simulator,
 };
 use rmt3d_cache::NucaPolicy;
-use rmt3d_campaign::{run_campaign, shrink, write_fixture, CampaignSpec, DEFAULT_BENCHMARKS};
+use rmt3d_campaign::{
+    run_campaign_watched, shrink, write_fixture, CampaignSpec, DEFAULT_BENCHMARKS,
+};
+use rmt3d_obs::WatchdogConfig;
 use rmt3d_rmt::{EccConfig, FaultSite};
 use rmt3d_sweep::{run_sweep, CacheMode, ParallelSimulator, SweepOptions, SweepSpec};
 use rmt3d_units::{TechNode, Watts};
@@ -79,6 +90,10 @@ fn usage() -> ExitCode {
            trace-report --in FILE.jsonl      rebuild the report offline\n\
            bench-gate --baseline FILE --current FILE [--tolerance PCT]\n\
                       fail on wall-clock or deterministic-stat regression\n\
+           status     [--run ID] [--follow] [--runs-root DIR]\n\
+                      live progress of a ledgered run (default: latest)\n\
+           report     --html [--run ID] [--out FILE] [--runs-root DIR]\n\
+                      self-contained HTML dashboard for a ledgered run\n\
          \n\
          models: 2d-a, 2d-2a, 3d-2a, 3d-checker\n\
          experiments: tables fig4 fig5 fig6 fig7 iso-thermal interconnect\n\
@@ -90,6 +105,10 @@ fn usage() -> ExitCode {
          \n\
          sweep caches each job's result under --out-dir (default\n\
          target/sweep-cache) and skips cached jobs on re-runs.\n\
+         sweep, campaign, and profile register every invocation in the\n\
+         run ledger (default target/runs; --runs-root DIR overrides,\n\
+         --no-ledger disables) with a live status.json; --stall-factor F\n\
+         (sweep/campaign) flags jobs running F x the median duration.\n\
          campaign writes a JSONL coverage report (and, on violations, a\n\
          minimized regression fixture) under --out-dir (default\n\
          target/campaign) and exits non-zero unless coverage is 100%.\n\
@@ -284,11 +303,22 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
+    let stall_factor = match a.parsed::<f64>("--stall-factor") {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let ledger_opts = match runctl::LedgerOpts::from_args(&mut a) {
+        Ok(l) => l,
+        Err(e) => return fail(&e),
+    };
     if let Err(e) = a.finish() {
         return fail(&e);
     }
     if resume && no_cache {
         return fail("--resume and --no-cache are mutually exclusive");
+    }
+    if stall_factor.is_some_and(|f| f.is_nan() || f <= 1.0) {
+        return fail("--stall-factor must be greater than 1");
     }
     let cache = if no_cache {
         CacheMode::Disabled
@@ -308,7 +338,14 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
         thermal_grid: 50,
     };
     let spec = SweepSpec::new(&models, &benchmarks, scale);
-    let opts = SweepOptions { jobs, cache };
+    let opts = SweepOptions {
+        jobs,
+        cache,
+        watchdog: stall_factor.map(|multiplier| WatchdogConfig {
+            multiplier,
+            ..WatchdogConfig::default()
+        }),
+    };
     if !quiet {
         eprintln!(
             "sweep: {} jobs ({} models x {} benchmarks, {} instructions) on {} workers",
@@ -320,6 +357,44 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
         );
     }
 
+    let sweep_jobs = spec.expand();
+    let canonicals: Vec<String> = sweep_jobs.iter().map(|j| j.canonical()).collect();
+    let config = vec![
+        (
+            "models".to_string(),
+            models
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+        (
+            "benchmarks".to_string(),
+            benchmarks
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+        ("instructions".to_string(), instructions.to_string()),
+        ("workers".to_string(), opts.worker_count().to_string()),
+        (
+            "cache".to_string(),
+            match &opts.cache {
+                CacheMode::Disabled => "disabled".to_string(),
+                CacheMode::Dir(d) => d.display().to_string(),
+            },
+        ),
+    ];
+    let mut tracker = runctl::RunTracker::start(
+        &ledger_opts,
+        "sweep",
+        rmt3d_obs::spec_hash(canonicals.iter().map(String::as_str)),
+        sweep_jobs.len() as u64,
+        &config,
+        quiet,
+    );
+
     let writer: Box<dyn Write> = match &trace_out {
         Some(path) => match File::create(path) {
             Ok(f) => Box::new(io::BufWriter::new(f)),
@@ -328,14 +403,24 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
         None => Box::new(io::sink()),
     };
     let jsonl = JsonlSink::new(writer);
-    let mut sink = (ProgressSink { quiet }, jsonl.clone());
-    let report = match run_sweep(spec.expand(), &opts, &mut sink) {
+    let mut sink = (
+        ProgressSink { quiet },
+        (
+            jsonl.clone(),
+            runctl::ObserverSink(tracker.as_mut().map(|t| &mut t.observer)),
+        ),
+    );
+    let report = match run_sweep(sweep_jobs, &opts, &mut sink) {
         Ok(r) => r,
         Err(e) => return fail(&e),
     };
+    drop(sink);
     let mut jsonl = jsonl;
     if let Err(e) = jsonl.finish() {
         return fail(&format!("trace write failed: {e}"));
+    }
+    if let Some(tracker) = tracker {
+        tracker.finish(if report.failures > 0 { "failed" } else { "ok" }, None);
     }
 
     for record in &report.records {
@@ -418,8 +503,19 @@ fn run_campaign_command(mut a: Args) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
+    let stall_factor = match a.parsed::<f64>("--stall-factor") {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let ledger_opts = match runctl::LedgerOpts::from_args(&mut a) {
+        Ok(l) => l,
+        Err(e) => return fail(&e),
+    };
     if let Err(e) = a.finish() {
         return fail(&e);
+    }
+    if stall_factor.is_some_and(|f| f.is_nan() || f <= 1.0) {
+        return fail("--stall-factor must be greater than 1");
     }
 
     let mut spec = CampaignSpec {
@@ -457,6 +553,56 @@ fn run_campaign_command(mut a: Args) -> ExitCode {
         );
     }
 
+    let campaign_canonical = format!(
+        "sites={}|benchmarks={}|faults={}|seed={}|instructions={}|ecc_sabotage={}",
+        spec.sites
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        spec.benchmarks
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        spec.faults_per_cell,
+        spec.seed,
+        spec.instructions,
+        sabotage.map_or("none".into(), |s| s.name().to_string()),
+    );
+    let config = vec![
+        (
+            "sites".to_string(),
+            spec.sites
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+        (
+            "benchmarks".to_string(),
+            spec.benchmarks
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+        (
+            "faults_per_site".to_string(),
+            spec.faults_per_cell.to_string(),
+        ),
+        ("seed".to_string(), spec.seed.to_string()),
+        ("instructions".to_string(), spec.instructions.to_string()),
+    ];
+    let mut tracker = runctl::RunTracker::start(
+        &ledger_opts,
+        "campaign",
+        rmt3d_obs::spec_hash(std::iter::once(campaign_canonical.as_str())),
+        spec.total_trials() as u64,
+        &config,
+        quiet,
+    );
+
     let writer: Box<dyn Write> = match &trace_out {
         Some(path) => match File::create(path) {
             Ok(f) => Box::new(io::BufWriter::new(f)),
@@ -465,14 +611,35 @@ fn run_campaign_command(mut a: Args) -> ExitCode {
         None => Box::new(io::sink()),
     };
     let jsonl = JsonlSink::new(writer);
-    let mut sink = (ProgressSink { quiet }, jsonl.clone());
-    let report = match run_campaign(&spec, jobs, &mut sink) {
+    let mut sink = (
+        ProgressSink { quiet },
+        (
+            jsonl.clone(),
+            runctl::ObserverSink(tracker.as_mut().map(|t| &mut t.observer)),
+        ),
+    );
+    let watchdog = stall_factor.map(|multiplier| WatchdogConfig {
+        multiplier,
+        ..WatchdogConfig::default()
+    });
+    let report = match run_campaign_watched(&spec, jobs, watchdog, &mut sink) {
         Ok(r) => r,
         Err(e) => return fail(&e),
     };
+    drop(sink);
     let mut jsonl = jsonl;
     if let Err(e) = jsonl.finish() {
         return fail(&format!("trace write failed: {e}"));
+    }
+    if let Some(tracker) = tracker {
+        tracker.finish(
+            if report.violations().is_empty() {
+                "ok"
+            } else {
+                "failed"
+            },
+            None,
+        );
     }
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -790,6 +957,8 @@ fn main() -> ExitCode {
         "profile" => profile::run_profile_command(a),
         "trace-report" => profile::run_trace_report_command(a),
         "bench-gate" => profile::run_bench_gate_command(a),
+        "status" => runctl::run_status_command(a),
+        "report" => runctl::run_report_command(a),
         other => fail(&format!("unknown command: {other}")),
     }
 }

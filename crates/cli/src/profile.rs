@@ -14,10 +14,11 @@
 //!   deterministic stat.
 
 use crate::args::Args;
+use crate::runctl;
 use crate::{fail, parse_model};
 use rmt3d::telemetry::json::{parse, JsonValue};
 use rmt3d::telemetry::{
-    CollectorSink, CpiComponent, CpiStack, MetricsRegistry, ParsedEvent, TraceEventSink,
+    CollectorSink, CpiComponent, CpiStack, MetricsRegistry, ParsedEvent, Sink, TraceEventSink,
 };
 use rmt3d::{simulate_traced, RunScale, SimConfig};
 use rmt3d_workload::Benchmark;
@@ -59,6 +60,10 @@ pub fn run_profile_command(mut a: Args) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let quiet = a.flag("--quiet");
+    let ledger_opts = match runctl::LedgerOpts::from_args(&mut a) {
+        Ok(l) => l,
+        Err(e) => return fail(&e),
+    };
     if let Err(e) = a.finish() {
         return fail(&e);
     }
@@ -80,18 +85,56 @@ pub fn run_profile_command(mut a: Args) -> ExitCode {
             thermal_grid: 50,
         },
     );
+    let label = format!("{model}/{bench}");
+    let canonical =
+        format!("profile|{label}|instructions={instructions}|sample_interval={sample_interval}");
+    let config = vec![
+        ("model".to_string(), model.to_string()),
+        ("benchmark".to_string(), bench.to_string()),
+        ("instructions".to_string(), instructions.to_string()),
+        ("sample_interval".to_string(), sample_interval.to_string()),
+    ];
+    let mut tracker = runctl::RunTracker::start(
+        &ledger_opts,
+        "profile",
+        rmt3d_obs::spec_hash(std::iter::once(canonical.as_str())),
+        1,
+        &config,
+        quiet,
+    );
+    // The profiler has no job pool; drive the run's single job through
+    // the observer by hand so status.json reflects the simulation.
+    if let Some(t) = tracker.as_mut() {
+        t.observer.record(&rmt3d::telemetry::Event::JobStarted {
+            job: 0,
+            total: 1,
+            label: label.clone(),
+        });
+    }
+
     let collector = CollectorSink::new();
     let mut trace = TraceEventSink::new(writer);
+    let t0 = std::time::Instant::now();
     let r = simulate_traced(
         &cfg,
         bench,
         sample_interval,
         (collector.clone(), trace.clone()),
     );
+    let wall_nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     if let Err(e) = trace.finish() {
         return fail(&format!("trace write failed: {e}"));
     }
     let snapshot = collector.snapshot();
+    if let Some(t) = tracker.as_mut() {
+        t.observer.record(&rmt3d::telemetry::Event::JobFinished {
+            job: 0,
+            total: 1,
+            ok: true,
+            wall_nanos,
+            eta_nanos: 0,
+        });
+    }
 
     println!(
         "profile: model {model} benchmark {bench} ({instructions} instructions, \
@@ -124,6 +167,11 @@ pub fn run_profile_command(mut a: Args) -> ExitCode {
     }
     println!();
     println!("trace: {}", trace_path.display());
+    if let Some(tracker) = tracker {
+        // The collector's registry (CPI counters, occupancy histograms)
+        // is the interesting snapshot for a profile run's dashboard.
+        tracker.finish("ok", Some(&snapshot.registry));
+    }
     if !quiet {
         eprintln!(
             "open the trace in ui.perfetto.dev, or re-derive this report with \

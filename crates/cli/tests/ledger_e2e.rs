@@ -1,0 +1,146 @@
+//! End-to-end ledger flow through the real binary: a sweep registers a
+//! run, `status` and `report --html` read it back, and ledger chatter
+//! never touches stdout (cold and cached runs print identical result
+//! lines).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn rmt3d(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rmt3d"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmt3d-cli-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn sweep_args<'a>(runs: &'a str, cache: &'a str) -> Vec<&'a str> {
+    vec![
+        "sweep",
+        "--models",
+        "2d-a",
+        "--benchmarks",
+        "gzip,mcf",
+        "--instructions",
+        "15000",
+        "--jobs",
+        "2",
+        "--out-dir",
+        cache,
+        "--runs-root",
+        runs,
+    ]
+}
+
+#[test]
+fn sweep_registers_a_run_and_status_and_report_read_it_back() {
+    let runs = tmp("ledger");
+    let cache = tmp("ledger-cache");
+    let runs_s = runs.to_str().unwrap();
+    let cache_s = cache.to_str().unwrap();
+
+    let cold = rmt3d(&sweep_args(runs_s, cache_s));
+    assert!(cold.status.success(), "sweep failed: {cold:?}");
+
+    // The ledger root has a latest pointer to a parseable manifest and
+    // status, both with terminal outcomes.
+    let latest = std::fs::read_to_string(runs.join("latest")).expect("latest pointer");
+    let run_id = latest.trim();
+    let run_dir = runs.join(run_id);
+    let manifest = rmt3d_obs::Manifest::from_json(
+        &std::fs::read_to_string(run_dir.join("manifest.json")).expect("manifest exists"),
+    )
+    .expect("manifest parses");
+    assert_eq!(manifest.kind, "sweep");
+    assert_eq!(manifest.outcome, "ok");
+    assert_eq!(manifest.total_jobs, 2);
+    let status = rmt3d_obs::RunStatus::from_json(
+        &std::fs::read_to_string(run_dir.join("status.json")).expect("status exists"),
+    )
+    .expect("status parses");
+    assert_eq!(status.state, "ok");
+    assert_eq!(status.done, 2);
+    assert!(
+        std::fs::read_to_string(run_dir.join("metrics.json"))
+            .expect("metrics exists")
+            .starts_with('{'),
+        "metrics.json is a JSON document"
+    );
+
+    // Ledger chatter is stderr-only: a cached rerun prints the same
+    // result lines (the trailing summary line carries wall time and
+    // hit counts, so it legitimately differs).
+    let cached = rmt3d(&sweep_args(runs_s, cache_s));
+    assert!(cached.status.success(), "cached sweep failed: {cached:?}");
+    let strip_summary = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("jobs in"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_summary(&stdout(&cold)),
+        strip_summary(&stdout(&cached)),
+        "result lines must be byte-identical with a warm cache"
+    );
+
+    // `status` resolves the latest run (the cached rerun) and prints a
+    // finished progress bar.
+    let st = rmt3d(&["status", "--runs-root", runs_s]);
+    assert!(st.status.success(), "status failed: {st:?}");
+    let text = stdout(&st);
+    assert!(
+        text.contains("state=ok"),
+        "unexpected status output: {text}"
+    );
+    assert!(
+        text.contains("2/2 done"),
+        "unexpected status output: {text}"
+    );
+
+    // `status --run ID` resolves the first run explicitly.
+    let st = rmt3d(&["status", "--run", run_id, "--runs-root", runs_s]);
+    assert!(stdout(&st).contains(run_id));
+
+    // `report --html` renders a self-contained dashboard into the run
+    // directory.
+    let rp = rmt3d(&["report", "--html", "--run", run_id, "--runs-root", runs_s]);
+    assert!(rp.status.success(), "report failed: {rp:?}");
+    let html = std::fs::read_to_string(run_dir.join("report.html")).expect("report written");
+    assert!(html.starts_with("<!doctype html>"));
+    assert!(html.contains(run_id));
+    assert!(!html.contains("src="), "dashboard must be dependency-free");
+
+    let _ = std::fs::remove_dir_all(&runs);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn no_ledger_opt_out_leaves_the_runs_root_untouched() {
+    let runs = tmp("optout");
+    let cache = tmp("optout-cache");
+    let mut args = sweep_args(runs.to_str().unwrap(), cache.to_str().unwrap());
+    args.push("--no-ledger");
+    let out = rmt3d(&args);
+    assert!(out.status.success(), "sweep failed: {out:?}");
+    assert!(!Path::new(&runs).exists(), "runs root must not be created");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn status_on_an_empty_ledger_fails_cleanly() {
+    let runs = tmp("empty");
+    std::fs::create_dir_all(&runs).unwrap();
+    let out = rmt3d(&["status", "--runs-root", runs.to_str().unwrap()]);
+    assert!(!out.status.success(), "no runs to resolve");
+    let _ = std::fs::remove_dir_all(&runs);
+}

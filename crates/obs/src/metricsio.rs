@@ -1,0 +1,223 @@
+//! `metrics.json`: a run's final [`MetricsRegistry`] snapshot on disk.
+//!
+//! The registry itself renders human tables and a flat JSONL summary
+//! line; this module adds a structured document the dashboard (and any
+//! external tooling) can consume without string-splitting dotted keys:
+//!
+//! ```json
+//! {
+//!   "series": {"ipc": {"count":76,"min":…,"mean":…,"p50":…,"p99":…,"max":…}},
+//!   "hist":   {"job_wall_nanos": {"samples":70,"mean":…,
+//!               "buckets": [[lo, hi, count], …]}}
+//! }
+//! ```
+//!
+//! Histogram buckets are the non-empty [`Log2Histogram`] buckets as
+//! inclusive `[lo, hi, count]` triples. Everything round-trips through
+//! [`ParsedMetrics`] for rendering.
+
+use rmt3d_telemetry::json::{parse, JsonObject, JsonValue};
+use rmt3d_telemetry::{Log2Histogram, MetricsRegistry};
+
+/// Summary of one series as stored in `metrics.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SeriesData {
+    /// Sample count.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// One histogram as stored in `metrics.json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramData {
+    /// Total samples.
+    pub samples: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Non-empty buckets as inclusive `(lo, hi, count)`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// A parsed `metrics.json`, preserving the document's key order as
+/// written (sorted, since the parser stores objects in a `BTreeMap`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedMetrics {
+    /// Named series summaries.
+    pub series: Vec<(String, SeriesData)>,
+    /// Named histograms.
+    pub hists: Vec<(String, HistogramData)>,
+}
+
+impl ParsedMetrics {
+    /// Looks up one series by name.
+    pub fn series(&self, name: &str) -> Option<&SeriesData> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Looks up one histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistogramData> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Series whose names start with `prefix`, with the prefix
+    /// stripped — used to pull `cpi_leader_*` stacks out of a profile
+    /// run's metrics.
+    pub fn series_with_prefix(&self, prefix: &str) -> Vec<(&str, &SeriesData)> {
+        self.series
+            .iter()
+            .filter_map(|(n, s)| n.strip_prefix(prefix).map(|rest| (rest, s)))
+            .collect()
+    }
+}
+
+/// Serializes a registry as the `metrics.json` document.
+pub fn metrics_to_json(registry: &MetricsRegistry) -> String {
+    let mut series = JsonObject::new();
+    for (name, s) in registry.summaries() {
+        let mut o = JsonObject::new();
+        o.u64("count", s.count)
+            .f64("min", s.min)
+            .f64("mean", s.mean)
+            .f64("p50", s.p50)
+            .f64("p99", s.p99)
+            .f64("max", s.max);
+        series.raw(name, &o.finish());
+    }
+    let mut hists = JsonObject::new();
+    for name in registry.histogram_names() {
+        let h = registry.histogram(name).expect("name came from registry");
+        let mut buckets = String::from("[");
+        let mut first = true;
+        for b in 0..=64 {
+            let count = h.count(b);
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                buckets.push(',');
+            }
+            first = false;
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            buckets.push_str(&format!("[{lo},{hi},{count}]"));
+        }
+        buckets.push(']');
+        let mut o = JsonObject::new();
+        o.u64("samples", h.samples())
+            .f64("mean", h.mean())
+            .raw("buckets", &buckets);
+        hists.raw(name, &o.finish());
+    }
+    let mut doc = JsonObject::new();
+    doc.raw("series", &series.finish())
+        .raw("hist", &hists.finish());
+    doc.finish()
+}
+
+/// Parses a document written by [`metrics_to_json`].
+pub fn parse_metrics(text: &str) -> Result<ParsedMetrics, String> {
+    let v = parse(text)?;
+    let f = |node: &JsonValue, key: &str| -> f64 {
+        node.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+    };
+    let mut out = ParsedMetrics::default();
+    if let Some(JsonValue::Obj(series)) = v.get("series") {
+        for (name, s) in series {
+            out.series.push((
+                name.clone(),
+                SeriesData {
+                    count: s.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+                    min: f(s, "min"),
+                    mean: f(s, "mean"),
+                    p50: f(s, "p50"),
+                    p99: f(s, "p99"),
+                    max: f(s, "max"),
+                },
+            ));
+        }
+    }
+    if let Some(JsonValue::Obj(hists)) = v.get("hist") {
+        for (name, h) in hists {
+            let mut data = HistogramData {
+                samples: h.get("samples").and_then(JsonValue::as_u64).unwrap_or(0),
+                mean: f(h, "mean"),
+                buckets: Vec::new(),
+            };
+            if let Some(JsonValue::Arr(buckets)) = h.get("buckets") {
+                for b in buckets {
+                    if let JsonValue::Arr(triple) = b {
+                        if let [lo, hi, count] = triple.as_slice() {
+                            data.buckets.push((
+                                lo.as_u64().unwrap_or(0),
+                                hi.as_u64().unwrap_or(0),
+                                count.as_u64().unwrap_or(0),
+                            ));
+                        }
+                    }
+                }
+            }
+            out.hists.push((name.clone(), data));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            reg.record("ipc", v);
+        }
+        reg.record("cpi_leader_base", 0.8);
+        for v in [0, 1, 5, 5, 1000] {
+            reg.record_hist("job_wall_nanos", v);
+        }
+        let text = metrics_to_json(&reg);
+        let m = parse_metrics(&text).unwrap();
+        let ipc = m.series("ipc").unwrap();
+        assert_eq!(ipc.count, 4);
+        assert_eq!(ipc.mean, 2.5);
+        assert_eq!(ipc.min, 1.0);
+        assert_eq!(ipc.max, 4.0);
+        let h = m.hist("job_wall_nanos").unwrap();
+        assert_eq!(h.samples, 5);
+        // Buckets: {0}=1, [1,1]=1, [4,7]=2, [512,1023]=1.
+        assert_eq!(
+            h.buckets,
+            vec![(0, 0, 1), (1, 1, 1), (4, 7, 2), (512, 1023, 1)]
+        );
+        assert_eq!(
+            m.series_with_prefix("cpi_leader_"),
+            vec![("base", m.series("cpi_leader_base").unwrap())]
+        );
+    }
+
+    #[test]
+    fn empty_registry_serializes_cleanly() {
+        let text = metrics_to_json(&MetricsRegistry::new());
+        assert_eq!(text, r#"{"series":{},"hist":{}}"#);
+        let m = parse_metrics(&text).unwrap();
+        assert!(m.series.is_empty());
+        assert!(m.hists.is_empty());
+        assert!(m.series("nope").is_none());
+        assert!(m.hist("nope").is_none());
+    }
+
+    #[test]
+    fn parse_tolerates_missing_sections() {
+        let m = parse_metrics("{}").unwrap();
+        assert_eq!(m, ParsedMetrics::default());
+    }
+}

@@ -1,0 +1,690 @@
+//! Self-contained HTML run dashboard.
+//!
+//! [`render_html`] is a pure function from ledger documents
+//! ([`Manifest`], [`RunStatus`], optional [`ParsedMetrics`]) to one
+//! HTML file: no external scripts, stylesheets, fonts, or images, so
+//! the report opens from `file://`, survives being mailed around, and
+//! is pinned by a golden-file test. Being pure (no clock, no I/O), the
+//! same inputs always render byte-identical output.
+//!
+//! Layout: stat tiles (progress, cache hit-rate, failures, elapsed) →
+//! progress meter → worker timeline (lanes greedily packed from the
+//! per-job wall intervals) → job latency histogram (the log2 buckets
+//! from `metrics.json`) → CPI stacks for profile runs → stall
+//! diagnostics → a collapsed per-job table as the no-color fallback.
+//!
+//! Colors are the validated reference data-viz palette (adjacent-pair
+//! CVD-safe in its fixed slot order, light and dark steps both
+//! selected); marks follow its specs — thin bars, 2px surface gaps
+//! between stacked segments, hairline grids, text in ink tokens rather
+//! than series colors, native `<title>` tooltips on every mark, and a
+//! legend whenever two or more series share a panel.
+
+use crate::ledger::{format_unix_ms, Manifest};
+use crate::metricsio::ParsedMetrics;
+use crate::status::{fmt_nanos, JobPhase, RunStatus};
+use std::fmt::Write as _;
+
+/// HTML-escapes text interpolated into markup or attributes.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `1234567` → `"1.2M"`, `"12.9K"`, `"123"`.
+fn compact(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Bytes with binary units: `"1.2 MiB"`.
+fn fmt_bytes(n: u64) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1} MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Fixed categorical slots (light, dark) in the palette's validated
+/// order; color follows the entity, assigned by stable index.
+const SERIES: [(&str, &str); 8] = [
+    ("#2a78d6", "#3987e5"), // blue
+    ("#eb6834", "#d95926"), // orange
+    ("#1baf7a", "#199e70"), // aqua
+    ("#eda100", "#c98500"), // yellow
+    ("#e87ba4", "#d55181"), // magenta
+    ("#008300", "#008300"), // green
+    ("#4a3aa7", "#9085e9"), // violet
+    ("#e34948", "#e66767"), // red
+];
+
+const STYLE: &str = r#"
+:root { color-scheme: light dark; }
+body.viz-root {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink);
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --track: #cde2fb;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+  --good: #0ca30c; --warning: #fab219; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  body.viz-root {
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --track: #0d366b;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+  }
+}
+main { max-width: 960px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 14px; font-weight: 600; margin: 0 0 10px; }
+.meta { color: var(--ink2); font-size: 13px; margin: 0 0 20px; }
+.meta code { font-family: ui-monospace, monospace; font-size: 12px; }
+.badge { display: inline-block; padding: 1px 8px; border-radius: 9px;
+  font-size: 12px; font-weight: 600; border: 1px solid var(--border); }
+.badge.ok { color: var(--good); }
+.badge.failed { color: var(--critical); }
+.badge.running { color: var(--ink2); }
+section, .tile { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; }
+section { padding: 16px; margin: 0 0 16px; }
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(130px, 1fr));
+  gap: 12px; margin: 0 0 16px; }
+.tile { padding: 12px 14px; }
+.tile .label { font-size: 12px; color: var(--ink2); }
+.tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.tile .sub { font-size: 12px; color: var(--muted); margin-top: 2px; }
+.meter { height: 10px; border-radius: 5px; background: var(--track);
+  overflow: hidden; }
+.meter > div { height: 100%; background: var(--s1); border-radius: 5px 0 0 5px; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 14px; font-size: 12px;
+  color: var(--ink2); margin-top: 8px; }
+.legend .key { display: inline-block; width: 10px; height: 10px;
+  border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+table { border-collapse: collapse; font-size: 13px; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--ink2); font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+details > summary { cursor: pointer; color: var(--ink2); font-size: 13px; }
+footer { color: var(--muted); font-size: 12px; margin: 24px 0 0; }
+.note { color: var(--muted); font-size: 12px; margin-top: 8px; }
+"#;
+
+fn tile(out: &mut String, label: &str, value: &str, sub: &str) {
+    let _ = write!(
+        out,
+        r#"<div class="tile"><div class="label">{}</div><div class="value">{}</div>"#,
+        esc(label),
+        esc(value)
+    );
+    if !sub.is_empty() {
+        let _ = write!(out, r#"<div class="sub">{}</div>"#, esc(sub));
+    }
+    out.push_str("</div>\n");
+}
+
+/// A job's `(index, start_nanos, end_nanos)` interval on the timeline.
+type JobSpan = (usize, u64, u64);
+
+/// Greedy lane packing for the worker timeline: each job interval goes
+/// to the first lane whose previous interval has ended. With accurate
+/// timings this reconstructs per-worker lanes without needing worker
+/// ids in the event schema.
+fn pack_lanes(intervals: &[JobSpan]) -> Vec<Vec<JobSpan>> {
+    let mut lanes: Vec<(u64, Vec<JobSpan>)> = Vec::new();
+    let mut sorted = intervals.to_vec();
+    sorted.sort_by_key(|&(_, start, _)| start);
+    for (job, start, end) in sorted {
+        match lanes
+            .iter_mut()
+            .find(|(busy_until, _)| *busy_until <= start)
+        {
+            Some((busy_until, lane)) => {
+                *busy_until = end;
+                lane.push((job, start, end));
+            }
+            None => lanes.push((end, vec![(job, start, end)])),
+        }
+    }
+    lanes.into_iter().map(|(_, lane)| lane).collect()
+}
+
+/// Jobs drawn in the timeline before truncation (bounds file size for
+/// huge campaigns; the cut is announced in the panel, never silent).
+const TIMELINE_MAX_JOBS: usize = 300;
+
+fn timeline_section(out: &mut String, status: &RunStatus) {
+    let mut intervals = Vec::new();
+    for i in 0..status.phases.len() {
+        let (start, end, _) = status.job_wall(i);
+        if end > start {
+            intervals.push((i, start, end));
+        }
+        if intervals.len() == TIMELINE_MAX_JOBS {
+            break;
+        }
+    }
+    if intervals.is_empty() {
+        return;
+    }
+    let truncated = status.phases.len() > TIMELINE_MAX_JOBS;
+    let span = intervals
+        .iter()
+        .map(|&(_, _, e)| e)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let lanes = pack_lanes(&intervals);
+    const W: f64 = 912.0;
+    const ROW: f64 = 18.0;
+    const BAR: f64 = 14.0;
+    let h = lanes.len() as f64 * ROW + 18.0;
+    out.push_str("<section><h2>Worker timeline</h2>\n");
+    let _ = write!(
+        out,
+        r#"<svg viewBox="0 0 {W} {h}" width="100%" role="img" aria-label="Per-lane job execution timeline">"#
+    );
+    // Hairline grid: quarters of the span.
+    for q in 1..4 {
+        let x = W * q as f64 / 4.0;
+        let _ = write!(
+            out,
+            r#"<line x1="{x:.1}" y1="0" x2="{x:.1}" y2="{:.1}" stroke="var(--grid)" stroke-width="1"/>"#,
+            h - 18.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{x:.1}" y="{:.1}" font-size="10" fill="var(--muted)" text-anchor="middle">{}</text>"#,
+            h - 4.0,
+            fmt_nanos(span * q as u64 / 4)
+        );
+    }
+    for (lane_idx, lane) in lanes.iter().enumerate() {
+        let y = lane_idx as f64 * ROW;
+        for &(job, start, end) in lane {
+            let x = W * start as f64 / span as f64;
+            let w = (W * (end - start) as f64 / span as f64).max(1.5);
+            let phase = status.phases[job];
+            let color = match phase {
+                JobPhase::Failed => "var(--critical)",
+                JobPhase::Cached => "var(--s3)",
+                _ => "var(--s1)",
+            };
+            let label = &status.labels[job];
+            let _ = write!(
+                out,
+                r#"<rect x="{x:.1}" y="{:.1}" width="{w:.1}" height="{BAR}" rx="3" fill="{color}"><title>job {job} {} — {} ({})</title></rect>"#,
+                y + 1.0,
+                esc(label),
+                fmt_nanos(end - start),
+                phase.as_str()
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    // Three states share the panel: legend is mandatory.
+    out.push_str(
+        r#"<div class="legend"><span><span class="key" style="background:var(--s1)"></span>executed</span><span><span class="key" style="background:var(--s3)"></span>cache hit</span><span><span class="key" style="background:var(--critical)"></span>failed ✕</span></div>"#,
+    );
+    if truncated {
+        let _ = write!(
+            out,
+            r#"<p class="note">Showing the first {TIMELINE_MAX_JOBS} of {} jobs.</p>"#,
+            status.phases.len()
+        );
+    }
+    out.push_str("</section>\n");
+}
+
+fn histogram_section(out: &mut String, metrics: &ParsedMetrics) {
+    let Some(h) = metrics.hist("job_wall_nanos") else {
+        return;
+    };
+    if h.buckets.is_empty() {
+        return;
+    }
+    let peak = h.buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1);
+    let n = h.buckets.len();
+    const W: f64 = 912.0;
+    const H: f64 = 150.0;
+    const PLOT: f64 = 120.0;
+    let slot = W / n as f64;
+    let bar_w = (slot - 2.0).min(24.0); // 2px surface gap, 24px cap
+    out.push_str("<section><h2>Job latency</h2>\n");
+    let _ = write!(
+        out,
+        r#"<svg viewBox="0 0 {W} {H}" width="100%" role="img" aria-label="Log-scale histogram of job wall times">"#
+    );
+    let _ = write!(
+        out,
+        r#"<line x1="0" y1="{PLOT}" x2="{W}" y2="{PLOT}" stroke="var(--baseline)" stroke-width="1"/>"#
+    );
+    for (i, &(lo, hi, count)) in h.buckets.iter().enumerate() {
+        let x = i as f64 * slot + (slot - bar_w) / 2.0;
+        let bar_h = (PLOT - 14.0) * count as f64 / peak as f64;
+        let y = PLOT - bar_h;
+        // 4px rounded data-end, square baseline: round the cap via a
+        // clipped overshoot below the baseline.
+        let _ = write!(
+            out,
+            r#"<path d="M{x:.1} {PLOT} V{:.1} q0 -4 4 -4 h{:.1} q4 0 4 4 V{PLOT} Z" fill="var(--s1)"><title>[{}, {}]: {count} jobs</title></path>"#,
+            (y + 4.0).min(PLOT),
+            (bar_w - 8.0).max(0.0),
+            fmt_nanos(lo),
+            fmt_nanos(hi),
+        );
+        if count == peak {
+            // Selective direct label: the modal bucket only.
+            let _ = write!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" fill="var(--ink2)" text-anchor="middle">{}</text>"#,
+                x + bar_w / 2.0,
+                y - 4.0,
+                compact(count)
+            );
+        }
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" fill="var(--muted)" text-anchor="middle">{}</text>"#,
+            x + bar_w / 2.0,
+            H - 4.0,
+            fmt_nanos(lo)
+        );
+    }
+    out.push_str("</svg>\n");
+    let _ = write!(
+        out,
+        r#"<p class="note">{} executed jobs, mean {}.</p>"#,
+        compact(h.samples),
+        fmt_nanos(h.mean as u64)
+    );
+    out.push_str("</section>\n");
+}
+
+fn cpi_section(out: &mut String, metrics: &ParsedMetrics) {
+    let stacks: Vec<(&str, Vec<(&str, f64)>)> =
+        [("leader", "cpi_leader_"), ("checker", "cpi_checker_")]
+            .iter()
+            .map(|&(who, prefix)| {
+                let parts = metrics
+                    .series_with_prefix(prefix)
+                    .into_iter()
+                    .map(|(name, s)| (name, s.mean))
+                    .collect::<Vec<_>>();
+                (who, parts)
+            })
+            .filter(|(_, parts)| !parts.is_empty())
+            .collect();
+    if stacks.is_empty() {
+        return;
+    }
+    // Color follows the component name: stable slot per name across
+    // both stacks, in first-seen (sorted-document) order.
+    let mut components: Vec<&str> = Vec::new();
+    for (_, parts) in &stacks {
+        for &(name, _) in parts {
+            if !components.contains(&name) {
+                components.push(name);
+            }
+        }
+    }
+    let slot_of = |name: &str| components.iter().position(|c| *c == name).unwrap_or(0);
+    let max_total: f64 = stacks
+        .iter()
+        .map(|(_, parts)| parts.iter().map(|(_, v)| v).sum::<f64>())
+        .fold(0.0, f64::max);
+    if max_total <= 0.0 {
+        return;
+    }
+    const W: f64 = 912.0;
+    const LABEL_W: f64 = 70.0;
+    const ROW: f64 = 30.0;
+    const BAR: f64 = 20.0;
+    let h = stacks.len() as f64 * ROW;
+    out.push_str("<section><h2>CPI stacks</h2>\n");
+    let _ = write!(
+        out,
+        r#"<svg viewBox="0 0 {W} {h}" width="100%" role="img" aria-label="Cycles-per-instruction breakdown">"#
+    );
+    for (row, (who, parts)) in stacks.iter().enumerate() {
+        let y = row as f64 * ROW + (ROW - BAR) / 2.0;
+        let _ = write!(
+            out,
+            r#"<text x="0" y="{:.1}" font-size="12" fill="var(--ink2)">{who}</text>"#,
+            y + BAR - 5.0
+        );
+        let mut x = LABEL_W;
+        let total: f64 = parts.iter().map(|(_, v)| v).sum();
+        for &(name, value) in parts {
+            if value <= 0.0 {
+                continue;
+            }
+            let w = (W - LABEL_W - 60.0) * value / max_total;
+            let slot = SERIES[slot_of(name) % SERIES.len()];
+            let _ = write!(
+                out,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{BAR}" rx="2" fill="{}" class="cpi-{}"><title>{who} {name}: {value:.4} CPI</title></rect>"#,
+                (w - 2.0).max(0.5), // 2px surface gap between segments
+                slot.0,
+                slot_of(name) + 1
+            );
+            x += w;
+        }
+        // Value at the bar tip (text token, not series color).
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" fill="var(--ink)">{total:.3}</text>"#,
+            x + 6.0,
+            y + BAR - 5.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out.push_str(r#"<div class="legend">"#);
+    for name in &components {
+        let _ = write!(
+            out,
+            r#"<span><span class="key" style="background:{}"></span>{}</span>"#,
+            SERIES[slot_of(name) % SERIES.len()].0,
+            esc(name)
+        );
+    }
+    out.push_str("</div>\n</section>\n");
+}
+
+fn stalls_section(out: &mut String, status: &RunStatus) {
+    if status.stalls.is_empty() {
+        return;
+    }
+    out.push_str("<section><h2>Watchdog stalls</h2>\n<table><thead><tr><th>job</th><th>label</th><th class=\"num\">silent for</th><th class=\"num\">median job</th></tr></thead><tbody>\n");
+    for s in &status.stalls {
+        let _ = write!(
+            out,
+            r#"<tr><td>⚠ {}</td><td>{}</td><td class="num">{}</td><td class="num">{}</td></tr>"#,
+            s.job,
+            esc(&s.label),
+            fmt_nanos(s.elapsed_nanos),
+            fmt_nanos(s.median_nanos)
+        );
+        out.push('\n');
+    }
+    out.push_str("</tbody></table></section>\n");
+}
+
+fn jobs_table(out: &mut String, status: &RunStatus) {
+    if status.phases.is_empty() {
+        return;
+    }
+    out.push_str("<section><details><summary>Per-job table</summary>\n<table><thead><tr><th class=\"num\">job</th><th>label</th><th>state</th><th class=\"num\">wall</th></tr></thead><tbody>\n");
+    for i in 0..status.phases.len() {
+        let (_, _, wall) = status.job_wall(i);
+        let _ = write!(
+            out,
+            r#"<tr><td class="num">{i}</td><td>{}</td><td>{}</td><td class="num">{}</td></tr>"#,
+            esc(&status.labels[i]),
+            status.phases[i].as_str(),
+            fmt_nanos(wall)
+        );
+        out.push('\n');
+    }
+    out.push_str("</tbody></table></details></section>\n");
+}
+
+/// Renders the full dashboard; see the module docs. Pure: identical
+/// inputs produce identical bytes.
+pub fn render_html(
+    manifest: &Manifest,
+    status: &RunStatus,
+    metrics: Option<&ParsedMetrics>,
+) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    let _ = write!(
+        out,
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n<title>rmt3d run {}</title>\n<style>{STYLE}</style></head>\n<body class=\"viz-root\"><main>\n",
+        esc(&manifest.run_id)
+    );
+    let badge_class = match manifest.outcome.as_str() {
+        "ok" => "ok",
+        "running" => "running",
+        _ => "failed",
+    };
+    let badge_icon = match manifest.outcome.as_str() {
+        "ok" => "✓",
+        "running" => "◌",
+        _ => "✕",
+    };
+    let _ = write!(
+        out,
+        r#"<h1>{} <span class="badge {badge_class}">{badge_icon} {}</span></h1>"#,
+        esc(&manifest.run_id),
+        esc(&manifest.outcome)
+    );
+    out.push('\n');
+    let _ = write!(
+        out,
+        r#"<p class="meta">{} · {} · started {} · finished {} · spec <code>{}</code></p>"#,
+        esc(&manifest.kind),
+        esc(&manifest.version),
+        format_unix_ms(manifest.started_unix_ms),
+        format_unix_ms(manifest.finished_unix_ms),
+        esc(&manifest.spec_hash)
+    );
+    out.push('\n');
+
+    // Stat tiles: the headline numbers.
+    out.push_str("<div class=\"tiles\">\n");
+    let pct = if status.total == 0 {
+        100.0
+    } else {
+        100.0 * status.done as f64 / status.total as f64
+    };
+    tile(
+        &mut out,
+        "Progress",
+        &format!("{pct:.0}%"),
+        &format!("{}/{} jobs", status.done, status.total),
+    );
+    tile(
+        &mut out,
+        "Executed",
+        &compact(status.executed),
+        &format!("{} failed", status.failures),
+    );
+    let probes = status.cache.map(|c| c.hits + c.misses).unwrap_or(0);
+    let hit_rate = if probes == 0 {
+        String::from("-")
+    } else {
+        format!(
+            "{:.0}%",
+            100.0 * status.cache.map(|c| c.hits).unwrap_or(0) as f64 / probes as f64
+        )
+    };
+    tile(
+        &mut out,
+        "Cache hit-rate",
+        &hit_rate,
+        &status
+            .cache
+            .map(|c| format!("{} entries, {}", compact(c.entries), fmt_bytes(c.bytes)))
+            .unwrap_or_default(),
+    );
+    tile(
+        &mut out,
+        "Elapsed",
+        &fmt_nanos(status.elapsed_nanos),
+        &status
+            .pool
+            .map(|p| format!("{} workers", p.workers))
+            .unwrap_or_default(),
+    );
+    if let Some(p) = &status.pool {
+        let busy = p.busy_nanos + p.idle_nanos;
+        let util = if busy == 0 {
+            String::from("-")
+        } else {
+            format!("{:.0}%", 100.0 * p.busy_nanos as f64 / busy as f64)
+        };
+        tile(
+            &mut out,
+            "Worker busy",
+            &util,
+            &format!("{} steals", p.steals),
+        );
+    }
+    out.push_str("</div>\n");
+
+    // Progress meter: accent fill on a lighter step of the same ramp.
+    let _ = write!(
+        out,
+        r#"<section><h2>Progress</h2><div class="meter"><div style="width:{pct:.1}%"></div></div><p class="note">{} executed, {} cached, {} failed, {} pending.</p></section>"#,
+        status.executed,
+        status.cache_hits,
+        status.failures,
+        status.total.saturating_sub(status.done),
+    );
+    out.push('\n');
+
+    timeline_section(&mut out, status);
+    if let Some(m) = metrics {
+        histogram_section(&mut out, m);
+        cpi_section(&mut out, m);
+    }
+    stalls_section(&mut out, status);
+    jobs_table(&mut out, status);
+
+    let _ = write!(
+        out,
+        "<footer>rmt3d run ledger · {} · single-file report, no external assets</footer>\n</main></body></html>\n",
+        esc(&manifest.version)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metricsio::parse_metrics;
+    use crate::status::StallInfo;
+
+    fn manifest() -> Manifest {
+        Manifest {
+            run_id: "sweep-20260808-120000-00c0ffee".into(),
+            kind: "sweep".into(),
+            version: "rmt3d/0.1.0".into(),
+            spec_hash: "00000000c0ffee00".into(),
+            total_jobs: 3,
+            outcome: "ok".into(),
+            config: vec![("workers".into(), "2".into())],
+            started_unix_ms: 1_786_147_200_000,
+            finished_unix_ms: 1_786_147_260_000,
+        }
+    }
+
+    #[test]
+    fn report_is_self_contained_and_escaped() {
+        let mut status = RunStatus::new("sweep-x", "sweep", 2);
+        status.labels[0] = "3d-2a/<mcf> & \"co\"".into();
+        status.phases[0] = JobPhase::Done;
+        status.done = 1;
+        status.executed = 1;
+        let html = render_html(&manifest(), &status, None);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("&lt;mcf&gt; &amp; &quot;co&quot;"));
+        assert!(!html.contains("3d-2a/<mcf>"));
+        // Self-contained: no external fetches of any kind.
+        for needle in ["http://", "https://", "<script src", "<link "] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+    }
+
+    #[test]
+    fn report_renders_every_section_when_data_exists() {
+        let mut status = RunStatus::new("r", "profile", 2);
+        status.phases = vec![JobPhase::Done, JobPhase::Failed];
+        status.labels = vec!["a".into(), "b".into()];
+        status.done = 2;
+        status.executed = 2;
+        status.failures = 1;
+        status.stalls.push(StallInfo {
+            job: 1,
+            label: "b".into(),
+            elapsed_nanos: 5_000_000_000,
+            median_nanos: 1_000_000_000,
+        });
+        let metrics = parse_metrics(
+            r#"{"series":{"cpi_leader_base":{"count":1,"min":0.8,"mean":0.8,"p50":0.8,"p99":0.8,"max":0.8},
+                "cpi_leader_mem":{"count":1,"min":0.4,"mean":0.4,"p50":0.4,"p99":0.4,"max":0.4},
+                "cpi_checker_base":{"count":1,"min":0.5,"mean":0.5,"p50":0.5,"p99":0.5,"max":0.5}},
+               "hist":{"job_wall_nanos":{"samples":2,"mean":1500.0,"buckets":[[1024,2047,2]]}}}"#,
+        )
+        .unwrap();
+        let html = render_html(&manifest(), &status, Some(&metrics));
+        for needle in [
+            "Progress",
+            "Job latency",
+            "CPI stacks",
+            "Watchdog stalls",
+            "Per-job table",
+            "checker",
+        ] {
+            assert!(html.contains(needle), "missing section: {needle}");
+        }
+    }
+
+    #[test]
+    fn rendering_is_pure() {
+        let status = RunStatus::new("r", "sweep", 1);
+        let a = render_html(&manifest(), &status, None);
+        let b = render_html(&manifest(), &status, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_packing_reuses_freed_lanes() {
+        // Two overlapping jobs need two lanes; a third starting after
+        // the first ends reuses lane 0.
+        let lanes = pack_lanes(&[(0, 0, 10), (1, 5, 15), (2, 12, 20)]);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0], vec![(0, 0, 10), (2, 12, 20)]);
+        assert_eq!(lanes[1], vec![(1, 5, 15)]);
+    }
+
+    #[test]
+    fn compact_and_bytes_formatting() {
+        assert_eq!(compact(999), "999");
+        assert_eq!(compact(12_900), "12.9K");
+        assert_eq!(compact(1_200_000), "1.2M");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden-file pin for the HTML run dashboard.
+//!
+//! `render_html` is pure, so a fixed manifest + status + metrics input
+//! must render byte-identical output forever. Any intentional change
+//! to the dashboard is reviewed through this file's diff. Regenerate
+//! with `RMT3D_BLESS=1 cargo test -p rmt3d-obs`.
+
+use rmt3d_obs::metricsio::parse_metrics;
+use rmt3d_obs::{render_html, Manifest, RunStatus};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("RMT3D_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with RMT3D_BLESS=1 cargo test -p rmt3d-obs",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "dashboard output drifted from {}; if intentional, regenerate \
+         with RMT3D_BLESS=1 cargo test -p rmt3d-obs",
+        path.display()
+    );
+}
+
+/// A finished sweep with every dashboard section populated: executed,
+/// cached, and failed jobs, pool/cache totals, one watchdog stall,
+/// latency buckets, and both CPI stacks.
+fn synthetic_status() -> RunStatus {
+    RunStatus::from_json(concat!(
+        r#"{"run_id":"sweep-20260808-120000-00c0ffee","kind":"sweep","state":"ok","#,
+        r#""total":6,"done":6,"executed":4,"cache_hits":2,"failures":1,"#,
+        r#""jobs":[{"job":0,"label":"2d-a/gzip","state":"done"},"#,
+        r#"{"job":1,"label":"2d-a/mcf","state":"cached"},"#,
+        r#"{"job":2,"label":"3d-2a/gzip","state":"done"},"#,
+        r#"{"job":3,"label":"3d-2a/mcf","state":"failed"},"#,
+        r#"{"job":4,"label":"3d-4a/swim","state":"done"},"#,
+        r#"{"job":5,"label":"3d-4a/art","state":"cached"}],"#,
+        r#""pool":{"workers":2,"executed":4,"cache_hits":2,"failed":1},"#,
+        r#""cache":{"hits":2,"misses":4,"verify_failures":1,"entries":6,"bytes":34567},"#,
+        r#""wall":{"updated_unix_ms":1786147260000,"elapsed_nanos":60000000000,"#,
+        r#""eta_nanos":0,"steals":1,"busy_nanos":90000000000,"idle_nanos":30000000000,"#,
+        r#""pool_wall_nanos":60000000000,"#,
+        r#""jobs":[{"job":0,"start_nanos":0,"end_nanos":20000000000,"wall_nanos":20000000000},"#,
+        r#"{"job":1,"start_nanos":100,"end_nanos":100,"wall_nanos":0},"#,
+        r#"{"job":2,"start_nanos":0,"end_nanos":30000000000,"wall_nanos":30000000000},"#,
+        r#"{"job":3,"start_nanos":20000000000,"end_nanos":25000000000,"wall_nanos":5000000000},"#,
+        r#"{"job":4,"start_nanos":30000000000,"end_nanos":58000000000,"wall_nanos":28000000000},"#,
+        r#"{"job":5,"start_nanos":200,"end_nanos":200,"wall_nanos":0}],"#,
+        r#""stalls":[{"job":4,"label":"3d-4a/swim","elapsed_nanos":28000000000,"#,
+        r#""median_nanos":5000000000}]}}"#,
+    ))
+    .expect("fixture status parses")
+}
+
+fn synthetic_manifest() -> Manifest {
+    Manifest::from_json(concat!(
+        r#"{"run_id":"sweep-20260808-120000-00c0ffee","kind":"sweep","#,
+        r#""version":"rmt3d/0.1.0","spec_hash":"00000000c0ffee00","total_jobs":6,"#,
+        r#""outcome":"ok","config":{"cache":"readwrite","workers":"2"},"#,
+        r#""wall":{"started_unix_ms":1786147200000,"finished_unix_ms":1786147260000}}"#,
+    ))
+    .expect("fixture manifest parses")
+}
+
+const SYNTHETIC_METRICS: &str = concat!(
+    r#"{"series":{"#,
+    r#""cpi_checker_base":{"count":4,"min":0.5,"mean":0.55,"p50":0.55,"p99":0.6,"max":0.6},"#,
+    r#""cpi_checker_recovery":{"count":4,"min":0.05,"mean":0.08,"p50":0.08,"p99":0.1,"max":0.1},"#,
+    r#""cpi_leader_base":{"count":4,"min":0.8,"mean":0.85,"p50":0.85,"p99":0.9,"max":0.9},"#,
+    r#""cpi_leader_mem":{"count":4,"min":0.3,"mean":0.4,"p50":0.4,"p99":0.5,"max":0.5},"#,
+    r#""cpi_leader_rvq_full":{"count":4,"min":0.1,"mean":0.15,"p50":0.15,"p99":0.2,"max":0.2},"#,
+    r#""ipc":{"count":4,"min":0.9,"mean":1.1,"p50":1.1,"p99":1.3,"max":1.3}},"#,
+    r#""hist":{"job_wall_nanos":{"samples":4,"mean":20750000000.0,"#,
+    r#""buckets":[[4294967296,8589934591,1],[17179869184,34359738367,3]]}}}"#,
+);
+
+#[test]
+fn dashboard_html_matches_golden() {
+    let metrics = parse_metrics(SYNTHETIC_METRICS).expect("fixture metrics parse");
+    let html = render_html(&synthetic_manifest(), &synthetic_status(), Some(&metrics));
+    assert_golden("report.html", &html);
+}
+
+#[test]
+fn dashboard_without_metrics_matches_golden() {
+    // A run killed before metrics.json was written still gets a report.
+    let html = render_html(&synthetic_manifest(), &synthetic_status(), None);
+    assert_golden("report-no-metrics.html", &html);
+}

@@ -14,6 +14,7 @@ use crate::pool::{run_pool, PoolEvent};
 use crate::spec::JobSpec;
 use crate::store::ResultStore;
 use rmt3d::{simulate, PerfResult};
+use rmt3d_obs::WatchdogConfig;
 use rmt3d_telemetry::{emit, Event, Sink};
 use std::path::PathBuf;
 use std::thread;
@@ -38,6 +39,9 @@ pub struct SweepOptions {
     pub jobs: usize,
     /// Result-cache policy.
     pub cache: CacheMode,
+    /// Heartbeat watchdog; `None` (the default) disables stall
+    /// detection and keeps the coordinator on a blocking `recv`.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl SweepOptions {
@@ -46,6 +50,7 @@ impl SweepOptions {
         SweepOptions {
             jobs: 1,
             cache: CacheMode::Disabled,
+            watchdog: None,
         }
     }
 
@@ -124,7 +129,12 @@ impl SweepReport {
 /// simulating a job, [`Event::JobFinished`] (with wall time and an ETA
 /// extrapolated from the mean executed-job wall time) when it
 /// completes, and [`Event::JobCacheHit`] when the cache satisfies a job
-/// without simulation.
+/// without simulation. When [`SweepOptions::watchdog`] is set, silent
+/// jobs surface as [`Event::JobStalled`]. After the pool drains, one
+/// [`Event::PoolStats`] reports utilization totals, and — when a cache
+/// directory is configured — one [`Event::CacheStats`] reports lookup
+/// counters plus on-disk entry totals (the usage index is also flushed,
+/// best-effort).
 ///
 /// # Errors
 ///
@@ -156,6 +166,7 @@ pub fn run_sweep<S: Sink>(
                 let _ = store.save(job, result);
             }
         },
+        opts.watchdog,
         |ev| match ev {
             PoolEvent::Started { index } => emit(sink, || Event::JobStarted {
                 job: index as u64,
@@ -179,8 +190,43 @@ pub fn run_sweep<S: Sink>(
                 wall_nanos,
                 eta_nanos,
             }),
+            PoolEvent::Stalled {
+                index,
+                elapsed_nanos,
+                median_nanos,
+            } => emit(sink, || Event::JobStalled {
+                job: index as u64,
+                total: total as u64,
+                label: jobs[index].label(),
+                elapsed_nanos,
+                median_nanos,
+            }),
+            PoolEvent::Drained { stats } => emit(sink, || Event::PoolStats {
+                workers: stats.workers,
+                executed: stats.executed,
+                cache_hits: stats.cache_hits,
+                failed: stats.failed,
+                steals: stats.steals,
+                busy_nanos: stats.busy_nanos,
+                idle_nanos: stats.idle_nanos,
+                wall_nanos: stats.wall_nanos,
+            }),
         },
     );
+    if let Some(store) = store {
+        // The usage index is advisory; a failed flush costs only the
+        // eviction metadata.
+        let _ = store.flush_index();
+        let counters = store.stats();
+        let (entries, bytes) = store.totals().unwrap_or((0, 0));
+        emit(sink, || Event::CacheStats {
+            hits: counters.hits,
+            misses: counters.misses,
+            verify_failures: counters.verify_failures,
+            entries,
+            bytes,
+        });
+    }
 
     let mut executed = 0usize;
     let mut cache_hits = 0usize;
@@ -236,7 +282,7 @@ impl ParallelSimulator {
         ParallelSimulator {
             opts: SweepOptions {
                 jobs,
-                cache: CacheMode::Disabled,
+                ..SweepOptions::default()
             },
         }
     }
@@ -309,7 +355,7 @@ mod tests {
             jobs,
             &SweepOptions {
                 jobs: 2,
-                cache: CacheMode::Disabled,
+                ..SweepOptions::default()
             },
             &mut NullSink,
         )

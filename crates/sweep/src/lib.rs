@@ -23,8 +23,12 @@
 //!    content-addressed JSON entry (key = stable FNV-1a hash of the
 //!    full job configuration + crate version); re-runs skip completed
 //!    jobs and interrupted sweeps resume.
-//! 5. **Telemetry**: job started / finished / cache-hit events with an
-//!    ETA stream through any [`rmt3d_telemetry::Sink`].
+//! 5. **Telemetry**: job started / finished / cache-hit / stalled
+//!    events with an ETA, plus end-of-run pool utilization and cache
+//!    counters, stream through any [`rmt3d_telemetry::Sink`]. An
+//!    optional heartbeat watchdog
+//!    ([`SweepOptions::watchdog`](SweepOptions)) flags jobs that run
+//!    far past the median without finishing.
 //!
 //! [`ParallelSimulator`] plugs the engine into the experiment drivers
 //! (`fig4::run_with`, `fig5::run_with`, `iso_thermal::run_with`)
@@ -55,6 +59,6 @@ mod spec;
 mod store;
 
 pub use engine::{run_sweep, CacheMode, JobRecord, ParallelSimulator, SweepOptions, SweepReport};
-pub use pool::{panic_message, run_pool, PoolEvent, PoolRecord};
+pub use pool::{eta_nanos, panic_message, run_pool, PoolEvent, PoolRecord, PoolStatsSummary};
 pub use spec::{JobSpec, SweepSpec, CACHE_VERSION};
-pub use store::ResultStore;
+pub use store::{CacheCounters, IndexEntry, ResultStore, INDEX_FILE};

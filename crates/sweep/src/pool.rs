@@ -9,13 +9,20 @@
 //! back in item order regardless of worker count, which is what makes
 //! parallel runs byte-identical to serial ones.
 //!
+//! The coordinator doubles as the run's monitor: it tallies per-worker
+//! utilization and steal counts for the [`PoolEvent::Drained`] summary,
+//! and (when a [`WatchdogConfig`] is supplied) drives a heartbeat
+//! [`Watchdog`] off `recv_timeout`, surfacing silent items as
+//! [`PoolEvent::Stalled`] diagnostics without interrupting them.
+//!
 //! [`run_sweep`]: crate::run_sweep
 
+use rmt3d_obs::{Watchdog, WatchdogConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One item's outcome, in item order in [`run_pool`]'s return value.
 #[derive(Debug, Clone)]
@@ -25,6 +32,31 @@ pub struct PoolRecord<R> {
     /// True when `probe` satisfied the item without running `exec`.
     pub cached: bool,
     /// Wall-clock nanoseconds spent in `exec` (0 for cache hits).
+    pub wall_nanos: u64,
+}
+
+/// Aggregate statistics of one pool drain, reported once via
+/// [`PoolEvent::Drained`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStatsSummary {
+    /// Worker threads the pool ran.
+    pub workers: u64,
+    /// Items that executed (probe misses).
+    pub executed: u64,
+    /// Items satisfied by `probe`.
+    pub cache_hits: u64,
+    /// Executed items that panicked.
+    pub failed: u64,
+    /// Items claimed off another worker's static round-robin slot
+    /// (`index % workers != worker`): a proxy for how much the shared
+    /// cursor rebalanced uneven item costs.
+    pub steals: u64,
+    /// Total wall-clock nanoseconds workers spent inside `exec`.
+    pub busy_nanos: u64,
+    /// Total wall-clock nanoseconds workers sat idle (pool wall time ×
+    /// workers, minus busy).
+    pub idle_nanos: u64,
+    /// Wall-clock nanoseconds from pool start to drain.
     pub wall_nanos: u64,
 }
 
@@ -53,14 +85,32 @@ pub enum PoolEvent {
         /// Wall-clock nanoseconds the item's `exec` took.
         wall_nanos: u64,
         /// Estimated nanoseconds until the pool drains, extrapolated
-        /// from the mean executed-item wall time.
+        /// from the mean executed-item wall time (see [`eta_nanos`]).
         eta_nanos: u64,
+    },
+    /// The watchdog flagged item `index`: no heartbeat for longer than
+    /// the configured multiple of the median executed-item duration.
+    /// Advisory — the item keeps running and is flagged at most once.
+    Stalled {
+        /// Item position.
+        index: usize,
+        /// Nanoseconds of silence when flagged.
+        elapsed_nanos: u64,
+        /// Median executed-item duration the threshold derived from.
+        median_nanos: u64,
+    },
+    /// Every item is accounted for; the pool is about to return.
+    /// Always the final event of a drain.
+    Drained {
+        /// Utilization and outcome totals.
+        stats: PoolStatsSummary,
     },
 }
 
 enum Msg<R> {
     Started {
         index: usize,
+        worker: usize,
     },
     Done {
         index: usize,
@@ -81,6 +131,17 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Remaining-work estimate from the mean executed-item wall time:
+/// `mean × remaining ÷ workers`. Zero until the first item executes
+/// (no baseline), zero once nothing remains. With roughly uniform item
+/// costs the estimate converges monotonically to zero as items finish.
+pub fn eta_nanos(exec_wall_sum: u64, executed: u64, remaining: u64, workers: u64) -> u64 {
+    if executed == 0 {
+        return 0;
+    }
+    (exec_wall_sum / executed).saturating_mul(remaining) / workers.max(1)
+}
+
 /// Runs `exec` over every item on `workers` threads and returns the
 /// records in item order.
 ///
@@ -90,13 +151,17 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// failed record) and a successful result is offered to `save`
 /// (worker-side, best-effort — e.g. persisting to a result store).
 /// `observe` runs on the calling thread only, so it may own non-`Send`
-/// state such as a telemetry sink.
+/// state such as a telemetry sink. When `watchdog` is supplied, the
+/// coordinator polls at its interval and reports silent items as
+/// [`PoolEvent::Stalled`]. The final event is always
+/// [`PoolEvent::Drained`] with the pool's utilization summary.
 pub fn run_pool<I, R, P, E, V, O>(
     items: &[I],
     workers: usize,
     probe: P,
     exec: E,
     save: V,
+    watchdog: Option<WatchdogConfig>,
     mut observe: O,
 ) -> Vec<PoolRecord<R>>
 where
@@ -114,9 +179,14 @@ where
 
     let mut records: Vec<Option<PoolRecord<R>>> = Vec::with_capacity(total);
     records.resize_with(total, || None);
+    let t0 = Instant::now();
+    let mut stats = PoolStatsSummary {
+        workers: workers as u64,
+        ..PoolStatsSummary::default()
+    };
 
     thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let probe = &probe;
@@ -134,7 +204,7 @@ where
                     });
                     continue;
                 }
-                let _ = tx.send(Msg::Started { index: i });
+                let _ = tx.send(Msg::Started { index: i, worker });
                 let t0 = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| exec(item))).map_err(panic_message);
                 let wall_nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -151,33 +221,69 @@ where
         }
         drop(tx);
 
-        // Coordinator: tallies, ETA, and the caller's observer.
+        // Coordinator: tallies, ETA, watchdog, and the caller's
+        // observer.
+        let mut wd = watchdog.map(Watchdog::new);
+        let poll = watchdog
+            .map(|cfg| Duration::from_nanos(cfg.poll_nanos.max(1)))
+            .unwrap_or_default();
+        let now_nanos = || t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let mut done = 0usize;
-        let mut executed = 0usize;
         let mut exec_wall_sum = 0u64;
         while done < total {
-            let Ok(msg) = rx.recv() else { break };
+            let msg = if wd.is_some() {
+                match rx.recv_timeout(poll) {
+                    Ok(msg) => Some(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match rx.recv() {
+                    Ok(msg) => Some(msg),
+                    Err(_) => break,
+                }
+            };
             match msg {
-                Msg::Started { index } => observe(PoolEvent::Started { index }),
-                Msg::Done {
+                None => {}
+                Some(Msg::Started { index, worker }) => {
+                    if index % workers != worker {
+                        stats.steals += 1;
+                    }
+                    if let Some(wd) = &mut wd {
+                        wd.start(index, now_nanos());
+                    }
+                    observe(PoolEvent::Started { index });
+                }
+                Some(Msg::Done {
                     index,
                     outcome,
                     cached,
                     wall_nanos,
-                } => {
+                }) => {
                     done += 1;
                     if cached {
+                        stats.cache_hits += 1;
                         observe(PoolEvent::CacheHit { index });
                     } else {
-                        executed += 1;
+                        stats.executed += 1;
+                        if outcome.is_err() {
+                            stats.failed += 1;
+                        }
                         exec_wall_sum += wall_nanos;
-                        let remaining = (total - done) as u64;
-                        let mean = exec_wall_sum / executed.max(1) as u64;
+                        stats.busy_nanos += wall_nanos;
+                        if let Some(wd) = &mut wd {
+                            wd.finish(index, wall_nanos);
+                        }
                         observe(PoolEvent::Finished {
                             index,
                             ok: outcome.is_ok(),
                             wall_nanos,
-                            eta_nanos: mean * remaining / workers as u64,
+                            eta_nanos: eta_nanos(
+                                exec_wall_sum,
+                                stats.executed,
+                                (total - done) as u64,
+                                workers as u64,
+                            ),
                         });
                     }
                     records[index] = Some(PoolRecord {
@@ -187,7 +293,21 @@ where
                     });
                 }
             }
+            if let Some(wd) = &mut wd {
+                for stall in wd.scan(now_nanos()) {
+                    observe(PoolEvent::Stalled {
+                        index: stall.index,
+                        elapsed_nanos: stall.elapsed_nanos,
+                        median_nanos: stall.median_nanos,
+                    });
+                }
+            }
         }
+        stats.wall_nanos = now_nanos();
+        stats.idle_nanos = (stats.wall_nanos)
+            .saturating_mul(workers as u64)
+            .saturating_sub(stats.busy_nanos);
+        observe(PoolEvent::Drained { stats });
     });
 
     records
@@ -204,7 +324,7 @@ mod tests {
     #[test]
     fn records_come_back_in_item_order() {
         let items: Vec<u64> = (0..100).collect();
-        let records = run_pool(&items, 8, |_| None, |&i| i * i, |_, _| {}, |_| {});
+        let records = run_pool(&items, 8, |_| None, |&i| i * i, |_, _| {}, None, |_| {});
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.outcome, Ok((i * i) as u64));
             assert!(!r.cached);
@@ -223,6 +343,7 @@ mod tests {
                 i
             },
             |_, _| {},
+            None,
             |_| {},
         );
         assert!(records[3]
@@ -248,6 +369,7 @@ mod tests {
             |_, _| {
                 saved.fetch_add(1, Ordering::Relaxed);
             },
+            None,
             |_| {},
         );
         assert_eq!(executed.load(Ordering::Relaxed), 10);
@@ -259,32 +381,118 @@ mod tests {
     }
 
     #[test]
-    fn observer_sees_every_lifecycle_event() {
+    fn observer_sees_every_lifecycle_event_and_a_final_drain() {
         let items: Vec<u64> = (0..16).collect();
         let mut started = 0usize;
         let mut finished = 0usize;
         let mut hits = 0usize;
+        let mut drained = Vec::new();
         run_pool(
             &items,
             4,
             |&i| (i < 4).then_some(i),
             |&i| i,
             |_, _| {},
+            None,
             |ev| match ev {
                 PoolEvent::Started { .. } => started += 1,
                 PoolEvent::CacheHit { .. } => hits += 1,
                 PoolEvent::Finished { .. } => finished += 1,
+                PoolEvent::Stalled { .. } => panic!("no watchdog configured"),
+                PoolEvent::Drained { stats } => drained.push(stats),
             },
         );
         assert_eq!(started, 12);
         assert_eq!(finished, 12);
         assert_eq!(hits, 4);
+        let [stats] = drained.as_slice() else {
+            panic!("exactly one drain event, got {drained:?}");
+        };
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.executed, 12);
+        assert_eq!(stats.cache_hits, 4);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.wall_nanos > 0);
+        assert_eq!(
+            stats.idle_nanos,
+            stats.wall_nanos * 4 - stats.busy_nanos,
+            "idle is the utilization complement"
+        );
     }
 
     #[test]
     fn empty_input_returns_empty() {
         let items: Vec<u64> = Vec::new();
-        let records = run_pool(&items, 4, |_| None, |&i| i, |_, _| {}, |_| {});
+        let records = run_pool(&items, 4, |_| None, |&i| i, |_, _| {}, None, |_| {});
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn eta_converges_monotonically_for_uniform_items() {
+        // Constant 1ms items on 2 workers: after n of 10 finish the
+        // estimate is mean × remaining ÷ workers, strictly decreasing
+        // to exactly zero at the end.
+        const WALL: u64 = 1_000_000;
+        let mut sum = 0u64;
+        let mut last = u64::MAX;
+        for n in 1..=10u64 {
+            sum += WALL;
+            let eta = eta_nanos(sum, n, 10 - n, 2);
+            assert!(eta < last, "ETA must shrink: {eta} !< {last} at n={n}");
+            assert_eq!(eta, WALL * (10 - n) / 2);
+            last = eta;
+        }
+        assert_eq!(last, 0, "drained pool has zero ETA");
+        assert_eq!(eta_nanos(0, 0, 10, 2), 0, "no baseline, no estimate");
+        assert_eq!(eta_nanos(u64::MAX, 1, u64::MAX, 0), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn watchdog_flags_a_deliberately_stalled_item() {
+        use std::time::Duration;
+        // Items 1..=5 finish in ~1ms; item 0 sleeps 400ms. With a 4×
+        // median threshold and a 5ms poll, the coordinator must flag
+        // item 0 while it is still running — exactly once — and the
+        // item must still complete successfully.
+        let items: Vec<u64> = (0..6).collect();
+        let cfg = WatchdogConfig {
+            multiplier: 4.0,
+            min_samples: 3,
+            floor_nanos: 20_000_000, // 20ms: above fast-item noise
+            poll_nanos: 5_000_000,   // 5ms
+        };
+        let mut stalls = Vec::new();
+        let records = run_pool(
+            &items,
+            2,
+            |_| None,
+            |&i| {
+                std::thread::sleep(if i == 0 {
+                    Duration::from_millis(400)
+                } else {
+                    Duration::from_millis(1)
+                });
+                i
+            },
+            |_, _| {},
+            Some(cfg),
+            |ev| {
+                if let PoolEvent::Stalled {
+                    index,
+                    elapsed_nanos,
+                    median_nanos,
+                } = ev
+                {
+                    stalls.push((index, elapsed_nanos, median_nanos));
+                }
+            },
+        );
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(stalls.len(), 1, "stalls: {stalls:?}");
+        let (index, elapsed, median) = stalls[0];
+        assert_eq!(index, 0);
+        assert!(elapsed >= 20_000_000, "flagged after the floor: {elapsed}");
+        assert!(median > 0, "median baseline came from finished items");
     }
 }

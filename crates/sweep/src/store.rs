@@ -7,23 +7,70 @@
 //! miss instead of serving the wrong result. Writes go through a
 //! temporary file and an atomic rename, so a sweep killed mid-write
 //! leaves no partial entry and `--resume` picks up cleanly.
+//!
+//! The store also keeps observability state: in-memory hit/miss/verify
+//! counters (snapshot via [`ResultStore::stats`]) and a usage index —
+//! `index.json` in the cache directory, mapping each entry to its size,
+//! last-used stamp, and hit count. The index is advisory metadata for
+//! future eviction policies ("drop the oldest N bytes"): losing or
+//! corrupting it costs nothing but the usage history, and it is
+//! excluded from [`ResultStore::len`] and entry totals.
 
 use crate::codec;
 use crate::spec::JobSpec;
 use rmt3d::PerfResult;
-use rmt3d_telemetry::json::{parse, JsonValue};
+use rmt3d_obs::ledger::{unix_now_ms, write_atomic};
+use rmt3d_telemetry::json::{parse, JsonObject, JsonValue};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// File name of the usage index inside the cache directory. Not a
+/// cache entry: excluded from [`ResultStore::len`] and
+/// [`ResultStore::totals`].
+pub const INDEX_FILE: &str = "index.json";
+
+/// Snapshot of a store's lookup counters since it was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups satisfied from disk.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries rejected because the stored canonical key did not match
+    /// the probing job (hash collision or corruption); counted *in
+    /// addition* to the miss they degrade into.
+    pub verify_failures: u64,
+}
+
+/// Per-entry usage metadata held in `index.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Entry file size in bytes at last write.
+    pub bytes: u64,
+    /// Unix milliseconds of the last load or save that touched the
+    /// entry (wall clock; advisory).
+    pub last_used_unix_ms: u64,
+    /// Loads served from this entry since it was first indexed.
+    pub hits: u64,
+}
 
 /// A directory of cached job results.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     dir: PathBuf,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    verify_failures: Arc<AtomicU64>,
+    index: Arc<Mutex<BTreeMap<String, IndexEntry>>>,
 }
 
 impl ResultStore {
-    /// Opens (creating if necessary) a cache directory.
+    /// Opens (creating if necessary) a cache directory. An existing
+    /// usage index is loaded; a missing or corrupt one starts empty.
     ///
     /// # Errors
     ///
@@ -31,8 +78,16 @@ impl ResultStore {
     /// created.
     pub fn open(dir: &Path) -> io::Result<ResultStore> {
         fs::create_dir_all(dir)?;
+        let index = fs::read_to_string(dir.join(INDEX_FILE))
+            .ok()
+            .and_then(|text| parse_index(&text))
+            .unwrap_or_default();
         Ok(ResultStore {
             dir: dir.to_path_buf(),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            verify_failures: Arc::new(AtomicU64::new(0)),
+            index: Arc::new(Mutex::new(index)),
         })
     }
 
@@ -43,21 +98,39 @@ impl ResultStore {
 
     /// Path of the entry for a job.
     pub fn entry_path(&self, job: &JobSpec) -> PathBuf {
-        self.dir.join(format!("{:016x}.json", job.cache_key()))
+        self.dir.join(entry_name(job))
     }
 
     /// Loads a cached result. Returns `None` on a missing entry, and
     /// treats corrupt, truncated, or colliding entries as misses (the
     /// job simply re-runs and overwrites them).
     pub fn load(&self, job: &JobSpec) -> Option<PerfResult> {
-        let text = fs::read_to_string(self.entry_path(job)).ok()?;
-        let v = parse(text.trim()).ok()?;
-        let stored_key = v.get("key")?.as_str()?;
-        if stored_key != job.canonical() {
+        let Ok(text) = fs::read_to_string(self.entry_path(job)) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
+        };
+        let canonical = job.canonical();
+        let verified = parse(text.trim())
+            .ok()
+            .filter(|v| v.get("key").and_then(JsonValue::as_str) == Some(canonical.as_str()));
+        let Some(v) = verified else {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let decoded = v.get("result").and_then(|r| codec::decode(&render(r)).ok());
+        match decoded {
+            Some(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&entry_name(job), text.len() as u64, true);
+                Some(result)
+            }
+            None => {
+                self.verify_failures.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        let result = v.get("result")?;
-        codec::decode(&render(result)).ok()
     }
 
     /// Persists a job's result atomically (temp file + rename).
@@ -78,23 +151,19 @@ impl ResultStore {
             f.write_all(line.as_bytes())?;
             f.sync_all()?;
         }
-        fs::rename(&tmp_path, &final_path)
+        fs::rename(&tmp_path, &final_path)?;
+        self.touch(&entry_name(job), line.len() as u64, false);
+        Ok(())
     }
 
-    /// Number of entries currently on disk (any `.json` file).
+    /// Number of entries currently on disk (any `.json` file except the
+    /// usage index).
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error when the directory is unreadable.
     pub fn len(&self) -> io::Result<usize> {
-        let mut n = 0;
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            if entry.path().extension().is_some_and(|e| e == "json") {
-                n += 1;
-            }
-        }
-        Ok(n)
+        Ok(self.totals()?.0 as usize)
     }
 
     /// True when the store holds no entries.
@@ -105,6 +174,108 @@ impl ResultStore {
     pub fn is_empty(&self) -> io::Result<bool> {
         Ok(self.len()? == 0)
     }
+
+    /// Entry count and total entry bytes on disk, excluding the usage
+    /// index and in-flight temp files.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory is unreadable.
+    pub fn totals(&self) -> io::Result<(u64, u64)> {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json")
+                && path.file_name().is_some_and(|n| n != INDEX_FILE)
+            {
+                entries += 1;
+                bytes += entry.metadata()?.len();
+            }
+        }
+        Ok((entries, bytes))
+    }
+
+    /// Lookup counters accumulated since this store (or a clone sharing
+    /// its state) was opened.
+    pub fn stats(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Usage metadata for one entry file name, if indexed.
+    pub fn index_entry(&self, name: &str) -> Option<IndexEntry> {
+        self.index.lock().ok()?.get(name).copied()
+    }
+
+    /// Number of entries the in-memory usage index currently tracks.
+    pub fn index_len(&self) -> usize {
+        self.index.lock().map(|ix| ix.len()).unwrap_or(0)
+    }
+
+    /// Writes the usage index to `index.json` atomically. Best-effort
+    /// callers may ignore the result: the index is advisory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the write fails.
+    pub fn flush_index(&self) -> io::Result<()> {
+        let rendered = {
+            let ix = self
+                .index
+                .lock()
+                .map_err(|_| io::Error::other("index mutex poisoned"))?;
+            let mut obj = JsonObject::new();
+            for (name, e) in ix.iter() {
+                let mut entry = JsonObject::new();
+                entry
+                    .u64("bytes", e.bytes)
+                    .u64("last_used_unix_ms", e.last_used_unix_ms)
+                    .u64("hits", e.hits);
+                obj.raw(name, &entry.finish());
+            }
+            obj.finish()
+        };
+        write_atomic(&self.dir.join(INDEX_FILE), &rendered)
+    }
+
+    fn touch(&self, name: &str, bytes: u64, hit: bool) {
+        if let Ok(mut ix) = self.index.lock() {
+            let e = ix.entry(name.to_string()).or_default();
+            e.bytes = bytes;
+            e.last_used_unix_ms = unix_now_ms();
+            if hit {
+                e.hits += 1;
+            }
+        }
+    }
+}
+
+fn entry_name(job: &JobSpec) -> String {
+    format!("{:016x}.json", job.cache_key())
+}
+
+fn parse_index(text: &str) -> Option<BTreeMap<String, IndexEntry>> {
+    let JsonValue::Obj(map) = parse(text.trim()).ok()? else {
+        return None;
+    };
+    let mut out = BTreeMap::new();
+    for (name, v) in map {
+        let field = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+        out.insert(
+            name,
+            IndexEntry {
+                bytes: field("bytes")?,
+                last_used_unix_ms: field("last_used_unix_ms")?,
+                hits: field("hits")?,
+            },
+        );
+    }
+    Some(out)
 }
 
 fn write_json_str(buf: &mut String, s: &str) {
@@ -188,6 +359,14 @@ mod tests {
         let back = store.load(&job).expect("hit after save");
         assert_eq!(codec::encode(&back), codec::encode(&r));
         assert_eq!(store.len().unwrap(), 1);
+        assert_eq!(
+            store.stats(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                verify_failures: 0
+            }
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -209,6 +388,47 @@ mod tests {
         let fake = text.replace("|bench=gzip|", "|bench=mcf|");
         fs::write(&path, fake).unwrap();
         assert!(store.load(&job).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.verify_failures, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn usage_index_tracks_size_and_hits_and_survives_reopen() {
+        let dir = tmp("index");
+        let store = ResultStore::open(&dir).unwrap();
+        let job = one_job();
+        let r = simulate(&job.cfg, job.benchmark);
+        store.save(&job, &r).unwrap();
+        store.load(&job).unwrap();
+        store.load(&job).unwrap();
+
+        let name = format!("{:016x}.json", job.cache_key());
+        let e = store.index_entry(&name).expect("entry indexed");
+        assert_eq!(e.hits, 2);
+        assert!(e.bytes > 0);
+        assert!(e.last_used_unix_ms > 0);
+        let disk = fs::metadata(store.entry_path(&job)).unwrap().len();
+        assert_eq!(e.bytes, disk, "indexed size matches the file");
+
+        store.flush_index().unwrap();
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.index_entry(&name), Some(e), "index persisted");
+        assert_eq!(reopened.index_len(), 1);
+
+        // The index file itself is not a cache entry.
+        assert_eq!(reopened.len().unwrap(), 1);
+        let (entries, bytes) = reopened.totals().unwrap();
+        assert_eq!(entries, 1);
+        assert_eq!(bytes, disk);
+
+        // A corrupt index is discarded, not fatal.
+        fs::write(dir.join(INDEX_FILE), "{not json").unwrap();
+        let again = ResultStore::open(&dir).unwrap();
+        assert_eq!(again.index_len(), 0);
+        assert!(again.load(&job).is_some(), "entries unaffected");
         let _ = fs::remove_dir_all(&dir);
     }
 }

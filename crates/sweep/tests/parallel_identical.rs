@@ -50,6 +50,7 @@ fn two_threads_match_one_thread_and_second_run_is_all_cache_hits() {
     let parallel_opts = SweepOptions {
         jobs: 2,
         cache: CacheMode::Dir(dir.clone()),
+        ..SweepOptions::default()
     };
     let parallel = run_sweep(jobs.clone(), &parallel_opts, &mut NullSink).unwrap();
     assert_eq!(parallel.executed, total);
@@ -68,20 +69,44 @@ fn two_threads_match_one_thread_and_second_run_is_all_cache_hits() {
     assert_eq!(rerun.cache_hits, total);
     assert_eq!(aggregate_bytes(&serial), aggregate_bytes(&rerun));
 
+    // Per-job events are all cache hits; the run closes with exactly
+    // one pool summary and one cache summary, both all-hit.
     let events = sink.events();
-    assert_eq!(events.len(), total, "one event per job");
-    let mut seen_jobs: Vec<u64> = events
-        .iter()
-        .map(|e| match e {
+    assert_eq!(events.len(), total + 2, "hits + PoolStats + CacheStats");
+    let mut seen_jobs = Vec::new();
+    let mut pool_stats = Vec::new();
+    let mut cache_stats = Vec::new();
+    for e in events.iter() {
+        match e {
             Event::JobCacheHit { job, total: t, .. } => {
                 assert_eq!(*t, total as u64);
-                *job
+                seen_jobs.push(*job);
             }
-            other => panic!("expected only cache-hit events, got {other:?}"),
-        })
-        .collect();
+            Event::PoolStats {
+                executed,
+                cache_hits,
+                ..
+            } => pool_stats.push((*executed, *cache_hits)),
+            Event::CacheStats {
+                hits,
+                misses,
+                entries,
+                bytes,
+                ..
+            } => cache_stats.push((*hits, *misses, *entries, *bytes)),
+            other => panic!("unexpected event on a fully-cached rerun: {other:?}"),
+        }
+    }
     seen_jobs.sort_unstable();
     assert_eq!(seen_jobs, (0..total as u64).collect::<Vec<_>>());
+    assert_eq!(pool_stats, vec![(0, total as u64)]);
+    let [(hits, misses, entries, bytes)] = cache_stats[..] else {
+        panic!("exactly one CacheStats event, got {cache_stats:?}");
+    };
+    assert_eq!(hits, total as u64);
+    assert_eq!(misses, 0);
+    assert_eq!(entries, total as u64, "index.json is not a cache entry");
+    assert!(bytes > 0);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -95,7 +120,7 @@ fn executed_sweep_emits_started_and_finished_pairs_with_eta() {
         jobs,
         &SweepOptions {
             jobs: 2,
-            cache: CacheMode::Disabled,
+            ..SweepOptions::default()
         },
         &mut sink.clone(),
     )

@@ -34,6 +34,7 @@ fn deleting_one_entry_reruns_exactly_that_job() {
     let opts = SweepOptions {
         jobs: 2,
         cache: CacheMode::Dir(dir.clone()),
+        ..SweepOptions::default()
     };
 
     let first = run_sweep(jobs.clone(), &opts, &mut NullSink).unwrap();

@@ -111,6 +111,61 @@ impl Event {
             Event::JobCacheHit { job, total, label } => {
                 o.u64("job", *job).u64("total", *total).str("label", label);
             }
+            Event::PoolStats {
+                workers,
+                executed,
+                cache_hits,
+                failed,
+                steals,
+                busy_nanos,
+                idle_nanos,
+                wall_nanos,
+            } => {
+                // Steals are schedule-dependent (which worker claims
+                // which job varies run to run), so deterministic traces
+                // zero them alongside the wall clocks.
+                let z = |v: &u64| if deterministic { 0 } else { *v };
+                o.u64("workers", *workers)
+                    .u64("executed", *executed)
+                    .u64("cache_hits", *cache_hits)
+                    .u64("failed", *failed)
+                    .u64("steals", z(steals))
+                    .u64("busy_nanos", z(busy_nanos))
+                    .u64("idle_nanos", z(idle_nanos))
+                    .u64("wall_nanos", z(wall_nanos));
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                verify_failures,
+                entries,
+                bytes,
+            } => {
+                o.u64("hits", *hits)
+                    .u64("misses", *misses)
+                    .u64("verify_failures", *verify_failures)
+                    .u64("entries", *entries)
+                    .u64("bytes", *bytes);
+            }
+            Event::JobStalled {
+                job,
+                total,
+                label,
+                elapsed_nanos,
+                median_nanos,
+            } => {
+                o.u64("job", *job)
+                    .u64("total", *total)
+                    .str("label", label)
+                    .u64(
+                        "elapsed_nanos",
+                        if deterministic { 0 } else { *elapsed_nanos },
+                    )
+                    .u64(
+                        "median_nanos",
+                        if deterministic { 0 } else { *median_nanos },
+                    );
+            }
             Event::CampaignTrial {
                 trial,
                 site,
@@ -183,6 +238,33 @@ pub enum ParsedEvent {
     },
     /// See [`Event::JobCacheHit`].
     JobCacheHit { job: u64, total: u64, label: String },
+    /// See [`Event::PoolStats`].
+    PoolStats {
+        workers: u64,
+        executed: u64,
+        cache_hits: u64,
+        failed: u64,
+        steals: u64,
+        busy_nanos: u64,
+        idle_nanos: u64,
+        wall_nanos: u64,
+    },
+    /// See [`Event::CacheStats`].
+    CacheStats {
+        hits: u64,
+        misses: u64,
+        verify_failures: u64,
+        entries: u64,
+        bytes: u64,
+    },
+    /// See [`Event::JobStalled`].
+    JobStalled {
+        job: u64,
+        total: u64,
+        label: String,
+        elapsed_nanos: u64,
+        median_nanos: u64,
+    },
     /// See [`Event::CampaignTrial`].
     CampaignTrial {
         trial: u64,
@@ -304,6 +386,30 @@ impl ParsedEvent {
                 total: u("total")?,
                 label: s("label")?,
             },
+            "pool_stats" => ParsedEvent::PoolStats {
+                workers: u("workers")?,
+                executed: u("executed")?,
+                cache_hits: u("cache_hits")?,
+                failed: u("failed")?,
+                steals: u("steals")?,
+                busy_nanos: u("busy_nanos")?,
+                idle_nanos: u("idle_nanos")?,
+                wall_nanos: u("wall_nanos")?,
+            },
+            "cache_stats" => ParsedEvent::CacheStats {
+                hits: u("hits")?,
+                misses: u("misses")?,
+                verify_failures: u("verify_failures")?,
+                entries: u("entries")?,
+                bytes: u("bytes")?,
+            },
+            "job_stalled" => ParsedEvent::JobStalled {
+                job: u("job")?,
+                total: u("total")?,
+                label: s("label")?,
+                elapsed_nanos: u("elapsed_nanos")?,
+                median_nanos: u("median_nanos")?,
+            },
             "campaign_trial" => ParsedEvent::CampaignTrial {
                 trial: u("trial")?,
                 site: s("site")?,
@@ -331,6 +437,9 @@ impl ParsedEvent {
             ParsedEvent::JobStarted { .. } => "job_started",
             ParsedEvent::JobFinished { .. } => "job_finished",
             ParsedEvent::JobCacheHit { .. } => "job_cache_hit",
+            ParsedEvent::PoolStats { .. } => "pool_stats",
+            ParsedEvent::CacheStats { .. } => "cache_stats",
+            ParsedEvent::JobStalled { .. } => "job_stalled",
             ParsedEvent::CampaignTrial { .. } => "campaign_trial",
             ParsedEvent::Summary => "summary",
         }
@@ -452,6 +561,75 @@ impl ParsedEvent {
                     label: l,
                 },
             ) => job == j && total == t && label == l,
+            (
+                ParsedEvent::PoolStats {
+                    workers,
+                    executed,
+                    cache_hits,
+                    failed,
+                    steals,
+                    busy_nanos,
+                    idle_nanos,
+                    wall_nanos,
+                },
+                Event::PoolStats {
+                    workers: w,
+                    executed: e,
+                    cache_hits: ch,
+                    failed: fa,
+                    steals: st,
+                    busy_nanos: bn,
+                    idle_nanos: i,
+                    wall_nanos: wn,
+                },
+            ) => {
+                workers == w
+                    && executed == e
+                    && cache_hits == ch
+                    && failed == fa
+                    && (deterministic
+                        || (steals == st
+                            && busy_nanos == bn
+                            && idle_nanos == i
+                            && wall_nanos == wn))
+            }
+            (
+                ParsedEvent::CacheStats {
+                    hits,
+                    misses,
+                    verify_failures,
+                    entries,
+                    bytes,
+                },
+                Event::CacheStats {
+                    hits: h,
+                    misses: m,
+                    verify_failures: vf,
+                    entries: en,
+                    bytes: by,
+                },
+            ) => hits == h && misses == m && verify_failures == vf && entries == en && bytes == by,
+            (
+                ParsedEvent::JobStalled {
+                    job,
+                    total,
+                    label,
+                    elapsed_nanos,
+                    median_nanos,
+                },
+                Event::JobStalled {
+                    job: j,
+                    total: t,
+                    label: l,
+                    elapsed_nanos: el,
+                    median_nanos: me,
+                },
+            ) => {
+                job == j
+                    && total == t
+                    && label == l
+                    && (deterministic || (elapsed_nanos == el && median_nanos == me))
+            }
             (
                 ParsedEvent::CampaignTrial {
                     trial,

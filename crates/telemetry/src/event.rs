@@ -127,6 +127,72 @@ pub enum Event {
         /// Human-readable job description.
         label: String,
     },
+    /// Aggregate statistics of one pool drain (emitted by the
+    /// `rmt3d-sweep` engine once, after the last job completes). The
+    /// schedule-dependent fields (`steals`, `busy_nanos`, `idle_nanos`,
+    /// `wall_nanos`) are written as 0 by deterministic sinks. JSONL:
+    /// `{"event":"pool_stats","workers":…,"executed":…,"cache_hits":…,
+    /// "failed":…,"steals":…,"busy_nanos":…,"idle_nanos":…,
+    /// "wall_nanos":…}`.
+    PoolStats {
+        /// Worker threads the pool ran.
+        workers: u64,
+        /// Jobs that executed (not served by the cache probe).
+        executed: u64,
+        /// Jobs satisfied by the cache probe.
+        cache_hits: u64,
+        /// Executed jobs that panicked.
+        failed: u64,
+        /// Jobs claimed off another worker's static round-robin slot —
+        /// a proxy for work-stealing imbalance (0 when deterministic).
+        steals: u64,
+        /// Total wall-clock nanoseconds workers spent executing jobs
+        /// (0 when deterministic).
+        busy_nanos: u64,
+        /// Total wall-clock nanoseconds workers sat idle — pool wall
+        /// time × workers minus busy (0 when deterministic).
+        idle_nanos: u64,
+        /// Wall-clock nanoseconds from pool start to drain (0 when
+        /// deterministic).
+        wall_nanos: u64,
+    },
+    /// Result-cache statistics for one sweep (emitted by the
+    /// `rmt3d-sweep` engine after the pool drains, when a cache is
+    /// attached). JSONL: `{"event":"cache_stats","hits":…,"misses":…,
+    /// "verify_failures":…,"entries":…,"bytes":…}`.
+    CacheStats {
+        /// Probes served from the on-disk store.
+        hits: u64,
+        /// Probes that missed (including corrupt/colliding entries).
+        misses: u64,
+        /// Entries whose stored canonical key failed verification —
+        /// corruption or a 64-bit hash collision, degraded to a miss.
+        verify_failures: u64,
+        /// Entries on disk after the run.
+        entries: u64,
+        /// Total bytes of all entries on disk after the run.
+        bytes: u64,
+    },
+    /// The heartbeat watchdog flagged a job as stalled: no heartbeat
+    /// for longer than the configured multiple of the median job
+    /// duration. The job may still complete — this is a diagnostic,
+    /// not a kill. JSONL: `{"event":"job_stalled","job":…,"total":…,
+    /// "label":…,"elapsed_nanos":…,"median_nanos":…}`.
+    JobStalled {
+        /// Zero-based job index in spec order.
+        job: u64,
+        /// Total jobs in the run.
+        total: u64,
+        /// Human-readable job description.
+        label: String,
+        /// Wall-clock nanoseconds since the job's last heartbeat when
+        /// it was flagged (0 when deterministic).
+        elapsed_nanos: u64,
+        /// Median wall-clock nanoseconds of completed jobs at flag
+        /// time — the baseline the threshold multiplies (0 when
+        /// deterministic).
+        median_nanos: u64,
+    },
     /// One fault-injection campaign trial completed (emitted by
     /// `rmt3d-campaign`). JSONL: `{"event":"campaign_trial","trial":…,
     /// "site":…,"fate":…,"detect_cycles":…,"ok":…}`.
@@ -228,6 +294,30 @@ impl Event {
                 total: 4,
                 label: "2d-a/gzip".into(),
             },
+            Event::PoolStats {
+                workers: 4,
+                executed: 70,
+                cache_hits: 6,
+                failed: 1,
+                steals: 9,
+                busy_nanos: 80_000,
+                idle_nanos: 20_000,
+                wall_nanos: 25_000,
+            },
+            Event::CacheStats {
+                hits: 6,
+                misses: 70,
+                verify_failures: 2,
+                entries: 76,
+                bytes: 123_456,
+            },
+            Event::JobStalled {
+                job: 3,
+                total: 4,
+                label: "3d-2a/swim".into(),
+                elapsed_nanos: 9_000_000,
+                median_nanos: 1_000_000,
+            },
             Event::CampaignTrial {
                 trial: 47,
                 site: "leader_result",
@@ -258,6 +348,9 @@ impl Event {
             | Event::JobStarted { .. }
             | Event::JobFinished { .. }
             | Event::JobCacheHit { .. }
+            | Event::PoolStats { .. }
+            | Event::CacheStats { .. }
+            | Event::JobStalled { .. }
             | Event::CampaignTrial { .. } => {}
         }
     }
@@ -276,6 +369,9 @@ impl Event {
             Event::JobStarted { .. } => "job_started",
             Event::JobFinished { .. } => "job_finished",
             Event::JobCacheHit { .. } => "job_cache_hit",
+            Event::PoolStats { .. } => "pool_stats",
+            Event::CacheStats { .. } => "cache_stats",
+            Event::JobStalled { .. } => "job_stalled",
             Event::CampaignTrial { .. } => "campaign_trial",
         }
     }

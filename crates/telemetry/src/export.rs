@@ -127,6 +127,7 @@ pub struct Collector {
     jobs_executed: u64,
     jobs_failed: u64,
     job_cache_hits: u64,
+    jobs_stalled: u64,
 }
 
 impl Collector {
@@ -185,9 +186,48 @@ impl Collector {
                     self.jobs_failed += 1;
                 }
                 self.registry.record("job_wall_nanos", *wall_nanos as f64);
+                self.registry.record_hist("job_wall_nanos", *wall_nanos);
             }
             Event::JobCacheHit { .. } => {
                 self.job_cache_hits += 1;
+            }
+            Event::JobStalled { elapsed_nanos, .. } => {
+                self.jobs_stalled += 1;
+                self.registry
+                    .record("stall_elapsed_nanos", *elapsed_nanos as f64);
+            }
+            Event::PoolStats {
+                workers,
+                executed,
+                cache_hits,
+                failed,
+                steals,
+                busy_nanos,
+                idle_nanos,
+                wall_nanos,
+            } => {
+                self.registry.record("pool_workers", *workers as f64);
+                self.registry.record("pool_executed", *executed as f64);
+                self.registry.record("pool_cache_hits", *cache_hits as f64);
+                self.registry.record("pool_failed", *failed as f64);
+                self.registry.record("pool_steals", *steals as f64);
+                self.registry.record("pool_busy_nanos", *busy_nanos as f64);
+                self.registry.record("pool_idle_nanos", *idle_nanos as f64);
+                self.registry.record("pool_wall_nanos", *wall_nanos as f64);
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                verify_failures,
+                entries,
+                bytes,
+            } => {
+                self.registry.record("cache_hits", *hits as f64);
+                self.registry.record("cache_misses", *misses as f64);
+                self.registry
+                    .record("cache_verify_failures", *verify_failures as f64);
+                self.registry.record("cache_entries", *entries as f64);
+                self.registry.record("cache_bytes", *bytes as f64);
             }
             Event::CampaignTrial { detect_cycles, .. } => {
                 // Zero means the fault never reached the checker
@@ -219,6 +259,11 @@ impl Collector {
     /// Sweep-job tallies: `(executed, failed, cache_hits)`.
     pub fn job_counts(&self) -> (u64, u64, u64) {
         (self.jobs_executed, self.jobs_failed, self.job_cache_hits)
+    }
+
+    /// Number of watchdog stall flags observed.
+    pub fn jobs_stalled(&self) -> u64 {
+        self.jobs_stalled
     }
 }
 

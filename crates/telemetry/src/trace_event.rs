@@ -245,6 +245,46 @@ impl<W: Write> TraceEventSink<W> {
                     .str("label", label);
                 self.instant("job_cache_hit", *job, TID_DRIVER, &args.finish());
             }
+            Event::PoolStats {
+                workers,
+                executed,
+                cache_hits,
+                failed,
+                ..
+            } => {
+                // Wall-clock and schedule-dependent fields are dropped:
+                // trace output must stay byte-identical across runs.
+                let mut args = JsonObject::new();
+                args.u64("workers", *workers)
+                    .u64("executed", *executed)
+                    .u64("cache_hits", *cache_hits)
+                    .u64("failed", *failed);
+                self.instant("pool_stats", 0, TID_DRIVER, &args.finish());
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                verify_failures,
+                entries,
+                bytes,
+            } => {
+                let mut args = JsonObject::new();
+                args.u64("hits", *hits)
+                    .u64("misses", *misses)
+                    .u64("verify_failures", *verify_failures)
+                    .u64("entries", *entries)
+                    .u64("bytes", *bytes);
+                self.instant("cache_stats", 0, TID_DRIVER, &args.finish());
+            }
+            Event::JobStalled {
+                job, total, label, ..
+            } => {
+                let mut args = JsonObject::new();
+                args.u64("job", *job)
+                    .u64("total", *total)
+                    .str("label", label);
+                self.instant("job_stalled", *job, TID_DRIVER, &args.finish());
+            }
             Event::CampaignTrial {
                 trial,
                 site,
