@@ -9,7 +9,8 @@
 //! rmt3d experiment <name> [--paper] [--jobs N]
 //! rmt3d sweep     [--models M,..|all] [--benchmarks B,..|all]
 //!                 [--instructions N] [--jobs N] [--out-dir DIR]
-//!                 [--resume] [--no-cache] [--quiet] [--trace-out FILE]
+//!                 [--cache-max-bytes N] [--resume] [--no-cache]
+//!                 [--quiet] [--trace-out FILE]
 //! rmt3d campaign  [--sites S,..|all] [--benchmarks B,..|all]
 //!                 [--faults-per-site N] [--seed N] [--instructions N]
 //!                 [--jobs N] [--out-dir DIR] [--sabotage SITE]
@@ -20,6 +21,15 @@
 //! rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]
 //! rmt3d status    [--run ID] [--follow] [--runs-root DIR]
 //! rmt3d report    --html [--run ID] [--out FILE] [--runs-root DIR]
+//! rmt3d serve     [--listen ADDR] [--state-dir DIR] [--out-dir DIR]
+//!                 [--jobs N] [--cache-max-bytes N] [--runs-root DIR]
+//!                 [--no-ledger] [--quiet]
+//! rmt3d submit    [--addr ADDR] [--kind sweep|campaign] [--priority N]
+//!                 [--spec JSON | axis flags] [--wait] [--quiet]
+//! rmt3d jobs      [--addr ADDR]
+//! rmt3d cancel    JOB [--addr ADDR]
+//! rmt3d watch     JOB [--addr ADDR]
+//! rmt3d shutdown  [--addr ADDR]
 //! ```
 //!
 //! `sweep`, `campaign`, and `profile` additionally accept
@@ -38,6 +48,7 @@
 mod args;
 mod profile;
 mod runctl;
+mod servecmd;
 
 use args::Args;
 use rmt3d::experiments::{
@@ -58,7 +69,7 @@ use rmt3d_campaign::{
 };
 use rmt3d_obs::WatchdogConfig;
 use rmt3d_rmt::{EccConfig, FaultSite};
-use rmt3d_sweep::{run_sweep, CacheMode, ParallelSimulator, SweepOptions, SweepSpec};
+use rmt3d_sweep::{run_sweep, CacheMode, ParallelSimulator, ResultStore, SweepOptions, SweepSpec};
 use rmt3d_units::{TechNode, Watts};
 use rmt3d_workload::Benchmark;
 use std::fs::File;
@@ -79,7 +90,8 @@ fn usage() -> ExitCode {
            experiment <name> [--paper] [--jobs N]   regenerate a paper result\n\
            sweep      [--models M1,M2|all] [--benchmarks B1,B2|all]\n\
                       [--instructions N] [--jobs N] [--out-dir DIR]\n\
-                      [--resume] [--no-cache] [--quiet] [--trace-out FILE.jsonl]\n\
+                      [--cache-max-bytes N] [--resume] [--no-cache]\n\
+                      [--quiet] [--trace-out FILE.jsonl]\n\
            campaign   [--sites S1,S2|all] [--benchmarks B1,B2|all]\n\
                       [--faults-per-site N] [--seed N] [--instructions N]\n\
                       [--jobs N] [--out-dir DIR] [--sabotage SITE]\n\
@@ -94,6 +106,19 @@ fn usage() -> ExitCode {
                       live progress of a ledgered run (default: latest)\n\
            report     --html [--run ID] [--out FILE] [--runs-root DIR]\n\
                       self-contained HTML dashboard for a ledgered run\n\
+           serve      [--listen ADDR] [--state-dir DIR] [--out-dir DIR]\n\
+                      [--jobs N] [--cache-max-bytes N] [--runs-root DIR]\n\
+                      [--no-ledger] [--quiet]\n\
+                      job daemon: persistent priority queue over the\n\
+                      shared result cache (default 127.0.0.1:7733)\n\
+           submit     [--addr ADDR] [--kind sweep|campaign] [--priority N]\n\
+                      [--spec JSON | --models/--benchmarks/--sites/...]\n\
+                      [--wait] [--quiet]   enqueue a job on the daemon;\n\
+                      --wait streams progress and prints the results\n\
+           jobs       [--addr ADDR]        one-line JSON job listing\n\
+           cancel     JOB [--addr ADDR]    cancel a queued/running job\n\
+           watch      JOB [--addr ADDR]    stream a job's event lines\n\
+           shutdown   [--addr ADDR]        drain the daemon and exit it\n\
          \n\
          models: 2d-a, 2d-2a, 3d-2a, 3d-checker\n\
          experiments: tables fig4 fig5 fig6 fig7 iso-thermal interconnect\n\
@@ -104,7 +129,9 @@ fn usage() -> ExitCode {
                       trailer_regfile\n\
          \n\
          sweep caches each job's result under --out-dir (default\n\
-         target/sweep-cache) and skips cached jobs on re-runs.\n\
+         target/sweep-cache) and skips cached jobs on re-runs;\n\
+         --cache-max-bytes N evicts least-recently-used entries after\n\
+         the run to keep the cache under N bytes.\n\
          sweep, campaign, and profile register every invocation in the\n\
          run ledger (default target/runs; --runs-root DIR overrides,\n\
          --no-ledger disables) with a live status.json; --stall-factor F\n\
@@ -298,6 +325,10 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
         Ok(d) => PathBuf::from(d.unwrap_or_else(|| "target/sweep-cache".into())),
         Err(e) => return fail(&e),
     };
+    let cache_max_bytes = match a.parsed::<u64>("--cache-max-bytes") {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
     let quiet = a.flag("--quiet");
     let trace_out = match a.opt("--trace-out") {
         Ok(t) => t,
@@ -316,6 +347,9 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
     }
     if resume && no_cache {
         return fail("--resume and --no-cache are mutually exclusive");
+    }
+    if cache_max_bytes.is_some() && no_cache {
+        return fail("--cache-max-bytes has no effect with --no-cache");
     }
     if stall_factor.is_some_and(|f| f.is_nan() || f <= 1.0) {
         return fail("--stall-factor must be greater than 1");
@@ -345,6 +379,7 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
             multiplier,
             ..WatchdogConfig::default()
         }),
+        cancel: None,
     };
     if !quiet {
         eprintln!(
@@ -421,6 +456,19 @@ fn run_sweep_command(mut a: Args) -> ExitCode {
     }
     if let Some(tracker) = tracker {
         tracker.finish(if report.failures > 0 { "failed" } else { "ok" }, None);
+    }
+    if let (Some(max), CacheMode::Dir(dir)) = (cache_max_bytes, &opts.cache) {
+        match ResultStore::open(dir).and_then(|store| store.evict_to(max)) {
+            Ok(ev) if ev.evicted_entries > 0 && !quiet => eprintln!(
+                "sweep: cache evicted {} entr{} ({} bytes), {} bytes retained",
+                ev.evicted_entries,
+                if ev.evicted_entries == 1 { "y" } else { "ies" },
+                ev.evicted_bytes,
+                ev.remaining_bytes,
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("sweep: warning: cache eviction failed: {e}"),
+        }
     }
 
     for record in &report.records {
@@ -959,6 +1007,12 @@ fn main() -> ExitCode {
         "bench-gate" => profile::run_bench_gate_command(a),
         "status" => runctl::run_status_command(a),
         "report" => runctl::run_report_command(a),
+        "serve" => servecmd::run_serve_command(a),
+        "submit" => servecmd::run_submit_command(a),
+        "jobs" => servecmd::run_jobs_command(a),
+        "cancel" => servecmd::run_cancel_command(a),
+        "watch" => servecmd::run_watch_command(a),
+        "shutdown" => servecmd::run_shutdown_command(a),
         other => fail(&format!("unknown command: {other}")),
     }
 }

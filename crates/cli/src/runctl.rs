@@ -183,19 +183,61 @@ fn print_status(manifest: &Manifest, status: Option<&RunStatus>) {
 /// `rmt3d status [--run ID] [--follow] [--runs-root DIR]`: print a
 /// run's live progress; `--follow` refreshes until the run reaches a
 /// terminal state.
+///
+/// Under `--follow` a run that does not exist *yet* is waited for
+/// rather than failed on: `rmt3d serve` registers a job's run only
+/// when the scheduler starts it, so "submit, then watch the latest
+/// run" would otherwise race the daemon. Without `--follow` a missing
+/// run is still an immediate error.
 pub fn run_status_command(mut a: Args) -> ExitCode {
     let follow = a.flag("--follow");
-    let (ledger, run_id) = match open_resolved(&mut a) {
-        Ok(ok) => ok,
+    let root = match a.opt("--runs-root") {
+        Ok(r) => PathBuf::from(r.unwrap_or_else(|| DEFAULT_RUNS_ROOT.into())),
+        Err(e) => return fail(&e),
+    };
+    let run = match a.opt("--run") {
+        Ok(r) => r,
         Err(e) => return fail(&e),
     };
     if let Err(e) = a.finish() {
         return fail(&e);
     }
+    let mut announced = false;
+    let mut wait = |e: String| -> Option<String> {
+        if !follow {
+            return Some(e);
+        }
+        if !announced {
+            eprintln!("status: waiting for the run to appear ({e})");
+            announced = true;
+        }
+        std::thread::sleep(Duration::from_millis(500));
+        None
+    };
+    let (ledger, run_id) = loop {
+        let resolved = RunLedger::open(&root)
+            .map_err(|e| format!("cannot open {}: {e}", root.display()))
+            .and_then(|ledger| {
+                ledger
+                    .resolve(run.as_deref())
+                    .map(|run_id| (ledger, run_id))
+            });
+        match resolved {
+            Ok(ok) => break ok,
+            Err(e) => {
+                if let Some(e) = wait(e) {
+                    return fail(&e);
+                }
+            }
+        }
+    };
     loop {
         let manifest = match load_manifest(&ledger, &run_id) {
             Ok(m) => m,
-            Err(e) => return fail(&e),
+            Err(e) => match wait(e) {
+                Some(e) => return fail(&e),
+                None => continue,
+            },
         };
         let status = match load_status(&ledger, &run_id) {
             Ok(s) => s,

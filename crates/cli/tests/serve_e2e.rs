@@ -1,0 +1,217 @@
+//! End-to-end service flow through the real binary: a `serve` daemon
+//! child accepts `submit --wait` jobs (cold run executes, identical
+//! warm run is served from cache byte-identically), `jobs` prints
+//! strict JSON, `status --follow` waits for the server-registered run
+//! instead of failing, and `shutdown` drains the daemon cleanly.
+
+use rmt3d_telemetry::json::{parse, JsonValue};
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn rmt3d(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rmt3d"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmt3d-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+/// A daemon child bound to an ephemeral port; the address comes from
+/// its startup banner so parallel tests never collide.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(root: &Path) -> Daemon {
+        let state = root.join("state");
+        let cache = root.join("cache");
+        let runs = root.join("runs");
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rmt3d"))
+            .args([
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--state-dir",
+                state.to_str().unwrap(),
+                "--out-dir",
+                cache.to_str().unwrap(),
+                "--runs-root",
+                runs.to_str().unwrap(),
+                "--jobs",
+                "2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let mut reader = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let mut addr = None;
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            if let Some(rest) = line.trim().strip_prefix("serve: listening on ") {
+                addr = rest.split(',').next().map(str::to_string);
+                break;
+            }
+            line.clear();
+        }
+        // Keep draining so daemon chatter never backs up the pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            let _ = reader.read_to_string(&mut sink);
+        });
+        Daemon {
+            child,
+            addr: addr.expect("daemon announced its address"),
+        }
+    }
+
+    fn stop(mut self) {
+        let out = rmt3d(&["shutdown", "--addr", &self.addr]);
+        assert!(out.status.success(), "shutdown failed: {out:?}");
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            match self.child.try_wait().expect("daemon waitable") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("daemon did not drain within the deadline");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}
+
+fn submit_wait(addr: &str) -> Output {
+    rmt3d(&[
+        "submit",
+        "--addr",
+        addr,
+        "--models",
+        "2d-a",
+        "--benchmarks",
+        "gzip,mcf",
+        "--instructions",
+        "15000",
+        "--wait",
+        "--quiet",
+    ])
+}
+
+#[test]
+fn cold_and_warm_submits_are_byte_identical_and_jobs_is_strict_json() {
+    let root = tmp("lifecycle");
+    let daemon = Daemon::start(&root);
+
+    let cold = submit_wait(&daemon.addr);
+    assert!(cold.status.success(), "cold submit failed: {cold:?}");
+    let cold_text = stdout(&cold);
+    assert!(
+        cold_text.contains("2d-a/gzip"),
+        "results on stdout: {cold_text}"
+    );
+    assert!(cold_text.contains("2d-a/mcf"));
+
+    let warm = submit_wait(&daemon.addr);
+    assert!(warm.status.success(), "warm submit failed: {warm:?}");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "cache-served rerun must be byte-identical"
+    );
+
+    // `jobs` is one strict-JSON line; the warm job ran entirely from
+    // the shared store.
+    let jobs = rmt3d(&["jobs", "--addr", &daemon.addr]);
+    assert!(jobs.status.success(), "jobs failed: {jobs:?}");
+    let listing = parse(stdout(&jobs).trim()).expect("jobs output is strict JSON");
+    let Some(JsonValue::Arr(rows)) = listing.get("jobs") else {
+        panic!("jobs listing has a jobs array");
+    };
+    assert_eq!(rows.len(), 2);
+    let field = |row: &JsonValue, key: &str| row.get(key).and_then(JsonValue::as_u64).unwrap();
+    let by_id = |id: &str| {
+        rows.iter()
+            .find(|r| r.get("job").and_then(JsonValue::as_str) == Some(id))
+            .cloned()
+            .expect("listed job")
+    };
+    let first = by_id("job-000001");
+    assert_eq!(first.get("state").and_then(JsonValue::as_str), Some("done"));
+    assert_eq!(field(&first, "executed"), 2);
+    let second = by_id("job-000002");
+    assert_eq!(field(&second, "executed"), 0);
+    assert_eq!(field(&second, "cache_hits"), 2);
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn status_follow_waits_for_the_server_registered_run() {
+    let root = tmp("follow");
+    let daemon = Daemon::start(&root);
+    let runs = root.join("runs");
+
+    // Start following before any run exists: the fixed `--follow` path
+    // waits for the daemon to register one instead of failing.
+    let mut follow = Command::new(env!("CARGO_BIN_EXE_rmt3d"))
+        .args(["status", "--follow", "--runs-root", runs.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("status spawns");
+
+    let job = submit_wait(&daemon.addr);
+    assert!(job.status.success(), "submit failed: {job:?}");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status = loop {
+        match follow.try_wait().expect("status waitable") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                let _ = follow.kill();
+                panic!("status --follow never saw the run finish");
+            }
+            None => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+    assert!(status.success(), "status --follow exited {status}");
+    let mut text = String::new();
+    follow
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut text)
+        .expect("status output is utf-8");
+    assert!(text.contains("sweep"), "final frame names the run: {text}");
+    let mut err = String::new();
+    follow
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut err)
+        .expect("status stderr is utf-8");
+    assert!(
+        err.contains("waiting for the run"),
+        "follow announced the wait: {err}"
+    );
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -17,6 +17,8 @@ use rmt3d::{simulate, PerfResult};
 use rmt3d_obs::WatchdogConfig;
 use rmt3d_telemetry::{emit, Event, Sink};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -42,6 +44,12 @@ pub struct SweepOptions {
     /// Heartbeat watchdog; `None` (the default) disables stall
     /// detection and keeps the coordinator on a blocking `recv`.
     pub watchdog: Option<WatchdogConfig>,
+    /// Cooperative cancellation flag. When set to `true` mid-sweep,
+    /// jobs not yet started fail fast with a `"cancelled"` panic
+    /// message instead of simulating; jobs already simulating run to
+    /// completion (and are cached), so a cancelled sweep still makes
+    /// resumable progress. `None` (the default) disables the check.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl SweepOptions {
@@ -51,6 +59,7 @@ impl SweepOptions {
             jobs: 1,
             cache: CacheMode::Disabled,
             watchdog: None,
+            cancel: None,
         }
     }
 
@@ -158,7 +167,17 @@ pub fn run_sweep<S: Sink>(
         &jobs,
         opts.worker_count(),
         |job: &JobSpec| store.and_then(|s| s.load(job)),
-        |job: &JobSpec| simulate(&job.cfg, job.benchmark),
+        |job: &JobSpec| {
+            // Cancellation rides the pool's existing panic channel: the
+            // worker's catch_unwind turns this into a failed record
+            // with message "cancelled", and the sweep still drains.
+            if let Some(flag) = &opts.cancel {
+                if flag.load(Ordering::SeqCst) {
+                    panic!("cancelled");
+                }
+            }
+            simulate(&job.cfg, job.benchmark)
+        },
         |job: &JobSpec, result: &PerfResult| {
             // Cache writes are best-effort: a full disk must not fail
             // the sweep, only cost the resume.

@@ -61,4 +61,4 @@ mod store;
 pub use engine::{run_sweep, CacheMode, JobRecord, ParallelSimulator, SweepOptions, SweepReport};
 pub use pool::{eta_nanos, panic_message, run_pool, PoolEvent, PoolRecord, PoolStatsSummary};
 pub use spec::{JobSpec, SweepSpec, CACHE_VERSION};
-pub use store::{CacheCounters, IndexEntry, ResultStore, INDEX_FILE};
+pub use store::{CacheCounters, EvictionReport, IndexEntry, ResultStore, INDEX_FILE};

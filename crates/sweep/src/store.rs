@@ -11,17 +11,19 @@
 //! The store also keeps observability state: in-memory hit/miss/verify
 //! counters (snapshot via [`ResultStore::stats`]) and a usage index —
 //! `index.json` in the cache directory, mapping each entry to its size,
-//! last-used stamp, and hit count. The index is advisory metadata for
-//! future eviction policies ("drop the oldest N bytes"): losing or
-//! corrupting it costs nothing but the usage history, and it is
-//! excluded from [`ResultStore::len`] and entry totals.
+//! last-used stamp, and hit count. The index drives size-bounded LRU
+//! eviction ([`ResultStore::evict_to`]); it is advisory metadata —
+//! losing or corrupting it costs nothing but the usage history (a
+//! subsequent eviction then treats unindexed entries as least recently
+//! used) — and it is excluded from [`ResultStore::len`] and entry
+//! totals.
 
 use crate::codec;
 use crate::spec::JobSpec;
 use rmt3d::PerfResult;
 use rmt3d_obs::ledger::{unix_now_ms, write_atomic};
 use rmt3d_telemetry::json::{parse, JsonObject, JsonValue};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -56,6 +58,17 @@ pub struct IndexEntry {
     pub last_used_unix_ms: u64,
     /// Loads served from this entry since it was first indexed.
     pub hits: u64,
+}
+
+/// What one [`ResultStore::evict_to`] pass removed and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionReport {
+    /// Entry files deleted.
+    pub evicted_entries: u64,
+    /// Bytes those files held on disk.
+    pub evicted_bytes: u64,
+    /// Entry bytes still on disk after the pass.
+    pub remaining_bytes: u64,
 }
 
 /// A directory of cached job results.
@@ -241,6 +254,74 @@ impl ResultStore {
             obj.finish()
         };
         write_atomic(&self.dir.join(INDEX_FILE), &rendered)
+    }
+
+    /// Evicts least-recently-used entries until the on-disk entry
+    /// bytes fit in `max_bytes`, then flushes the pruned usage index.
+    ///
+    /// Recency comes from the usage index; an entry the index does not
+    /// know (lost or corrupt `index.json`) is treated as least recently
+    /// used and evicted first, with the file name as a deterministic
+    /// tie-break. Lookup counters are untouched — a future load of an
+    /// evicted entry is an ordinary miss. Index rows whose files have
+    /// vanished are dropped as a side effect, so the index cannot grow
+    /// without bound either.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory is
+    /// unreadable, a delete fails, or the index flush fails.
+    pub fn evict_to(&self, max_bytes: u64) -> io::Result<EvictionReport> {
+        // Snapshot the disk, not the index: the disk is the truth.
+        let mut on_disk: Vec<(String, u64)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json")
+                && path.file_name().is_some_and(|n| n != INDEX_FILE)
+            {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                on_disk.push((name, entry.metadata()?.len()));
+            }
+        }
+        let mut total: u64 = on_disk.iter().map(|(_, b)| b).sum();
+        let recency = |name: &str| {
+            self.index
+                .lock()
+                .ok()
+                .and_then(|ix| ix.get(name).map(|e| e.last_used_unix_ms))
+                .unwrap_or(0)
+        };
+        let mut victims: Vec<(u64, String, u64)> = on_disk
+            .into_iter()
+            .map(|(name, bytes)| (recency(&name), name, bytes))
+            .collect();
+        victims.sort();
+        let mut report = EvictionReport::default();
+        let mut surviving: BTreeSet<String> = BTreeSet::new();
+        for (_, name, bytes) in victims {
+            if total > max_bytes {
+                fs::remove_file(self.dir.join(&name))?;
+                total -= bytes;
+                report.evicted_entries += 1;
+                report.evicted_bytes += bytes;
+            } else {
+                surviving.insert(name);
+            }
+        }
+        report.remaining_bytes = total;
+        let pruned = match self.index.lock() {
+            Ok(mut ix) => {
+                let before = ix.len();
+                ix.retain(|name, _| surviving.contains(name));
+                before != ix.len()
+            }
+            Err(_) => false,
+        };
+        if pruned || report.evicted_entries > 0 {
+            self.flush_index()?;
+        }
+        Ok(report)
     }
 
     fn touch(&self, name: &str, bytes: u64, hit: bool) {
@@ -429,6 +510,102 @@ mod tests {
         let again = ResultStore::open(&dir).unwrap();
         assert_eq!(again.index_len(), 0);
         assert!(again.load(&job).is_some(), "entries unaffected");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Four synthetic 100-byte entries whose index stamps make the
+    /// eviction order fully deterministic.
+    fn seeded_store(dir: &Path) -> ResultStore {
+        for name in ["aaaa.json", "bbbb.json", "cccc.json", "dddd.json"] {
+            fs::create_dir_all(dir).unwrap();
+            fs::write(dir.join(name), vec![b'x'; 100]).unwrap();
+        }
+        // cccc is oldest, then aaaa, then dddd; bbbb is unindexed and
+        // therefore treated as least recently used of all.
+        fs::write(
+            dir.join(INDEX_FILE),
+            concat!(
+                "{\"aaaa.json\":{\"bytes\":100,\"last_used_unix_ms\":200,\"hits\":1},",
+                "\"cccc.json\":{\"bytes\":100,\"last_used_unix_ms\":100,\"hits\":9},",
+                "\"dddd.json\":{\"bytes\":100,\"last_used_unix_ms\":300,\"hits\":0}}",
+            ),
+        )
+        .unwrap();
+        ResultStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used_first() {
+        let dir = tmp("evict-order");
+        let store = seeded_store(&dir);
+
+        // 400 bytes on disk; fitting 250 must drop the two LRU entries:
+        // unindexed bbbb first, then cccc (oldest stamp). Hit counts do
+        // not matter — cccc's 9 hits don't save it.
+        let report = store.evict_to(250).unwrap();
+        assert_eq!(report.evicted_entries, 2);
+        assert_eq!(report.evicted_bytes, 200);
+        assert_eq!(report.remaining_bytes, 200);
+        assert!(!dir.join("bbbb.json").exists());
+        assert!(!dir.join("cccc.json").exists());
+        assert!(dir.join("aaaa.json").exists());
+        assert!(dir.join("dddd.json").exists());
+
+        // The pruned index was flushed and holds only the survivors.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.index_len(), 2);
+        assert!(reopened.index_entry("cccc.json").is_none());
+        assert!(reopened.index_entry("aaaa.json").is_some());
+
+        // Already within budget: a second pass is a no-op.
+        let report = store.evict_to(250).unwrap();
+        assert_eq!(
+            report,
+            EvictionReport {
+                evicted_entries: 0,
+                evicted_bytes: 0,
+                remaining_bytes: 200,
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_tolerates_corrupt_index() {
+        let dir = tmp("evict-corrupt");
+        seeded_store(&dir);
+        fs::write(dir.join(INDEX_FILE), "not an index at all").unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        // With no usable recency data every entry is equally evictable;
+        // a zero budget must still clear the disk without erroring.
+        let report = store.evict_to(0).unwrap();
+        assert_eq!(report.evicted_entries, 4);
+        assert_eq!(report.remaining_bytes, 0);
+        assert_eq!(store.totals().unwrap(), (0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_keeps_counters_consistent() {
+        let dir = tmp("evict-counters");
+        let store = ResultStore::open(&dir).unwrap();
+        let job = one_job();
+        let r = simulate(&job.cfg, job.benchmark);
+        store.save(&job, &r).unwrap();
+        store.load(&job).unwrap();
+        let before = store.stats();
+        assert_eq!(before.hits, 1);
+
+        let report = store.evict_to(0).unwrap();
+        assert_eq!(report.evicted_entries, 1);
+        // Eviction itself is not a lookup: counters are untouched...
+        assert_eq!(store.stats(), before);
+        // ...and a load of the evicted entry is an ordinary miss.
+        assert!(store.load(&job).is_none());
+        let after = store.stats();
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(after.verify_failures, before.verify_failures);
         let _ = fs::remove_dir_all(&dir);
     }
 }
