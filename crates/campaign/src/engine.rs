@@ -1,17 +1,73 @@
-//! Campaign execution on the `rmt3d-sweep` work-stealing pool.
+//! Campaign execution on the `rmt3d-sweep` work-stealing pool, with
+//! optional write-ahead journaling and crash resume (see
+//! [`crate::journal`]).
 
 use crate::grid::CampaignSpec;
-use crate::report::{CampaignReport, TrialRecord};
-use crate::trial::{run_trial, TrialResult};
+use crate::journal::{self, Journal, CHECKPOINT_INTERVAL};
+use crate::report::{CampaignReport, Tally, TrialRecord};
+use crate::trial::{run_trial, TrialResult, TrialSpec};
 use rmt3d_sweep::{run_pool, PoolEvent};
 use rmt3d_telemetry::{emit, Event, Sink};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Knobs of [`run_campaign_with`]. The zero-value default (via
+/// [`Default`]) is an unjournaled auto-parallel run.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Heartbeat watchdog flagging silent trials as
+    /// [`Event::JobStalled`].
+    pub watchdog: Option<rmt3d_obs::WatchdogConfig>,
+    /// Write-ahead journal path (`None` disables journaling).
+    pub journal: Option<PathBuf>,
+    /// Replay an existing journal at the path before running, skipping
+    /// completed trials. Without a usable journal this degrades to a
+    /// fresh run (see [`CampaignRun::journal_discarded`]).
+    pub resume: bool,
+}
+
+/// A campaign's report plus how the journal shaped the run.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The aggregated outcome, byte-identical to an uninterrupted run.
+    pub report: CampaignReport,
+    /// Trials skipped because the journal already held their outcome.
+    pub resumed: usize,
+    /// Trials the journal knew about but had to re-run: in-flight
+    /// victims of the crash plus previously panicked trials.
+    pub requeued: usize,
+    /// Why an existing journal was thrown away (`None` when it was
+    /// absent on a fresh run or replayed cleanly).
+    pub journal_discarded: Option<String>,
+}
+
+/// Journaling state owned by the pool coordinator, shared between the
+/// completion hook (outcome + checkpoint lines) and the observer
+/// (trial-started lines).
+struct JournalState {
+    journal: Journal,
+    tally: Tally,
+    done: usize,
+    err: Option<String>,
+}
+
+impl JournalState {
+    fn fail(&mut self, e: std::io::Error) {
+        if self.err.is_none() {
+            self.err = Some(format!("journal write failed: {e}"));
+        }
+    }
+}
 
 /// Runs every trial of `spec` on `jobs` worker threads (0 = available
 /// parallelism) and aggregates the records in grid order.
 ///
 /// Lifecycle events stream to `sink` while workers run
 /// ([`Event::JobStarted`] / [`Event::JobFinished`], in completion
-/// order, plus [`Event::JobStalled`] when `watchdog` is set); once the
+/// order, plus [`Event::JobStalled`] when a watchdog is set); once the
 /// pool drains it emits one [`Event::PoolStats`] utilization summary,
 /// then one [`Event::CampaignTrial`] per trial in grid order, so a
 /// deterministic sink sees the same trial stream regardless of worker
@@ -42,27 +98,134 @@ pub fn run_campaign_watched<S: Sink>(
     watchdog: Option<rmt3d_obs::WatchdogConfig>,
     sink: &mut S,
 ) -> Result<CampaignReport, String> {
+    let opts = CampaignOptions {
+        jobs,
+        watchdog,
+        ..CampaignOptions::default()
+    };
+    run_campaign_with(spec, &opts, sink).map(|run| run.report)
+}
+
+/// [`run_campaign`] with the full option set: watchdog, write-ahead
+/// journaling, and crash resume.
+///
+/// With `opts.journal` set, every completion is appended (and fsynced)
+/// to the journal *before* it is acknowledged, so a SIGKILL at any
+/// instant loses at most the trials still in flight. With
+/// `opts.resume` also set, the journal is replayed first: completed
+/// trials are served from it as cache hits, in-flight victims and
+/// panicked trials re-run, and — because [`run_trial`] is
+/// deterministic and the report carries no wall-clock fields — the
+/// final report is byte-identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// Returns an error when the spec fails [`CampaignSpec::validate`] or
+/// the journal cannot be created or written (a journal that cannot
+/// keep its durability promise must not pretend to). Trial panics are
+/// *not* errors — they surface as failed [`TrialRecord`]s.
+pub fn run_campaign_with<S: Sink>(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+    sink: &mut S,
+) -> Result<CampaignRun, String> {
     spec.validate()?;
     let trials = spec.expand();
     let total = trials.len();
-    let workers = if jobs > 0 {
-        jobs
+    let workers = if opts.jobs > 0 {
+        opts.jobs
     } else {
         std::thread::available_parallelism().map_or(1, usize::from)
     };
+
+    let mut completed: BTreeMap<usize, TrialResult> = BTreeMap::new();
+    let mut resumed = 0usize;
+    let mut requeued = 0usize;
+    let mut journal_discarded = None;
+    let journal = match &opts.journal {
+        None => None,
+        Some(path) => {
+            let fresh = || {
+                Journal::create(path, spec)
+                    .map_err(|e| format!("cannot create journal {}: {e}", path.display()))
+            };
+            if opts.resume {
+                let text = std::fs::read_to_string(path).unwrap_or_default();
+                let rp = journal::replay(&text, spec);
+                match rp.discarded {
+                    Some(reason) => {
+                        journal_discarded = Some(reason);
+                        Some(fresh()?)
+                    }
+                    None => {
+                        requeued = rp.in_flight.len();
+                        for (i, outcome) in rp.completed {
+                            match outcome {
+                                Ok(t) => {
+                                    completed.insert(i, t);
+                                }
+                                // Panicked trials re-run; determinism
+                                // reproduces the identical record.
+                                Err(_) => requeued += 1,
+                            }
+                        }
+                        resumed = completed.len();
+                        Some(Journal::open_append(path).map_err(|e| {
+                            format!("cannot reopen journal {}: {e}", path.display())
+                        })?)
+                    }
+                }
+            } else {
+                Some(fresh()?)
+            }
+        }
+    };
+    let jstate = RefCell::new(journal.map(|journal| JournalState {
+        journal,
+        tally: Tally::default(),
+        done: 0,
+        err: None,
+    }));
+
     let pool_records = run_pool(
         &trials,
         workers,
-        |_| None::<TrialResult>,
+        |t: &TrialSpec| completed.get(&t.index).copied(),
         run_trial,
         |_, _| {},
-        watchdog,
+        opts.watchdog,
+        |index, outcome: &Result<TrialResult, String>, cached| {
+            let mut guard = jstate.borrow_mut();
+            let Some(js) = guard.as_mut() else { return };
+            js.done += 1;
+            js.tally.add(outcome);
+            // Journal-before-acknowledge: replayed hits are already on
+            // disk, everything else is fsynced here, ahead of the
+            // record and any observer effect.
+            let mut wrote = Ok(());
+            if !cached {
+                wrote = js.journal.trial_done(index, outcome);
+            }
+            if wrote.is_ok() && (js.done % CHECKPOINT_INTERVAL == 0 || js.done == total) {
+                wrote = js.journal.checkpoint(js.done, &js.tally);
+            }
+            if let Err(e) = wrote {
+                js.fail(e);
+            }
+        },
         |ev| match ev {
-            PoolEvent::Started { index } => emit(sink, || Event::JobStarted {
-                job: index as u64,
-                total: total as u64,
-                label: trials[index].label(),
-            }),
+            PoolEvent::Started { index } => {
+                if let Some(js) = jstate.borrow_mut().as_mut() {
+                    if let Err(e) = js.journal.trial_started(index) {
+                        js.fail(e);
+                    }
+                }
+                emit(sink, || Event::JobStarted {
+                    job: index as u64,
+                    total: total as u64,
+                    label: trials[index].label(),
+                });
+            }
             PoolEvent::Finished {
                 index,
                 ok,
@@ -99,6 +262,11 @@ pub fn run_campaign_watched<S: Sink>(
             PoolEvent::CacheHit { .. } => {}
         },
     );
+    if let Some(js) = jstate.into_inner() {
+        if let Some(e) = js.err {
+            return Err(e);
+        }
+    }
     let records: Vec<TrialRecord> = trials
         .into_iter()
         .zip(pool_records)
@@ -116,12 +284,18 @@ pub fn run_campaign_watched<S: Sink>(
             ok: r.ok(),
         });
     }
-    Ok(CampaignReport { records })
+    Ok(CampaignRun {
+        report: CampaignReport { records },
+        resumed,
+        requeued,
+        journal_discarded,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::JOURNAL_FILE;
     use rmt3d_telemetry::{NullSink, RecordingSink};
 
     #[test]
@@ -162,5 +336,61 @@ mod tests {
         let mut spec = CampaignSpec::smoke(1);
         spec.benchmarks.clear();
         assert!(run_campaign(&spec, 1, &mut NullSink).is_err());
+    }
+
+    #[test]
+    fn full_resume_serves_every_trial_from_the_journal() {
+        let spec = CampaignSpec::smoke(29);
+        let dir = std::env::temp_dir().join(format!("rmt3d-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CampaignOptions {
+            jobs: 2,
+            journal: Some(dir.join(JOURNAL_FILE)),
+            ..CampaignOptions::default()
+        };
+        let first = run_campaign_with(&spec, &opts, &mut NullSink).expect("fresh run");
+        assert_eq!(first.resumed, 0);
+        let resume = CampaignOptions {
+            resume: true,
+            ..opts
+        };
+        let mut sink = RecordingSink::new();
+        let second = run_campaign_with(&spec, &resume, &mut sink).expect("resumed run");
+        assert_eq!(second.resumed, spec.total_trials());
+        assert_eq!(second.requeued, 0);
+        assert!(second.journal_discarded.is_none());
+        assert_eq!(
+            first.report.to_jsonl(),
+            second.report.to_jsonl(),
+            "resume must be byte-identical"
+        );
+        let hits: u64 = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::PoolStats { cache_hits, .. } => Some(*cache_hits),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(hits, spec.total_trials() as u64, "no trial re-ran");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_a_journal_file_degrades_to_a_fresh_run() {
+        let spec = CampaignSpec::smoke(31);
+        let dir = std::env::temp_dir().join(format!("rmt3d-resume-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CampaignOptions {
+            jobs: 2,
+            journal: Some(dir.join(JOURNAL_FILE)),
+            resume: true,
+            ..CampaignOptions::default()
+        };
+        let run = run_campaign_with(&spec, &opts, &mut NullSink).expect("campaign runs");
+        assert_eq!(run.resumed, 0);
+        assert!(run.journal_discarded.is_some());
+        assert_eq!(run.report.records.len(), spec.total_trials());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,6 +28,12 @@ pub struct CampaignSpec {
     pub ecc: EccConfig,
 }
 
+/// Version prefix of [`CampaignSpec::canonical`]. Bumping the crate
+/// version or the trailing schema revision changes every canonical
+/// string, which invalidates journals and spec hashes derived from it
+/// — the same discipline as the sweep cache's `CACHE_VERSION`.
+pub const SPEC_VERSION: &str = concat!("rmt3d-campaign/", env!("CARGO_PKG_VERSION"), "/1");
+
 /// The default campaign's benchmark slice: two int and two fp-adjacent
 /// profiles plus the paper's canonical mcf, spanning branchy and
 /// memory-bound behaviour.
@@ -109,6 +115,32 @@ impl CampaignSpec {
             ));
         }
         Ok(())
+    }
+
+    /// The canonical text of this spec: every field that affects
+    /// expansion, led by [`SPEC_VERSION`]. Two specs expand to the
+    /// same trial list iff their canonical strings are equal, which is
+    /// what lets the journal detect a resume against the wrong
+    /// campaign.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{SPEC_VERSION}|sites={}|benchmarks={}|faults={}|seed={}|instructions={}|ecc_lvq={}|ecc_trailer={}",
+            self.sites
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.benchmarks
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.faults_per_cell,
+            self.seed,
+            self.instructions,
+            self.ecc.lvq,
+            self.ecc.trailer_regfile,
+        )
     }
 
     /// Total trials the grid expands to.
@@ -193,6 +225,30 @@ mod tests {
         let s = spec.clone().sabotage(FaultSite::LvqValue).unwrap();
         assert!(!s.ecc.lvq);
         assert!(spec.sabotage(FaultSite::BoqOutcome).is_err());
+    }
+
+    #[test]
+    fn canonical_distinguishes_every_expansion_field() {
+        let base = CampaignSpec::smoke(1);
+        assert!(base.canonical().starts_with(SPEC_VERSION));
+        assert_eq!(base.canonical(), CampaignSpec::smoke(1).canonical());
+        let mut seeds = std::collections::BTreeSet::new();
+        seeds.insert(base.canonical());
+        let mut v = base.clone();
+        v.seed = 2;
+        seeds.insert(v.canonical());
+        let mut v = base.clone();
+        v.faults_per_cell = 5;
+        seeds.insert(v.canonical());
+        let mut v = base.clone();
+        v.instructions = 9_000;
+        seeds.insert(v.canonical());
+        let mut v = base.clone();
+        v.benchmarks = vec![Benchmark::Mcf];
+        seeds.insert(v.canonical());
+        let v = base.sabotage(FaultSite::LvqValue).unwrap();
+        seeds.insert(v.canonical());
+        assert_eq!(seeds.len(), 6, "every field must alter the canonical");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ECC-protected strike is corrected and counted, and no corruption
 //! escapes to architectural state silently.
 //!
-//! The engine composes four pieces:
+//! The engine composes five pieces:
 //!
 //! 1. **Grids** ([`CampaignSpec`]): (fault site × benchmark ×
 //!    injection point × bit × register) tuples expand deterministically
@@ -25,7 +25,15 @@
 //!    records aggregate in grid order, so the JSONL coverage report
 //!    ([`CampaignReport::to_jsonl`], with per-site detection-latency
 //!    percentiles) is byte-identical between serial and parallel runs.
-//! 4. **Minimization** ([`shrink`], [`write_fixture`]): a violation is
+//! 4. **Crash safety** ([`journal`], [`run_campaign_with`]): an
+//!    append-only write-ahead journal records every trial completion —
+//!    fsynced before the trial is acknowledged — plus periodic
+//!    aggregation checkpoints; resume replays it, skips completed
+//!    trials, re-queues in-flight victims, and produces a report
+//!    byte-identical to an uninterrupted run, which a SIGKILL
+//!    kill-testing harness in `crates/cli` proves against the real
+//!    binary.
+//! 5. **Minimization** ([`shrink`], [`write_fixture`]): a violation is
 //!    greedily shrunk to the smallest (instructions, injection point,
 //!    bit, register) tuple that still reproduces it, then emitted as a
 //!    JSON fixture that [`replay_fixture`] turns into a deterministic
@@ -43,17 +51,21 @@
 mod engine;
 mod fixture;
 mod grid;
+pub mod journal;
 mod report;
 mod shrink;
 mod trial;
 
-pub use engine::{run_campaign, run_campaign_watched};
+pub use engine::{
+    run_campaign, run_campaign_watched, run_campaign_with, CampaignOptions, CampaignRun,
+};
 pub use fixture::{
     fixture_file_name, fixture_json, parse_fixture, replay_fixture, write_fixture, FIXTURE_KIND,
     FIXTURE_VERSION,
 };
-pub use grid::{CampaignSpec, DEFAULT_BENCHMARKS};
-pub use report::{CampaignReport, LatencyStats, SiteSummary, TrialRecord};
+pub use grid::{CampaignSpec, DEFAULT_BENCHMARKS, SPEC_VERSION};
+pub use journal::{Journal, Replay, CHECKPOINT_INTERVAL, JOURNAL_FILE, JOURNAL_VERSION};
+pub use report::{CampaignReport, LatencyStats, SiteSummary, Tally, TrialRecord};
 pub use shrink::{reproduces, shrink, Shrunk};
 pub use trial::{
     expected_fate, run_trial, Expectation, TrialFate, TrialResult, TrialSpec, Violation,

@@ -22,6 +22,50 @@ impl TrialRecord {
     }
 }
 
+/// Running fate tallies accumulated in completion order — the payload
+/// of the journal's `checkpoint` lines and the engine's cheap
+/// aggregation cross-check during resume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Strikes absorbed by ECC.
+    pub corrected: u64,
+    /// Strikes detected by the checker and recovered.
+    pub detected: u64,
+    /// Strikes that never reached an architectural comparison.
+    pub masked: u64,
+    /// Trials whose injector never found a target op.
+    pub not_injected: u64,
+    /// Coverage-invariant breaches.
+    pub violations: u64,
+    /// Trials that panicked.
+    pub failed: u64,
+}
+
+impl Tally {
+    /// Folds one trial outcome in.
+    pub fn add(&mut self, outcome: &Result<TrialResult, String>) {
+        match outcome {
+            Err(_) => self.failed += 1,
+            Ok(t) => {
+                match t.fate {
+                    TrialFate::CorrectedByEcc => self.corrected += 1,
+                    TrialFate::DetectedRecovered => self.detected += 1,
+                    TrialFate::MaskedHarmless => self.masked += 1,
+                    TrialFate::NotInjected => self.not_injected += 1,
+                }
+                if t.violation.is_some() {
+                    self.violations += 1;
+                }
+            }
+        }
+    }
+
+    /// Outcomes folded in so far.
+    pub fn total(&self) -> u64 {
+        self.corrected + self.detected + self.masked + self.not_injected + self.failed
+    }
+}
+
 /// Detection-latency distribution (leader cycles from strike to the
 /// checker flagging it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

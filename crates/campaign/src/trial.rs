@@ -82,6 +82,26 @@ pub enum TrialFate {
 }
 
 impl TrialFate {
+    /// All fates.
+    pub const ALL: [TrialFate; 4] = [
+        TrialFate::CorrectedByEcc,
+        TrialFate::DetectedRecovered,
+        TrialFate::MaskedHarmless,
+        TrialFate::NotInjected,
+    ];
+
+    /// Parses a [`TrialFate::name`] label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized label.
+    pub fn parse(label: &str) -> Result<TrialFate, String> {
+        TrialFate::ALL
+            .into_iter()
+            .find(|f| f.name() == label)
+            .ok_or_else(|| format!("unknown fate '{label}'"))
+    }
+
     /// Stable snake_case label for reports and telemetry.
     pub fn name(self) -> &'static str {
         match self {

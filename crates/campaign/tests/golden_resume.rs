@@ -1,0 +1,101 @@
+//! Golden-file pin of campaign determinism under resume.
+//!
+//! The whole crash-safety story rests on one property: a resumed
+//! campaign is indistinguishable from an uninterrupted one. This test
+//! pins the smoke-grid report to a committed golden file, then
+//! interrupts the journal at several depths and proves every resumed
+//! report matches that same golden byte for byte. Any intentional
+//! change to trial semantics or the report format is reviewed through
+//! this file's diff. Regenerate with
+//! `RMT3D_BLESS=1 cargo test -p rmt3d-campaign`.
+
+use rmt3d_campaign::{run_campaign_with, CampaignOptions, CampaignSpec, JOURNAL_FILE};
+use rmt3d_telemetry::NullSink;
+use std::fs;
+use std::path::PathBuf;
+
+const GOLDEN: &str = "smoke_campaign.jsonl";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(GOLDEN)
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rmt3d-golden-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::smoke(13)
+}
+
+fn run(dir: &std::path::Path, resume: bool) -> rmt3d_campaign::CampaignRun {
+    let opts = CampaignOptions {
+        jobs: 2,
+        journal: Some(dir.join(JOURNAL_FILE)),
+        resume,
+        ..CampaignOptions::default()
+    };
+    run_campaign_with(&spec(), &opts, &mut NullSink).expect("campaign runs")
+}
+
+#[test]
+fn resumed_reports_match_the_committed_golden() {
+    // Uninterrupted journaled run, pinned to the committed golden.
+    let dir = tmp("fresh");
+    let report = run(&dir, false).report.to_jsonl();
+    let journal = fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal written");
+    let _ = fs::remove_dir_all(&dir);
+
+    let path = golden_path();
+    if std::env::var_os("RMT3D_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &report).unwrap();
+    } else {
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}\nregenerate with RMT3D_BLESS=1 cargo test -p rmt3d-campaign",
+                path.display()
+            )
+        });
+        assert_eq!(
+            report,
+            expected,
+            "campaign report drifted from {}; if intentional, regenerate \
+             with RMT3D_BLESS=1 cargo test -p rmt3d-campaign",
+            path.display()
+        );
+    }
+
+    // Interrupt the journal at several depths — just the header, a few
+    // trials in, all-but-one done — and resume each. Every resumed
+    // report must match the same golden bytes.
+    let lines: Vec<&str> = journal.lines().collect();
+    let total = spec().total_trials();
+    for keep in [1, 2, lines.len() / 2, lines.len() - 1] {
+        let dir = tmp(&format!("resume-{keep}"));
+        fs::create_dir_all(&dir).unwrap();
+        let partial: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        fs::write(dir.join(JOURNAL_FILE), partial).unwrap();
+        let resumed = run(&dir, true);
+        assert_eq!(
+            resumed.report.to_jsonl(),
+            report,
+            "journal cut to {keep} lines: resumed report differs \
+             (resumed {}, requeued {})",
+            resumed.resumed,
+            resumed.requeued
+        );
+        assert!(resumed.journal_discarded.is_none());
+        assert!(
+            resumed.resumed <= total,
+            "resumed {} of {total} trials",
+            resumed.resumed
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

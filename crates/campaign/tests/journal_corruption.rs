@@ -1,0 +1,199 @@
+//! Corruption paths of the campaign journal: a damaged journal must
+//! degrade to re-running trials — never a panic, never a wrong
+//! outcome in the resumed report.
+//!
+//! The journal of a real (small) campaign is attacked at three
+//! layers, mirroring `crates/sweep/tests/codec_corruption.rs`:
+//! truncation at every byte boundary, structured damage inside
+//! well-formed lines (ill-typed fields, unknown labels, a lying
+//! checkpoint), and header-level staleness (old journal version,
+//! foreign spec). After every attack, [`journal::replay`] must either
+//! resume with outcomes identical to the golden run or discard and
+//! restart the affected trials.
+
+use rmt3d_campaign::{journal, run_campaign_with, CampaignOptions, CampaignSpec, JOURNAL_FILE};
+use rmt3d_telemetry::NullSink;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rmt3d-journal-corruption-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::smoke(41)
+}
+
+/// Runs one journaled campaign and returns (journal text, golden
+/// report JSONL).
+fn golden(tag: &str) -> (String, String) {
+    let dir = tmp(tag);
+    let opts = CampaignOptions {
+        jobs: 2,
+        journal: Some(dir.join(JOURNAL_FILE)),
+        ..CampaignOptions::default()
+    };
+    let run = run_campaign_with(&spec(), &opts, &mut NullSink).expect("golden campaign");
+    let text = fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal written");
+    let _ = fs::remove_dir_all(&dir);
+    (text, run.report.to_jsonl())
+}
+
+/// `replay` must survive a truncation at *every* byte boundary — a
+/// SIGKILL can stop the journal anywhere — and every outcome it does
+/// recover must match the golden run exactly.
+#[test]
+fn replay_never_panics_on_any_truncation() {
+    let (text, _) = golden("truncate");
+    let full = journal::replay(&text, &spec());
+    assert!(full.discarded.is_none(), "{:?}", full.discarded);
+    assert_eq!(full.completed.len(), spec().total_trials());
+
+    let bytes = text.as_bytes();
+    for cut in 0..bytes.len() {
+        let torn = String::from_utf8_lossy(&bytes[..cut]);
+        let replay = journal::replay(&torn, &spec());
+        if replay.discarded.is_some() {
+            // Tore into the header: nothing may be recovered.
+            assert!(replay.completed.is_empty(), "cut at byte {cut}");
+            assert!(replay.in_flight.is_empty(), "cut at byte {cut}");
+            continue;
+        }
+        for (index, outcome) in &replay.completed {
+            assert!(*index < spec().total_trials(), "cut at byte {cut}");
+            assert_eq!(
+                outcome,
+                full.completed.get(index).expect("golden outcome"),
+                "cut at byte {cut}: recovered outcome for trial {index} \
+                 differs from the uninterrupted journal"
+            );
+        }
+        // At most the torn trailing line is unaccounted for.
+        assert!(replay.skipped_lines <= 1, "cut at byte {cut}");
+    }
+}
+
+/// End-to-end recovery from sampled truncation points: resume a
+/// campaign whose journal was cut mid-file and the final report must
+/// be byte-identical to the golden uninterrupted run.
+#[test]
+fn resume_from_truncated_journals_reproduces_the_golden_report() {
+    let (text, report) = golden("resume");
+    let step = text.len() / 7;
+    for cut in (0..text.len()).step_by(step.max(1)) {
+        let dir = tmp(&format!("resume-{cut}"));
+        let path = dir.join(JOURNAL_FILE);
+        fs::create_dir_all(&dir).expect("work dir");
+        fs::write(&path, &text.as_bytes()[..cut]).expect("torn journal");
+        let opts = CampaignOptions {
+            jobs: 2,
+            journal: Some(path),
+            resume: true,
+            ..CampaignOptions::default()
+        };
+        let run = run_campaign_with(&spec(), &opts, &mut NullSink).expect("resumed campaign");
+        assert_eq!(
+            run.report.to_jsonl(),
+            report,
+            "cut at byte {cut}: resumed report differs from golden \
+             (resumed {}, requeued {}, discarded {:?})",
+            run.resumed,
+            run.requeued,
+            run.journal_discarded
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Structured damage inside well-formed lines: each mutant must be
+/// skipped (its trial re-runs) without disturbing the other entries.
+///
+/// Checkpoint lines are stripped first — they vouch for every
+/// completion before them, so damaging a vouched-for line rightly
+/// discards the whole journal (proven in the test below). This test
+/// attacks the segment a checkpoint has not yet covered.
+#[test]
+fn replay_skips_ill_typed_lines_and_keeps_the_rest() {
+    let (text, _) = golden("mutate");
+    let text: String = text
+        .lines()
+        .filter(|l| !l.contains("\"event\":\"checkpoint\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let full = journal::replay(&text, &spec());
+    for (from, to) in [
+        // Trial index replaced by a string, then by a negative number.
+        (
+            "\"event\":\"trial_done\",\"trial\":0,",
+            "\"event\":\"trial_done\",\"trial\":\"zero\",",
+        ),
+        (
+            "\"event\":\"trial_done\",\"trial\":0,",
+            "\"event\":\"trial_done\",\"trial\":-1,",
+        ),
+        // A fate label the parser cannot resolve.
+        ("\"fate\":\"", "\"fate\":\"vaporised-"),
+        // A counter replaced by a string.
+        ("\"detect_cycles\":", "\"detect_cycles\":\"some\",\"x\":"),
+    ] {
+        let mangled = text.replacen(from, to, 1);
+        assert_ne!(mangled, text, "pattern {from:?} not found in journal");
+        let replay = journal::replay(&mangled, &spec());
+        assert!(
+            replay.discarded.is_none(),
+            "{from:?}: {:?}",
+            replay.discarded
+        );
+        assert!(replay.skipped_lines >= 1, "{from:?} was not skipped");
+        for (index, outcome) in &replay.completed {
+            assert_eq!(
+                outcome,
+                full.completed.get(index).expect("golden outcome"),
+                "mutant {from:?} disturbed trial {index}"
+            );
+        }
+    }
+}
+
+/// Header-level staleness and a lying checkpoint must discard the
+/// whole journal — replay never trusts a file it cannot vouch for.
+#[test]
+fn replay_discards_stale_headers_and_lying_checkpoints() {
+    let (text, _) = golden("discard");
+    let header_end = text.find('\n').expect("header line") + 1;
+
+    // A journal written by an older (or newer) build.
+    let stale = text.replacen("-journal/", "-journal/archaic-", 1);
+    assert_ne!(stale, text);
+    assert!(journal::replay(&stale, &spec()).discarded.is_some());
+
+    // A journal for a different campaign grid.
+    let foreign = text.replacen("seed=41", "seed=42", 1);
+    assert_ne!(foreign, text);
+    assert!(journal::replay(&foreign, &spec()).discarded.is_some());
+
+    // Damage to a completion an existing checkpoint already vouched
+    // for: the checkpoint's count no longer adds up, so the whole
+    // journal is distrusted.
+    let vouched = text.replacen("\"fate\":\"", "\"fate\":\"vaporised-", 1);
+    assert_ne!(vouched, text);
+    assert!(journal::replay(&vouched, &spec()).discarded.is_some());
+
+    // A checkpoint claiming more completions than the journal shows at
+    // that point: the journal is lying, nothing in it can be trusted.
+    let lying = format!(
+        "{}{{\"event\":\"checkpoint\",\"done\":{},\"corrected\":0,\"detected\":0,\
+         \"masked\":0,\"not_injected\":0,\"violations\":0,\"failed\":0}}\n{}",
+        &text[..header_end],
+        spec().total_trials(),
+        &text[header_end..]
+    );
+    let replay = journal::replay(&lying, &spec());
+    assert!(replay.discarded.is_some(), "lying checkpoint accepted");
+    assert!(replay.completed.is_empty());
+}

@@ -14,7 +14,7 @@
 //! rmt3d campaign  [--sites S,..|all] [--benchmarks B,..|all]
 //!                 [--faults-per-site N] [--seed N] [--instructions N]
 //!                 [--jobs N] [--out-dir DIR] [--sabotage SITE]
-//!                 [--quiet] [--trace-out FILE]
+//!                 [--journal] [--resume] [--quiet] [--trace-out FILE]
 //! rmt3d profile   --model 3d-2a --benchmark gzip [--instructions N]
 //!                 [--sample-interval N] [--out-dir DIR] [--quiet]
 //! rmt3d trace-report --in run.jsonl
@@ -65,7 +65,8 @@ use rmt3d::{
 };
 use rmt3d_cache::NucaPolicy;
 use rmt3d_campaign::{
-    run_campaign_watched, shrink, write_fixture, CampaignSpec, DEFAULT_BENCHMARKS,
+    run_campaign_with, shrink, write_fixture, CampaignOptions, CampaignSpec, DEFAULT_BENCHMARKS,
+    JOURNAL_FILE,
 };
 use rmt3d_obs::WatchdogConfig;
 use rmt3d_rmt::{EccConfig, FaultSite};
@@ -95,7 +96,8 @@ fn usage() -> ExitCode {
            campaign   [--sites S1,S2|all] [--benchmarks B1,B2|all]\n\
                       [--faults-per-site N] [--seed N] [--instructions N]\n\
                       [--jobs N] [--out-dir DIR] [--sabotage SITE]\n\
-                      [--quiet] [--trace-out FILE.jsonl]\n\
+                      [--journal] [--resume] [--quiet]\n\
+                      [--trace-out FILE.jsonl]\n\
            profile    --model M --benchmark B [--instructions N]\n\
                       [--sample-interval N] [--out-dir DIR] [--quiet]\n\
                       CPI stacks, histograms, Perfetto .trace.json\n\
@@ -139,6 +141,10 @@ fn usage() -> ExitCode {
          campaign writes a JSONL coverage report (and, on violations, a\n\
          minimized regression fixture) under --out-dir (default\n\
          target/campaign) and exits non-zero unless coverage is 100%.\n\
+         campaign --journal appends a crash-safe write-ahead journal\n\
+         (campaign.journal.jsonl, fsynced per trial) under --out-dir;\n\
+         campaign --resume replays it, skips completed trials, and\n\
+         produces a report byte-identical to an uninterrupted run.\n\
          validation errors:\n\
            --jobs must be at least 1\n\
            --resume and --no-cache are mutually exclusive\n\
@@ -166,13 +172,20 @@ fn parse_list<T: Copy>(
 ) -> Result<Vec<T>, String> {
     match spec.as_deref() {
         None | Some("all") => Ok(all.to_vec()),
-        Some(list) => list
-            .split(',')
-            .map(|s| {
-                let s = s.trim();
-                parse(s).ok_or_else(|| format!("unknown {what}: {s}"))
-            })
-            .collect(),
+        Some(list) => {
+            let items: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if items.is_empty() {
+                return Err(format!("{what} list is empty"));
+            }
+            items
+                .into_iter()
+                .map(|s| parse(s).ok_or_else(|| format!("unknown {what}: {s}")))
+                .collect()
+        }
     }
 }
 
@@ -546,6 +559,8 @@ fn run_campaign_command(mut a: Args) -> ExitCode {
         },
         Err(e) => return fail(&e),
     };
+    let journal = a.flag("--journal");
+    let resume = a.flag("--resume");
     let quiet = a.flag("--quiet");
     let trace_out = match a.opt("--trace-out") {
         Ok(t) => t,
@@ -601,23 +616,7 @@ fn run_campaign_command(mut a: Args) -> ExitCode {
         );
     }
 
-    let campaign_canonical = format!(
-        "sites={}|benchmarks={}|faults={}|seed={}|instructions={}|ecc_sabotage={}",
-        spec.sites
-            .iter()
-            .map(|s| s.name())
-            .collect::<Vec<_>>()
-            .join(","),
-        spec.benchmarks
-            .iter()
-            .map(|b| b.name())
-            .collect::<Vec<_>>()
-            .join(","),
-        spec.faults_per_cell,
-        spec.seed,
-        spec.instructions,
-        sabotage.map_or("none".into(), |s| s.name().to_string()),
-    );
+    let campaign_canonical = spec.canonical();
     let config = vec![
         (
             "sites".to_string(),
@@ -670,10 +669,28 @@ fn run_campaign_command(mut a: Args) -> ExitCode {
         multiplier,
         ..WatchdogConfig::default()
     });
-    let report = match run_campaign_watched(&spec, jobs, watchdog, &mut sink) {
+    let opts = CampaignOptions {
+        jobs,
+        watchdog,
+        journal: (journal || resume).then(|| out_dir.join(JOURNAL_FILE)),
+        resume,
+    };
+    let run = match run_campaign_with(&spec, &opts, &mut sink) {
         Ok(r) => r,
         Err(e) => return fail(&e),
     };
+    if !quiet {
+        if let Some(reason) = &run.journal_discarded {
+            eprintln!("campaign: journal discarded ({reason}); starting fresh");
+        }
+        if run.resumed > 0 || run.requeued > 0 {
+            eprintln!(
+                "campaign: resumed {} completed trials from the journal, re-queued {}",
+                run.resumed, run.requeued
+            );
+        }
+    }
+    let report = run.report;
     drop(sink);
     let mut jsonl = jsonl;
     if let Err(e) = jsonl.finish() {

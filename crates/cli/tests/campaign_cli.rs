@@ -1,0 +1,56 @@
+//! Argument validation of `rmt3d campaign` on the real binary: bad
+//! invocations must die at arg-parse time with a usage error — before
+//! any trial runs, any directory is created, or any journal is
+//! touched.
+
+use std::process::Command;
+
+/// Runs `rmt3d campaign` with the given extra args and returns
+/// (success, stderr).
+fn campaign(extra: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rmt3d"))
+        .arg("campaign")
+        .args(extra)
+        .output()
+        .expect("rmt3d runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn zero_jobs_is_a_usage_error() {
+    let (ok, stderr) = campaign(&["--jobs", "0"]);
+    assert!(!ok, "--jobs 0 exited successfully");
+    assert!(
+        stderr.starts_with("error: --jobs must be at least 1\n"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: rmt3d"),
+        "usage not printed: {stderr}"
+    );
+}
+
+#[test]
+fn empty_site_list_is_a_usage_error() {
+    for sites in ["", ",", " , ,"] {
+        let (ok, stderr) = campaign(&["--sites", sites]);
+        assert!(!ok, "--sites {sites:?} exited successfully");
+        assert!(
+            stderr.starts_with("error: fault site list is empty\n"),
+            "--sites {sites:?} stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn empty_benchmark_list_is_a_usage_error() {
+    let (ok, stderr) = campaign(&["--benchmarks", ""]);
+    assert!(!ok, "--benchmarks \"\" exited successfully");
+    assert!(
+        stderr.starts_with("error: benchmark list is empty\n"),
+        "stderr: {stderr}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Memento-style kill testing of `rmt3d campaign --journal`: the real
+//! binary is SIGKILLed at seeded random instants — during startup,
+//! mid-trial, mid-journal-write, between checkpoints — and resumed
+//! with `--resume` until it finally completes. The surviving report
+//! must be byte-identical to a golden uninterrupted run, which is the
+//! paper's own standard applied to the platform: detection is nothing
+//! without recovery that restores provably correct state.
+
+mod killtest;
+
+use killtest::{kill_after, SCHEDULES};
+use rmt3d_campaign::{journal, CampaignSpec, JOURNAL_FILE};
+use rmt3d_rmt::{EccConfig, FaultSite};
+use rmt3d_workload::{Benchmark, SplitMix64};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// CLI arguments of the campaign under test; `spec()` is its
+/// library-side mirror, used to replay the final journal.
+const CAMPAIGN_ARGS: [&str; 12] = [
+    "campaign",
+    "--sites",
+    "all",
+    "--benchmarks",
+    "gzip,mcf",
+    "--faults-per-site",
+    "6",
+    "--seed",
+    "97",
+    "--instructions",
+    "8000",
+    "--quiet",
+];
+
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        sites: FaultSite::ALL.to_vec(),
+        benchmarks: vec![Benchmark::Gzip, Benchmark::Mcf],
+        faults_per_cell: 6,
+        seed: 97,
+        instructions: 8_000,
+        ecc: EccConfig::paper(),
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmt3d-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign(out_dir: &Path, resume: bool) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rmt3d"));
+    cmd.args(CAMPAIGN_ARGS)
+        .args(["--jobs", "2", "--no-ledger", "--out-dir"])
+        .arg(out_dir)
+        .arg(if resume { "--resume" } else { "--journal" })
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd
+}
+
+#[test]
+fn sigkilled_campaigns_resume_byte_identical() {
+    let root = tmp("harness");
+
+    // Golden: one uninterrupted journaled run.
+    let golden_dir = root.join("golden");
+    let status = campaign(&golden_dir, false)
+        .status()
+        .expect("golden campaign runs");
+    assert!(status.success(), "golden campaign exited {status}");
+    let golden = std::fs::read(golden_dir.join("campaign.jsonl")).expect("golden report");
+
+    for sched in &SCHEDULES {
+        let work = root.join(sched.name);
+        let mut rng = SplitMix64::new(sched.seed);
+        let mut kills = 0u64;
+        loop {
+            // `--resume` from the first attempt: an absent journal
+            // degrades to a fresh run, so the loop needs no special
+            // first iteration.
+            let mut child = campaign(&work, true).spawn().expect("campaign spawns");
+            match kill_after(&mut child, sched.delay(&mut rng, kills)) {
+                Some(status) => {
+                    assert!(
+                        status.success(),
+                        "[{}] resumed campaign exited {status}",
+                        sched.name
+                    );
+                    break;
+                }
+                None => kills += 1,
+            }
+            assert!(
+                kills < 60,
+                "[{}] campaign never outran the killer",
+                sched.name
+            );
+        }
+        assert!(
+            kills >= 1,
+            "[{}] never killed the campaign — delays too long for this grid",
+            sched.name
+        );
+
+        let resumed = std::fs::read(work.join("campaign.jsonl")).expect("resumed report");
+        assert_eq!(
+            resumed, golden,
+            "[{}] resumed report differs from the uninterrupted golden after {kills} kills",
+            sched.name
+        );
+
+        // The surviving journal must replay clean: every trial
+        // completed, nothing discarded.
+        let text = std::fs::read_to_string(work.join(JOURNAL_FILE)).expect("journal survives");
+        let replay = journal::replay(&text, &spec());
+        assert!(replay.discarded.is_none(), "{:?}", replay.discarded);
+        assert_eq!(replay.completed.len(), spec().total_trials());
+        assert!(replay.in_flight.is_empty());
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

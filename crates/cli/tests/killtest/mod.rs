@@ -1,0 +1,77 @@
+//! Reusable SIGKILL scheduling for real-binary crash tests.
+//!
+//! A [`KillSchedule`] draws seeded random kill delays from a
+//! [`SplitMix64`] stream, escalating the window on every attempt so a
+//! victim that keeps getting killed early is guaranteed to eventually
+//! outrun the killer and finish. [`kill_after`] does the dirty work:
+//! poll the child until the delay elapses, then SIGKILL it
+//! (`Child::kill` sends SIGKILL on unix — no graceful shutdown, no
+//! atexit handlers, exactly the crash the journal must survive).
+
+use rmt3d_workload::SplitMix64;
+use std::process::{Child, ExitStatus};
+use std::time::{Duration, Instant};
+
+/// One seeded kill regime for a campaign under test.
+pub struct KillSchedule {
+    /// Names the work directory and failure messages.
+    pub name: &'static str,
+    /// Seed of the delay stream (the "seeded kill schedule" of the
+    /// acceptance criteria: re-running reproduces the same kills).
+    pub seed: u64,
+    /// First-attempt delay window in milliseconds.
+    pub min_ms: u64,
+    pub max_ms: u64,
+}
+
+/// Three regimes aimed at different crash landings: almost immediately
+/// (startup, header and first journal writes), mid-trial at full tilt,
+/// and late (between aggregation checkpoints, report imminent).
+pub const SCHEDULES: [KillSchedule; 3] = [
+    KillSchedule {
+        name: "rapid-fire",
+        seed: 0xDEAD,
+        min_ms: 10,
+        max_ms: 120,
+    },
+    KillSchedule {
+        name: "mid-trial",
+        seed: 0xBEEF,
+        min_ms: 150,
+        max_ms: 600,
+    },
+    KillSchedule {
+        name: "between-checkpoints",
+        seed: 0xFEED,
+        min_ms: 500,
+        max_ms: 1500,
+    },
+];
+
+impl KillSchedule {
+    /// The delay before kill `attempt` (0-based): drawn uniformly from
+    /// the window, which doubles every four attempts so progress per
+    /// life grows until the campaign finishes.
+    pub fn delay(&self, rng: &mut SplitMix64, attempt: u64) -> Duration {
+        let scale = 1 << (attempt / 4).min(6);
+        Duration::from_millis(self.min_ms * scale + rng.below((self.max_ms - self.min_ms) * scale))
+    }
+}
+
+/// Polls `child` until `delay` elapses, then SIGKILLs it. Returns
+/// `None` when the child was killed, `Some(status)` when it exited on
+/// its own first.
+pub fn kill_after(child: &mut Child, delay: Duration) -> Option<ExitStatus> {
+    let deadline = Instant::now() + delay;
+    loop {
+        if let Some(status) = child.try_wait().expect("child waitable") {
+            return Some(status);
+        }
+        if Instant::now() >= deadline {
+            child.kill().expect("SIGKILL delivered");
+            child.wait().expect("killed child reaped");
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

@@ -186,6 +186,7 @@ pub fn run_sweep<S: Sink>(
             }
         },
         opts.watchdog,
+        |_, _, _| {},
         |ev| match ev {
             PoolEvent::Started { index } => emit(sink, || Event::JobStarted {
                 job: index as u64,

@@ -150,18 +150,27 @@ pub fn eta_nanos(exec_wall_sum: u64, executed: u64, remaining: u64, workers: u64
 /// `catch_unwind` (a panicking item is isolated and reported as a
 /// failed record) and a successful result is offered to `save`
 /// (worker-side, best-effort — e.g. persisting to a result store).
-/// `observe` runs on the calling thread only, so it may own non-`Send`
-/// state such as a telemetry sink. When `watchdog` is supplied, the
-/// coordinator polls at its interval and reports silent items as
+/// `complete` and `observe` run on the calling thread only, so they
+/// may own non-`Send` state such as a telemetry sink. `complete` fires
+/// exactly once per item, in completion order, with the item's index,
+/// outcome, and cached flag — *before* the item is acknowledged in the
+/// records or surfaced to `observe`, which is what lets a caller
+/// journal each completion durably (write-ahead) ahead of any
+/// downstream effect. When `watchdog` is supplied, the coordinator
+/// polls at its interval and reports silent items as
 /// [`PoolEvent::Stalled`]. The final event is always
 /// [`PoolEvent::Drained`] with the pool's utilization summary.
-pub fn run_pool<I, R, P, E, V, O>(
+// One parameter per pipeline stage (probe/exec/save/complete/observe);
+// grouping them into a struct would only rename the arity.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pool<I, R, P, E, V, C, O>(
     items: &[I],
     workers: usize,
     probe: P,
     exec: E,
     save: V,
     watchdog: Option<WatchdogConfig>,
+    mut complete: C,
     mut observe: O,
 ) -> Vec<PoolRecord<R>>
 where
@@ -170,6 +179,7 @@ where
     P: Fn(&I) -> Option<R> + Sync,
     E: Fn(&I) -> R + Sync,
     V: Fn(&I, &R) + Sync,
+    C: FnMut(usize, &Result<R, String>, bool),
     O: FnMut(PoolEvent),
 {
     let total = items.len();
@@ -261,6 +271,7 @@ where
                     wall_nanos,
                 }) => {
                     done += 1;
+                    complete(index, &outcome, cached);
                     if cached {
                         stats.cache_hits += 1;
                         observe(PoolEvent::CacheHit { index });
@@ -324,7 +335,16 @@ mod tests {
     #[test]
     fn records_come_back_in_item_order() {
         let items: Vec<u64> = (0..100).collect();
-        let records = run_pool(&items, 8, |_| None, |&i| i * i, |_, _| {}, None, |_| {});
+        let records = run_pool(
+            &items,
+            8,
+            |_| None,
+            |&i| i * i,
+            |_, _| {},
+            None,
+            |_, _, _| {},
+            |_| {},
+        );
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.outcome, Ok((i * i) as u64));
             assert!(!r.cached);
@@ -344,6 +364,7 @@ mod tests {
             },
             |_, _| {},
             None,
+            |_, _, _| {},
             |_| {},
         );
         assert!(records[3]
@@ -370,6 +391,7 @@ mod tests {
                 saved.fetch_add(1, Ordering::Relaxed);
             },
             None,
+            |_, _, _| {},
             |_| {},
         );
         assert_eq!(executed.load(Ordering::Relaxed), 10);
@@ -394,6 +416,7 @@ mod tests {
             |&i| i,
             |_, _| {},
             None,
+            |_, _, _| {},
             |ev| match ev {
                 PoolEvent::Started { .. } => started += 1,
                 PoolEvent::CacheHit { .. } => hits += 1,
@@ -421,9 +444,64 @@ mod tests {
     }
 
     #[test]
+    fn complete_hook_sees_every_item_once_before_its_observe_event() {
+        // The journaling contract: exactly one `complete` per item, in
+        // completion order, carrying the real outcome and cached flag,
+        // and always ahead of the item's CacheHit/Finished event.
+        let items: Vec<u64> = (0..24).collect();
+        let mut completions: Vec<(usize, Result<u64, String>, bool)> = Vec::new();
+        let observed = std::cell::Cell::new(0usize);
+        run_pool(
+            &items,
+            4,
+            |&i| (i % 3 == 0).then_some(i),
+            |&i| {
+                assert!(i != 7, "item seven explodes");
+                i
+            },
+            |_, _| {},
+            None,
+            |index, outcome: &Result<u64, String>, cached| {
+                assert_eq!(
+                    completions.len(),
+                    observed.get(),
+                    "complete must precede the item's observe event"
+                );
+                completions.push((index, outcome.clone(), cached));
+            },
+            |ev| {
+                if matches!(ev, PoolEvent::CacheHit { .. } | PoolEvent::Finished { .. }) {
+                    observed.set(observed.get() + 1);
+                }
+            },
+        );
+        assert_eq!(completions.len(), 24);
+        assert_eq!(observed.get(), 24);
+        let mut seen: Vec<usize> = completions.iter().map(|(i, _, _)| *i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..24).collect::<Vec<_>>(), "each item exactly once");
+        for (index, outcome, cached) in &completions {
+            assert_eq!(*cached, index % 3 == 0, "cached flag at {index}");
+            match index {
+                7 => assert!(outcome.as_ref().is_err_and(|e| e.contains("explodes"))),
+                i => assert_eq!(outcome, &Ok(*i as u64)),
+            }
+        }
+    }
+
+    #[test]
     fn empty_input_returns_empty() {
         let items: Vec<u64> = Vec::new();
-        let records = run_pool(&items, 4, |_| None, |&i| i, |_, _| {}, None, |_| {});
+        let records = run_pool(
+            &items,
+            4,
+            |_| None,
+            |&i| i,
+            |_, _| {},
+            None,
+            |_, _, _| {},
+            |_| {},
+        );
         assert!(records.is_empty());
     }
 
@@ -476,6 +554,7 @@ mod tests {
             },
             |_, _| {},
             Some(cfg),
+            |_, _, _| {},
             |ev| {
                 if let PoolEvent::Stalled {
                     index,

@@ -608,4 +608,70 @@ mod tests {
         assert_eq!(after.verify_failures, before.verify_failures);
         let _ = fs::remove_dir_all(&dir);
     }
+
+    /// `evict_to` racing a concurrent writer: the store may evict or
+    /// keep any entry caught mid-race, but it must never error, never
+    /// corrupt `index.json`, and a quiescent eviction pass must never
+    /// claim an in-budget, just-written entry.
+    #[test]
+    fn eviction_racing_a_writer_keeps_the_store_consistent() {
+        let dir = tmp("evict-race");
+        let store = ResultStore::open(&dir).unwrap();
+        let jobs = SweepSpec::new(
+            &ProcessorModel::ALL,
+            &[Benchmark::Gzip, Benchmark::Mcf],
+            RunScale {
+                warmup_instructions: 2_000,
+                instructions: 20_000,
+                thermal_grid: 25,
+            },
+        )
+        .expand();
+        let result = simulate(&jobs[0].cfg, jobs[0].benchmark);
+
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for _ in 0..12 {
+                    for job in &jobs {
+                        store.save(job, &result).unwrap();
+                    }
+                }
+            });
+            // Hammer evictions (including mid-rename snapshots) while
+            // the writer keeps repopulating the same keys.
+            for _ in 0..40 {
+                store.evict_to(0).unwrap();
+            }
+            writer.join().unwrap();
+        });
+
+        // Quiescent tail: clear the disk, write one entry, run an
+        // eviction pass with room for it — the entry must survive.
+        store.evict_to(0).unwrap();
+        store.save(&jobs[0], &result).unwrap();
+        let report = store.evict_to(u64::MAX).unwrap();
+        assert_eq!(report.evicted_entries, 0, "in-budget entry evicted");
+        assert!(
+            store.load(&jobs[0]).is_some(),
+            "just-written entry lost after eviction pass"
+        );
+
+        // The usage index survived the crossfire: it still parses on a
+        // fresh open and still tracks the surviving entry.
+        store.flush_index().unwrap();
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert!(reopened.load(&jobs[0]).is_some());
+        assert_eq!(reopened.len().unwrap(), 1);
+        let name = store
+            .entry_path(&jobs[0])
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            reopened.index_entry(&name).is_some(),
+            "index.json lost the surviving entry"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
 }
