@@ -315,6 +315,16 @@ fn read_bench_file(path: &str) -> Result<Vec<(String, BenchRecord)>, String> {
     Ok(records)
 }
 
+/// Looks up the deterministic stat `<target>/<stat>` in a bench record
+/// set (e.g. `gate/2d-a/gzip` + `total_cycles`).
+fn stat_of(records: &[(String, BenchRecord)], target: &str, stat: &str) -> Option<f64> {
+    let key = format!("{target}/{stat}");
+    records.iter().find_map(|(n, r)| match r {
+        BenchRecord::Stat(s) if *n == key => Some(*s),
+        _ => None,
+    })
+}
+
 /// `rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]`:
 /// compare two bench JSONL files; exit non-zero on regression.
 pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
@@ -374,6 +384,22 @@ pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
                     c,
                     if over { "REGRESSED" } else { "ok" }
                 );
+                // Throughput view: pair the wall time with the target's
+                // own `<name>/total_cycles` deterministic stat when one
+                // is recorded (positive delta = faster simulator).
+                let base_cycles = stat_of(&baseline, name, "total_cycles");
+                let cur_cycles = stat_of(&current, name, "total_cycles").or(base_cycles);
+                if let (Some(bc), Some(cc)) = (base_cycles, cur_cycles) {
+                    let base_rate = bc / (b * 1e-9);
+                    let cur_rate = cc / (c * 1e-9);
+                    let rate_delta = 100.0 * (cur_rate - base_rate) / base_rate;
+                    println!(
+                        "  {:44}      {:>10.3} Mc/s -> {:>7.3} Mc/s  {rate_delta:+6.1}%",
+                        "",
+                        base_rate / 1e6,
+                        cur_rate / 1e6
+                    );
+                }
             }
             (BenchRecord::Stat(b), Some(BenchRecord::Stat(c))) => {
                 let drifted = b != c;

@@ -64,11 +64,15 @@ fn campaign(out_dir: &Path, resume: bool) -> Command {
 fn sigkilled_campaigns_resume_byte_identical() {
     let root = tmp("harness");
 
-    // Golden: one uninterrupted journaled run.
+    // Golden: one uninterrupted journaled run. Its wall time calibrates
+    // the kill schedules, keeping each regime aimed at the same phase
+    // of the run regardless of simulator or host speed.
     let golden_dir = root.join("golden");
+    let golden_start = std::time::Instant::now();
     let status = campaign(&golden_dir, false)
         .status()
         .expect("golden campaign runs");
+    let golden_time = golden_start.elapsed();
     assert!(status.success(), "golden campaign exited {status}");
     let golden = std::fs::read(golden_dir.join("campaign.jsonl")).expect("golden report");
 
@@ -81,7 +85,7 @@ fn sigkilled_campaigns_resume_byte_identical() {
             // degrades to a fresh run, so the loop needs no special
             // first iteration.
             let mut child = campaign(&work, true).spawn().expect("campaign spawns");
-            match kill_after(&mut child, sched.delay(&mut rng, kills)) {
+            match kill_after(&mut child, sched.delay(&mut rng, kills, golden_time)) {
                 Some(status) => {
                     assert!(
                         status.success(),

@@ -1,7 +1,10 @@
 //! Reusable SIGKILL scheduling for real-binary crash tests.
 //!
 //! A [`KillSchedule`] draws seeded random kill delays from a
-//! [`SplitMix64`] stream, escalating the window on every attempt so a
+//! [`SplitMix64`] stream as *fractions of the measured uninterrupted
+//! runtime*, so the same schedules keep landing in the intended phase
+//! (startup, mid-trial, late) no matter how fast the simulator or the
+//! host machine gets. The window escalates on every attempt so a
 //! victim that keeps getting killed early is guaranteed to eventually
 //! outrun the killer and finish. [`kill_after`] does the dirty work:
 //! poll the child until the delay elapses, then SIGKILL it
@@ -19,42 +22,50 @@ pub struct KillSchedule {
     /// Seed of the delay stream (the "seeded kill schedule" of the
     /// acceptance criteria: re-running reproduces the same kills).
     pub seed: u64,
-    /// First-attempt delay window in milliseconds.
-    pub min_ms: u64,
-    pub max_ms: u64,
+    /// First-attempt delay window as per-mille of the golden runtime.
+    pub min_permille: u64,
+    pub max_permille: u64,
 }
 
 /// Three regimes aimed at different crash landings: almost immediately
 /// (startup, header and first journal writes), mid-trial at full tilt,
-/// and late (between aggregation checkpoints, report imminent).
+/// and late (between aggregation checkpoints, report imminent). Upper
+/// bounds stay below 1000‰ so the first life is always killed — the
+/// test requires every schedule to land at least one kill.
 pub const SCHEDULES: [KillSchedule; 3] = [
     KillSchedule {
         name: "rapid-fire",
         seed: 0xDEAD,
-        min_ms: 10,
-        max_ms: 120,
+        min_permille: 20,
+        max_permille: 150,
     },
     KillSchedule {
         name: "mid-trial",
         seed: 0xBEEF,
-        min_ms: 150,
-        max_ms: 600,
+        min_permille: 200,
+        max_permille: 500,
     },
     KillSchedule {
         name: "between-checkpoints",
         seed: 0xFEED,
-        min_ms: 500,
-        max_ms: 1500,
+        min_permille: 400,
+        max_permille: 700,
     },
 ];
 
 impl KillSchedule {
     /// The delay before kill `attempt` (0-based): drawn uniformly from
-    /// the window, which doubles every four attempts so progress per
-    /// life grows until the campaign finishes.
-    pub fn delay(&self, rng: &mut SplitMix64, attempt: u64) -> Duration {
+    /// the window scaled to `golden` (the uninterrupted runtime), then
+    /// doubled every four attempts so progress per life grows until
+    /// the campaign finishes.
+    pub fn delay(&self, rng: &mut SplitMix64, attempt: u64, golden: Duration) -> Duration {
         let scale = 1 << (attempt / 4).min(6);
-        Duration::from_millis(self.min_ms * scale + rng.below((self.max_ms - self.min_ms) * scale))
+        let permille =
+            self.min_permille * scale + rng.below((self.max_permille - self.min_permille) * scale);
+        // Floor of 5 ms: a kill cannot land before the process exists.
+        golden
+            .mul_f64(permille as f64 / 1000.0)
+            .max(Duration::from_millis(5))
     }
 }
 

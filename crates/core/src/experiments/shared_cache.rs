@@ -97,7 +97,7 @@ fn misses_per_10k(programs: &[Benchmark], layout: NucaLayout, refs_per_program: 
             // Pull ops until this program issues one memory reference.
             loop {
                 let op = g.next_op();
-                if let Some(m) = op.mem {
+                if let Some(m) = op.mem() {
                     cache.access(
                         m.addr + offset_for(slot),
                         op.kind == rmt3d_workload::OpClass::Store,

@@ -11,6 +11,13 @@ use rmt3d_workload::MicroOp;
 /// (so the trailer never touches the D-cache) and *branch outcomes*. The
 /// paper's Table 4 sizes the die-to-die via bundles from exactly these
 /// fields.
+///
+/// The record is 96 bytes and is copied on every hop of the leader →
+/// queue → checker path, so the layout avoids `Option` payload tags:
+/// the load value lives in [`CommittedOp::mem_value`] (valid only for
+/// loads — see [`CommittedOp::load_value`]) and the stored value *is*
+/// the first source operand (the store's data register), exposed via
+/// [`CommittedOp::store_value`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommittedOp {
     /// The architectural micro-op.
@@ -22,18 +29,42 @@ pub struct CommittedOp {
     pub src1_value: u64,
     /// Value of source operand 2 at commit.
     pub src2_value: u64,
-    /// The value loaded from memory (loads only).
-    pub load_value: Option<u64>,
-    /// The value stored (stores only; goes to the StB).
-    pub store_value: Option<u64>,
+    /// The value loaded from memory. Only meaningful when `op.kind` is
+    /// [`rmt3d_workload::OpClass::Load`]; 0 otherwise. Read through
+    /// [`CommittedOp::load_value`] unless mutating (fault injection).
+    pub mem_value: u64,
     /// Leading-core cycle at which the instruction committed.
     pub commit_cycle: u64,
 }
 
 impl CommittedOp {
+    /// The all-zero placeholder record: ring buffers use it to
+    /// initialize unoccupied slots.
+    pub const EMPTY: CommittedOp = CommittedOp {
+        op: MicroOp::EMPTY,
+        result: 0,
+        src1_value: 0,
+        src2_value: 0,
+        mem_value: 0,
+        commit_cycle: 0,
+    };
+
     /// True when the checker must compare a register result for this op.
     pub fn needs_value_check(&self) -> bool {
         self.op.dest.is_some()
+    }
+
+    /// The value loaded from memory (loads only).
+    #[inline]
+    pub fn load_value(&self) -> Option<u64> {
+        (self.op.kind == rmt3d_workload::OpClass::Load).then_some(self.mem_value)
+    }
+
+    /// The value stored (stores only; goes to the StB). The stored value
+    /// is the store's data operand, i.e. source operand 1.
+    #[inline]
+    pub fn store_value(&self) -> Option<u64> {
+        (self.op.kind == rmt3d_workload::OpClass::Store).then_some(self.src1_value)
     }
 }
 
@@ -44,17 +75,11 @@ mod tests {
 
     fn op(kind: OpClass, dest: Option<ArchReg>) -> MicroOp {
         MicroOp {
-            seq: 0,
             pc: 0x400_000,
             kind,
             dest,
-            src1_dist: None,
-            src2_dist: None,
-            src1_reg: None,
-            src2_reg: None,
             imm: 1,
-            mem: None,
-            branch: None,
+            ..MicroOp::EMPTY
         }
     }
 
@@ -63,11 +88,7 @@ mod tests {
         let with_dest = CommittedOp {
             op: op(OpClass::IntAlu, Some(ArchReg::new(1))),
             result: 42,
-            src1_value: 0,
-            src2_value: 0,
-            load_value: None,
-            store_value: None,
-            commit_cycle: 0,
+            ..CommittedOp::EMPTY
         };
         assert!(with_dest.needs_value_check());
         let store = CommittedOp {
@@ -75,5 +96,23 @@ mod tests {
             ..with_dest
         };
         assert!(!store.needs_value_check());
+    }
+
+    #[test]
+    fn load_and_store_values_follow_kind() {
+        let mut c = CommittedOp {
+            op: op(OpClass::Load, Some(ArchReg::new(2))),
+            mem_value: 77,
+            src1_value: 5,
+            ..CommittedOp::EMPTY
+        };
+        assert_eq!(c.load_value(), Some(77));
+        assert_eq!(c.store_value(), None);
+        c.op.kind = OpClass::Store;
+        assert_eq!(c.load_value(), None);
+        assert_eq!(c.store_value(), Some(5));
+        c.op.kind = OpClass::IntAlu;
+        assert_eq!(c.load_value(), None);
+        assert_eq!(c.store_value(), None);
     }
 }

@@ -16,10 +16,6 @@ use rmt3d_telemetry::{emit, CpiComponent, CpiStack, Event, NullSink, Sink};
 use rmt3d_workload::OpClass;
 use std::collections::VecDeque;
 
-/// Ring size for trailer-local completion times (non-RVP dependence
-/// tracking). Dependences reach at most 63 ops back.
-const RING: usize = 128;
-
 /// Outcome of verifying one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckOutcome {
@@ -34,17 +30,22 @@ pub enum CheckOutcome {
 }
 
 /// A completed verification, emitted at trailer commit.
+///
+/// The record is deliberately small (it is copied once per verified
+/// instruction on the hot path): recovery and TMR voting need the full
+/// checked payload only for *failed* checks, so those items are parked
+/// in a side buffer on the core ([`InOrderCore::drain_error_items_into`],
+/// [`InOrderCore::pop_error_item`]) instead of riding along here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Verification {
     /// Sequence number of the checked instruction.
     pub seq: u64,
-    /// Check result.
-    pub outcome: CheckOutcome,
     /// The trailer's recomputed result value.
     pub result: u64,
-    /// The checked payload (as received through the queues) — recovery
-    /// needs it to replay the instruction architecturally.
-    pub item: CommittedOp,
+    /// Kind of the checked instruction (for queue-slot accounting).
+    pub kind: OpClass,
+    /// Check result.
+    pub outcome: CheckOutcome,
 }
 
 impl Verification {
@@ -54,25 +55,32 @@ impl Verification {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct InFlight {
-    item: CommittedOp,
-    complete_cycle: u64,
-}
-
 /// The in-order checker pipeline.
 ///
 /// Drive it one trailer-clock cycle at a time with [`InOrderCore::step_cycle`],
 /// feeding instructions from the RVQ; verified instructions come back in
 /// order. The caller owns the clock-domain crossing (GALS) and the DFS
 /// policy — see the `rmt3d-rmt` crate.
+///
+/// Pipeline state is struct-of-arrays: payloads and completion cycles
+/// live in parallel rings indexed by two monotone cursors
+/// (`pipe_head..pipe_tail` is the occupied window, oldest first). The
+/// ring capacity is the configured pipeline depth rounded up to a power
+/// of two, so slot indexing is a mask instead of a modulo.
 #[derive(Debug)]
 pub struct InOrderCore<S: Sink = NullSink> {
     cfg: TrailerConfig,
     cycle: u64,
     regfile: [u64; 64],
-    pipe: VecDeque<InFlight>,
-    complete_at: Box<[u64; RING]>,
+    pipe_items: Box<[CommittedOp]>,
+    pipe_complete: Box<[u64]>,
+    pipe_mask: u64,
+    pipe_head: u64,
+    pipe_tail: u64,
+    /// Payloads of failed checks, in verification order; drained by
+    /// recovery (replay) and TMR voting (repair). Empty on the fault-free
+    /// fast path.
+    error_items: VecDeque<CommittedOp>,
     activity: ActivityCounters,
     cpi: CpiStack,
     sink: S,
@@ -99,16 +107,26 @@ impl<S: Sink> InOrderCore<S> {
     /// Panics if the configuration fails validation.
     pub fn with_sink(cfg: TrailerConfig, sink: S) -> InOrderCore<S> {
         cfg.validate().expect("invalid trailer configuration");
+        let cap = (cfg.pipeline_depth as usize).next_power_of_two();
         InOrderCore {
             cfg,
             cycle: 0,
             regfile: [0; 64],
-            pipe: VecDeque::with_capacity(64),
-            complete_at: Box::new([0; RING]),
+            pipe_items: vec![CommittedOp::EMPTY; cap].into_boxed_slice(),
+            pipe_complete: vec![0; cap].into_boxed_slice(),
+            pipe_mask: cap as u64 - 1,
+            pipe_head: 0,
+            pipe_tail: 0,
+            error_items: VecDeque::new(),
             activity: ActivityCounters::default(),
             cpi: CpiStack::new(),
             sink,
         }
+    }
+
+    #[inline]
+    fn pipe_len(&self) -> usize {
+        (self.pipe_tail - self.pipe_head) as usize
     }
 
     /// Current trailer cycle.
@@ -124,7 +142,7 @@ impl<S: Sink> InOrderCore<S> {
     /// Instructions currently in the trailer pipeline (dispatched but not
     /// yet verified).
     pub fn in_flight(&self) -> usize {
-        self.pipe.len()
+        self.pipe_len()
     }
 
     /// Injects a single-bit flip into the trailer's register file. Used
@@ -160,6 +178,26 @@ impl<S: Sink> InOrderCore<S> {
         self.regfile = *rf;
     }
 
+    /// Appends the payloads of every failed check since the last drain
+    /// (in verification order) to `out` and clears the side buffer.
+    /// Recovery replays these before the still-queued backlog.
+    pub fn drain_error_items_into(&mut self, out: &mut Vec<CommittedOp>) {
+        out.extend(self.error_items.drain(..));
+    }
+
+    /// Removes and returns the payload of the oldest undrained failed
+    /// check. TMR voting consumes one per non-Ok verification, keeping
+    /// the buffer in lockstep with the verification stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no failed-check payload is buffered.
+    pub fn pop_error_item(&mut self) -> CommittedOp {
+        self.error_items
+            .pop_front()
+            .expect("a non-Ok verification parks its payload")
+    }
+
     /// Re-executes one instruction architecturally from the trailer's
     /// own register state (ignoring the possibly-corrupt queue payload)
     /// and retires it. This is the recovery path: it produces the value
@@ -170,7 +208,7 @@ impl<S: Sink> InOrderCore<S> {
         let s1 = op.src1_reg.map_or(0, |r| self.regfile[r.index() as usize]);
         let s2 = op.src2_reg.map_or(0, |r| self.regfile[r.index() as usize]);
         let result = match op.kind {
-            OpClass::Load => crate::ooo::load_memory_value(op.mem.expect("loads carry mem").addr),
+            OpClass::Load => crate::ooo::load_memory_value(op.mem_addr),
             OpClass::Store | OpClass::Branch => 0,
             _ => op.compute_result(s1, s2),
         };
@@ -183,7 +221,19 @@ impl<S: Sink> InOrderCore<S> {
     /// Empties the execution pipeline, returning the in-flight payloads
     /// oldest-first (recovery squash: the caller replays them).
     pub fn drain_pipe(&mut self) -> Vec<CommittedOp> {
-        self.pipe.drain(..).map(|f| f.item).collect()
+        let mut out = Vec::with_capacity(self.pipe_len());
+        self.drain_pipe_into(&mut out);
+        out
+    }
+
+    /// Like [`drain_pipe`](Self::drain_pipe) but appends into a
+    /// caller-owned buffer, so recovery paths can reuse scratch storage
+    /// instead of allocating per flush.
+    pub fn drain_pipe_into(&mut self, out: &mut Vec<CommittedOp>) {
+        while self.pipe_head != self.pipe_tail {
+            out.push(self.pipe_items[(self.pipe_head & self.pipe_mask) as usize]);
+            self.pipe_head += 1;
+        }
     }
 
     /// Advances one trailer cycle: verifies up to `verify_ports` oldest
@@ -224,13 +274,13 @@ impl<S: Sink> InOrderCore<S> {
         if verified > 0 {
             return CpiComponent::BaseIssue;
         }
-        if self.pipe.is_empty() {
+        if self.pipe_head == self.pipe_tail {
             if input.is_empty() {
                 CpiComponent::FetchStarved
             } else {
                 CpiComponent::BaseIssue
             }
-        } else if self.pipe.len() >= self.cfg.pipeline_depth as usize {
+        } else if self.pipe_len() >= self.cfg.pipeline_depth as usize {
             CpiComponent::StructFull
         } else {
             CpiComponent::BaseIssue
@@ -240,12 +290,15 @@ impl<S: Sink> InOrderCore<S> {
     fn do_verify(&mut self, out: &mut Vec<Verification>) -> u32 {
         let mut n = 0;
         while n < self.cfg.verify_ports {
-            let Some(head) = self.pipe.front() else { break };
-            if head.complete_cycle > self.cycle {
+            if self.pipe_head == self.pipe_tail {
                 break;
             }
-            let inf = self.pipe.pop_front().expect("head exists");
-            let item = inf.item;
+            let slot = (self.pipe_head & self.pipe_mask) as usize;
+            if self.pipe_complete[slot] > self.cycle {
+                break;
+            }
+            let item = self.pipe_items[slot];
+            self.pipe_head += 1;
             let op = item.op;
 
             // Operand check (RVP only): predicted operands must match the
@@ -274,7 +327,7 @@ impl<S: Sink> InOrderCore<S> {
                 )
             };
             let result = match op.kind {
-                OpClass::Load => item.load_value.unwrap_or(0), // from the LVQ
+                OpClass::Load => item.mem_value, // from the LVQ
                 OpClass::Store | OpClass::Branch => 0,
                 _ => op.compute_result(s1, s2),
             };
@@ -300,12 +353,13 @@ impl<S: Sink> InOrderCore<S> {
                     cycle,
                     value: 1.0,
                 });
+                self.error_items.push_back(item);
             }
             out.push(Verification {
                 seq: op.seq,
-                outcome,
                 result,
-                item,
+                kind: op.kind,
+                outcome,
             });
             n += 1;
         }
@@ -318,7 +372,7 @@ impl<S: Sink> InOrderCore<S> {
         let mut fp_alu = self.cfg.fp_alu;
         let mut fp_mul = self.cfg.fp_mul;
         for _ in 0..self.cfg.width {
-            if self.pipe.len() >= self.cfg.pipeline_depth as usize {
+            if self.pipe_len() >= self.cfg.pipeline_depth as usize {
                 break;
             }
             let Some(front) = input.front() else { break };
@@ -343,11 +397,10 @@ impl<S: Sink> InOrderCore<S> {
                 k => k.execute_latency() as u64,
             };
             let complete = self.cycle + lat;
-            self.complete_at[(item.op.seq % RING as u64) as usize] = complete;
-            self.pipe.push_back(InFlight {
-                item,
-                complete_cycle: complete,
-            });
+            let slot = (self.pipe_tail & self.pipe_mask) as usize;
+            self.pipe_items[slot] = item;
+            self.pipe_complete[slot] = complete;
+            self.pipe_tail += 1;
             self.activity.dispatched += 1;
             self.activity.issued += 1;
             match op.kind {
@@ -361,16 +414,17 @@ impl<S: Sink> InOrderCore<S> {
 
     fn operands_ready(&self, op: &rmt3d_workload::MicroOp) -> bool {
         for dist in [op.src1_dist, op.src2_dist].into_iter().flatten() {
-            let producer = op.seq - dist as u64;
+            let producer = op.seq - dist.get() as u64;
             // If the producer is still in the pipe and not complete, stall.
-            if self
-                .pipe
-                .iter()
-                .any(|f| f.item.op.seq == producer && f.complete_cycle > self.cycle)
-            {
-                return false;
+            let mut i = self.pipe_head;
+            while i != self.pipe_tail {
+                let slot = (i & self.pipe_mask) as usize;
+                if self.pipe_items[slot].op.seq == producer && self.pipe_complete[slot] > self.cycle
+                {
+                    return false;
+                }
+                i += 1;
             }
-            let _ = self.complete_at[(producer % RING as u64) as usize];
         }
         true
     }

@@ -14,21 +14,12 @@ use crate::config::CoreConfig;
 use rmt3d_cache::CacheHierarchy;
 use rmt3d_telemetry::{emit, CpiComponent, CpiStack, Event, NullSink, Sink};
 use rmt3d_workload::{MicroOp, OpClass, TraceGenerator};
-use std::collections::VecDeque;
 
 /// Completion-time ring capacity. Must exceed `rob_size + ifq_size +
 /// max dependence distance (63)`; validated in [`OooCore::new`].
 const RING: usize = 256;
 /// Sentinel: result not yet available.
 const PENDING: u64 = u64::MAX;
-
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    op: MicroOp,
-    issued: bool,
-    /// Cycle at which the result is available (PENDING until issued).
-    complete_cycle: u64,
-}
 
 /// Per-cycle functional-unit issue budget.
 #[derive(Debug, Clone, Copy)]
@@ -101,15 +92,28 @@ pub struct OooCore<S: Sink = NullSink> {
     caches: CacheHierarchy,
     bpred: CombinedPredictor,
     cycle: u64,
-    ifq: VecDeque<MicroOp>,
     /// Fetch stalled until this cycle (I-cache miss).
     fetch_blocked_until: u64,
     /// Sequence number of an unresolved mispredicted branch.
     redirect_seq: Option<u64>,
-    rob: VecDeque<RobEntry>,
+    /// Struct-of-arrays pipeline state: op payloads live in one ring
+    /// indexed by `seq % RING`, written once at fetch and read in place
+    /// until commit. Three monotone sequence cursors partition the ring:
+    /// the ROB is `commit_head..dispatch_head`, the fetch queue is
+    /// `dispatch_head..fetch_tail`.
+    ops: Box<[MicroOp; RING]>,
+    commit_head: u64,
+    dispatch_head: u64,
+    fetch_tail: u64,
+    /// Sequence numbers of dispatched-but-unissued ops, in program
+    /// order: the issue stage's select window. Entries leave on issue,
+    /// so issue cost scales with waiting ops, not ROB size.
+    unissued: Vec<u64>,
     iq_int: u32,
     iq_fp: u32,
     lsq: u32,
+    /// Completion cycle per ring slot; `PENDING` from fetch until issue,
+    /// so `complete_at[slot] != PENDING` doubles as the issued flag.
     complete_at: Box<[u64; RING]>,
     regfile: [u64; 64],
     commit_stalled: bool,
@@ -157,10 +161,13 @@ impl<S: Sink> OooCore<S> {
             caches,
             bpred: CombinedPredictor::table1(),
             cycle: 0,
-            ifq: VecDeque::with_capacity(cfg.ifq_size as usize),
             fetch_blocked_until: 0,
             redirect_seq: None,
-            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            ops: Box::new([MicroOp::EMPTY; RING]),
+            commit_head: 0,
+            dispatch_head: 0,
+            fetch_tail: 0,
+            unissued: Vec::with_capacity(cfg.rob_size as usize),
             iq_int: 0,
             iq_fp: 0,
             lsq: 0,
@@ -181,7 +188,7 @@ impl<S: Sink> OooCore<S> {
 
     /// Re-order buffer occupancy (entries), for interval sampling.
     pub fn rob_occupancy(&self) -> u32 {
-        self.rob.len() as u32
+        (self.dispatch_head - self.commit_head) as u32
     }
 
     /// Integer issue-queue occupancy (entries).
@@ -227,6 +234,11 @@ impl<S: Sink> OooCore<S> {
     /// Branch predictor statistics.
     pub fn bpred(&self) -> &CombinedPredictor {
         &self.bpred
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
     }
 
     /// Applies or releases commit back-pressure (RVQ/StB full). While
@@ -319,36 +331,34 @@ impl<S: Sink> OooCore<S> {
         if self.commit_stalled {
             return CpiComponent::CheckerStall;
         }
-        match self.rob.front() {
+        if self.commit_head == self.dispatch_head {
             // Empty window: blame whatever is holding fetch back.
-            None => {
-                if self.redirect_seq.is_some() {
-                    CpiComponent::BranchRedirect
-                } else if self.cycle < self.fetch_blocked_until {
-                    CpiComponent::IcacheMiss
-                } else {
-                    CpiComponent::FetchStarved
-                }
+            if self.redirect_seq.is_some() {
+                CpiComponent::BranchRedirect
+            } else if self.cycle < self.fetch_blocked_until {
+                CpiComponent::IcacheMiss
+            } else {
+                CpiComponent::FetchStarved
             }
-            Some(head) => {
-                if head.issued {
-                    // Commit waits on the head's execution; loads mean
-                    // an outstanding D-cache access, the rest is plain
-                    // execute latency (dependence-bound).
-                    if head.op.kind == OpClass::Load {
-                        CpiComponent::DcacheMiss
-                    } else {
-                        CpiComponent::BaseIssue
-                    }
-                } else if self.rob.len() as u32 >= self.cfg.rob_size
-                    || self.iq_int >= self.cfg.iq_int_size
-                    || self.iq_fp >= self.cfg.iq_fp_size
-                    || self.lsq >= self.cfg.lsq_size
-                {
-                    CpiComponent::StructFull
+        } else {
+            let slot = (self.commit_head % RING as u64) as usize;
+            if self.complete_at[slot] != PENDING {
+                // Commit waits on the head's execution; loads mean
+                // an outstanding D-cache access, the rest is plain
+                // execute latency (dependence-bound).
+                if self.ops[slot].kind == OpClass::Load {
+                    CpiComponent::DcacheMiss
                 } else {
                     CpiComponent::BaseIssue
                 }
+            } else if self.rob_occupancy() >= self.cfg.rob_size
+                || self.iq_int >= self.cfg.iq_int_size
+                || self.iq_fp >= self.cfg.iq_fp_size
+                || self.lsq >= self.cfg.lsq_size
+            {
+                CpiComponent::StructFull
+            } else {
+                CpiComponent::BaseIssue
             }
         }
     }
@@ -360,30 +370,34 @@ impl<S: Sink> OooCore<S> {
         }
         let mut n = 0;
         while n < self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.issued || head.complete_cycle > self.cycle {
+            if self.commit_head == self.dispatch_head {
                 break;
             }
-            let entry = self.rob.pop_front().expect("head exists");
-            let op = entry.op;
+            let slot = (self.commit_head % RING as u64) as usize;
+            // PENDING is `u64::MAX`, so one comparison covers both "not
+            // yet issued" and "issued but not yet complete".
+            if self.complete_at[slot] > self.cycle {
+                break;
+            }
+            let op = self.ops[slot];
+            self.commit_head += 1;
             // Architectural value semantics (in commit order).
             let s1 = op.src1_reg.map_or(0, |r| self.regfile[r.index() as usize]);
             let s2 = op.src2_reg.map_or(0, |r| self.regfile[r.index() as usize]);
-            let (result, load_value, store_value) = match op.kind {
+            let (result, mem_value) = match op.kind {
                 OpClass::Load => {
-                    let v = load_memory_value(op.mem.expect("loads carry mem").addr);
-                    (v, Some(v), None)
+                    let v = load_memory_value(op.mem_addr);
+                    (v, v)
                 }
                 OpClass::Store => {
                     // Stores write the data operand; the write is charged
                     // to the D-cache at commit.
-                    let addr = op.mem.expect("stores carry mem").addr;
-                    self.caches.data_access(addr, true);
+                    self.caches.data_access(op.mem_addr, true);
                     self.activity.dcache_accesses += 1;
-                    (0, None, Some(s1))
+                    (0, 0)
                 }
-                OpClass::Branch => (0, None, None),
-                _ => (op.compute_result(s1, s2), None, None),
+                OpClass::Branch => (0, 0),
+                _ => (op.compute_result(s1, s2), 0),
             };
             if let Some(d) = op.dest {
                 self.regfile[d.index() as usize] = result;
@@ -399,8 +413,7 @@ impl<S: Sink> OooCore<S> {
                 result,
                 src1_value: s1,
                 src2_value: s2,
-                load_value,
-                store_value,
+                mem_value,
                 commit_cycle: self.cycle,
             });
             n += 1;
@@ -409,47 +422,55 @@ impl<S: Sink> OooCore<S> {
     }
 
     fn do_issue(&mut self) {
+        if self.unissued.is_empty() {
+            return;
+        }
         let mut budget = FuBudget::new(&self.cfg);
         let cycle = self.cycle;
-        // Oldest-first select over the ROB window.
-        for i in 0..self.rob.len() {
+        // Oldest-first select over the waiting window; ops that issue
+        // are compacted out of the list in place.
+        let len = self.unissued.len();
+        let mut keep = 0;
+        let mut i = 0;
+        while i < len {
             if budget.total == 0 {
+                self.unissued.copy_within(i..len, keep);
+                keep += len - i;
                 break;
             }
+            let seq = self.unissued[i];
+            let slot = (seq % RING as u64) as usize;
             let (ready, kind) = {
-                let e = &self.rob[i];
-                if e.issued {
-                    continue;
-                }
-                let ready = Self::operands_ready(&self.complete_at, &e.op, cycle);
-                (ready, e.op.kind)
+                let op = &self.ops[slot];
+                let ready = Self::operands_ready(&self.complete_at, op, cycle);
+                (ready, op.kind)
             };
             if !ready || !budget.take(kind) {
+                self.unissued[keep] = seq;
+                keep += 1;
+                i += 1;
                 continue;
             }
-            // Reserve before mutable borrow games: compute latency.
             let complete = match kind {
                 OpClass::Load => {
-                    let addr = self.rob[i].op.mem.expect("loads carry mem").addr;
+                    let addr = self.ops[slot].mem_addr;
                     let acc = self.caches.data_access(addr, false);
                     self.activity.dcache_accesses += 1;
                     cycle + 1 + acc.cycles as u64
                 }
                 _ => cycle + kind.execute_latency() as u64,
             };
-            let e = &mut self.rob[i];
-            e.issued = true;
-            e.complete_cycle = complete;
-            self.complete_at[(e.op.seq % RING as u64) as usize] = complete;
+            self.complete_at[slot] = complete;
+            let op = &self.ops[slot];
             // Free the issue-queue slot.
-            if e.op.kind.is_fp() {
+            if op.kind.is_fp() {
                 self.iq_fp -= 1;
             } else {
                 self.iq_int -= 1;
             }
             self.activity.issued += 1;
             self.activity.regfile_reads +=
-                e.op.src1_reg.is_some() as u64 + e.op.src2_reg.is_some() as u64;
+                op.src1_reg.is_some() as u64 + op.src2_reg.is_some() as u64;
             self.activity.bypass_transfers += 1;
             match kind {
                 OpClass::IntMul => self.activity.int_mul_ops += 1,
@@ -460,12 +481,14 @@ impl<S: Sink> OooCore<S> {
             if kind.is_memory() {
                 self.activity.lsq_accesses += 1;
             }
+            i += 1;
         }
+        self.unissued.truncate(keep);
     }
 
     fn operands_ready(ring: &[u64; RING], op: &MicroOp, cycle: u64) -> bool {
         for dist in [op.src1_dist, op.src2_dist].into_iter().flatten() {
-            let producer = op.seq - dist as u64;
+            let producer = op.seq - dist.get() as u64;
             if ring[(producer % RING as u64) as usize] > cycle {
                 return false;
             }
@@ -475,35 +498,37 @@ impl<S: Sink> OooCore<S> {
 
     fn do_dispatch(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            if self.rob.len() as u32 >= self.cfg.rob_size {
+            if self.rob_occupancy() >= self.cfg.rob_size {
                 break;
             }
-            let Some(op) = self.ifq.front() else { break };
+            if self.dispatch_head == self.fetch_tail {
+                break;
+            }
+            let kind = self.ops[(self.dispatch_head % RING as u64) as usize].kind;
             // Structural checks before consuming.
-            if op.kind.is_fp() {
+            if kind.is_fp() {
                 if self.iq_fp >= self.cfg.iq_fp_size {
                     break;
                 }
             } else if self.iq_int >= self.cfg.iq_int_size {
                 break;
             }
-            if op.kind.is_memory() && self.lsq >= self.cfg.lsq_size {
+            if kind.is_memory() && self.lsq >= self.cfg.lsq_size {
                 break;
             }
-            let op = self.ifq.pop_front().expect("front exists");
-            if op.kind.is_fp() {
+            if kind.is_fp() {
                 self.iq_fp += 1;
             } else {
                 self.iq_int += 1;
             }
-            if op.kind.is_memory() {
+            if kind.is_memory() {
                 self.lsq += 1;
             }
-            self.rob.push_back(RobEntry {
-                op,
-                issued: false,
-                complete_cycle: PENDING,
-            });
+            // The ring slot already reads PENDING (marked at fetch), so
+            // there is no ROB entry to fill: dispatch just advances the
+            // cursor into the issue window.
+            self.unissued.push(self.dispatch_head);
+            self.dispatch_head += 1;
             self.activity.dispatched += 1;
         }
     }
@@ -523,40 +548,45 @@ impl<S: Sink> OooCore<S> {
             return;
         }
         for _ in 0..self.cfg.fetch_width {
-            if self.ifq.len() as u32 >= self.cfg.ifq_size {
+            if (self.fetch_tail - self.dispatch_head) as u32 >= self.cfg.ifq_size {
                 break;
             }
-            let op = self.trace.next_op();
+            // Decode straight into the op ring: the payload is written
+            // once here and read in place through dispatch, issue and
+            // commit.
+            let slot = (self.fetch_tail % RING as u64) as usize;
+            self.ops[slot] = self.trace.next_op();
+            let op = &self.ops[slot];
+            debug_assert_eq!(op.seq, self.fetch_tail);
+            self.fetch_tail += 1;
             // Mark the slot pending as soon as the op exists, so stale
             // ring contents can never look "ready".
-            self.complete_at[(op.seq % RING as u64) as usize] = PENDING;
+            self.complete_at[slot] = PENDING;
             // I-cache: one access per new line.
             let line = op.pc / 64;
             if line != self.last_fetch_line {
                 self.last_fetch_line = line;
                 self.activity.icache_accesses += 1;
-                let stall = self.caches.fetch(op.pc);
+                let pc = op.pc;
+                let stall = self.caches.fetch(pc);
                 if stall > 0 {
                     self.fetch_blocked_until = self.cycle + stall as u64;
                 }
             }
             self.activity.fetched += 1;
-            if let Some(b) = op.branch {
+            let op = &self.ops[slot];
+            if let Some(b) = op.branch() {
                 self.activity.bpred_accesses += 1;
                 let pred = self.bpred.predict_and_train(op.pc, b.taken);
                 if pred != b.taken {
                     self.activity.branch_mispredicts += 1;
                     self.redirect_seq = Some(op.seq);
-                    self.ifq.push_back(op);
                     break;
                 }
-                self.ifq.push_back(op);
                 if b.taken {
                     // A taken branch ends the fetch group.
                     break;
                 }
-            } else {
-                self.ifq.push_back(op);
             }
             if self.cycle < self.fetch_blocked_until {
                 break;
@@ -700,7 +730,7 @@ mod tests {
         let mut out = Vec::new();
         for _ in 0..10_000 {
             c.step_cycle(&mut out);
-            assert!(c.rob.len() as u32 <= c.cfg.rob_size);
+            assert!(c.rob_occupancy() <= c.cfg.rob_size);
             assert!(c.iq_int <= c.cfg.iq_int_size);
             assert!(c.iq_fp <= c.cfg.iq_fp_size);
             assert!(c.lsq <= c.cfg.lsq_size);
@@ -731,15 +761,15 @@ mod tests {
         for co in &out {
             match co.op.kind {
                 OpClass::Load => {
-                    let v = co.load_value.expect("loads have load values");
-                    assert_eq!(v, load_memory_value(co.op.mem.unwrap().addr));
+                    let v = co.load_value().expect("loads have load values");
+                    assert_eq!(v, load_memory_value(co.op.mem().unwrap().addr));
                     assert_eq!(co.result, v);
                 }
                 OpClass::Store => {
-                    assert!(co.store_value.is_some());
-                    assert!(co.load_value.is_none());
+                    assert!(co.store_value().is_some());
+                    assert!(co.load_value().is_none());
                 }
-                _ => assert!(co.load_value.is_none() && co.store_value.is_none()),
+                _ => assert!(co.load_value().is_none() && co.store_value().is_none()),
             }
         }
     }

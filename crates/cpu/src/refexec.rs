@@ -46,7 +46,7 @@ impl ReferenceExecutor {
         let s1 = op.src1_reg.map_or(0, |r| self.regfile[r.index() as usize]);
         let s2 = op.src2_reg.map_or(0, |r| self.regfile[r.index() as usize]);
         let result = match op.kind {
-            OpClass::Load => load_memory_value(op.mem.expect("loads carry mem").addr),
+            OpClass::Load => load_memory_value(op.mem_addr),
             OpClass::Store | OpClass::Branch => 0,
             _ => op.compute_result(s1, s2),
         };

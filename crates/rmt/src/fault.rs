@@ -69,8 +69,8 @@ impl FaultSite {
         match self {
             FaultSite::LeaderResult => item.op.dest.is_some(),
             FaultSite::RvqOperand => item.op.src1_reg.is_some(),
-            FaultSite::LvqValue => item.load_value.is_some(),
-            FaultSite::BoqOutcome => item.op.branch.is_some(),
+            FaultSite::LvqValue => item.load_value().is_some(),
+            FaultSite::BoqOutcome => item.op.branch().is_some(),
             FaultSite::TrailerRegfile => false,
         }
     }
@@ -262,19 +262,19 @@ impl FaultInjector {
                 true
             }
             FaultSite::LvqValue => {
-                if let Some(v) = item.load_value.as_mut() {
-                    *v ^= mask;
+                if item.load_value().is_some() {
                     // The trailer's load "result" is the LVQ value, so the
                     // leader-recorded result must stay what the leader
                     // wrote — only the queued copy is corrupted.
+                    item.mem_value ^= mask;
                     true
                 } else {
                     false
                 }
             }
             FaultSite::BoqOutcome => {
-                if let Some(b) = item.op.branch.as_mut() {
-                    b.taken = !b.taken;
+                if item.op.branch().is_some() {
+                    item.op.flip_branch_taken();
                     true
                 } else {
                     false

@@ -1,0 +1,279 @@
+//! Threaded leader/checker engine: the OoO leader runs on the calling
+//! thread, coupled to the in-order checker thread by a bounded SPSC
+//! ring of per-cycle commit batches — the software analogue of the
+//! paper's inter-die via bundle, with the ring capacity playing the
+//! role of slack.
+//!
+//! Bit-identity with the serial engine holds by construction: the
+//! checker thread replays, per leader cycle, exactly the tail of
+//! [`RmtSystem::step`] (golden shadow update, queue pushes, DFS tick,
+//! slack sampling, fractional trailer stepping) in the same order on
+//! the same state. The leader's only coupling input is the commit
+//! back-pressure decision `can_accept(4)`, which it evaluates against
+//! a *conservative* occupancy: its own cumulative push counts minus
+//! the checker's last published release counts. Stale release counts
+//! only overestimate occupancy, so a conservative "accept" is always
+//! correct; whenever the conservative check would stall, the leader
+//! first waits for the checker to drain the ring and re-evaluates
+//! exactly — making every stall decision identical to the serial
+//! schedule.
+//!
+//! The engine is only entered for fault-free monomorphized runs
+//! (`NullSink`, no injector, never touched by a directed campaign), so
+//! recovery — which needs leader and checker state at once — can never
+//! trigger; a failed verification here is a simulator bug and panics.
+
+use super::{golden_update, RmtSystem};
+use crate::queues::QueueConfig;
+use rmt3d_cpu::{CheckOutcome, CommittedOp};
+use rmt3d_telemetry::NullSink;
+use rmt3d_workload::OpClass;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Execution engine for [`RmtSystem::run_instructions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Single-threaded reference engine.
+    Serial,
+    /// Force the threaded leader/checker split even on one CPU
+    /// (useful for testing; correct but slow there).
+    Threaded,
+    /// Threaded when the run is eligible and more than one CPU is
+    /// available; serial otherwise.
+    #[default]
+    Auto,
+}
+
+/// Widest leader commit the batch slots can carry.
+pub(crate) const MAX_COMMIT: usize = 8;
+
+/// Slack-ring capacity in leader cycles. At IPC ~2 this comfortably
+/// covers the 200-instruction RVQ slack, so the ring itself is never
+/// the binding back-pressure in the paper configuration.
+const RING: usize = 256;
+
+/// One leader cycle's worth of committed ops.
+#[derive(Clone, Copy)]
+struct CycleBatch {
+    n: u8,
+    items: [CommittedOp; MAX_COMMIT],
+}
+
+const EMPTY_BATCH: CycleBatch = CycleBatch {
+    n: 0,
+    items: [CommittedOp::EMPTY; MAX_COMMIT],
+};
+
+/// Logical-queue index order used by the release counters.
+const RVQ: usize = 0;
+
+/// SPSC ring + release ledger coupling the two threads.
+///
+/// `head` counts batches pushed by the leader, `tail` batches fully
+/// processed by the checker (both cumulative, never wrapped; slot =
+/// count % RING). `released[q]` is the cumulative number of entries
+/// the trailer has freed from logical queue `q`, published after each
+/// batch with Release ordering *before* `tail`, so a leader that
+/// observes `tail == head` reads exact release counts.
+struct SlackRing {
+    slots: Box<[UnsafeCell<CycleBatch>]>,
+    head: AtomicU64,
+    tail: AtomicU64,
+    done: AtomicBool,
+    released: [AtomicU64; 4],
+}
+
+// SAFETY: the only aliased interior mutability is `slots`, and the
+// head/tail protocol below guarantees a slot is never read and written
+// concurrently: the leader writes slot `h % RING` only while
+// `h - tail < RING` (checker is past it) and publishes with a Release
+// store of `head`; the checker reads slot `t % RING` only after an
+// Acquire load observes `head > t`.
+unsafe impl Sync for SlackRing {}
+
+impl SlackRing {
+    fn new() -> SlackRing {
+        let slots: Vec<UnsafeCell<CycleBatch>> =
+            (0..RING).map(|_| UnsafeCell::new(EMPTY_BATCH)).collect();
+        SlackRing {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            released: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// Release-counter slot for op kinds with a dedicated logical queue.
+#[inline]
+fn kind_slot(kind: OpClass) -> Option<usize> {
+    match kind {
+        OpClass::Load => Some(1),
+        OpClass::Branch => Some(2),
+        OpClass::Store => Some(3),
+        _ => None,
+    }
+}
+
+/// Mirror of [`IntercoreQueues::can_accept`] with headroom 4 over the
+/// conservative occupancies `pushed - released`.
+///
+/// [`IntercoreQueues::can_accept`]: crate::queues::IntercoreQueues::can_accept
+#[inline]
+fn can_accept(pushed: &[u64; 4], ring: &SlackRing, caps: QueueConfig) -> bool {
+    const HEADROOM: u64 = 4;
+    let occ = |i: usize| pushed[i] - ring.released[i].load(Ordering::Acquire);
+    occ(0) + HEADROOM <= caps.rvq as u64
+        && occ(1) + HEADROOM <= caps.lvq as u64
+        && occ(2) + HEADROOM <= caps.boq as u64
+        && occ(3) + HEADROOM <= caps.stb as u64
+}
+
+impl RmtSystem<NullSink> {
+    /// Threaded twin of the serial `run_instructions` loop. Caller
+    /// ([`RmtSystem::run_instructions`]) has already checked
+    /// eligibility: no telemetry, no injector, untainted state, and
+    /// `commit_width <= MAX_COMMIT`.
+    pub(crate) fn run_instructions_threaded(&mut self, n: u64) {
+        let RmtSystem {
+            leader,
+            trailer,
+            queues,
+            dfs,
+            accum,
+            golden,
+            stats,
+            commit_buf,
+            verify_buf,
+            ..
+        } = self;
+
+        debug_assert!(leader.config().commit_width as usize <= MAX_COMMIT);
+        let caps = queues.config();
+        let occ0 = queues.occupancy();
+        // Cumulative push counts seeded with whatever was already
+        // queued (warmup may have run serially), so `pushed - released`
+        // is an occupancy from the first cycle on.
+        let base = [
+            occ0.rvq as u64,
+            occ0.lvq as u64,
+            occ0.boq as u64,
+            occ0.stb as u64,
+        ];
+        let ring = SlackRing::new();
+        let ring = &ring;
+
+        std::thread::scope(|scope| {
+            let checker = scope.spawn(move || {
+                let mut cpushed = base;
+                let mut t: u64 = 0;
+                loop {
+                    if ring.head.load(Ordering::Acquire) == t {
+                        // `done` is stored after the final `head`
+                        // bump, so seeing it (Acquire) and then a
+                        // still-equal head means the stream has ended.
+                        if ring.done.load(Ordering::Acquire)
+                            && ring.head.load(Ordering::Acquire) == t
+                        {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    // SAFETY: head > t (Acquire), so the leader fully
+                    // wrote this slot and will not touch it again
+                    // until tail passes t.
+                    let batch = unsafe { &*ring.slots[(t % RING as u64) as usize].get() };
+                    for item in &batch.items[..batch.n as usize] {
+                        golden_update(golden, item);
+                        cpushed[RVQ] += 1;
+                        if let Some(s) = kind_slot(item.op.kind) {
+                            cpushed[s] += 1;
+                        }
+                        queues.push(*item);
+                    }
+                    dfs.tick(queues.rvq_fill());
+                    stats.slack_sum += queues.occupancy().rvq as u64;
+                    stats.slack_samples += 1;
+                    *accum += dfs.current().fraction();
+                    while *accum >= 1.0 {
+                        *accum -= 1.0;
+                        verify_buf.clear();
+                        trailer.step_cycle(queues.stream_mut(), verify_buf);
+                        for v in verify_buf.drain(..) {
+                            queues.on_trailer_consumed(v.kind);
+                            assert!(
+                                v.outcome == CheckOutcome::Ok,
+                                "verification failed in a fault-free threaded run (seq {})",
+                                v.seq
+                            );
+                            stats.verified_ok += 1;
+                        }
+                    }
+                    // Publish exact cumulative releases (pushes minus
+                    // live occupancy), then retire the batch. Release
+                    // ordering makes both visible to a leader that
+                    // sees the new tail.
+                    let occ = queues.occupancy();
+                    let live = [
+                        occ.rvq as u64,
+                        occ.lvq as u64,
+                        occ.boq as u64,
+                        occ.stb as u64,
+                    ];
+                    for i in 0..4 {
+                        ring.released[i].store(cpushed[i] - live[i], Ordering::Release);
+                    }
+                    t += 1;
+                    ring.tail.store(t, Ordering::Release);
+                }
+            });
+
+            let mut pushed = base;
+            let mut h: u64 = 0;
+            let start = leader.activity().committed;
+            while leader.activity().committed - start < n {
+                let mut can = can_accept(&pushed, ring, caps);
+                if !can {
+                    // Conservative stall: never charge it without an
+                    // exact verdict, or the schedule would diverge
+                    // from the serial engine.
+                    while ring.tail.load(Ordering::Acquire) != h {
+                        std::thread::yield_now();
+                    }
+                    can = can_accept(&pushed, ring, caps);
+                }
+                leader.set_commit_stall(!can);
+                commit_buf.clear();
+                leader.step_cycle(commit_buf);
+                for item in commit_buf.iter() {
+                    pushed[RVQ] += 1;
+                    if let Some(s) = kind_slot(item.op.kind) {
+                        pushed[s] += 1;
+                    }
+                }
+                while h - ring.tail.load(Ordering::Acquire) >= RING as u64 {
+                    std::thread::yield_now();
+                }
+                // SAFETY: tail > h - RING, so the checker is done with
+                // this slot; head is still h, so it is not reading it.
+                unsafe {
+                    let slot = &mut *ring.slots[(h % RING as u64) as usize].get();
+                    slot.n = commit_buf.len() as u8;
+                    slot.items[..commit_buf.len()].copy_from_slice(commit_buf);
+                }
+                h += 1;
+                ring.head.store(h, Ordering::Release);
+            }
+            ring.done.store(true, Ordering::Release);
+            checker.join().expect("checker thread panicked");
+        });
+    }
+}

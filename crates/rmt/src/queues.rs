@@ -216,19 +216,14 @@ mod tests {
                 pc: 0x400000,
                 kind,
                 dest,
-                src1_dist: None,
-                src2_dist: None,
-                src1_reg: None,
-                src2_reg: None,
                 imm: seq,
-                mem,
-                branch: None,
+                mem_addr: MicroOp::pack_mem(mem),
+                ..MicroOp::EMPTY
             },
             result: 0,
-            src1_value: 0,
+            src1_value: (kind == OpClass::Store) as u64 * 9,
             src2_value: 0,
-            load_value: (kind == OpClass::Load).then_some(7),
-            store_value: (kind == OpClass::Store).then_some(9),
+            mem_value: (kind == OpClass::Load) as u64 * 7,
             commit_cycle: seq,
         }
     }

@@ -10,6 +10,11 @@ use rmt3d_cpu::{
 use rmt3d_telemetry::{emit, CpiComponent, CpiStack, Event, NullSink, Sink};
 use rmt3d_workload::OpClass;
 
+// Child module so the threaded engine can reach the private fields.
+#[path = "parallel.rs"]
+pub(crate) mod parallel;
+pub use parallel::Engine;
+
 /// Configuration of the coupled RMT system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RmtConfig {
@@ -102,7 +107,13 @@ pub struct RmtSystem<S: Sink = NullSink> {
     stats: RmtStats,
     commit_buf: Vec<CommittedOp>,
     verify_buf: Vec<Verification>,
+    replay_scratch: Vec<CommittedOp>,
     fault_fates: Vec<(FaultSite, FaultFate)>,
+    /// Engine selection for [`RmtSystem::run_instructions`].
+    engine: Engine,
+    /// Set once any directed fault has been injected; the threaded
+    /// engine (which cannot recover) then stays off for good.
+    tainted: bool,
     sink: S,
 }
 
@@ -133,7 +144,10 @@ impl<S: Sink + Clone> RmtSystem<S> {
             stats: RmtStats::default(),
             commit_buf: Vec::with_capacity(8),
             verify_buf: Vec::with_capacity(8),
+            replay_scratch: Vec::new(),
             fault_fates: Vec::new(),
+            engine: Engine::default(),
+            tainted: false,
             sink,
         }
     }
@@ -174,6 +188,17 @@ impl<S: Sink> RmtSystem<S> {
     /// Fault injector statistics, when injection is enabled.
     pub fn injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
+    }
+
+    /// Selects the execution engine for
+    /// [`RmtSystem::run_instructions`]. The default is [`Engine::Auto`].
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// `(site, fate)` record of every applied (non-ECC-corrected) fault.
@@ -300,35 +325,23 @@ impl<S: Sink> RmtSystem<S> {
     }
 
     fn update_golden(&mut self, item: &CommittedOp) {
-        let op = item.op;
-        let s1 = op.src1_reg.map_or(0, |r| self.golden[r.index() as usize]);
-        let s2 = op.src2_reg.map_or(0, |r| self.golden[r.index() as usize]);
-        let result = match op.kind {
-            OpClass::Load => load_memory_value(op.mem.expect("loads carry mem").addr),
-            OpClass::Store | OpClass::Branch => 0,
-            _ => op.compute_result(s1, s2),
-        };
-        if let Some(d) = op.dest {
-            self.golden[d.index() as usize] = result;
-        }
+        golden_update(&mut self.golden, item);
     }
 
     fn process_verifications(&mut self) {
-        let mut error_at = None;
+        let mut any_error = false;
         let verifications = std::mem::take(&mut self.verify_buf);
-        for (i, v) in verifications.iter().enumerate() {
-            self.queues.on_trailer_consumed(v.item.op.kind);
+        for v in verifications.iter() {
+            self.queues.on_trailer_consumed(v.kind);
             if v.outcome == CheckOutcome::Ok {
                 self.stats.verified_ok += 1;
             } else {
                 self.stats.detected += 1;
-                if error_at.is_none() {
-                    error_at = Some(i);
-                }
+                any_error = true;
             }
         }
-        if let Some(i) = error_at {
-            self.recover(&verifications[i..]);
+        if any_error {
+            self.recover();
             // Mark the most recent unresolved fault as detected.
             let recovered = self.trailer.regfile() == &self.golden;
             let cycle = self.leader.activity().cycles;
@@ -358,26 +371,26 @@ impl<S: Sink> RmtSystem<S> {
     /// Recovery (§2): squash everything in flight, re-execute it
     /// architecturally from the trailer's checked state, restore the
     /// leader's register file from the trailer, and charge the stall.
-    fn recover(&mut self, erroneous_tail: &[Verification]) {
+    fn recover(&mut self) {
         self.stats.recoveries += 1;
         self.recovery_cooldown = self.config.recovery_penalty;
 
         // Replay the flagged verification batch tail (ops the trailer
         // refused to retire), then the trailer pipe, then the queued
-        // backlog — all in program order.
-        let mut replay: Vec<CommittedOp> = Vec::new();
-        for v in erroneous_tail {
-            if v.outcome != CheckOutcome::Ok {
-                replay.push(v.item);
-            }
-        }
-        replay.extend(self.trailer.drain_pipe());
-        let backlog: Vec<CommittedOp> = self.queues.stream_mut().drain(..).collect();
-        replay.extend(backlog);
+        // backlog — all in program order. The scratch buffer lives on
+        // the system so repeated recoveries allocate nothing.
+        let mut replay = std::mem::take(&mut self.replay_scratch);
+        replay.clear();
+        // The trailer parked the payload of every failed check; those are
+        // exactly the ops of the flagged tail it refused to retire.
+        self.trailer.drain_error_items_into(&mut replay);
+        self.trailer.drain_pipe_into(&mut replay);
+        replay.extend(self.queues.stream_mut().drain(..));
         self.queues.squash();
         for item in &replay {
             self.trailer.architectural_replay(item);
         }
+        self.replay_scratch = replay;
         let rf = *self.trailer.regfile();
         self.leader.restore_regfile(&rf);
         if rf != self.golden {
@@ -397,6 +410,7 @@ impl<S: Sink> RmtSystem<S> {
     /// slack. Returns [`DirectedOutcome::NoTarget`] when nothing
     /// suitable is queued; the caller may step and retry.
     pub fn inject_directed(&mut self, fault: DrawnFault, ecc: EccConfig) -> DirectedOutcome {
+        self.tainted = true;
         let cycle = self.leader.activity().cycles;
         if ecc.corrects(fault.site) {
             emit(&mut self.sink, || Event::FaultInjected {
@@ -435,11 +449,44 @@ impl<S: Sink> RmtSystem<S> {
     }
 
     /// Runs until `n` instructions have committed on the leader.
-    pub fn run_instructions(&mut self, n: u64) {
+    ///
+    /// Dispatches to the threaded leader/checker engine when eligible
+    /// (see [`Engine`]): telemetry disabled, no fault injection, and
+    /// no directed strikes ever applied. The threaded schedule is
+    /// bit-identical to the serial one, so the engine choice is purely
+    /// a wall-clock optimization.
+    pub fn run_instructions(&mut self, n: u64)
+    where
+        S: 'static,
+    {
+        if self.threaded_eligible() {
+            if let Some(sys) =
+                (self as &mut dyn std::any::Any).downcast_mut::<RmtSystem<NullSink>>()
+            {
+                sys.run_instructions_threaded(n);
+                return;
+            }
+        }
         let start = self.leader.activity().committed;
         while self.leader.activity().committed - start < n {
             self.step();
         }
+    }
+
+    /// True when `run_instructions` may use the threaded engine: it
+    /// cannot observe faults (no recovery path) or emit telemetry, and
+    /// the batch slots bound the commit width.
+    fn threaded_eligible(&self) -> bool {
+        let want = match self.engine {
+            Engine::Serial => false,
+            Engine::Threaded => true,
+            Engine::Auto => std::thread::available_parallelism().is_ok_and(|p| p.get() > 1),
+        };
+        want && !S::ENABLED
+            && self.injector.is_none()
+            && !self.tainted
+            && self.recovery_cooldown == 0
+            && self.leader.config().commit_width as usize <= parallel::MAX_COMMIT
     }
 
     /// Services an external interrupt or exception (§2: "the leading
@@ -511,6 +558,23 @@ impl<S: Sink> RmtSystem<S> {
     /// that a future recovery would propagate.
     pub fn trailer_matches_golden(&self) -> bool {
         self.trailer.regfile() == &self.golden
+    }
+}
+
+/// Fault-free shadow execution of one committed op against the golden
+/// register file (the recovery-verification oracle). Shared by the
+/// serial step loop and the threaded checker.
+pub(crate) fn golden_update(golden: &mut [u64; 64], item: &CommittedOp) {
+    let op = item.op;
+    let s1 = op.src1_reg.map_or(0, |r| golden[r.index() as usize]);
+    let s2 = op.src2_reg.map_or(0, |r| golden[r.index() as usize]);
+    let result = match op.kind {
+        OpClass::Load => load_memory_value(op.mem_addr),
+        OpClass::Store | OpClass::Branch => 0,
+        _ => op.compute_result(s1, s2),
+    };
+    if let Some(d) = op.dest {
+        golden[d.index() as usize] = result;
     }
 }
 

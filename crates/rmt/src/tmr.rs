@@ -112,7 +112,7 @@ impl TmrSystem {
         let s1 = op.src1_reg.map_or(0, |r| self.golden[r.index() as usize]);
         let s2 = op.src2_reg.map_or(0, |r| self.golden[r.index() as usize]);
         let result = match op.kind {
-            OpClass::Load => load_memory_value(op.mem.expect("loads carry mem").addr),
+            OpClass::Load => load_memory_value(op.mem_addr),
             OpClass::Store | OpClass::Branch => 0,
             _ => op.compute_result(s1, s2),
         };
@@ -188,27 +188,34 @@ impl TmrSystem {
             let a = self.pending[0].pop_front().expect("nonempty");
             let b = self.pending[1].pop_front().expect("nonempty");
             debug_assert_eq!(a.seq, b.seq, "checkers verify in lockstep");
+            // A non-Ok verification parks its payload on the emitting
+            // checker; pop it to keep the side buffers in lockstep.
             match (a.outcome == CheckOutcome::Ok, b.outcome == CheckOutcome::Ok) {
                 (true, true) => self.stats.verified += 1,
                 (true, false) => {
                     // Checker 1 outvoted: repair it from checker 0.
+                    let _ = self.checkers[1].pop_error_item();
                     self.repair_checker(1, &b);
                     self.stats.checker_outvoted += 1;
                 }
                 (false, true) => {
+                    let _ = self.checkers[0].pop_error_item();
                     self.repair_checker(0, &a);
                     self.stats.checker_outvoted += 1;
                 }
                 (false, false) => {
+                    let disputed = self.checkers[0].pop_error_item();
+                    let _ = self.checkers[1].pop_error_item();
+                    debug_assert_eq!(disputed.op.seq, a.seq);
                     if a.result == b.result {
                         // The checkers agree with each other: the leader
                         // (payload) was wrong. Restore the leader.
-                        self.repair_leader(&a);
+                        self.repair_leader(&disputed);
                         self.stats.leader_outvoted += 1;
                     } else {
                         // Three-way split: resolve from checker 0 (and
                         // count it — the paper's unresolvable case).
-                        self.repair_leader(&a);
+                        self.repair_leader(&disputed);
                         self.stats.unresolved += 1;
                     }
                 }
@@ -237,8 +244,8 @@ impl TmrSystem {
     /// (A persistent fault in the leader's register file itself needs
     /// the rollback recovery of `RmtSystem`, which TMR can trigger just
     /// as well; the vote merely localizes the faulty component first.)
-    fn repair_leader(&mut self, v: &Verification) {
-        self.checkers[0].architectural_replay(&v.item);
+    fn repair_leader(&mut self, disputed: &CommittedOp) {
+        self.checkers[0].architectural_replay(disputed);
         let rf = *self.checkers[0].regfile();
         self.checkers[1].restore_regfile(&rf);
     }

@@ -18,19 +18,14 @@ fn item(seq: u64, kind: OpClass) -> rmt3d_cpu::CommittedOp {
             pc: 0x40_0000,
             kind,
             dest: kind.writes_register().then(|| ArchReg::new(1)),
-            src1_dist: None,
-            src2_dist: None,
-            src1_reg: None,
-            src2_reg: None,
             imm: seq,
-            mem: kind.is_memory().then_some(MemRef { addr: 64, size: 8 }),
-            branch: None,
+            mem_addr: MicroOp::pack_mem(kind.is_memory().then_some(MemRef { addr: 64, size: 8 })),
+            ..MicroOp::EMPTY
         },
         result: 0,
-        src1_value: 0,
+        src1_value: (kind == OpClass::Store) as u64 * 2,
         src2_value: 0,
-        load_value: (kind == OpClass::Load).then_some(1),
-        store_value: (kind == OpClass::Store).then_some(2),
+        mem_value: (kind == OpClass::Load) as u64,
         commit_cycle: seq,
     }
 }

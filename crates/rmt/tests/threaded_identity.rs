@@ -1,0 +1,159 @@
+//! The threaded leader/checker engine must be bit-identical to the
+//! serial reference: same cycle counts, same architectural state, same
+//! queue/DFS trajectories — threading is a wall-clock optimization
+//! only. `Engine::Threaded` is forced so the proof holds even on a
+//! single-CPU host where `Auto` would fall back to serial.
+
+use rmt3d_cache::{CacheHierarchy, NucaLayout, NucaPolicy};
+use rmt3d_cpu::CoreConfig;
+use rmt3d_rmt::{Engine, RmtConfig, RmtSystem};
+use rmt3d_workload::{Benchmark, TraceGenerator};
+
+fn system(b: Benchmark, engine: Engine) -> RmtSystem {
+    let leader = rmt3d_cpu::OooCore::new(
+        CoreConfig::leading_ev7_like(),
+        TraceGenerator::new(b.profile()),
+        CacheHierarchy::new(NucaLayout::three_d_2a(), NucaPolicy::DistributedSets),
+    );
+    let mut sys = RmtSystem::new(leader, RmtConfig::paper());
+    sys.set_engine(engine);
+    sys.prefill_caches();
+    sys
+}
+
+/// Every externally observable number of the two runs must agree.
+fn assert_identical(a: &RmtSystem, b: &RmtSystem, what: &str) {
+    assert_eq!(a.total_cycles(), b.total_cycles(), "{what}: total_cycles");
+    assert_eq!(
+        a.leader().activity(),
+        b.leader().activity(),
+        "{what}: leader activity"
+    );
+    assert_eq!(
+        a.trailer().activity(),
+        b.trailer().activity(),
+        "{what}: trailer activity"
+    );
+    assert_eq!(
+        a.leader().regfile(),
+        b.leader().regfile(),
+        "{what}: leader regfile"
+    );
+    assert_eq!(
+        a.trailer().regfile(),
+        b.trailer().regfile(),
+        "{what}: trailer regfile"
+    );
+    assert_eq!(
+        a.queues().occupancy(),
+        b.queues().occupancy(),
+        "{what}: occupancy"
+    );
+    assert_eq!(
+        a.queues().peak_occupancy(),
+        b.queues().peak_occupancy(),
+        "{what}: peak occupancy"
+    );
+    assert_eq!(
+        a.queues().total_enqueued,
+        b.queues().total_enqueued,
+        "{what}: total enqueued"
+    );
+    assert_eq!(
+        a.frequency_histogram(),
+        b.frequency_histogram(),
+        "{what}: DFS histogram"
+    );
+    assert_eq!(
+        a.dfs().mean_fraction().to_bits(),
+        b.dfs().mean_fraction().to_bits(),
+        "{what}: mean checker fraction"
+    );
+    let (sa, sb) = (a.stats(), b.stats());
+    assert_eq!(sa.verified_ok, sb.verified_ok, "{what}: verified_ok");
+    assert_eq!(sa.detected, sb.detected, "{what}: detected");
+    assert_eq!(sa.recoveries, sb.recoveries, "{what}: recoveries");
+    assert_eq!(sa.slack_sum, sb.slack_sum, "{what}: slack_sum");
+    assert_eq!(sa.slack_samples, sb.slack_samples, "{what}: slack_samples");
+    assert_eq!(
+        sa.mean_slack().to_bits(),
+        sb.mean_slack().to_bits(),
+        "{what}: mean_slack"
+    );
+}
+
+#[test]
+fn threaded_engine_is_bit_identical_to_serial() {
+    for b in [Benchmark::Gzip, Benchmark::Mcf] {
+        let mut serial = system(b, Engine::Serial);
+        let mut threaded = system(b, Engine::Threaded);
+        serial.run_instructions(40_000);
+        threaded.run_instructions(40_000);
+        assert_identical(&serial, &threaded, &format!("{b:?}"));
+        assert!(threaded.leader_matches_golden(), "{b:?}: golden oracle");
+        serial.drain();
+        threaded.drain();
+        assert_identical(&serial, &threaded, &format!("{b:?} drained"));
+        assert!(threaded.trailer_matches_golden(), "{b:?}: drained checker");
+    }
+}
+
+#[test]
+fn threaded_measure_after_serial_warmup_is_bit_identical() {
+    // The warmup leaves the queues non-empty; the threaded engine's
+    // conservative occupancy tracking must seed from that state.
+    let mut serial = system(Benchmark::Swim, Engine::Serial);
+    serial.run_instructions(5_000);
+    serial.run_instructions(25_000);
+
+    let mut mixed = system(Benchmark::Swim, Engine::Serial);
+    mixed.run_instructions(5_000);
+    mixed.set_engine(Engine::Threaded);
+    mixed.run_instructions(25_000);
+
+    assert_identical(&serial, &mixed, "serial warmup + threaded measure");
+}
+
+#[test]
+fn repeated_threaded_runs_resume_bit_identically() {
+    // Chunked runs (the threaded engine torn down and rebuilt per
+    // call, resuming mid-stream each time) must match the serial
+    // engine chunked the same way. Note chunking itself changes the
+    // endpoint — each call may overshoot its commit target by up to
+    // `commit_width - 1` — so the reference is chunked-serial, not one
+    // long run.
+    let mut serial = system(Benchmark::Gzip, Engine::Serial);
+    let mut threaded = system(Benchmark::Gzip, Engine::Threaded);
+    for _ in 0..6 {
+        serial.run_instructions(5_000);
+        threaded.run_instructions(5_000);
+    }
+    assert_identical(&serial, &threaded, "chunked runs");
+}
+
+#[test]
+fn directed_injection_taints_the_threaded_engine_but_stays_correct() {
+    use rmt3d_rmt::{DrawnFault, EccConfig, FaultSite};
+    // A campaign-style use: threaded warmup, then a directed strike.
+    // The strike must be detected and recovered exactly as in the
+    // serial engine (the system falls back internally once tainted).
+    let run = |engine: Engine| {
+        let mut sys = system(Benchmark::Gzip, engine);
+        sys.run_instructions(10_000);
+        let fault = DrawnFault {
+            site: FaultSite::LeaderResult,
+            bit: 17,
+            reg: 3,
+        };
+        let outcome = sys.inject_directed(fault, EccConfig::none());
+        sys.run_instructions(10_000);
+        sys.drain();
+        (outcome, sys)
+    };
+    let (oa, a) = run(Engine::Serial);
+    let (ob, b) = run(Engine::Threaded);
+    assert_eq!(oa, ob, "same directed outcome");
+    assert_eq!(a.stats().detected, b.stats().detected);
+    assert_eq!(a.stats().recoveries, b.stats().recoveries);
+    assert_identical(&a, &b, "tainted run");
+}

@@ -300,10 +300,13 @@ fn shutdown_drains_in_flight_and_a_restart_resumes_the_queue() {
     let root = tmp("resume");
     let daemon = start(&root, false);
 
-    // A heavyweight job to hold the scheduler, then two queued behind it.
+    // A heavyweight job to hold the scheduler, then two queued behind
+    // it. The instruction count must keep the job in flight long
+    // enough for the poll below to observe it `running` — too small
+    // and it races straight to `done` on a fast simulator.
     let big = submit(
         &daemon.addr,
-        r#"{"models":["2d-a","3d-2a"],"benchmarks":["gzip"],"instructions":120000}"#,
+        r#"{"models":["2d-a","3d-2a"],"benchmarks":["gzip"],"instructions":1200000}"#,
         0,
     );
     let queued_hi = submit(
@@ -317,15 +320,22 @@ fn shutdown_drains_in_flight_and_a_restart_resumes_the_queue() {
         1,
     );
     // Don't race the scheduler: only shut down once the big job is
-    // actually in flight, so the drain has something to drain.
+    // actually in flight, so the drain has something to drain. A job
+    // that reaches `done` before we ever saw it `running` fails fast —
+    // the drain below would be vacuous.
     let deadline = Instant::now() + Duration::from_secs(60);
-    while job_row(&daemon.addr, &big)
-        .get("state")
-        .and_then(JsonValue::as_str)
-        != Some("running")
-    {
+    loop {
+        let state = job_row(&daemon.addr, &big)
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        match state.as_deref() {
+            Some("running") => break,
+            Some("done") => panic!("big job finished before shutdown could catch it in flight"),
+            _ => {}
+        }
         assert!(Instant::now() < deadline, "big job never started");
-        thread::sleep(Duration::from_millis(50));
+        thread::sleep(Duration::from_millis(2));
     }
     let resp = client::request(&daemon.addr, "{\"op\":\"shutdown\"}").unwrap();
     assert_eq!(

@@ -61,6 +61,24 @@ fn two_threads_match_one_thread_and_second_run_is_all_cache_hits() {
         "2-thread aggregate must be byte-identical to 1-thread"
     );
 
+    // Oversubscribed worker pool (more threads than jobs per model):
+    // still byte-identical, uncached.
+    let eight = run_sweep(
+        jobs.clone(),
+        &SweepOptions {
+            jobs: 8,
+            ..SweepOptions::default()
+        },
+        &mut NullSink,
+    )
+    .unwrap();
+    assert_eq!(eight.executed, total);
+    assert_eq!(
+        aggregate_bytes(&serial),
+        aggregate_bytes(&eight),
+        "8-thread aggregate must be byte-identical to 1-thread"
+    );
+
     // Second run over the same cache: zero simulations, all hits, and
     // the aggregate is still byte-identical.
     let sink = RecordingSink::new();

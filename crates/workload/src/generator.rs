@@ -93,11 +93,23 @@ pub struct TraceGenerator {
     profile: WorkloadProfile,
     rng: SplitMix64,
     cum_mix: [f64; 7],
+    /// Precomputed `ln(1 - 1/dep_mean)`: the denominator of the inverse
+    /// geometric CDF, constant per profile.
+    geo_denom: f64,
+    /// Descending thresholds `exp(k * geo_denom)` for k = 0..=64: the
+    /// geometric quantile `ceil(ln u / geo_denom)` equals the first `k`
+    /// with `u >= geo_thresh[k]`, except within float-rounding distance
+    /// of a boundary (where the sampler falls back to the `ln`).
+    geo_thresh: [f64; 65],
     seq: u64,
     pc: u64,
     /// Destination registers of the most recent 64 register-writing ops,
     /// indexed by sequence modulo capacity; `None` for non-writers.
     recent_dests: [Option<ArchReg>; 64],
+    /// Occupancy bitmask over `recent_dests`: bit `i` set iff
+    /// `recent_dests[i]` is `Some`. Lets the producer search run on bit
+    /// scans instead of a linear probe.
+    dest_mask: u64,
     branches: Vec<BranchSite>,
     /// Current streaming pointer.
     stream_ptr: u64,
@@ -154,13 +166,21 @@ impl TraceGenerator {
             });
         }
         let cum_mix = profile.mix.cumulative();
+        let geo_denom = (1.0 - 1.0 / profile.dep_mean).ln();
+        let mut geo_thresh = [0.0; 65];
+        for (k, t) in geo_thresh.iter_mut().enumerate() {
+            *t = (k as f64 * geo_denom).exp();
+        }
         TraceGenerator {
             profile,
             rng,
             cum_mix,
+            geo_denom,
+            geo_thresh,
             seq: 0,
             pc: CODE_BASE,
             recent_dests: [None; 64],
+            dest_mask: 0,
             branches,
             stream_ptr: STREAM_BASE,
             run_left: 0,
@@ -182,23 +202,20 @@ impl TraceGenerator {
 
     fn sample_class(&mut self) -> OpClass {
         let u = self.rng.next_f64();
-        for (i, &c) in self.cum_mix.iter().enumerate() {
-            if u < c {
-                return OpClass::ALL[i];
-            }
-        }
-        OpClass::Branch
+        // Branch-free rank over the cumulative mix: the index of the
+        // first bucket with `u < c` is the count of buckets below `u`
+        // (the cumulative is non-decreasing). Saturate to Branch, the
+        // last class, when rounding leaves the final bucket short of 1.
+        let i: usize = self.cum_mix.iter().map(|&c| (u >= c) as usize).sum();
+        OpClass::ALL[i.min(OpClass::ALL.len() - 1)]
     }
 
     /// Draws a geometric dependence distance with the profile's mean,
     /// clamped to the 64-entry producer window.
     fn sample_dep_distance(&mut self) -> u32 {
-        let mean = self.profile.dep_mean;
         // Geometric with success probability 1/mean, support {1,2,...}.
-        let p = 1.0 / mean;
         let u = self.rng.next_f64().max(1e-12);
-        let d = (u.ln() / (1.0 - p).ln()).ceil() as u32;
-        d.clamp(1, 63)
+        geometric_distance(u, self.geo_denom, &self.geo_thresh)
     }
 
     /// Finds the nearest register-writing producer at or beyond the
@@ -206,26 +223,9 @@ impl TraceGenerator {
     /// producer exists yet (trace warm-up).
     fn pick_source(&mut self) -> Option<(u32, ArchReg)> {
         let want = self.sample_dep_distance();
-        for d in want..64 {
-            if d as u64 > self.seq {
-                break;
-            }
-            let idx = ((self.seq - d as u64) % 64) as usize;
-            if let Some(reg) = self.recent_dests[idx] {
-                return Some((d, reg));
-            }
-        }
-        // Fall back to scanning closer producers.
-        for d in (1..want).rev() {
-            if d as u64 > self.seq {
-                continue;
-            }
-            let idx = ((self.seq - d as u64) % 64) as usize;
-            if let Some(reg) = self.recent_dests[idx] {
-                return Some((d, reg));
-            }
-        }
-        None
+        let d = producer_distance(self.dest_mask, self.seq, want)?;
+        let idx = ((self.seq - d as u64) % 64) as usize;
+        Some((d, self.recent_dests[idx].expect("mask bit set")))
     }
 
     fn next_mem_ref(&mut self) -> MemRef {
@@ -329,18 +329,20 @@ impl TraceGenerator {
         let op = MicroOp {
             seq: self.seq,
             pc,
+            imm,
+            mem_addr: MicroOp::pack_mem(mem),
+            branch_packed: MicroOp::pack_branch(branch),
+            src1_dist: src1.and_then(|(d, _)| std::num::NonZeroU32::new(d)),
+            src2_dist: src2.and_then(|(d, _)| std::num::NonZeroU32::new(d)),
             kind,
             dest,
-            src1_dist: src1.map(|(d, _)| d),
-            src2_dist: src2.map(|(d, _)| d),
             src1_reg: src1.map(|(_, r)| r),
             src2_reg: src2.map(|(_, r)| r),
-            imm,
-            mem,
-            branch,
         };
 
-        self.recent_dests[(self.seq % 64) as usize] = dest;
+        let slot = (self.seq % 64) as usize;
+        self.recent_dests[slot] = dest;
+        self.dest_mask = (self.dest_mask & !(1u64 << slot)) | ((dest.is_some() as u64) << slot);
         self.seq += 1;
         op
     }
@@ -349,6 +351,68 @@ impl TraceGenerator {
     pub fn take_ops(&mut self, n: usize) -> Vec<MicroOp> {
         (0..n).map(|_| self.next_op()).collect()
     }
+}
+
+/// Producer search over the 64-slot occupancy mask: the distance of the
+/// nearest occupied slot at or beyond `want` (preferring the smallest
+/// such distance), falling back to the largest occupied distance below
+/// `want`. Bit `i` of `mask` marks slot `i` (sequence `s` with
+/// `s % 64 == i`) as holding a register-writing producer; slots are only
+/// ever set for sequences below `seq`, so the window bound `d <= seq`
+/// is implicit. Distances range over `1..=63`.
+/// Inverse-CDF geometric quantile `ceil(ln u / denom).clamp(1, 63)`,
+/// computed by walking the precomputed descending thresholds
+/// `thresh[k] = exp(k * denom)` instead of taking a logarithm per draw
+/// (mean distances are small, so the walk is a few compares). Within
+/// float-rounding distance of a threshold the walk and the direct
+/// formula could disagree, so the sampler falls back to the exact `ln`
+/// there — the fallback fires with probability ~1e-9 per draw and keeps
+/// the result bit-identical to the direct formula everywhere.
+#[inline]
+fn geometric_distance(u: f64, denom: f64, thresh: &[f64; 65]) -> u32 {
+    // Branch-free count of thresholds above `u`: the thresholds are
+    // strictly descending, so `1 + #{k in 1..64 : u < thresh[k]}` equals
+    // the first non-matching index the early-exit loop would stop at.
+    // The fixed-trip loop auto-vectorizes and never mispredicts, which
+    // beats the early exit for the data-dependent draws seen here.
+    let mut above = 0usize;
+    for &t in &thresh[1..64] {
+        above += (u < t) as usize;
+    }
+    let k = 1 + above;
+    if k == 64 {
+        // `d >= 64` either way; the clamp maps both sides to 63.
+        return 63;
+    }
+    let margin = 1e-9 * thresh[k - 1];
+    if u - thresh[k] < margin || thresh[k - 1] - u < margin {
+        let d = (u.ln() / denom).ceil() as u32;
+        return d.clamp(1, 63);
+    }
+    k as u32
+}
+
+#[inline]
+fn producer_distance(mask: u64, seq: u64, want: u32) -> Option<u32> {
+    debug_assert!((1..64).contains(&want));
+    // Rotate so that bit `(64 - d) & 63` of `y` corresponds to the slot
+    // at distance `d` behind `seq`.
+    let y = mask.rotate_right((seq % 64) as u32);
+    // Distances `want..=63` map to bits `64-want` down to `1`; the
+    // nearest (smallest d >= want) is the highest such set bit.
+    let near = y & (u64::MAX >> (want - 1)) & !1u64;
+    if near != 0 {
+        return Some(1 + near.leading_zeros());
+    }
+    // Fall back to distances `want-1` down to `1`: bits `65-want` up to
+    // `63`; the first match scanning d downward is the lowest set bit.
+    if want >= 2 {
+        let far = y & (u64::MAX << (65 - want));
+        if far != 0 {
+            return Some(64 - far.trailing_zeros());
+        }
+    }
+    None
 }
 
 impl Iterator for TraceGenerator {
@@ -396,8 +460,9 @@ mod tests {
         for (i, op) in ops.iter().enumerate() {
             for (dist, reg) in [(op.src1_dist, op.src1_reg), (op.src2_dist, op.src2_reg)] {
                 if let Some(d) = dist {
-                    assert!(d >= 1 && (d as usize) <= i, "distance in range");
-                    let producer = &ops[i - d as usize];
+                    let d = d.get() as usize;
+                    assert!(d >= 1 && d <= i, "distance in range");
+                    let producer = &ops[i - d];
                     assert_eq!(
                         producer.dest, reg,
                         "source register must match producer dest at #{i}"
@@ -411,8 +476,8 @@ mod tests {
     fn branch_ops_carry_outcomes_and_others_do_not() {
         let ops = TraceGenerator::new(Benchmark::Vpr.profile()).take_ops(5000);
         for op in &ops {
-            assert_eq!(op.kind == OpClass::Branch, op.branch.is_some());
-            assert_eq!(op.kind.is_memory(), op.mem.is_some());
+            assert_eq!(op.kind == OpClass::Branch, op.branch().is_some());
+            assert_eq!(op.kind.is_memory(), op.mem().is_some());
             assert_eq!(op.kind.writes_register(), op.dest.is_some());
         }
     }
@@ -421,7 +486,7 @@ mod tests {
     fn memory_regions_are_disjoint() {
         let ops = TraceGenerator::new(Benchmark::Art.profile()).take_ops(50_000);
         for op in &ops {
-            if let Some(m) = op.mem {
+            if let Some(m) = op.mem() {
                 assert!(m.addr >= HOT_BASE, "below all regions: {:#x}", m.addr);
             }
         }
@@ -441,6 +506,98 @@ mod tests {
         let mut g2 = TraceGenerator::new(Benchmark::Gap.profile());
         for _ in 0..50 {
             assert_eq!(g1.next(), Some(g2.next_op()));
+        }
+    }
+
+    /// The pre-optimization linear producer scan, kept as the reference
+    /// semantics for the bit-scan implementation.
+    fn producer_distance_reference(occupied: &[bool; 64], seq: u64, want: u32) -> Option<u32> {
+        for d in want..64 {
+            if d as u64 > seq {
+                break;
+            }
+            if occupied[((seq - d as u64) % 64) as usize] {
+                return Some(d);
+            }
+        }
+        for d in (1..want).rev() {
+            if d as u64 > seq {
+                continue;
+            }
+            if occupied[((seq - d as u64) % 64) as usize] {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn producer_bit_scan_matches_linear_reference() {
+        let mut rng = SplitMix64::new(0xfeed);
+        for trial in 0..20_000 {
+            // Mix degenerate and random masks; during warm-up (seq < 64)
+            // only slots below seq may be occupied, matching how
+            // `next_op` fills the window.
+            let seq = match trial % 4 {
+                0 => rng.below(64),
+                _ => 64 + rng.below(1 << 40),
+            };
+            let raw = match trial % 5 {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.next_u64() & rng.next_u64(),
+            };
+            let mask = if seq < 64 {
+                raw & ((1u64 << seq) - 1)
+            } else {
+                raw
+            };
+            let mut occupied = [false; 64];
+            for (i, o) in occupied.iter_mut().enumerate() {
+                *o = mask >> i & 1 == 1;
+            }
+            for want in 1..64 {
+                assert_eq!(
+                    producer_distance(mask, seq, want),
+                    producer_distance_reference(&occupied, seq, want),
+                    "mask {mask:#x} seq {seq} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_threshold_walk_matches_direct_formula() {
+        let mut rng = SplitMix64::new(0xd15c);
+        for trial in 0..200 {
+            let mean = 1.05 + 30.0 * rng.next_f64();
+            let denom = (1.0 - 1.0 / mean).ln();
+            let mut thresh = [0.0; 65];
+            for (k, t) in thresh.iter_mut().enumerate() {
+                *t = (k as f64 * denom).exp();
+            }
+            for _ in 0..5_000 {
+                let u = rng.next_f64().max(1e-12);
+                let direct = ((u.ln() / denom).ceil() as u32).clamp(1, 63);
+                assert_eq!(
+                    geometric_distance(u, denom, &thresh),
+                    direct,
+                    "mean {mean} u {u} (trial {trial})"
+                );
+            }
+            // Exercise the boundary fallback with u at and around the
+            // thresholds themselves.
+            for k in 1..64 {
+                for u in [
+                    thresh[k],
+                    thresh[k] * (1.0 + 1e-15),
+                    thresh[k] * (1.0 - 1e-15),
+                ] {
+                    let u = u.max(1e-12);
+                    let direct = ((u.ln() / denom).ceil() as u32).clamp(1, 63);
+                    assert_eq!(geometric_distance(u, denom, &thresh), direct);
+                }
+            }
         }
     }
 

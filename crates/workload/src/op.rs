@@ -1,6 +1,7 @@
 //! Micro-op definitions shared by the trace generator and the core models.
 
 use std::fmt;
+use std::num::{NonZeroU32, NonZeroU8};
 
 /// Number of architectural integer registers (Alpha-like: r0..r31).
 pub const INT_REG_COUNT: u8 = 32;
@@ -10,9 +11,12 @@ pub const REG_COUNT: u8 = 64;
 
 /// An architectural register identifier (`0..REG_COUNT`).
 ///
-/// Registers `0..32` are integer, `32..64` floating point.
+/// Registers `0..32` are integer, `32..64` floating point. Stored
+/// biased by one in a `NonZeroU8` so `Option<ArchReg>` is a single
+/// byte — micro-ops carry three of these, and the pipeline rings copy
+/// micro-ops on every fetch and commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ArchReg(u8);
+pub struct ArchReg(NonZeroU8);
 
 impl ArchReg {
     /// Creates a register id.
@@ -23,28 +27,28 @@ impl ArchReg {
     #[inline]
     pub fn new(index: u8) -> ArchReg {
         assert!(index < REG_COUNT, "register index out of range");
-        ArchReg(index)
+        ArchReg(NonZeroU8::new(index + 1).expect("biased index is nonzero"))
     }
 
     /// The raw index (`0..REG_COUNT`).
     #[inline]
     pub fn index(self) -> u8 {
-        self.0
+        self.0.get() - 1
     }
 
     /// True for floating-point registers (`32..64`).
     #[inline]
     pub fn is_fp(self) -> bool {
-        self.0 >= INT_REG_COUNT
+        self.index() >= INT_REG_COUNT
     }
 }
 
 impl fmt::Display for ArchReg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_fp() {
-            write!(f, "f{}", self.0 - INT_REG_COUNT)
+            write!(f, "f{}", self.index() - INT_REG_COUNT)
         } else {
-            write!(f, "r{}", self.0)
+            write!(f, "r{}", self.index())
         }
     }
 }
@@ -158,37 +162,103 @@ pub struct BranchInfo {
 /// out-of-order and in-order pipeline models. The architectural register
 /// ids are carried alongside for register-file modelling and fault
 /// injection.
+///
+/// The layout is packed to 56 bytes (one cache line with room to spare):
+/// micro-ops are copied into the fetch ring, the commit stream, the
+/// inter-core queues and the checker pipe, so their size is hot-path
+/// memory traffic. The memory reference and branch payloads live in
+/// tagged `u64` fields (`0` = absent) behind the [`MicroOp::mem`] and
+/// [`MicroOp::branch`] accessors; dependence distances use
+/// `Option<NonZeroU32>` (distances are always ≥ 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MicroOp {
     /// Sequence number in the trace (program order).
     pub seq: u64,
     /// Instruction address.
     pub pc: u64,
+    /// Immediate salt: makes result values distinct across ops.
+    pub imm: u64,
+    /// Byte address of the memory reference for loads/stores, `0` for
+    /// non-memory ops (all generated addresses are nonzero). Use
+    /// [`MicroOp::mem`] to read this as an `Option<MemRef>`.
+    pub mem_addr: u64,
+    /// Branch payload for branches, `(target << 1) | taken`, `0` for
+    /// non-branches (targets are nonzero). Use [`MicroOp::branch`] to
+    /// read this as an `Option<BranchInfo>`.
+    pub branch_packed: u64,
+    /// Distance (in ops) back to the producer of operand 1.
+    pub src1_dist: Option<NonZeroU32>,
+    /// Distance back to the producer of operand 2.
+    pub src2_dist: Option<NonZeroU32>,
     /// Functional class.
     pub kind: OpClass,
     /// Destination register, if the op writes one.
     pub dest: Option<ArchReg>,
-    /// Distance (in ops) back to the producer of operand 1.
-    pub src1_dist: Option<u32>,
-    /// Distance back to the producer of operand 2.
-    pub src2_dist: Option<u32>,
     /// Architectural register of operand 1 (for value semantics).
     pub src1_reg: Option<ArchReg>,
     /// Architectural register of operand 2.
     pub src2_reg: Option<ArchReg>,
-    /// Immediate salt: makes result values distinct across ops.
-    pub imm: u64,
-    /// Memory reference for loads/stores.
-    pub mem: Option<MemRef>,
-    /// Branch outcome for branches.
-    pub branch: Option<BranchInfo>,
 }
 
 impl MicroOp {
+    /// The all-absent placeholder op (sequence 0, no operands): ring
+    /// buffers use it to initialize unoccupied slots.
+    pub const EMPTY: MicroOp = MicroOp {
+        seq: 0,
+        pc: 0,
+        imm: 0,
+        mem_addr: 0,
+        branch_packed: 0,
+        src1_dist: None,
+        src2_dist: None,
+        kind: OpClass::IntAlu,
+        dest: None,
+        src1_reg: None,
+        src2_reg: None,
+    };
+
     /// Execute latency of this op (cache time excluded).
     #[inline]
     pub fn latency(&self) -> u32 {
         self.kind.execute_latency()
+    }
+
+    /// The memory reference of a load/store, `None` for other ops.
+    #[inline]
+    pub fn mem(&self) -> Option<MemRef> {
+        (self.mem_addr != 0).then_some(MemRef {
+            addr: self.mem_addr,
+            size: 8,
+        })
+    }
+
+    /// Packs a memory reference into [`MicroOp::mem_addr`] form.
+    #[inline]
+    pub fn pack_mem(mem: Option<MemRef>) -> u64 {
+        mem.map_or(0, |m| m.addr)
+    }
+
+    /// The branch payload of a branch op, `None` for other ops.
+    #[inline]
+    pub fn branch(&self) -> Option<BranchInfo> {
+        (self.branch_packed != 0).then_some(BranchInfo {
+            taken: self.branch_packed & 1 != 0,
+            target: self.branch_packed >> 1,
+        })
+    }
+
+    /// Packs a branch payload into [`MicroOp::branch_packed`] form.
+    #[inline]
+    pub fn pack_branch(branch: Option<BranchInfo>) -> u64 {
+        branch.map_or(0, |b| (b.target << 1) | b.taken as u64)
+    }
+
+    /// Flips the recorded branch outcome in place (fault injection on
+    /// the branch-outcome queue payload).
+    #[inline]
+    pub fn flip_branch_taken(&mut self) {
+        debug_assert!(self.branch_packed != 0, "not a branch");
+        self.branch_packed ^= 1;
     }
 
     /// Computes the architectural result of this op from its operand
@@ -259,19 +329,46 @@ mod tests {
     }
 
     #[test]
+    fn mem_and_branch_pack_round_trip() {
+        assert_eq!(std::mem::size_of::<MicroOp>(), 56, "layout is packed");
+        let mut op = MicroOp::EMPTY;
+        assert_eq!(op.mem(), None);
+        assert_eq!(op.branch(), None);
+        op.mem_addr = MicroOp::pack_mem(Some(MemRef {
+            addr: 0x0100_0040,
+            size: 8,
+        }));
+        assert_eq!(
+            op.mem(),
+            Some(MemRef {
+                addr: 0x0100_0040,
+                size: 8
+            })
+        );
+        for taken in [false, true] {
+            op.branch_packed = MicroOp::pack_branch(Some(BranchInfo {
+                taken,
+                target: 0x40_0010,
+            }));
+            assert_eq!(
+                op.branch(),
+                Some(BranchInfo {
+                    taken,
+                    target: 0x40_0010
+                })
+            );
+            op.flip_branch_taken();
+            assert_eq!(op.branch().unwrap().taken, !taken);
+        }
+    }
+
+    #[test]
     fn result_is_deterministic_and_input_sensitive() {
         let op = MicroOp {
-            seq: 0,
             pc: 0x1000,
-            kind: OpClass::IntAlu,
             dest: Some(ArchReg::new(1)),
-            src1_dist: None,
-            src2_dist: None,
-            src1_reg: None,
-            src2_reg: None,
             imm: 42,
-            mem: None,
-            branch: None,
+            ..MicroOp::EMPTY
         };
         let r = op.compute_result(7, 9);
         assert_eq!(r, op.compute_result(7, 9));

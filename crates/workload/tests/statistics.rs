@@ -13,7 +13,7 @@ fn dependence_distances_track_the_profile_mean() {
         let ops = TraceGenerator::new(profile).take_ops(N);
         let dists: Vec<f64> = ops
             .iter()
-            .filter_map(|o| o.src1_dist.map(f64::from))
+            .filter_map(|o| o.src1_dist.map(|d| d.get() as f64))
             .collect();
         let mean = dists.iter().sum::<f64>() / dists.len() as f64;
         // The sampler clamps to the 64-entry producer window and falls
@@ -36,7 +36,7 @@ fn memory_references_respect_region_probabilities() {
     let mut stream = 0u64;
     let mut total = 0u64;
     for op in &ops {
-        if let Some(r) = op.mem {
+        if let Some(r) = op.mem() {
             total += 1;
             if r.addr >= regions.warm.0 + regions.warm.1 {
                 stream += 1;
@@ -71,7 +71,7 @@ fn branch_outcomes_are_biased_toward_taken() {
         let ops = TraceGenerator::new(b.profile()).take_ops(N);
         let (mut taken, mut branches) = (0u64, 0u64);
         for op in &ops {
-            if let Some(br) = op.branch {
+            if let Some(br) = op.branch() {
                 branches += 1;
                 taken += br.taken as u64;
             }
@@ -93,7 +93,7 @@ fn working_set_footprint_matches_regions() {
     let ops = TraceGenerator::new(profile).take_ops(N);
     let mut hot_lines = std::collections::HashSet::new();
     for op in &ops {
-        if let Some(r) = op.mem {
+        if let Some(r) = op.mem() {
             if r.addr < regions.hot.0 + regions.hot.1 && r.addr >= regions.hot.0 {
                 hot_lines.insert(r.addr / 64);
             }

@@ -64,12 +64,13 @@ fn traces_are_structurally_valid() {
         for (i, op) in ops.iter().enumerate() {
             assert_eq!(op.seq, i as u64);
             assert_eq!(op.kind.writes_register(), op.dest.is_some());
-            assert_eq!(op.kind.is_memory(), op.mem.is_some());
-            assert_eq!(op.kind == OpClass::Branch, op.branch.is_some());
+            assert_eq!(op.kind.is_memory(), op.mem().is_some());
+            assert_eq!(op.kind == OpClass::Branch, op.branch().is_some());
             for (d, r) in [(op.src1_dist, op.src1_reg), (op.src2_dist, op.src2_reg)] {
                 if let Some(d) = d {
-                    assert!(d >= 1 && (d as usize) <= i);
-                    assert_eq!(ops[i - d as usize].dest, r);
+                    let d = d.get() as usize;
+                    assert!(d >= 1 && d <= i);
+                    assert_eq!(ops[i - d].dest, r);
                 }
             }
         }
