@@ -17,10 +17,13 @@
 //!                 [--journal] [--resume] [--quiet] [--trace-out FILE]
 //! rmt3d profile   --model 3d-2a --benchmark gzip [--instructions N]
 //!                 [--sample-interval N] [--out-dir DIR] [--quiet]
-//! rmt3d trace-report --in run.jsonl
+//! rmt3d trace-report --in run.jsonl [--chrome-out FILE]
 //! rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]
-//! rmt3d status    [--run ID] [--follow] [--runs-root DIR]
+//!                 [--json]
+//! rmt3d status    [--run ID] [--follow] [--interval MS]
+//!                 [--runs-root DIR]
 //! rmt3d report    --html [--run ID] [--out FILE] [--runs-root DIR]
+//!                 [--daemon-metrics FILE] [--refresh SECS]
 //! rmt3d serve     [--listen ADDR] [--state-dir DIR] [--out-dir DIR]
 //!                 [--jobs N] [--cache-max-bytes N] [--runs-root DIR]
 //!                 [--no-ledger] [--quiet]
@@ -29,6 +32,8 @@
 //! rmt3d jobs      [--addr ADDR]
 //! rmt3d cancel    JOB [--addr ADDR]
 //! rmt3d watch     JOB [--addr ADDR]
+//! rmt3d stats     [--addr ADDR]
+//! rmt3d top       [--watch] [--interval MS] [--addr ADDR]
 //! rmt3d shutdown  [--addr ADDR]
 //! ```
 //!
@@ -101,13 +106,20 @@ fn usage() -> ExitCode {
            profile    --model M --benchmark B [--instructions N]\n\
                       [--sample-interval N] [--out-dir DIR] [--quiet]\n\
                       CPI stacks, histograms, Perfetto .trace.json\n\
-           trace-report --in FILE.jsonl      rebuild the report offline\n\
+           trace-report --in FILE.jsonl [--chrome-out FILE]\n\
+                      rebuild the report offline; --chrome-out renders\n\
+                      the events as a Perfetto-loadable .trace.json\n\
            bench-gate --baseline FILE --current FILE [--tolerance PCT]\n\
-                      fail on wall-clock or deterministic-stat regression\n\
-           status     [--run ID] [--follow] [--runs-root DIR]\n\
+                      [--json]   fail on wall-clock or deterministic-\n\
+                      stat regression; --json prints one result line\n\
+           status     [--run ID] [--follow] [--interval MS]\n\
+                      [--runs-root DIR]\n\
                       live progress of a ledgered run (default: latest)\n\
            report     --html [--run ID] [--out FILE] [--runs-root DIR]\n\
-                      self-contained HTML dashboard for a ledgered run\n\
+                      [--daemon-metrics FILE] [--refresh SECS]\n\
+                      self-contained HTML dashboard for a ledgered run;\n\
+                      --daemon-metrics adds the daemon fleet panel,\n\
+                      --refresh embeds a browser auto-reload tag\n\
            serve      [--listen ADDR] [--state-dir DIR] [--out-dir DIR]\n\
                       [--jobs N] [--cache-max-bytes N] [--runs-root DIR]\n\
                       [--no-ledger] [--quiet]\n\
@@ -120,6 +132,9 @@ fn usage() -> ExitCode {
            jobs       [--addr ADDR]        one-line JSON job listing\n\
            cancel     JOB [--addr ADDR]    cancel a queued/running job\n\
            watch      JOB [--addr ADDR]    stream a job's event lines\n\
+           stats      [--addr ADDR]        one-line JSON daemon metrics\n\
+           top        [--watch] [--interval MS] [--addr ADDR]\n\
+                      human daemon health view; --watch redraws\n\
            shutdown   [--addr ADDR]        drain the daemon and exit it\n\
          \n\
          models: 2d-a, 2d-2a, 3d-2a, 3d-checker\n\
@@ -1029,6 +1044,8 @@ fn main() -> ExitCode {
         "jobs" => servecmd::run_jobs_command(a),
         "cancel" => servecmd::run_cancel_command(a),
         "watch" => servecmd::run_watch_command(a),
+        "stats" => servecmd::run_stats_command(a),
+        "top" => servecmd::run_top_command(a),
         "shutdown" => servecmd::run_shutdown_command(a),
         other => fail(&format!("unknown command: {other}")),
     }

@@ -16,7 +16,7 @@
 use crate::args::Args;
 use crate::runctl;
 use crate::{fail, parse_model};
-use rmt3d::telemetry::json::{parse, JsonValue};
+use rmt3d::telemetry::json::{parse, JsonObject, JsonValue};
 use rmt3d::telemetry::{
     CollectorSink, CpiComponent, CpiStack, MetricsRegistry, ParsedEvent, Sink, TraceEventSink,
 };
@@ -195,12 +195,19 @@ fn cpi_series(name: &str) -> Option<(bool, CpiComponent)> {
     None
 }
 
-/// `rmt3d trace-report --in FILE`: rebuild the profile report from a
-/// JSONL event trace, offline.
+/// `rmt3d trace-report --in FILE [--chrome-out FILE]`: rebuild the
+/// profile report from a JSONL event trace, offline. `--chrome-out`
+/// additionally re-renders the events as a Chrome/Perfetto
+/// `.trace.json` — the offline path for the daemon's
+/// `daemon.trace.jsonl`, whose job spans become async timeline events.
 pub fn run_trace_report_command(mut a: Args) -> ExitCode {
     let path = match a.opt("--in") {
         Ok(Some(p)) => p,
         Ok(None) => return fail("--in is required"),
+        Err(e) => return fail(&e),
+    };
+    let chrome_out = match a.opt("--chrome-out") {
+        Ok(c) => c,
         Err(e) => return fail(&e),
     };
     if let Err(e) = a.finish() {
@@ -209,6 +216,13 @@ pub fn run_trace_report_command(mut a: Args) -> ExitCode {
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut chrome = match &chrome_out {
+        Some(out) => match File::create(out) {
+            Ok(f) => Some(TraceEventSink::new(BufWriter::new(f))),
+            Err(e) => return fail(&format!("cannot create {out}: {e}")),
+        },
+        None => None,
     };
 
     let mut leader = CpiStack::new();
@@ -225,6 +239,9 @@ pub fn run_trace_report_command(mut a: Args) -> ExitCode {
             Err(e) => return fail(&format!("{path}:{}: {e}", lineno + 1)),
         };
         events += 1;
+        if let Some(chrome) = chrome.as_mut() {
+            chrome.record_parsed(&event);
+        }
         match counts.iter_mut().find(|(k, _)| *k == event.kind()) {
             Some((_, n)) => *n += 1,
             None => counts.push((event.kind(), 1)),
@@ -252,6 +269,15 @@ pub fn run_trace_report_command(mut a: Args) -> ExitCode {
                 registry.record_hist("detection_latency", *detect_cycles);
             }
             _ => {}
+        }
+    }
+
+    if let Some(mut chrome) = chrome {
+        if let Err(e) = chrome.finish() {
+            return fail(&format!("chrome trace write failed: {e}"));
+        }
+        if let Some(out) = &chrome_out {
+            println!("chrome trace: {out}");
         }
     }
 
@@ -325,8 +351,10 @@ fn stat_of(records: &[(String, BenchRecord)], target: &str, stat: &str) -> Optio
     })
 }
 
-/// `rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]`:
-/// compare two bench JSONL files; exit non-zero on regression.
+/// `rmt3d bench-gate --baseline FILE --current FILE [--tolerance PCT]
+/// [--json]`: compare two bench JSONL files; exit non-zero on
+/// regression. `--json` replaces the human table with one strict-JSON
+/// result line for CI consumption.
 pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
     let baseline_path = match a.opt("--baseline") {
         Ok(Some(p)) => p,
@@ -342,6 +370,7 @@ pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
         Ok(t) => t.unwrap_or(10.0),
         Err(e) => return fail(&e),
     };
+    let json = a.flag("--json");
     if let Err(e) = a.finish() {
         return fail(&e);
     }
@@ -361,29 +390,38 @@ pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
     }
 
     let mut violations = 0u32;
-    println!(
-        "bench gate: {current_path} vs baseline {baseline_path} \
-         (wall tolerance {tolerance}%)"
-    );
+    let (mut regressed, mut drifted_n, mut missing, mut kind_changed) = (0u32, 0u32, 0u32, 0u32);
+    if !json {
+        println!(
+            "bench gate: {current_path} vs baseline {baseline_path} \
+             (wall tolerance {tolerance}%)"
+        );
+    }
     for (name, base) in &baseline {
         let cur = current.iter().find(|(n, _)| n == name).map(|(_, r)| r);
         match (base, cur) {
             (_, None) => {
                 violations += 1;
-                println!("  {name:44} MISSING from current run");
+                missing += 1;
+                if !json {
+                    println!("  {name:44} MISSING from current run");
+                }
             }
             (BenchRecord::Wall(b), Some(BenchRecord::Wall(c))) => {
                 let delta = 100.0 * (c - b) / b;
                 let over = *c > b * (1.0 + tolerance / 100.0);
                 if over {
                     violations += 1;
+                    regressed += 1;
                 }
-                println!(
-                    "  {name:44} wall {:>10.0} ns -> {:>10.0} ns  {delta:+6.1}%  {}",
-                    b,
-                    c,
-                    if over { "REGRESSED" } else { "ok" }
-                );
+                if !json {
+                    println!(
+                        "  {name:44} wall {:>10.0} ns -> {:>10.0} ns  {delta:+6.1}%  {}",
+                        b,
+                        c,
+                        if over { "REGRESSED" } else { "ok" }
+                    );
+                }
                 // Throughput view: pair the wall time with the target's
                 // own `<name>/total_cycles` deterministic stat when one
                 // is recorded (positive delta = faster simulator).
@@ -393,40 +431,70 @@ pub fn run_bench_gate_command(mut a: Args) -> ExitCode {
                     let base_rate = bc / (b * 1e-9);
                     let cur_rate = cc / (c * 1e-9);
                     let rate_delta = 100.0 * (cur_rate - base_rate) / base_rate;
-                    println!(
-                        "  {:44}      {:>10.3} Mc/s -> {:>7.3} Mc/s  {rate_delta:+6.1}%",
-                        "",
-                        base_rate / 1e6,
-                        cur_rate / 1e6
-                    );
+                    if !json {
+                        println!(
+                            "  {:44}      {:>10.3} Mc/s -> {:>7.3} Mc/s  {rate_delta:+6.1}%",
+                            "",
+                            base_rate / 1e6,
+                            cur_rate / 1e6
+                        );
+                    }
                 }
             }
             (BenchRecord::Stat(b), Some(BenchRecord::Stat(c))) => {
                 let drifted = b != c;
                 if drifted {
                     violations += 1;
+                    drifted_n += 1;
                 }
-                println!(
-                    "  {name:44} stat {b} -> {c}  {}",
-                    if drifted { "DRIFTED" } else { "exact" }
-                );
+                if !json {
+                    println!(
+                        "  {name:44} stat {b} -> {c}  {}",
+                        if drifted { "DRIFTED" } else { "exact" }
+                    );
+                }
             }
             _ => {
                 violations += 1;
-                println!("  {name:44} record kind changed between runs");
+                kind_changed += 1;
+                if !json {
+                    println!("  {name:44} record kind changed between runs");
+                }
             }
         }
     }
+    let mut new_targets = 0u32;
     for (name, _) in &current {
         if !baseline.iter().any(|(n, _)| n == name) {
-            println!("  {name:44} new (not in baseline; re-bless to gate it)");
+            new_targets += 1;
+            if !json {
+                println!("  {name:44} new (not in baseline; re-bless to gate it)");
+            }
         }
     }
-    if violations > 0 {
+    if json {
+        // One strict-JSON result line for CI to parse and archive.
+        let mut o = JsonObject::new();
+        o.bool("ok", violations == 0)
+            .u64("violations", u64::from(violations))
+            .u64("regressed", u64::from(regressed))
+            .u64("drifted", u64::from(drifted_n))
+            .u64("missing", u64::from(missing))
+            .u64("kind_changed", u64::from(kind_changed))
+            .u64("new_targets", u64::from(new_targets))
+            .u64("compared", baseline.len() as u64)
+            .f64("tolerance_pct", tolerance)
+            .str("baseline", &baseline_path)
+            .str("current", &current_path);
+        println!("{}", o.finish());
+    } else if violations > 0 {
         println!("bench gate: {violations} violation(s)");
-        ExitCode::FAILURE
     } else {
         println!("bench gate: clean");
+    }
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
         ExitCode::SUCCESS
     }
 }

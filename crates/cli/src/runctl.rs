@@ -18,7 +18,7 @@ use rmt3d_obs::ledger::{
     format_unix_ms, write_atomic, RunLedger, METRICS_FILE, REPORT_FILE, STATUS_FILE,
 };
 use rmt3d_obs::metricsio::{metrics_to_json, parse_metrics};
-use rmt3d_obs::{render_html, Manifest, RunObserver, RunStatus};
+use rmt3d_obs::{render_html_with, DaemonSeries, Manifest, ReportOptions, RunObserver, RunStatus};
 use rmt3d_telemetry::{Event, MetricsRegistry, Sink};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -180,9 +180,10 @@ fn print_status(manifest: &Manifest, status: Option<&RunStatus>) {
     );
 }
 
-/// `rmt3d status [--run ID] [--follow] [--runs-root DIR]`: print a
-/// run's live progress; `--follow` refreshes until the run reaches a
-/// terminal state.
+/// `rmt3d status [--run ID] [--follow] [--interval MS]
+/// [--runs-root DIR]`: print a run's live progress; `--follow`
+/// refreshes every `--interval` milliseconds (default 500) until the
+/// run reaches a terminal state.
 ///
 /// Under `--follow` a run that does not exist *yet* is waited for
 /// rather than failed on: `rmt3d serve` registers a job's run only
@@ -191,6 +192,13 @@ fn print_status(manifest: &Manifest, status: Option<&RunStatus>) {
 /// run is still an immediate error.
 pub fn run_status_command(mut a: Args) -> ExitCode {
     let follow = a.flag("--follow");
+    let interval = match a.parsed::<u64>("--interval") {
+        Ok(Some(0)) => return fail("--interval must be at least 1 millisecond"),
+        Ok(Some(_)) if !follow => return fail("--interval requires --follow"),
+        Ok(Some(ms)) => Duration::from_millis(ms),
+        Ok(None) => Duration::from_millis(500),
+        Err(e) => return fail(&e),
+    };
     let root = match a.opt("--runs-root") {
         Ok(r) => PathBuf::from(r.unwrap_or_else(|| DEFAULT_RUNS_ROOT.into())),
         Err(e) => return fail(&e),
@@ -211,7 +219,7 @@ pub fn run_status_command(mut a: Args) -> ExitCode {
             eprintln!("status: waiting for the run to appear ({e})");
             announced = true;
         }
-        std::thread::sleep(Duration::from_millis(500));
+        std::thread::sleep(interval);
         None
     };
     let (ledger, run_id) = loop {
@@ -254,17 +262,30 @@ pub fn run_status_command(mut a: Args) -> ExitCode {
         if !follow || !running {
             return ExitCode::SUCCESS;
         }
-        std::thread::sleep(Duration::from_millis(500));
+        std::thread::sleep(interval);
     }
 }
 
-/// `rmt3d report --html [--run ID] [--out FILE] [--runs-root DIR]`:
-/// render a run's self-contained HTML dashboard from its ledger
-/// documents (default output: `report.html` inside the run directory).
+/// `rmt3d report --html [--run ID] [--out FILE] [--runs-root DIR]
+/// [--daemon-metrics FILE] [--refresh SECS]`: render a run's
+/// self-contained HTML dashboard from its ledger documents (default
+/// output: `report.html` inside the run directory).
+/// `--daemon-metrics` adds the daemon fleet panel from a
+/// `daemon.metrics.jsonl` time-series ring; `--refresh` embeds a meta
+/// refresh tag so a report regenerated in place reloads itself.
 pub fn run_report_command(mut a: Args) -> ExitCode {
     let html = a.flag("--html");
     let out = match a.opt("--out") {
         Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let daemon_metrics = match a.opt("--daemon-metrics") {
+        Ok(d) => d.map(PathBuf::from),
+        Err(e) => return fail(&e),
+    };
+    let refresh_secs = match a.parsed::<u64>("--refresh") {
+        Ok(Some(0)) => return fail("--refresh must be at least 1 second"),
+        Ok(r) => r,
         Err(e) => return fail(&e),
     };
     let (ledger, run_id) = match open_resolved(&mut a) {
@@ -298,7 +319,24 @@ pub fn run_report_command(mut a: Args) -> ExitCode {
         },
         Err(_) => None,
     };
-    let rendered = render_html(&manifest, &status, metrics.as_ref());
+    // An explicitly named ring that cannot be read is an error; an
+    // empty or torn one still renders (the parser skips bad lines).
+    let daemon = match &daemon_metrics {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(DaemonSeries::parse(&text)),
+            Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+        },
+        None => None,
+    };
+    let rendered = render_html_with(
+        &manifest,
+        &status,
+        metrics.as_ref(),
+        &ReportOptions {
+            daemon: daemon.as_ref(),
+            refresh_secs,
+        },
+    );
     let out_path = out
         .map(PathBuf::from)
         .unwrap_or_else(|| ledger.run_dir(&run_id).join(REPORT_FILE));

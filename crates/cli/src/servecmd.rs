@@ -1,5 +1,6 @@
 //! The sweep-as-a-service subcommands: `rmt3d serve` (the daemon) and
-//! its clients `submit`, `jobs`, `cancel`, `watch`, and `shutdown`.
+//! its clients `submit`, `jobs`, `cancel`, `watch`, `stats`, `top`,
+//! and `shutdown`.
 //!
 //! The daemon side wires [`rmt3d_serve::serve`] to the CLI's
 //! conventions: the shared result cache defaults to the same
@@ -314,6 +315,120 @@ pub fn run_cancel_command(mut a: Args) -> ExitCode {
     one_shot(addr, a, move |addr| {
         client::request_raw(addr, &client::job_line("cancel", &job))
     })
+}
+
+/// `rmt3d stats [--addr A]`: print the daemon's live metrics snapshot
+/// as one JSON line (strict JSON; pipe through a formatter to
+/// pretty-print).
+pub fn run_stats_command(mut a: Args) -> ExitCode {
+    one_shot(a.opt("--addr"), a, |addr| {
+        client::request_raw(addr, "{\"op\":\"stats\"}")
+    })
+}
+
+/// `rmt3d top [--watch] [--interval MS] [--addr A]`: a one-screen
+/// human view of the daemon's `stats` snapshot; `--watch` redraws at
+/// the polling interval (default 1000 ms) until interrupted.
+pub fn run_top_command(mut a: Args) -> ExitCode {
+    let addr = match addr_opt(&mut a) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let watch = a.flag("--watch");
+    let interval_ms = match a.parsed::<u64>("--interval") {
+        Ok(Some(0)) => return fail("--interval must be at least 1 millisecond"),
+        Ok(Some(_)) if !watch => return fail("--interval requires --watch"),
+        Ok(Some(ms)) => ms,
+        Ok(None) => 1000,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = a.finish() {
+        return fail(&e);
+    }
+    loop {
+        let resp = match client::request(&addr, "{\"op\":\"stats\"}") {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        if watch {
+            // Clear the screen between frames, watch(1)-style.
+            print!("\x1b[2J\x1b[H");
+        }
+        print_top(&addr, &resp);
+        if !watch {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Renders one `stats` snapshot as the `top` screen.
+fn print_top(addr: &str, v: &JsonValue) {
+    let u = |k: &str| v.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    println!(
+        "rmt3d daemon {addr}\n\
+         queue   depth {} ({} queued, {} running)",
+        u("queue_depth"),
+        u("queued"),
+        u("running"),
+    );
+    println!(
+        "jobs    {} done, {} failed, {} cancelled",
+        u("done"),
+        u("failed"),
+        u("cancelled"),
+    );
+    println!(
+        "clients {} open ({} total), {} watchers",
+        u("connections"),
+        u("connections_total"),
+        u("watchers"),
+    );
+    let hits = u("cache_hits");
+    let misses = u("cache_misses");
+    let probes = hits + misses;
+    let rate = if probes == 0 {
+        String::from("-")
+    } else {
+        format!("{:.0}%", 100.0 * hits as f64 / probes as f64)
+    };
+    println!(
+        "cache   {hits} hits / {misses} misses ({rate}), {} entries, {} bytes, {} evicted",
+        u("cache_entries"),
+        u("cache_bytes"),
+        u("cache_evictions"),
+    );
+    if u("cache_verify_failures") > 0 {
+        println!(
+            "warning {} cache verify failures",
+            u("cache_verify_failures")
+        );
+    }
+    if u("metrics_write_errors") > 0 {
+        println!(
+            "warning {} metrics/artifact write failures — telemetry may be incomplete",
+            u("metrics_write_errors")
+        );
+    }
+    // Latency histograms from the embedded cumulative metrics document.
+    if let Some(JsonValue::Obj(hists)) = v.get("metrics").and_then(|m| m.get("hist")) {
+        let mut printed_header = false;
+        for (name, h) in hists {
+            if !name.starts_with("daemon_") {
+                continue;
+            }
+            let samples = h.get("samples").and_then(JsonValue::as_u64).unwrap_or(0);
+            if samples == 0 {
+                continue;
+            }
+            if !printed_header {
+                println!("latency");
+                printed_header = true;
+            }
+            let mean = h.get("mean").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            println!("  {name:28} {samples:>7} jobs  mean {mean:.1} ms");
+        }
+    }
 }
 
 /// `rmt3d shutdown [--addr A]`: ask the daemon to drain and exit.

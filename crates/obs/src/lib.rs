@@ -34,15 +34,17 @@
 //! clock-dependent field lives under a `"wall"` object (or carries a
 //! `*_nanos`/`*_unix_ms` name), and `run_id` embeds the start stamp.
 
+pub mod daemonseries;
 pub mod ledger;
 pub mod metricsio;
 pub mod report;
 pub mod status;
 pub mod watchdog;
 
+pub use daemonseries::{DaemonSample, DaemonSeries};
 pub use ledger::{Manifest, RunLedger, RunSummary};
-pub use metricsio::{metrics_to_json, HistogramData, ParsedMetrics, SeriesData};
-pub use report::render_html;
+pub use metricsio::{metrics_to_json, parse_metrics, HistogramData, ParsedMetrics, SeriesData};
+pub use report::{render_html, render_html_with, ReportOptions};
 pub use status::{CacheTotals, JobPhase, PoolTotals, RunObserver, RunStatus, StallInfo};
 pub use watchdog::{Stall, Watchdog, WatchdogConfig};
 

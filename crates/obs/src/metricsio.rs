@@ -125,6 +125,13 @@ pub fn metrics_to_json(registry: &MetricsRegistry) -> String {
 /// Parses a document written by [`metrics_to_json`].
 pub fn parse_metrics(text: &str) -> Result<ParsedMetrics, String> {
     let v = parse(text)?;
+    Ok(metrics_from_value(&v))
+}
+
+/// Reads a [`metrics_to_json`] document out of an already-parsed JSON
+/// node — the daemon time-series embeds one per sample line, and
+/// re-serializing just to re-parse would be wasted work.
+pub fn metrics_from_value(v: &JsonValue) -> ParsedMetrics {
     let f = |node: &JsonValue, key: &str| -> f64 {
         node.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
     };
@@ -167,7 +174,7 @@ pub fn parse_metrics(text: &str) -> Result<ParsedMetrics, String> {
             out.hists.push((name.clone(), data));
         }
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]

@@ -9,9 +9,15 @@
 //!
 //! Layout: stat tiles (progress, cache hit-rate, failures, elapsed) →
 //! progress meter → worker timeline (lanes greedily packed from the
-//! per-job wall intervals) → job latency histogram (the log2 buckets
-//! from `metrics.json`) → CPI stacks for profile runs → stall
-//! diagnostics → a collapsed per-job table as the no-color fallback.
+//! per-job wall intervals) → worker-pool utilization (busy/idle split
+//! and steal counts) → job latency histogram (the log2 buckets from
+//! `metrics.json`) → CPI stacks for profile runs → daemon panel
+//! (queue-depth sparkline, cache hit-rate, and per-kind latency
+//! histograms from the `daemon.metrics.jsonl` time-series, when given
+//! via [`ReportOptions`]) → stall diagnostics → a collapsed per-job
+//! table as the no-color fallback. [`ReportOptions::refresh_secs`]
+//! adds a `<meta http-equiv="refresh">` tag so a regenerated report
+//! self-refreshes in the browser — still zero scripts.
 //!
 //! Colors are the validated reference data-viz palette (adjacent-pair
 //! CVD-safe in its fixed slot order, light and dark steps both
@@ -20,10 +26,22 @@
 //! than series colors, native `<title>` tooltips on every mark, and a
 //! legend whenever two or more series share a panel.
 
+use crate::daemonseries::DaemonSeries;
 use crate::ledger::{format_unix_ms, Manifest};
-use crate::metricsio::ParsedMetrics;
+use crate::metricsio::{HistogramData, ParsedMetrics};
 use crate::status::{fmt_nanos, JobPhase, RunStatus};
 use std::fmt::Write as _;
+
+/// Optional dashboard inputs beyond the run ledger documents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportOptions<'a> {
+    /// Daemon time-series (`daemon.metrics.jsonl`); renders the fleet
+    /// panel when non-empty.
+    pub daemon: Option<&'a DaemonSeries>,
+    /// Browser auto-reload interval for a report that is regenerated
+    /// in place; emitted as a `<meta http-equiv="refresh">` tag.
+    pub refresh_secs: Option<u64>,
+}
 
 /// HTML-escapes text interpolated into markup or attributes.
 fn esc(s: &str) -> String {
@@ -266,13 +284,21 @@ fn timeline_section(out: &mut String, status: &RunStatus) {
     out.push_str("</section>\n");
 }
 
-fn histogram_section(out: &mut String, metrics: &ParsedMetrics) {
-    let Some(h) = metrics.hist("job_wall_nanos") else {
-        return;
-    };
-    if h.buckets.is_empty() {
-        return;
-    }
+/// Millisecond values reuse the nanosecond formatter's unit ladder.
+fn fmt_millis(ms: u64) -> String {
+    fmt_nanos(ms.saturating_mul(1_000_000))
+}
+
+/// One log2-bucket histogram as an SVG bar chart: shared by the run's
+/// job-latency panel and the daemon's per-kind latency panels, which
+/// differ only in bucket units (`fmt`) and tooltip noun.
+fn hist_svg(
+    out: &mut String,
+    h: &HistogramData,
+    aria: &str,
+    noun: &str,
+    fmt: &dyn Fn(u64) -> String,
+) {
     let peak = h.buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1);
     let n = h.buckets.len();
     const W: f64 = 912.0;
@@ -280,10 +306,10 @@ fn histogram_section(out: &mut String, metrics: &ParsedMetrics) {
     const PLOT: f64 = 120.0;
     let slot = W / n as f64;
     let bar_w = (slot - 2.0).min(24.0); // 2px surface gap, 24px cap
-    out.push_str("<section><h2>Job latency</h2>\n");
     let _ = write!(
         out,
-        r#"<svg viewBox="0 0 {W} {H}" width="100%" role="img" aria-label="Log-scale histogram of job wall times">"#
+        r#"<svg viewBox="0 0 {W} {H}" width="100%" role="img" aria-label="{}">"#,
+        esc(aria)
     );
     let _ = write!(
         out,
@@ -297,11 +323,11 @@ fn histogram_section(out: &mut String, metrics: &ParsedMetrics) {
         // clipped overshoot below the baseline.
         let _ = write!(
             out,
-            r#"<path d="M{x:.1} {PLOT} V{:.1} q0 -4 4 -4 h{:.1} q4 0 4 4 V{PLOT} Z" fill="var(--s1)"><title>[{}, {}]: {count} jobs</title></path>"#,
+            r#"<path d="M{x:.1} {PLOT} V{:.1} q0 -4 4 -4 h{:.1} q4 0 4 4 V{PLOT} Z" fill="var(--s1)"><title>[{}, {}]: {count} {noun}</title></path>"#,
             (y + 4.0).min(PLOT),
             (bar_w - 8.0).max(0.0),
-            fmt_nanos(lo),
-            fmt_nanos(hi),
+            fmt(lo),
+            fmt(hi),
         );
         if count == peak {
             // Selective direct label: the modal bucket only.
@@ -318,16 +344,234 @@ fn histogram_section(out: &mut String, metrics: &ParsedMetrics) {
             r#"<text x="{:.1}" y="{:.1}" font-size="10" fill="var(--muted)" text-anchor="middle">{}</text>"#,
             x + bar_w / 2.0,
             H - 4.0,
-            fmt_nanos(lo)
+            fmt(lo)
         );
     }
     out.push_str("</svg>\n");
+}
+
+fn histogram_section(out: &mut String, metrics: &ParsedMetrics) {
+    let Some(h) = metrics.hist("job_wall_nanos") else {
+        return;
+    };
+    if h.buckets.is_empty() {
+        return;
+    }
+    out.push_str("<section><h2>Job latency</h2>\n");
+    hist_svg(
+        out,
+        h,
+        "Log-scale histogram of job wall times",
+        "jobs",
+        &fmt_nanos,
+    );
     let _ = write!(
         out,
         r#"<p class="note">{} executed jobs, mean {}.</p>"#,
         compact(h.samples),
         fmt_nanos(h.mean as u64)
     );
+    out.push_str("</section>\n");
+}
+
+/// Worker-pool utilization: the busy/idle wall split as a stacked bar
+/// plus the steal count — the `PoolStatsSummary` fields the tiles only
+/// hint at.
+fn pool_section(out: &mut String, status: &RunStatus) {
+    let Some(p) = &status.pool else {
+        return;
+    };
+    let total = p.busy_nanos + p.idle_nanos;
+    if total == 0 {
+        return;
+    }
+    const W: f64 = 912.0;
+    const BAR: f64 = 20.0;
+    let busy_w = (W * p.busy_nanos as f64 / total as f64).max(0.5);
+    out.push_str("<section><h2>Worker pool</h2>\n");
+    let _ = write!(
+        out,
+        r#"<svg viewBox="0 0 {W} {BAR}" width="100%" height="20" role="img" aria-label="Worker busy versus idle wall time">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect x="0" y="0" width="{:.1}" height="{BAR}" rx="3" fill="var(--s1)"><title>busy {}</title></rect>"#,
+        (busy_w - 2.0).max(0.5), // 2px surface gap between segments
+        fmt_nanos(p.busy_nanos)
+    );
+    let _ = write!(
+        out,
+        r#"<rect x="{busy_w:.1}" y="0" width="{:.1}" height="{BAR}" rx="3" fill="var(--track)"><title>idle {}</title></rect>"#,
+        (W - busy_w).max(0.5),
+        fmt_nanos(p.idle_nanos)
+    );
+    out.push_str("</svg>\n");
+    // Two states share the bar: legend is mandatory.
+    out.push_str(
+        r#"<div class="legend"><span><span class="key" style="background:var(--s1)"></span>busy</span><span><span class="key" style="background:var(--track)"></span>idle</span></div>"#,
+    );
+    let _ = write!(
+        out,
+        r#"<p class="note">{} workers · busy {} · idle {} · {} steals · {} executed, {} cached, {} failed · pool wall {}.</p>"#,
+        p.workers,
+        fmt_nanos(p.busy_nanos),
+        fmt_nanos(p.idle_nanos),
+        p.steals,
+        p.executed,
+        p.cache_hits,
+        p.failed,
+        fmt_nanos(p.wall_nanos),
+    );
+    out.push_str("</section>\n");
+}
+
+/// Pretty label for a daemon histogram name:
+/// `daemon_queue_wait_ms_sweep` → `queue wait — sweep`.
+fn daemon_hist_label(name: &str) -> String {
+    let rest = name.strip_prefix("daemon_").unwrap_or(name);
+    if let Some(kind) = rest.strip_prefix("queue_wait_ms_") {
+        format!("queue wait — {kind}")
+    } else if let Some(kind) = rest.strip_prefix("exec_ms_") {
+        format!("execution — {kind}")
+    } else {
+        rest.to_string()
+    }
+}
+
+/// The fleet panel: latest daemon gauges as tiles, queue depth over
+/// time as a sparkline, and the per-kind latency histograms from the
+/// newest sample's embedded cumulative metrics document.
+fn daemon_section(out: &mut String, series: &DaemonSeries) {
+    let Some(last) = series.latest() else {
+        return;
+    };
+    out.push_str("<section><h2>Daemon</h2>\n<div class=\"tiles\">\n");
+    tile(
+        out,
+        "Queue depth",
+        &last.depth.to_string(),
+        &format!("{} queued, {} running", last.queued, last.running),
+    );
+    tile(
+        out,
+        "Jobs done",
+        &compact(last.done),
+        &format!("{} failed, {} cancelled", last.failed, last.cancelled),
+    );
+    let probes = last.cache_hits + last.cache_misses;
+    tile(
+        out,
+        "Cache hit-rate",
+        &last
+            .hit_rate()
+            .map(|r| format!("{:.0}%", 100.0 * r))
+            .unwrap_or_else(|| String::from("-")),
+        &format!(
+            "{} probes, {} evicted",
+            compact(probes),
+            last.cache_evictions
+        ),
+    );
+    tile(
+        out,
+        "Clients",
+        &last.connections.to_string(),
+        &format!("{} watchers", last.watchers),
+    );
+    out.push_str("</div>\n");
+
+    // Queue-depth sparkline: one point per ring sample.
+    if series.samples.len() >= 2 {
+        let n = series.samples.len();
+        const W: f64 = 912.0;
+        const H: f64 = 90.0;
+        const PLOT: f64 = 74.0;
+        let peak = series
+            .samples
+            .iter()
+            .map(|s| s.depth)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let xy = |i: usize, depth: u64| {
+            (
+                W * i as f64 / (n - 1) as f64,
+                PLOT - (PLOT - 10.0) * depth as f64 / peak as f64,
+            )
+        };
+        let _ = write!(
+            out,
+            r#"<svg viewBox="0 0 {W} {H}" width="100%" role="img" aria-label="Queue depth over time">"#
+        );
+        let _ = write!(
+            out,
+            r#"<line x1="0" y1="{PLOT}" x2="{W}" y2="{PLOT}" stroke="var(--baseline)" stroke-width="1"/>"#
+        );
+        let mut points = String::new();
+        for (i, s) in series.samples.iter().enumerate() {
+            let (x, y) = xy(i, s.depth);
+            let _ = write!(points, "{x:.1},{y:.1} ");
+        }
+        let _ = write!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="var(--s1)" stroke-width="2"><title>queue depth, {n} samples, peak {peak}</title></polyline>"#,
+            points.trim_end()
+        );
+        let (lx, ly) = xy(n - 1, last.depth);
+        let _ = write!(
+            out,
+            r#"<circle cx="{lx:.1}" cy="{ly:.1}" r="3" fill="var(--s1)"/>"#
+        );
+        // Time axis: first and last sample stamps, text in ink tokens.
+        let first = &series.samples[0];
+        let _ = write!(
+            out,
+            r#"<text x="0" y="{:.1}" font-size="10" fill="var(--muted)">{}</text>"#,
+            H - 4.0,
+            format_unix_ms(first.unix_ms)
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{W}" y="{:.1}" font-size="10" fill="var(--muted)" text-anchor="end">{}</text>"#,
+            H - 4.0,
+            format_unix_ms(last.unix_ms)
+        );
+        let _ = write!(
+            out,
+            r#"<text x="0" y="10" font-size="10" fill="var(--ink2)">peak {peak}</text>"#
+        );
+        out.push_str("</svg>\n");
+    }
+
+    // Per-kind daemon latency histograms from the cumulative document.
+    if let Some(metrics) = &series.metrics {
+        for (name, h) in &metrics.hists {
+            if !name.starts_with("daemon_") || h.buckets.is_empty() {
+                continue;
+            }
+            let _ = write!(
+                out,
+                r#"<p class="note">Latency: {} ({} jobs, mean {})</p>"#,
+                esc(&daemon_hist_label(name)),
+                compact(h.samples),
+                fmt_millis(h.mean as u64),
+            );
+            hist_svg(
+                out,
+                h,
+                &format!("Latency histogram: {}", daemon_hist_label(name)),
+                "jobs",
+                &fmt_millis,
+            );
+        }
+    }
+    if last.metrics_write_errors > 0 {
+        let _ = write!(
+            out,
+            r#"<p class="note">⚠ {} metrics/artifact write failures — daemon telemetry may be incomplete.</p>"#,
+            last.metrics_write_errors
+        );
+    }
     out.push_str("</section>\n");
 }
 
@@ -459,17 +703,35 @@ fn jobs_table(out: &mut String, status: &RunStatus) {
     out.push_str("</tbody></table></details></section>\n");
 }
 
-/// Renders the full dashboard; see the module docs. Pure: identical
-/// inputs produce identical bytes.
+/// Renders the full dashboard with default options; see the module
+/// docs. Pure: identical inputs produce identical bytes.
 pub fn render_html(
     manifest: &Manifest,
     status: &RunStatus,
     metrics: Option<&ParsedMetrics>,
 ) -> String {
+    render_html_with(manifest, status, metrics, &ReportOptions::default())
+}
+
+/// [`render_html`] plus the daemon panel and self-refresh options.
+/// Still pure: identical inputs produce identical bytes.
+pub fn render_html_with(
+    manifest: &Manifest,
+    status: &RunStatus,
+    metrics: Option<&ParsedMetrics>,
+    opts: &ReportOptions<'_>,
+) -> String {
     let mut out = String::with_capacity(16 * 1024);
     let _ = write!(
         out,
-        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n<title>rmt3d run {}</title>\n<style>{STYLE}</style></head>\n<body class=\"viz-root\"><main>\n",
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n",
+    );
+    if let Some(secs) = opts.refresh_secs {
+        let _ = writeln!(out, "<meta http-equiv=\"refresh\" content=\"{secs}\">");
+    }
+    let _ = write!(
+        out,
+        "<title>rmt3d run {}</title>\n<style>{STYLE}</style></head>\n<body class=\"viz-root\"><main>\n",
         esc(&manifest.run_id)
     );
     let badge_class = match manifest.outcome.as_str() {
@@ -574,9 +836,13 @@ pub fn render_html(
     out.push('\n');
 
     timeline_section(&mut out, status);
+    pool_section(&mut out, status);
     if let Some(m) = metrics {
         histogram_section(&mut out, m);
         cpi_section(&mut out, m);
+    }
+    if let Some(series) = opts.daemon {
+        daemon_section(&mut out, series);
     }
     stalls_section(&mut out, status);
     jobs_table(&mut out, status);
@@ -658,6 +924,86 @@ mod tests {
         ] {
             assert!(html.contains(needle), "missing section: {needle}");
         }
+    }
+
+    #[test]
+    fn pool_section_surfaces_busy_idle_and_steals() {
+        use crate::status::PoolTotals;
+        let mut status = RunStatus::new("r", "sweep", 1);
+        status.pool = Some(PoolTotals {
+            workers: 4,
+            executed: 7,
+            cache_hits: 2,
+            failed: 1,
+            steals: 3,
+            busy_nanos: 9_000_000_000,
+            idle_nanos: 3_000_000_000,
+            wall_nanos: 3_100_000_000,
+        });
+        let html = render_html(&manifest(), &status, None);
+        assert!(html.contains("Worker pool"));
+        assert!(html.contains("3 steals"));
+        assert!(html.contains("busy 9.0s"));
+        assert!(html.contains("idle 3.0s"));
+    }
+
+    #[test]
+    fn daemon_panel_and_refresh_render_self_contained() {
+        let ring = concat!(
+            r#"{"unix_ms":1786147200000,"queued":2,"running":1,"done":0,"failed":0,"#,
+            r#""cancelled":0,"depth":3,"watchers":1,"connections":2,"cache_hits":0,"#,
+            r#""cache_misses":1,"cache_evictions":0,"metrics_write_errors":0}"#,
+            "\n",
+            r#"{"unix_ms":1786147201000,"queued":0,"running":1,"done":2,"failed":0,"#,
+            r#""cancelled":0,"depth":1,"watchers":1,"connections":1,"cache_hits":3,"#,
+            r#""cache_misses":1,"cache_evictions":2,"metrics_write_errors":1,"#,
+            r#""metrics":{"series":{},"hist":{"daemon_exec_ms_sweep":"#,
+            r#"{"samples":2,"mean":12.0,"buckets":[[8,15,2]]}}}}"#,
+            "\n",
+        );
+        let series = DaemonSeries::parse(ring);
+        let status = RunStatus::new("r", "sweep", 1);
+        let html = render_html_with(
+            &manifest(),
+            &status,
+            None,
+            &ReportOptions {
+                daemon: Some(&series),
+                refresh_secs: Some(5),
+            },
+        );
+        assert!(html.contains(r#"<meta http-equiv="refresh" content="5">"#));
+        for needle in [
+            "Daemon",
+            "Queue depth",
+            "execution — sweep",
+            "Queue depth over time",
+            "1 metrics/artifact write failures",
+        ] {
+            assert!(html.contains(needle), "missing daemon content: {needle}");
+        }
+        // The panel must not break self-containment.
+        for needle in ["http://", "https://", "<script src", "<link "] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+        // Without options nothing daemon-related appears.
+        let plain = render_html(&manifest(), &status, None);
+        assert!(!plain.contains("http-equiv"));
+        assert!(!plain.contains("<h2>Daemon</h2>"));
+    }
+
+    #[test]
+    fn daemon_hist_labels_and_millis_formatting() {
+        assert_eq!(
+            daemon_hist_label("daemon_queue_wait_ms_sweep"),
+            "queue wait — sweep"
+        );
+        assert_eq!(
+            daemon_hist_label("daemon_exec_ms_campaign"),
+            "execution — campaign"
+        );
+        assert_eq!(daemon_hist_label("daemon_other"), "other");
+        assert_eq!(fmt_millis(1500), fmt_nanos(1_500_000_000));
     }
 
     #[test]

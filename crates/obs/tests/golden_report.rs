@@ -6,7 +6,7 @@
 //! with `RMT3D_BLESS=1 cargo test -p rmt3d-obs`.
 
 use rmt3d_obs::metricsio::parse_metrics;
-use rmt3d_obs::{render_html, Manifest, RunStatus};
+use rmt3d_obs::{render_html, render_html_with, DaemonSeries, Manifest, ReportOptions, RunStatus};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -101,4 +101,48 @@ fn dashboard_without_metrics_matches_golden() {
     // A run killed before metrics.json was written still gets a report.
     let html = render_html(&synthetic_manifest(), &synthetic_status(), None);
     assert_golden("report-no-metrics.html", &html);
+}
+
+/// A short `daemon.metrics.jsonl` ring: rising then draining queue,
+/// with the newest sample carrying the cumulative per-kind latency
+/// histograms and one counted write failure.
+const SYNTHETIC_RING: &str = concat!(
+    r#"{"unix_ms":1786147200000,"queued":3,"running":0,"done":0,"failed":0,"#,
+    r#""cancelled":0,"depth":3,"watchers":0,"connections":1,"cache_hits":0,"#,
+    r#""cache_misses":0,"cache_evictions":0,"metrics_write_errors":0}"#,
+    "\n",
+    r#"{"unix_ms":1786147210000,"queued":1,"running":2,"done":0,"failed":0,"#,
+    r#""cancelled":0,"depth":3,"watchers":2,"connections":2,"cache_hits":0,"#,
+    r#""cache_misses":2,"cache_evictions":0,"metrics_write_errors":0}"#,
+    "\n",
+    r#"{"unix_ms":1786147230000,"queued":0,"running":1,"done":2,"failed":0,"#,
+    r#""cancelled":0,"depth":1,"watchers":2,"connections":2,"cache_hits":1,"#,
+    r#""cache_misses":2,"cache_evictions":0,"metrics_write_errors":0}"#,
+    "\n",
+    r#"{"unix_ms":1786147260000,"queued":0,"running":0,"done":3,"failed":1,"#,
+    r#""cancelled":1,"depth":0,"watchers":1,"connections":1,"cache_hits":2,"#,
+    r#""cache_misses":3,"cache_evictions":1,"metrics_write_errors":1,"#,
+    r#""metrics":{"series":{"daemon_queue_depth":"#,
+    r#"{"count":4,"min":0.0,"mean":1.75,"p50":1.0,"p99":3.0,"max":3.0}},"#,
+    r#""hist":{"daemon_exec_ms_sweep":{"samples":3,"mean":5200.0,"#,
+    r#""buckets":[[4096,8191,3]]},"daemon_queue_wait_ms_sweep":"#,
+    r#"{"samples":3,"mean":140.0,"buckets":[[64,127,1],[128,255,2]]}}}}"#,
+    "\n",
+);
+
+#[test]
+fn dashboard_with_daemon_panel_matches_golden() {
+    let metrics = parse_metrics(SYNTHETIC_METRICS).expect("fixture metrics parse");
+    let series = DaemonSeries::parse(SYNTHETIC_RING);
+    assert_eq!(series.samples.len(), 4);
+    let html = render_html_with(
+        &synthetic_manifest(),
+        &synthetic_status(),
+        Some(&metrics),
+        &ReportOptions {
+            daemon: Some(&series),
+            refresh_secs: Some(5),
+        },
+    );
+    assert_golden("report-daemon.html", &html);
 }

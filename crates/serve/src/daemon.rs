@@ -24,13 +24,17 @@
 //! in-flight, which the shared result cache turns into cache hits for
 //! every item that had already been saved.
 
+use crate::metrics::{
+    sample_line, CacheCounters, DaemonMetrics, MetricsRing, TraceLog, METRICS_RING_CAP,
+    METRICS_RING_FILE, TRACE_LOG_FILE,
+};
 use crate::payload::JobPayload;
 use crate::proto::{
     error_line, json_str, parse_request, read_request_line, Request, RequestLine, MAX_REQUEST_LINE,
 };
 use crate::queue::{Cancelled, JobEntry, JobOutcome, JobQueue, JobState};
 use rmt3d_campaign::run_campaign_watched;
-use rmt3d_obs::ledger::{write_atomic, RunHandle, RunLedger};
+use rmt3d_obs::ledger::{unix_now_ms, write_atomic, RunHandle, RunLedger};
 use rmt3d_obs::{metrics_to_json, RunObserver};
 use rmt3d_sweep::{codec, run_sweep, CacheMode, ResultStore, SweepOptions};
 use rmt3d_telemetry::json::JsonObject;
@@ -42,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -80,6 +84,118 @@ struct Ctx {
     store: ResultStore,
     state_dir: PathBuf,
     quiet: bool,
+    inst: Arc<Instruments>,
+}
+
+/// The daemon's observability bundle: live counters/histograms, the
+/// bounded `daemon.metrics.jsonl` time-series ring, and the raw span
+/// log behind `trace-report --chrome-out`. Ring or log open failures
+/// degrade to `None` (counted, warned) — observability must never take
+/// the queue down with it.
+struct Instruments {
+    metrics: DaemonMetrics,
+    ring: Mutex<Option<MetricsRing>>,
+    trace: Mutex<Option<TraceLog>>,
+}
+
+impl Instruments {
+    fn open(state_dir: &Path, quiet: bool) -> Instruments {
+        let metrics = DaemonMetrics::new();
+        let ring = match MetricsRing::open(&state_dir.join(METRICS_RING_FILE), METRICS_RING_CAP) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                metrics.note_metrics_write_error();
+                if !quiet {
+                    eprintln!("serve: warning: metrics ring disabled: {e}");
+                }
+                None
+            }
+        };
+        let trace = match TraceLog::open(&state_dir.join(TRACE_LOG_FILE)) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                metrics.note_metrics_write_error();
+                if !quiet {
+                    eprintln!("serve: warning: span trace log disabled: {e}");
+                }
+                None
+            }
+        };
+        Instruments {
+            metrics,
+            ring: Mutex::new(ring),
+            trace: Mutex::new(trace),
+        }
+    }
+
+    /// Opens a job-lifecycle phase span in the trace log.
+    fn span_begin(&self, job: u64, phase: &'static str) {
+        let ts = self.metrics.tick();
+        self.trace_event(&Event::JobSpanBegin { job, phase, ts });
+    }
+
+    /// Closes a job-lifecycle phase span in the trace log.
+    fn span_end(&self, job: u64, phase: &'static str, wall_nanos: u64) {
+        let ts = self.metrics.tick();
+        self.trace_event(&Event::JobSpanEnd {
+            job,
+            phase,
+            ts,
+            wall_nanos,
+        });
+    }
+
+    fn trace_event(&self, event: &Event) {
+        let mut guard = self.trace.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(log) = guard.as_mut() {
+            if log.append(event).is_err() {
+                self.metrics.note_metrics_write_error();
+            }
+        }
+    }
+}
+
+/// Appends one snapshot of the daemon to the time-series ring. Takes
+/// the state lock itself (briefly) — call without holding it.
+fn sample_now(shared: &Shared, inst: &Instruments, store: &ResultStore) {
+    let (queued, running, done, failed, cancelled, watchers) = {
+        let st = lock(shared);
+        (
+            st.queue.count(JobState::Queued) as u64,
+            st.queue.count(JobState::Running) as u64,
+            st.queue.count(JobState::Done) as u64,
+            st.queue.count(JobState::Failed) as u64,
+            st.queue.count(JobState::Cancelled) as u64,
+            st.watchers.values().map(Vec::len).sum::<usize>() as u64,
+        )
+    };
+    let counters = store.stats();
+    let (entries, bytes) = store.totals().unwrap_or((0, 0));
+    inst.metrics
+        .record_gauge("daemon_queue_depth", (queued + running) as f64);
+    let line = sample_line(
+        unix_now_ms(),
+        queued,
+        running,
+        done,
+        failed,
+        cancelled,
+        watchers,
+        &CacheCounters {
+            hits: counters.hits,
+            misses: counters.misses,
+            verify_failures: counters.verify_failures,
+            entries,
+            bytes,
+        },
+        &inst.metrics,
+    );
+    let mut guard = inst.ring.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(ring) = guard.as_mut() {
+        if ring.append(&line).is_err() {
+            inst.metrics.note_metrics_write_error();
+        }
+    }
 }
 
 /// Runs the daemon on an already-bound listener until a shutdown
@@ -118,14 +234,19 @@ pub fn serve(listener: TcpListener, opts: ServeOptions) -> Result<(), String> {
         }),
         wake: Condvar::new(),
     });
+    let inst = Arc::new(Instruments::open(&opts.state_dir, opts.quiet));
     let ctx = Arc::new(Ctx {
         shared: Arc::clone(&shared),
         store: store.clone(),
         state_dir: opts.state_dir.clone(),
         quiet: opts.quiet,
+        inst: Arc::clone(&inst),
     });
+    // First ring sample: the recovered queue as the daemon saw it at
+    // startup, so a restart is visible in the time-series.
+    sample_now(&shared, &inst, &store);
     let acceptor = thread::spawn(move || accept_loop(listener, ctx));
-    scheduler(&shared, &store, &opts);
+    scheduler(&shared, &store, &opts, &inst);
     // Release any watcher still blocked on a queued job, then let the
     // accept loop notice the shutdown flag and exit.
     let mut st = lock(&shared);
@@ -171,7 +292,7 @@ fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>) {
     }
 }
 
-fn scheduler(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions) {
+fn scheduler(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions, inst: &Instruments) {
     loop {
         let seq = {
             let mut st = lock(shared);
@@ -189,7 +310,7 @@ fn scheduler(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions) {
                     .unwrap_or_else(|p| p.into_inner().0);
             }
         };
-        execute_job(shared, store, opts, seq);
+        execute_job(shared, store, opts, seq, inst);
     }
 }
 
@@ -215,8 +336,14 @@ impl Sink for FanoutSink {
     }
 }
 
-fn execute_job(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions, seq: u64) {
-    let (id, payload, spec_hash, cancel) = {
+fn execute_job(
+    shared: &Arc<Shared>,
+    store: &ResultStore,
+    opts: &ServeOptions,
+    seq: u64,
+    inst: &Instruments,
+) {
+    let (id, payload, spec_hash, cancel, submitted_unix_ms) = {
         let mut st = lock(shared);
         let Some(entry) = st.queue.iter().find(|j| j.seq == seq) else {
             return;
@@ -227,10 +354,20 @@ fn execute_job(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions, s
         let id = entry.id.clone();
         let payload = entry.payload.clone();
         let spec_hash = entry.spec_hash;
+        let submitted_unix_ms = entry.submitted_unix_ms;
         let cancel = Arc::new(AtomicBool::new(false));
         st.cancels.insert(id.clone(), Arc::clone(&cancel));
-        (id, payload, spec_hash, cancel)
+        (id, payload, spec_hash, cancel, submitted_unix_ms)
     };
+
+    // The scheduler leased the job: close its queued phase (wait time
+    // from the journaled submission stamp) and open the lease phase.
+    let queue_wait_ms = unix_now_ms().saturating_sub(submitted_unix_ms);
+    inst.metrics
+        .record_queue_wait(payload.kind(), queue_wait_ms);
+    inst.span_end(seq, "queued", queue_wait_ms.saturating_mul(1_000_000));
+    inst.span_begin(seq, "leased");
+    let lease_started = Instant::now();
 
     let registration = opts
         .runs_root
@@ -252,6 +389,10 @@ fn execute_job(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions, s
     if !opts.quiet {
         eprintln!("serve: {id} started ({})", payload.summary());
     }
+    inst.span_end(seq, "leased", lease_started.elapsed().as_nanos() as u64);
+    inst.span_begin(seq, "run");
+    sample_now(shared, inst, store);
+    let run_started = Instant::now();
 
     let mut sink = FanoutSink {
         shared: Arc::clone(shared),
@@ -325,31 +466,47 @@ fn execute_job(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions, s
         }
     };
 
+    let run_nanos = run_started.elapsed().as_nanos() as u64;
+    inst.metrics
+        .record_exec(payload.kind(), run_nanos / 1_000_000);
+    inst.span_end(seq, "run", run_nanos);
+    inst.span_begin(seq, "store_write");
+    let store_started = Instant::now();
+
     let outcome_str = match state {
         JobState::Done => "ok",
         JobState::Cancelled => "cancelled",
         _ => "failed",
     };
     let observer = sink.observer.take();
-    finish_run(handle, observer, outcome_str);
+    finish_run(handle, observer, outcome_str, &inst.metrics);
 
     if let Some(max) = opts.cache_max_bytes {
         match store.evict_to(max) {
-            Ok(report) if report.evicted_entries > 0 && !opts.quiet => eprintln!(
-                "serve: cache evicted {} entr{} ({} bytes), {} bytes retained",
-                report.evicted_entries,
-                if report.evicted_entries == 1 {
-                    "y"
-                } else {
-                    "ies"
-                },
-                report.evicted_bytes,
-                report.remaining_bytes,
-            ),
-            Ok(_) => {}
+            Ok(report) => {
+                inst.metrics.note_evictions(report.evicted_entries);
+                if report.evicted_entries > 0 && !opts.quiet {
+                    eprintln!(
+                        "serve: cache evicted {} entr{} ({} bytes), {} bytes retained",
+                        report.evicted_entries,
+                        if report.evicted_entries == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        },
+                        report.evicted_bytes,
+                        report.remaining_bytes,
+                    );
+                }
+            }
             Err(e) => eprintln!("serve: warning: cache eviction failed: {e}"),
         }
     }
+    inst.span_end(
+        seq,
+        "store_write",
+        store_started.elapsed().as_nanos() as u64,
+    );
 
     {
         let mut st = lock(shared);
@@ -363,6 +520,16 @@ fn execute_job(shared: &Arc<Shared>, store: &ResultStore, opts: &ServeOptions, s
         }
         st.watchers.remove(&id);
     }
+    // Close the outer lifecycle span and snapshot the daemon with the
+    // job in its terminal state.
+    inst.span_end(
+        seq,
+        "job",
+        unix_now_ms()
+            .saturating_sub(submitted_unix_ms)
+            .saturating_mul(1_000_000),
+    );
+    sample_now(shared, inst, store);
     if !opts.quiet {
         eprintln!(
             "serve: {id} {}: simulated {}, cache-hit {}, failed {}",
@@ -417,20 +584,32 @@ fn register_run(
     Some((handle, observer))
 }
 
-fn finish_run(handle: Option<RunHandle>, observer: Option<RunObserver>, outcome: &str) {
+fn finish_run(
+    handle: Option<RunHandle>,
+    observer: Option<RunObserver>,
+    outcome: &str,
+    metrics: &DaemonMetrics,
+) {
     if let Some(mut obs) = observer {
         if let Err(e) = obs.finalize(outcome) {
+            metrics.note_metrics_write_error();
             eprintln!("serve: warning: status write failed: {e}");
         }
         if let Some(h) = handle.as_ref() {
             let json = metrics_to_json(obs.registry());
             if let Err(e) = write_atomic(&h.metrics_path(), &json) {
+                // Counted, not just logged: the failure shows up in the
+                // `stats` line as `metrics_write_errors`, so a daemon
+                // quietly losing its run artifacts is visible to every
+                // client instead of only to whoever tails stderr.
+                metrics.note_metrics_write_error();
                 eprintln!("serve: warning: metrics write failed: {e}");
             }
         }
     }
     if let Some(mut h) = handle {
         if let Err(e) = h.finish(outcome) {
+            metrics.note_metrics_write_error();
             eprintln!("serve: warning: manifest write failed: {e}");
         }
     }
@@ -482,6 +661,12 @@ fn write_line(w: &mut TcpStream, line: &str) -> io::Result<()> {
 }
 
 fn handle_client(stream: TcpStream, ctx: &Ctx) {
+    ctx.inst.metrics.connection_opened();
+    handle_client_inner(stream, ctx);
+    ctx.inst.metrics.connection_closed();
+}
+
+fn handle_client_inner(stream: TcpStream, ctx: &Ctx) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -553,13 +738,20 @@ fn dispatch(req: Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<()> {
                                 .str("spec_hash", &format!("{:016x}", entry.spec_hash))
                                 .u64("total_jobs", entry.payload.total_jobs());
                             let summary = entry.payload.summary();
-                            (o.finish(), (!deduped).then_some((id, summary)))
+                            let seq = entry.seq;
+                            (o.finish(), (!deduped).then_some((id, summary, seq)))
                         }
                     }
                 }
             };
             ctx.shared.wake.notify_all();
-            if let Some((id, summary)) = accepted {
+            if let Some((id, summary, seq)) = accepted {
+                // A fresh (non-deduped) submission opens the outer
+                // lifecycle span and the queued phase; the scheduler
+                // closes them as the job advances.
+                ctx.inst.span_begin(seq, "job");
+                ctx.inst.span_begin(seq, "queued");
+                sample_now(&ctx.shared, &ctx.inst, &ctx.store);
                 if !ctx.quiet {
                     eprintln!("serve: {id} submitted ({summary})");
                 }
@@ -588,7 +780,7 @@ fn dispatch(req: Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<()> {
             write_line(writer, &line)
         }
         Request::Stats => {
-            let (queued, running, done, failed, cancelled) = {
+            let (queued, running, done, failed, cancelled, watchers) = {
                 let st = lock(&ctx.shared);
                 (
                     st.queue.count(JobState::Queued),
@@ -596,10 +788,12 @@ fn dispatch(req: Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<()> {
                     st.queue.count(JobState::Done),
                     st.queue.count(JobState::Failed),
                     st.queue.count(JobState::Cancelled),
+                    st.watchers.values().map(Vec::len).sum::<usize>(),
                 )
             };
             let counters = ctx.store.stats();
             let (entries, bytes) = ctx.store.totals().unwrap_or((0, 0));
+            let m = &ctx.inst.metrics;
             let mut o = JsonObject::new();
             o.bool("ok", true)
                 .u64("queued", queued as u64)
@@ -607,11 +801,18 @@ fn dispatch(req: Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<()> {
                 .u64("done", done as u64)
                 .u64("failed", failed as u64)
                 .u64("cancelled", cancelled as u64)
+                .u64("queue_depth", (queued + running) as u64)
+                .u64("watchers", watchers as u64)
+                .u64("connections", m.connections_open())
+                .u64("connections_total", m.connections_total())
                 .u64("cache_hits", counters.hits)
                 .u64("cache_misses", counters.misses)
                 .u64("cache_verify_failures", counters.verify_failures)
                 .u64("cache_entries", entries)
-                .u64("cache_bytes", bytes);
+                .u64("cache_bytes", bytes)
+                .u64("cache_evictions", m.cache_evictions())
+                .u64("metrics_write_errors", m.metrics_write_errors())
+                .raw("metrics", &m.metrics_doc());
             write_line(writer, &o.finish())
         }
         Request::Cancel { job } => {

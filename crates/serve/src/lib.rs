@@ -19,8 +19,13 @@ mod payload;
 mod queue;
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 
 pub use daemon::{serve, ServeOptions};
+pub use metrics::{
+    parse_sample_line, DaemonMetrics, MetricsRing, TraceLog, METRICS_RING_CAP, METRICS_RING_FILE,
+    TRACE_LOG_FILE,
+};
 pub use payload::JobPayload;
 pub use queue::{Cancelled, JobEntry, JobOutcome, JobQueue, JobState, JOURNAL_FILE};

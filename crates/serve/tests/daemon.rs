@@ -177,15 +177,118 @@ fn malformed_oversized_and_ill_typed_requests_never_kill_the_daemon() {
     expect_error(roundtrip("{\"op\":\"cancel\",\"job\":\"job-000042\"}"));
     let oversized = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(70 * 1024));
     expect_error(roundtrip(&oversized));
+    let oversized_stats = format!("{{\"op\":\"stats\",\"pad\":\"{}\"}}", "x".repeat(70 * 1024));
+    expect_error(roundtrip(&oversized_stats));
     // The reader resynchronized at the newline: same connection, sane
     // request, sane answer.
     let v = roundtrip("{\"op\":\"ping\"}");
     assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+    // `stats` on the abused connection: still one strict-JSON line
+    // with the full gauge set (ill-typed extra fields are ignored).
+    let v = roundtrip("{\"op\":\"stats\",\"job\":[42],\"depth\":\"nope\"}");
+    assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+    for key in [
+        "queued",
+        "running",
+        "done",
+        "failed",
+        "cancelled",
+        "queue_depth",
+        "watchers",
+        "connections",
+        "connections_total",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "metrics_write_errors",
+        "metrics",
+    ] {
+        assert!(v.get(key).is_some(), "stats response missing {key}");
+    }
 
     // And the daemon still schedules real work afterwards.
     let job = submit(&daemon.addr, SPEC, 0);
     assert_eq!(wait_done(&daemon.addr, &job), "done");
     daemon.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stats_is_one_strict_json_line_under_concurrency_and_the_ring_survives_a_torn_tail() {
+    let root = tmp("stats");
+    let daemon = start(&root, false);
+
+    // Hammer `stats` from several clients while a real job runs: every
+    // answer is exactly one strict-JSON line, never a panic or a
+    // truncated document.
+    let job = submit(&daemon.addr, SPEC, 0);
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = daemon.addr.clone();
+            thread::spawn(move || {
+                for _ in 0..25 {
+                    let raw = client::request_raw(&addr, "{\"op\":\"stats\"}").expect("stats");
+                    assert!(!raw.contains('\n'), "one line only");
+                    let v = parse(&raw).expect("stats is strict JSON");
+                    assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+                    let queued = v.get("queued").and_then(JsonValue::as_u64).unwrap();
+                    let running = v.get("running").and_then(JsonValue::as_u64).unwrap();
+                    let depth = v.get("queue_depth").and_then(JsonValue::as_u64).unwrap();
+                    assert_eq!(depth, queued + running, "depth is queued + running");
+                }
+            })
+        })
+        .collect();
+    assert_eq!(wait_done(&daemon.addr, &job), "done");
+    for h in hammers {
+        h.join().expect("stats hammer thread");
+    }
+
+    // After an executed job the cumulative metrics document carries
+    // the per-kind latency histograms.
+    let v = client::request(&daemon.addr, "{\"op\":\"stats\"}").expect("stats");
+    assert_eq!(v.get("done").and_then(JsonValue::as_u64), Some(1));
+    let exec_hist = v
+        .get("metrics")
+        .and_then(|m| m.get("hist"))
+        .and_then(|h| h.get("daemon_exec_ms_sweep"))
+        .expect("execution latency histogram present");
+    assert!(exec_hist.get("samples").and_then(JsonValue::as_u64) >= Some(1));
+    assert!(v
+        .get("metrics")
+        .and_then(|m| m.get("hist"))
+        .and_then(|h| h.get("daemon_queue_wait_ms_sweep"))
+        .is_some());
+    daemon.stop();
+
+    // The time-series ring persisted valid samples, and the newest one
+    // agrees with the final stats answer.
+    let ring_path = root.join("state").join(rmt3d_serve::METRICS_RING_FILE);
+    let text = std::fs::read_to_string(&ring_path).expect("ring file written");
+    let series = rmt3d_obs::DaemonSeries::parse(&text);
+    assert!(!series.is_empty(), "ring holds samples");
+    assert_eq!(series.latest().unwrap().done, 1);
+
+    // Tear the tail (a SIGKILL mid-append) and add garbage: a
+    // restarted daemon replays past both without panicking or
+    // inventing data, and keeps appending.
+    let torn = format!("{text}garbage line\n{{\"unix_ms\":12,\"queued\":");
+    std::fs::write(&ring_path, &torn).expect("tear the ring tail");
+    let daemon = start(&root, false);
+    let job2 = submit(
+        &daemon.addr,
+        r#"{"models":["2d-2a"],"benchmarks":["gzip"],"instructions":15000}"#,
+        0,
+    );
+    assert_eq!(wait_done(&daemon.addr, &job2), "done");
+    daemon.stop();
+    let after = std::fs::read_to_string(&ring_path).expect("ring file survives");
+    let series = rmt3d_obs::DaemonSeries::parse(&after);
+    // The journal replays the first job on restart, so the newest
+    // sample counts both; the torn record (unix_ms 12) never became a
+    // sample with data invented for its missing fields.
+    assert_eq!(series.latest().unwrap().done, 2);
+    assert!(series.samples.iter().all(|s| s.unix_ms != 12));
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -166,6 +166,20 @@ impl Event {
                         if deterministic { 0 } else { *median_nanos },
                     );
             }
+            Event::JobSpanBegin { job, phase, ts } => {
+                o.u64("job", *job).str("phase", phase).u64("ts", *ts);
+            }
+            Event::JobSpanEnd {
+                job,
+                phase,
+                ts,
+                wall_nanos,
+            } => {
+                o.u64("job", *job)
+                    .str("phase", phase)
+                    .u64("ts", *ts)
+                    .u64("wall_nanos", if deterministic { 0 } else { *wall_nanos });
+            }
             Event::CampaignTrial {
                 trial,
                 site,
@@ -264,6 +278,15 @@ pub enum ParsedEvent {
         label: String,
         elapsed_nanos: u64,
         median_nanos: u64,
+    },
+    /// See [`Event::JobSpanBegin`].
+    JobSpanBegin { job: u64, phase: String, ts: u64 },
+    /// See [`Event::JobSpanEnd`].
+    JobSpanEnd {
+        job: u64,
+        phase: String,
+        ts: u64,
+        wall_nanos: u64,
     },
     /// See [`Event::CampaignTrial`].
     CampaignTrial {
@@ -410,6 +433,17 @@ impl ParsedEvent {
                 elapsed_nanos: u("elapsed_nanos")?,
                 median_nanos: u("median_nanos")?,
             },
+            "job_span_begin" => ParsedEvent::JobSpanBegin {
+                job: u("job")?,
+                phase: s("phase")?,
+                ts: u("ts")?,
+            },
+            "job_span_end" => ParsedEvent::JobSpanEnd {
+                job: u("job")?,
+                phase: s("phase")?,
+                ts: u("ts")?,
+                wall_nanos: u("wall_nanos")?,
+            },
             "campaign_trial" => ParsedEvent::CampaignTrial {
                 trial: u("trial")?,
                 site: s("site")?,
@@ -440,6 +474,8 @@ impl ParsedEvent {
             ParsedEvent::PoolStats { .. } => "pool_stats",
             ParsedEvent::CacheStats { .. } => "cache_stats",
             ParsedEvent::JobStalled { .. } => "job_stalled",
+            ParsedEvent::JobSpanBegin { .. } => "job_span_begin",
+            ParsedEvent::JobSpanEnd { .. } => "job_span_end",
             ParsedEvent::CampaignTrial { .. } => "campaign_trial",
             ParsedEvent::Summary => "summary",
         }
@@ -630,6 +666,28 @@ impl ParsedEvent {
                     && label == l
                     && (deterministic || (elapsed_nanos == el && median_nanos == me))
             }
+            (
+                ParsedEvent::JobSpanBegin { job, phase, ts },
+                Event::JobSpanBegin {
+                    job: j,
+                    phase: p,
+                    ts: t,
+                },
+            ) => job == j && phase == p && ts == t,
+            (
+                ParsedEvent::JobSpanEnd {
+                    job,
+                    phase,
+                    ts,
+                    wall_nanos,
+                },
+                Event::JobSpanEnd {
+                    job: j,
+                    phase: p,
+                    ts: t,
+                    wall_nanos: w,
+                },
+            ) => job == j && phase == p && ts == t && (deterministic || wall_nanos == w),
             (
                 ParsedEvent::CampaignTrial {
                     trial,

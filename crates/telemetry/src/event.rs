@@ -193,6 +193,38 @@ pub enum Event {
         /// deterministic).
         median_nanos: u64,
     },
+    /// A daemon job-lifecycle phase opened (emitted by `rmt3d serve`).
+    /// Phases nest per job — `job` wraps `queued`, `leased`, `run`, and
+    /// `store_write` — and render as Chrome *async* spans keyed by the
+    /// job sequence number, so overlapping jobs do not corrupt each
+    /// other's timelines. `ts` is a logical daemon tick (monotonic
+    /// event counter, not wall clock), which keeps traces
+    /// byte-deterministic for a fixed submission order. JSONL:
+    /// `{"event":"job_span_begin","job":…,"phase":…,"ts":…}`.
+    JobSpanBegin {
+        /// Daemon job sequence number — the async-span id.
+        job: u64,
+        /// Phase name (`"job"`, `"queued"`, `"leased"`, `"run"`,
+        /// `"store_write"`).
+        phase: &'static str,
+        /// Logical daemon tick at phase entry.
+        ts: u64,
+    },
+    /// A daemon job-lifecycle phase closed, matching the
+    /// [`Event::JobSpanBegin`] with the same `job` and `phase`. JSONL:
+    /// `{"event":"job_span_end","job":…,"phase":…,"ts":…,
+    /// "wall_nanos":…}`.
+    JobSpanEnd {
+        /// Daemon job sequence number — the async-span id.
+        job: u64,
+        /// Phase name, matching the corresponding begin.
+        phase: &'static str,
+        /// Logical daemon tick at phase exit.
+        ts: u64,
+        /// Wall-clock nanoseconds spent inside the phase (0 when the
+        /// sink is configured deterministic).
+        wall_nanos: u64,
+    },
     /// One fault-injection campaign trial completed (emitted by
     /// `rmt3d-campaign`). JSONL: `{"event":"campaign_trial","trial":…,
     /// "site":…,"fate":…,"detect_cycles":…,"ok":…}`.
@@ -318,6 +350,17 @@ impl Event {
                 elapsed_nanos: 9_000_000,
                 median_nanos: 1_000_000,
             },
+            Event::JobSpanBegin {
+                job: 53,
+                phase: "queued",
+                ts: 59,
+            },
+            Event::JobSpanEnd {
+                job: 53,
+                phase: "queued",
+                ts: 61,
+                wall_nanos: 67_000,
+            },
             Event::CampaignTrial {
                 trial: 47,
                 site: "leader_result",
@@ -351,6 +394,8 @@ impl Event {
             | Event::PoolStats { .. }
             | Event::CacheStats { .. }
             | Event::JobStalled { .. }
+            | Event::JobSpanBegin { .. }
+            | Event::JobSpanEnd { .. }
             | Event::CampaignTrial { .. } => {}
         }
     }
@@ -372,6 +417,8 @@ impl Event {
             Event::PoolStats { .. } => "pool_stats",
             Event::CacheStats { .. } => "cache_stats",
             Event::JobStalled { .. } => "job_stalled",
+            Event::JobSpanBegin { .. } => "job_span_begin",
+            Event::JobSpanEnd { .. } => "job_span_end",
             Event::CampaignTrial { .. } => "campaign_trial",
         }
     }

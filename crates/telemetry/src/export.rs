@@ -237,7 +237,11 @@ impl Collector {
                         .record_hist("detection_latency", *detect_cycles);
                 }
             }
-            Event::SpanBegin { .. } | Event::SpanEnd { .. } | Event::JobStarted { .. } => {}
+            Event::SpanBegin { .. }
+            | Event::SpanEnd { .. }
+            | Event::JobStarted { .. }
+            | Event::JobSpanBegin { .. }
+            | Event::JobSpanEnd { .. } => {}
         }
     }
 

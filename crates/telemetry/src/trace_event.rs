@@ -6,11 +6,14 @@
 //! the leader cycle interpreted as microseconds — no wall clock is ever
 //! read, so two identical runs produce byte-identical traces.
 //!
-//! Track layout (one process, three threads):
+//! Track layout (one process, four threads):
 //! - tid 1 `leader`: counter samples and fault/recovery instants
 //! - tid 2 `checker`: counter series whose name starts with `checker`
 //! - tid 3 `driver`: phase spans (`warmup`, `measure`, …), sweep-job
 //!   and campaign instants, thermal-solver residuals
+//! - tid 4 `daemon`: job-lifecycle spans from `rmt3d serve`, rendered
+//!   as *async* events (`"ph":"b"`/`"e"`, `"cat":"job"`, `"id"` = job
+//!   sequence) so overlapping jobs each get their own nested lane
 //!
 //! [trace-event JSON format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
@@ -31,6 +34,7 @@ const PID: u64 = 1;
 const TID_LEADER: u64 = 1;
 const TID_CHECKER: u64 = 2;
 const TID_DRIVER: u64 = 3;
+const TID_DAEMON: u64 = 4;
 
 /// Streams events in Chrome/Perfetto `trace_event` JSON format.
 #[derive(Debug)]
@@ -115,6 +119,7 @@ impl<W: Write> TraceEventSink<W> {
                 (TID_LEADER, "thread_name", "leader"),
                 (TID_CHECKER, "thread_name", "checker"),
                 (TID_DRIVER, "thread_name", "driver"),
+                (TID_DAEMON, "thread_name", "daemon"),
             ];
             for (tid, kind, name) in meta {
                 let mut args = JsonObject::new();
@@ -285,6 +290,14 @@ impl<W: Write> TraceEventSink<W> {
                     .str("label", label);
                 self.instant("job_stalled", *job, TID_DRIVER, &args.finish());
             }
+            Event::JobSpanBegin { job, phase, ts } => {
+                self.async_span(phase, "b", *job, *ts);
+            }
+            Event::JobSpanEnd { job, phase, ts, .. } => {
+                // Wall-clock nanos are dropped: trace output must stay
+                // byte-identical across runs.
+                self.async_span(phase, "e", *job, *ts);
+            }
             Event::CampaignTrial {
                 trial,
                 site,
@@ -299,6 +312,134 @@ impl<W: Write> TraceEventSink<W> {
                     .bool("ok", *ok);
                 self.instant("campaign_trial", *trial, TID_DRIVER, &args.finish());
             }
+        }
+    }
+
+    /// Re-renders an event decoded from a JSONL file. This is how
+    /// `rmt3d trace-report --chrome-out` turns a daemon's raw event log
+    /// into a Chrome/Perfetto trace offline: the daemon (multi-threaded,
+    /// so it cannot hold this `Rc`-based sink) appends codec lines, and
+    /// the converter replays them through the same rendering used for
+    /// live events. Lifecycle and counter events render exactly as
+    /// their in-memory counterparts; the trailing `summary` line has no
+    /// trace representation and is skipped.
+    pub fn record_parsed(&mut self, event: &crate::ParsedEvent) {
+        use crate::ParsedEvent as P;
+        match event {
+            P::SpanBegin { name, cycle } => self.span(name, "B", *cycle),
+            P::SpanEnd { name, cycle, .. } => self.span(name, "E", *cycle),
+            P::Counter { name, cycle, value } => self.counter(name, *cycle, &[("value", *value)]),
+            P::DfsTransition {
+                cycle,
+                to_level,
+                fraction,
+                ..
+            } => self.counter(
+                "checker_frequency",
+                *cycle,
+                &[("fraction", *fraction), ("level", f64::from(*to_level))],
+            ),
+            P::FaultInjected {
+                cycle,
+                site,
+                bit,
+                corrected,
+            } => {
+                let mut args = JsonObject::new();
+                args.str("site", site)
+                    .u64("bit", u64::from(*bit))
+                    .bool("corrected", *corrected);
+                self.instant("fault", *cycle, TID_LEADER, &args.finish());
+            }
+            P::Recovery {
+                cycle,
+                penalty_cycles,
+                unrecoverable,
+            } => {
+                let mut args = JsonObject::new();
+                args.u64("penalty_cycles", *penalty_cycles)
+                    .bool("unrecoverable", *unrecoverable);
+                self.instant("recovery", *cycle, TID_LEADER, &args.finish());
+            }
+            P::SolverIteration {
+                iteration,
+                residual,
+            } => self.counter("solver_residual", *iteration, &[("kelvin", *residual)]),
+            P::Interval(s) => self.record_event(&Event::Interval(*s)),
+            P::JobStarted { job, total, label } => {
+                let mut args = JsonObject::new();
+                args.u64("job", *job)
+                    .u64("total", *total)
+                    .str("label", label);
+                self.instant("job_started", *job, TID_DRIVER, &args.finish());
+            }
+            P::JobFinished { job, total, ok, .. } => {
+                let mut args = JsonObject::new();
+                args.u64("job", *job).u64("total", *total).bool("ok", *ok);
+                self.instant("job_finished", *job, TID_DRIVER, &args.finish());
+            }
+            P::JobCacheHit { job, total, label } => {
+                let mut args = JsonObject::new();
+                args.u64("job", *job)
+                    .u64("total", *total)
+                    .str("label", label);
+                self.instant("job_cache_hit", *job, TID_DRIVER, &args.finish());
+            }
+            P::PoolStats {
+                workers,
+                executed,
+                cache_hits,
+                failed,
+                ..
+            } => {
+                let mut args = JsonObject::new();
+                args.u64("workers", *workers)
+                    .u64("executed", *executed)
+                    .u64("cache_hits", *cache_hits)
+                    .u64("failed", *failed);
+                self.instant("pool_stats", 0, TID_DRIVER, &args.finish());
+            }
+            P::CacheStats {
+                hits,
+                misses,
+                verify_failures,
+                entries,
+                bytes,
+            } => {
+                let mut args = JsonObject::new();
+                args.u64("hits", *hits)
+                    .u64("misses", *misses)
+                    .u64("verify_failures", *verify_failures)
+                    .u64("entries", *entries)
+                    .u64("bytes", *bytes);
+                self.instant("cache_stats", 0, TID_DRIVER, &args.finish());
+            }
+            P::JobStalled {
+                job, total, label, ..
+            } => {
+                let mut args = JsonObject::new();
+                args.u64("job", *job)
+                    .u64("total", *total)
+                    .str("label", label);
+                self.instant("job_stalled", *job, TID_DRIVER, &args.finish());
+            }
+            P::JobSpanBegin { job, phase, ts } => self.async_span(phase, "b", *job, *ts),
+            P::JobSpanEnd { job, phase, ts, .. } => self.async_span(phase, "e", *job, *ts),
+            P::CampaignTrial {
+                trial,
+                site,
+                fate,
+                detect_cycles,
+                ok,
+            } => {
+                let mut args = JsonObject::new();
+                args.str("site", site)
+                    .str("fate", fate)
+                    .u64("detect_cycles", *detect_cycles)
+                    .bool("ok", *ok);
+                self.instant("campaign_trial", *trial, TID_DRIVER, &args.finish());
+            }
+            P::Summary => {}
         }
     }
 
@@ -330,6 +471,22 @@ impl<W: Write> TraceEventSink<W> {
             .u64("pid", PID)
             .u64("tid", tid)
             .raw("args", &args.finish());
+        self.state.borrow_mut().write_record(&o.finish());
+    }
+
+    /// One half of a Chrome *async* span: grouped by `"cat"` + `"id"`
+    /// (the daemon job sequence) rather than thread stack order, so
+    /// spans of concurrently-queued jobs nest per job instead of
+    /// corrupting one shared B/E stack.
+    fn async_span(&mut self, name: &str, ph: &str, id: u64, ts: u64) {
+        let mut o = JsonObject::new();
+        o.str("name", name)
+            .str("ph", ph)
+            .str("cat", "job")
+            .str("id", &format!("0x{id:x}"))
+            .u64("ts", ts)
+            .u64("pid", PID)
+            .u64("tid", TID_DAEMON);
         self.state.borrow_mut().write_record(&o.finish());
     }
 
@@ -429,7 +586,7 @@ mod tests {
             .iter()
             .filter_map(|e| e.get("ph").and_then(JsonValue::as_str))
             .collect();
-        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 4);
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 5);
         assert_eq!(phases.iter().filter(|p| **p == "B").count(), 1);
         assert_eq!(phases.iter().filter(|p| **p == "E").count(), 1);
         assert!(phases.iter().filter(|p| **p == "C").count() >= 5);
@@ -496,6 +653,83 @@ mod tests {
         let buf = SharedBuf::default();
         TraceEventSink::new(buf.clone()).finish().unwrap();
         let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
-        assert_eq!(trace_events(&text).len(), 4, "metadata records only");
+        assert_eq!(trace_events(&text).len(), 5, "metadata records only");
+    }
+
+    #[test]
+    fn job_spans_render_as_async_events_keyed_by_job() {
+        let buf = SharedBuf::default();
+        let mut sink = TraceEventSink::new(buf.clone());
+        // Two jobs with interleaved queued phases: a same-tid B/E stack
+        // would mis-nest these; async ids keep them separate.
+        sink.record(&Event::JobSpanBegin {
+            job: 1,
+            phase: "queued",
+            ts: 10,
+        });
+        sink.record(&Event::JobSpanBegin {
+            job: 2,
+            phase: "queued",
+            ts: 11,
+        });
+        sink.record(&Event::JobSpanEnd {
+            job: 1,
+            phase: "queued",
+            ts: 20,
+            wall_nanos: 99,
+        });
+        sink.record(&Event::JobSpanEnd {
+            job: 2,
+            phase: "queued",
+            ts: 30,
+            wall_nanos: 77,
+        });
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let events = trace_events(&text);
+        let spans: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(JsonValue::as_str) == Some("job"))
+            .collect();
+        assert_eq!(spans.len(), 4);
+        for span in &spans {
+            let ph = span.get("ph").and_then(JsonValue::as_str).unwrap();
+            assert!(ph == "b" || ph == "e", "async phases only, got {ph}");
+            assert!(span.get("id").and_then(JsonValue::as_str).is_some());
+            assert_eq!(span.get("tid").unwrap().as_u64(), Some(TID_DAEMON));
+        }
+        assert_eq!(spans[0].get("id").and_then(JsonValue::as_str), Some("0x1"));
+        assert_eq!(spans[1].get("id").and_then(JsonValue::as_str), Some("0x2"));
+        // Wall-clock fields never reach the trace.
+        assert!(!text.contains("wall_nanos"));
+    }
+
+    #[test]
+    fn record_parsed_matches_live_rendering() {
+        // The offline converter (trace-report --chrome-out) must render
+        // a decoded JSONL stream byte-identically to the live sink.
+        let events = Event::examples();
+        let live = {
+            let buf = SharedBuf::default();
+            let mut sink = TraceEventSink::new(buf.clone());
+            for e in &events {
+                sink.record(e);
+            }
+            sink.finish().unwrap();
+            let bytes = buf.0.borrow().clone();
+            bytes
+        };
+        let replayed = {
+            let buf = SharedBuf::default();
+            let mut sink = TraceEventSink::new(buf.clone());
+            for e in &events {
+                let parsed = crate::ParsedEvent::from_json_line(&e.to_json_line(false)).unwrap();
+                sink.record_parsed(&parsed);
+            }
+            sink.finish().unwrap();
+            let bytes = buf.0.borrow().clone();
+            bytes
+        };
+        assert_eq!(live, replayed);
     }
 }
